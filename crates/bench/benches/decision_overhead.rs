@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks for per-decision controller cost — the
+//! microscopic counterpart of Fig. 2c / Fig. 12: classic CCAs cost
+//! nanoseconds per ACK; learned CCAs pay an NN forward pass per MI;
+//! Libra pays it only during exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use libra_classic::{Bbr, Cubic};
+use libra_core::Libra;
+use libra_learned::{RlCca, RlCcaConfig};
+use libra_rl::PpoAgent;
+use libra_types::{
+    AckEvent, CongestionControl, DetRng, Duration, Instant, MiStats, Rate,
+};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn ack(now_ms: u64) -> AckEvent {
+    AckEvent {
+        now: Instant::from_millis(now_ms),
+        seq: now_ms,
+        bytes: 1500,
+        rtt: Duration::from_millis(50),
+        min_rtt: Duration::from_millis(50),
+        srtt: Duration::from_millis(50),
+        sent_at: Instant::from_millis(now_ms.saturating_sub(50)),
+        delivered_at_send: now_ms * 1000,
+        delivered: now_ms * 1000 + 1500,
+        in_flight: 30_000,
+        app_limited: false,
+    }
+}
+
+fn mi(now_ms: u64) -> MiStats {
+    let mut s = MiStats::empty(Instant::from_millis(now_ms));
+    s.start = Instant::from_millis(now_ms.saturating_sub(50));
+    s.end = Instant::from_millis(now_ms);
+    s.sending_rate = Rate::from_mbps(20.0);
+    s.delivery_rate = Rate::from_mbps(19.0);
+    s.avg_rtt = Duration::from_millis(55);
+    s.min_rtt = Duration::from_millis(50);
+    s.acks = 50;
+    s.sent_bytes = 125_000;
+    s.acked_bytes = 120_000;
+    s
+}
+
+fn bench_per_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_ack");
+    let mut cubic = Cubic::new(1500);
+    group.bench_function("cubic", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            cubic.on_ack(black_box(&ack(t)));
+        })
+    });
+    let mut bbr = Bbr::new(1500);
+    group.bench_function("bbr", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            bbr.on_ack(black_box(&ack(t)));
+        })
+    });
+    group.finish();
+}
+
+fn rl_cca(hidden: Vec<usize>) -> RlCca {
+    let mut cfg = RlCcaConfig::libra_rl();
+    cfg.name = "bench";
+    let mut ppo = cfg.ppo_config();
+    ppo.hidden = hidden;
+    let mut rng = DetRng::new(1);
+    let mut agent = PpoAgent::new(ppo, &mut rng);
+    agent.set_eval(true);
+    let mut cca = RlCca::new(cfg, Rc::new(RefCell::new(agent)));
+    // Leave the startup fast-path so the benchmark measures the real
+    // per-MI path (feature extraction + NN inference).
+    cca.set_rate(Rate::from_mbps(20.0), Duration::from_millis(50));
+    cca
+}
+
+fn bench_per_mi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_mi_decision");
+    // Learned controller at the repo's default 2×64 geometry.
+    let mut small = rl_cca(vec![64, 64]);
+    group.bench_function("rl_2x64", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50;
+            small.on_mi(black_box(&mi(t)));
+        })
+    });
+    // The paper's 2×512 geometry — the overhead the kernel deployment
+    // would pay per inference.
+    let mut large = rl_cca(vec![512, 512]);
+    group.bench_function("rl_2x512", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50;
+            large.on_mi(black_box(&mi(t)));
+        })
+    });
+    // Libra's MI handler outside exploration (no inference).
+    let mut rng = DetRng::new(2);
+    let mut agent = PpoAgent::new(Libra::ppo_config(), &mut rng);
+    agent.set_eval(true);
+    let mut libra = Libra::c_libra(Rc::new(RefCell::new(agent)));
+    // Put Libra into its control cycle (out of classic startup) so the
+    // bench measures stage-machine ticks, not the startup check.
+    libra.set_rate(Rate::from_mbps(20.0), Duration::from_millis(50));
+    group.bench_function("libra_mi", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50;
+            libra.on_mi(black_box(&mi(t)));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_per_ack, bench_per_mi
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the learning substrate: MLP forward/backward
+//! scaling and PPO update cost — what the paper's training pipeline pays
+//! per step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use libra_nn::{Activation, Mlp};
+use libra_rl::{PpoAgent, PpoConfig};
+use libra_types::DetRng;
+use std::hint::black_box;
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_forward");
+    for width in [64usize, 256, 512] {
+        let mut rng = DetRng::new(1);
+        let net = Mlp::new(&[32, width, width, 1], Activation::Tanh, &mut rng);
+        let input = vec![0.1; 32];
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| black_box(net.forward(black_box(&input))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mlp_backward");
+    for width in [64usize, 512] {
+        let mut rng = DetRng::new(2);
+        let net = Mlp::new(&[32, width, width, 1], Activation::Tanh, &mut rng);
+        let input = vec![0.1; 32];
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            let mut grad = net.zero_grad();
+            b.iter(|| {
+                let cache = net.forward_cached(black_box(&input));
+                net.backward(&cache, &[1.0], &mut grad);
+                grad.clear();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ppo_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppo_update");
+    group.sample_size(10);
+    group.bench_function("update_512_samples", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = DetRng::new(3);
+                let mut agent = PpoAgent::new(PpoConfig::new(32, 1), &mut rng);
+                let mut env_rng = DetRng::new(4);
+                for _ in 0..512 {
+                    let obs: Vec<f64> = (0..32).map(|_| env_rng.uniform()).collect();
+                    let a = agent.act(&obs);
+                    agent.give_reward(-(a[0] * a[0]), false);
+                }
+                agent
+            },
+            |mut agent| black_box(agent.update(None).samples),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mlp, bench_ppo_update
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the simulator substrate itself: event-loop
+//! throughput and the trace-integration primitives every experiment
+//! leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use libra_classic::Cubic;
+use libra_netsim::{CapacitySchedule, FlowConfig, LinkConfig, Simulation};
+use libra_types::{DetRng, Duration, Instant, Rate};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("cubic_10s_24mbps", |b| {
+        b.iter(|| {
+            let link =
+                LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+            let until = Instant::from_secs(10);
+            let mut sim = Simulation::new(link, 7);
+            sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
+            black_box(sim.run(until).link.utilization)
+        })
+    });
+    group.bench_function("three_cubic_flows_10s", |b| {
+        b.iter(|| {
+            let link =
+                LinkConfig::constant(Rate::from_mbps(48.0), Duration::from_millis(40), 1.0);
+            let until = Instant::from_secs(10);
+            let mut sim = Simulation::new(link, 7);
+            for _ in 0..3 {
+                sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
+            }
+            black_box(sim.run(until).jain_index())
+        })
+    });
+    group.finish();
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity_schedule");
+    let mut rng = DetRng::new(3);
+    let trace = libra_netsim::lte_trace(
+        libra_netsim::LteScenario::Driving,
+        Duration::from_secs(60),
+        &mut rng,
+    );
+    group.bench_function("rate_at", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 37) % 60_000;
+            black_box(trace.rate_at(Instant::from_millis(t)))
+        })
+    });
+    group.bench_function("service_finish", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 37) % 60_000;
+            black_box(trace.service_finish(Instant::from_millis(t), 1500))
+        })
+    });
+    let constant = CapacitySchedule::constant(Rate::from_mbps(48.0));
+    group.bench_function("capacity_bytes_integral", |b| {
+        b.iter(|| black_box(constant.capacity_bytes(Instant::ZERO, Instant::from_secs(60))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulation, bench_capacity
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Diagnostic: watch an RlCca policy learn on a fixed environment.
+//! Not part of the paper reproduction — a tuning tool.
+
+use libra_bench::BenchArgs;
+use libra_learned::{train_rl_cca, EnvRanges, RlCcaConfig, TrainConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let env = EnvRanges {
+        capacity_mbps: (20.0, 20.0),
+        rtt_ms: (50.0, 50.0),
+        buffer_kb: (125, 125),
+        loss: (0.0, 0.0),
+    };
+    let cfg = RlCcaConfig::libra_rl();
+    let tc = TrainConfig {
+        episodes: 200,
+        episode_secs: 5,
+        env,
+        seed: args.seed,
+        update_every: 2,
+    };
+    let r = train_rl_cca(&cfg, &tc);
+    for chunk in r.curve.chunks(20) {
+        let n = chunk.len() as f64;
+        let util: f64 = chunk.iter().map(|e| e.utilization).sum::<f64>() / n;
+        let rew: f64 = chunk.iter().map(|e| e.reward).sum::<f64>() / n;
+        let rtt: f64 = chunk.iter().map(|e| e.rtt_ms).sum::<f64>() / n;
+        let loss: f64 = chunk.iter().map(|e| e.loss).sum::<f64>() / n;
+        println!(
+            "ep {:>3}-{:>3}  util {:>5.2}  reward {:>8.2}  rtt {:>6.1}  loss {:>5.3}",
+            chunk[0].episode,
+            chunk[chunk.len() - 1].episode,
+            util,
+            rew,
+            rtt,
+            loss
+        );
+    }
+}

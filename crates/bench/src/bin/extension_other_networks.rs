@@ -1,0 +1,103 @@
+//! Sec. 7 extension — "What if we apply Libra to other networks?"
+//!
+//! The paper argues Libra's adaptability should carry over to satellite
+//! (long RTT, bursty loss), 5G (abrupt capacity swings) and datacenter
+//! (ECN, microsecond RTTs) networks, the latter by swapping in a
+//! network-specific classic CCA (here DCTCP). This binary runs those
+//! three scenarios.
+
+use libra_bench::{BenchArgs, Cca, ModelStore, Table};
+use libra_classic::Dctcp;
+use libra_core::{Libra, LibraParams, LibraVariant};
+use libra_netsim::{datacenter_link, fiveg_link, satellite_link, FlowConfig, Simulation};
+use libra_rl::PpoAgent;
+use libra_types::{CongestionControl, DetRng, Duration, Instant, Preference};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 8);
+    let mut store = ModelStore::new(args.seed);
+
+    // --- Satellite & 5G: the standard comparison set. ---
+    for (name, link_of) in [
+        (
+            "satellite",
+            Box::new(move |seed: u64| {
+                let mut rng = DetRng::new(seed ^ 0x5A7);
+                satellite_link(Duration::from_secs(secs), &mut rng)
+            }) as Box<dyn Fn(u64) -> libra_netsim::LinkConfig>,
+        ),
+        (
+            "5G",
+            Box::new(move |seed: u64| {
+                let mut rng = DetRng::new(seed ^ 0x5E5);
+                fiveg_link(Duration::from_secs(secs), &mut rng)
+            }),
+        ),
+    ] {
+        let mut table = Table::new(
+            &format!("Sec. 7 extension ({name})"),
+            &["cca", "utilization", "avg delay (ms)", "loss"],
+        );
+        for cca in [
+            Cca::Cubic,
+            Cca::Bbr,
+            Cca::Westwood,
+            Cca::CLibra(Preference::Default),
+            Cca::BLibra(Preference::Default),
+        ] {
+            let until = Instant::from_secs(secs);
+            let mut sim = Simulation::new(link_of(args.seed), args.seed);
+            sim.add_flow(FlowConfig::whole_run(cca.build(&mut store), until));
+            let rep = sim.run(until);
+            table.row(vec![
+                cca.label(),
+                format!("{:.3}", rep.link.utilization),
+                format!("{:.1}", rep.flows[0].rtt_ms.mean()),
+                format!("{:.3}", rep.flows[0].loss_fraction),
+            ]);
+        }
+        table.emit(&format!("extension_{name}"));
+    }
+
+    // --- Datacenter: DCTCP standalone vs DCTCP inside Libra. ---
+    let mut table = Table::new(
+        "Sec. 7 extension (datacenter, ECN step marking)",
+        &["cca", "utilization", "avg delay (µs)", "ecn echoes", "loss"],
+    );
+    let until = Instant::from_secs(args.scaled(10, 3));
+    let candidates: Vec<(&str, Box<dyn Fn(&mut ModelStore) -> Box<dyn CongestionControl>>)> = vec![
+        ("CUBIC", Box::new(|s: &mut ModelStore| Cca::Cubic.build(s))),
+        ("DCTCP", Box::new(|_| Box::new(Dctcp::new(1500)))),
+        (
+            "D-Libra (DCTCP inside)",
+            Box::new(|s: &mut ModelStore| {
+                let w = s.libra(LibraVariant::Cubic);
+                let mut agent = PpoAgent::from_weights(w, s.rng());
+                agent.set_eval(true);
+                Box::new(Libra::with_classic(
+                    "D-Libra",
+                    Box::new(Dctcp::new(1500)),
+                    LibraParams::for_cubic(),
+                    Rc::new(RefCell::new(agent)),
+                ))
+            }),
+        ),
+    ];
+    for (label, build) in candidates {
+        let mut sim = Simulation::new(datacenter_link(), args.seed);
+        let cca = build(&mut store);
+        sim.add_flow(FlowConfig::whole_run(cca, until));
+        let rep = sim.run(until);
+        table.row(vec![
+            label.to_string(),
+            format!("{:.3}", rep.link.utilization),
+            format!("{:.0}", rep.flows[0].rtt_ms.mean() * 1000.0),
+            format!("{}", rep.flows[0].ecn_echoes),
+            format!("{:.4}", rep.flows[0].loss_fraction),
+        ]);
+    }
+    table.emit("extension_datacenter");
+}

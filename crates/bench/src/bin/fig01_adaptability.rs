@@ -1,0 +1,51 @@
+//! Fig. 1 — Adaptability under wired / cellular networks.
+//!
+//! Reproduces: link utilization and average delay for CUBIC, BBR, Orca,
+//! Proteus and Libra over Wired#1–#3 (24/48/96 Mbps) and LTE#1–#3
+//! (stationary/walking/driving), 30 ms minimum RTT, 150 KB buffer.
+
+use libra_bench::{f1, f3, fig1_set, run_repeated, BenchArgs, Cca, ModelStore, Table};
+use libra_types::Preference;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 8);
+    let repeats = args.scaled(3, 1);
+    let mut store = ModelStore::new(args.seed);
+    let ccas = [
+        Cca::Cubic,
+        Cca::Bbr,
+        Cca::Orca,
+        Cca::Proteus,
+        Cca::CLibra(Preference::Default),
+        Cca::BLibra(Preference::Default),
+    ];
+    let mut util = Table::new(
+        "Fig. 1 (top): link utilization per scenario",
+        &["scenario", "CUBIC", "BBR", "Orca", "Proteus", "C-Libra", "B-Libra"],
+    );
+    let mut delay = Table::new(
+        "Fig. 1 (bottom): average delay (ms) per scenario",
+        &["scenario", "CUBIC", "BBR", "Orca", "Proteus", "C-Libra", "B-Libra"],
+    );
+    for scenario in fig1_set(secs) {
+        let mut urow = vec![scenario.name.clone()];
+        let mut drow = vec![scenario.name.clone()];
+        for cca in ccas {
+            let (m, _) = run_repeated(
+                cca,
+                &mut store,
+                |seed| scenario.link(seed),
+                secs,
+                args.seed * 1000,
+                repeats,
+            );
+            urow.push(f3(m.utilization));
+            drow.push(f1(m.avg_rtt_ms));
+        }
+        util.row(urow);
+        delay.row(drow);
+    }
+    util.emit("fig01_utilization");
+    delay.emit("fig01_delay");
+}

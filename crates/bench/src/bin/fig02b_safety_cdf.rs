@@ -1,0 +1,59 @@
+//! Fig. 2b — CDF of link utilization over repeated runs on an LTE
+//! network (the safety-assurance motivation): Proteus, CUBIC, BBR, Libra
+//! and Orca, 100 repeats in the paper.
+
+use libra_bench::{lte_tmobile, run_single_metrics, series_csv, BenchArgs, Cca, ModelStore, Table};
+use libra_types::Preference;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 8);
+    let repeats = args.scaled(40, 6);
+    let mut store = ModelStore::new(args.seed);
+    let scenario = lte_tmobile(secs);
+    let ccas = [
+        Cca::Proteus,
+        Cca::Cubic,
+        Cca::Bbr,
+        Cca::CLibra(Preference::Default),
+        Cca::Orca,
+    ];
+    let mut table = Table::new(
+        "Fig. 2b: utilization distribution over repeated LTE runs",
+        &["cca", "mean", "p10", "p90", "range"],
+    );
+    let mut series = Vec::new();
+    for cca in ccas {
+        let mut utils: Vec<f64> = (0..repeats)
+            .map(|k| {
+                run_single_metrics(
+                    cca,
+                    &mut store,
+                    scenario.link(args.seed + k),
+                    secs,
+                    args.seed + k,
+                )
+                .utilization
+            })
+            .collect();
+        utils.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = utils.len();
+        let q = |p: f64| utils[((n - 1) as f64 * p).round() as usize];
+        table.row(vec![
+            cca.label(),
+            format!("{:.3}", utils.iter().sum::<f64>() / n as f64),
+            format!("{:.3}", q(0.1)),
+            format!("{:.3}", q(0.9)),
+            format!("{:.3}", utils[n - 1] - utils[0]),
+        ]);
+        // CDF points.
+        let cdf: Vec<(f64, f64)> = utils
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, (i + 1) as f64 / n as f64))
+            .collect();
+        series.push((cca.label(), cdf));
+    }
+    table.emit("fig02b_safety");
+    libra_bench::write_artifact("fig02b_cdf.csv", &series_csv(&series));
+}

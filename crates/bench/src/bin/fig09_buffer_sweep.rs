@@ -1,0 +1,45 @@
+//! Fig. 9 — Buffer-size sweep (10 KB – 1 MB on 60 Mbps / 100 ms):
+//! utilization vs. average delay. CUBIC's delay explodes with buffer
+//! depth; Libra stays insensitive.
+
+use libra_bench::{buffer_sweep_link, run_single_metrics, BenchArgs, Cca, ModelStore, Table};
+use libra_types::{Bytes, Preference};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 8);
+    let mut store = ModelStore::new(args.seed);
+    let ccas = [
+        Cca::Proteus,
+        Cca::Bbr,
+        Cca::Copa,
+        Cca::Cubic,
+        Cca::Orca,
+        Cca::CLibra(Preference::Default),
+        Cca::BLibra(Preference::Default),
+    ];
+    let buffers_kb: &[u64] = if args.quick {
+        &[30, 150, 1000]
+    } else {
+        &[10, 30, 75, 150, 300, 600, 1000]
+    };
+    let mut table = Table::new(
+        "Fig. 9: buffer sweep (utilization | avg delay ms)",
+        &["buffer", "Proteus", "BBR", "Copa", "CUBIC", "Orca", "C-Libra", "B-Libra"],
+    );
+    for &kb in buffers_kb {
+        let mut row = vec![format!("{kb}KB")];
+        for cca in ccas {
+            let m = run_single_metrics(
+                cca,
+                &mut store,
+                buffer_sweep_link(Bytes::from_kb(kb)),
+                secs,
+                args.seed + kb,
+            );
+            row.push(format!("{:.2}|{:.0}", m.utilization, m.avg_rtt_ms));
+        }
+        table.row(row);
+    }
+    table.emit("fig09_buffer_sweep");
+}

@@ -1,0 +1,45 @@
+//! Fig. 10 — Stochastic-loss sweep (0–10 %): link utilization. B-Libra
+//! (loss-agnostic BBR inside) stays high; C-Libra recovers CUBIC's
+//! erroneous reductions through the evaluation stage.
+
+use libra_bench::{loss_sweep_link, run_single_metrics, BenchArgs, Cca, ModelStore, Table};
+use libra_types::Preference;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 8);
+    let mut store = ModelStore::new(args.seed);
+    let ccas = [
+        Cca::Proteus,
+        Cca::Bbr,
+        Cca::Copa,
+        Cca::Cubic,
+        Cca::Orca,
+        Cca::CLibra(Preference::Default),
+        Cca::BLibra(Preference::Default),
+    ];
+    let losses: &[f64] = if args.quick {
+        &[0.0, 0.04, 0.10]
+    } else {
+        &[0.0, 0.02, 0.04, 0.06, 0.08, 0.10]
+    };
+    let mut table = Table::new(
+        "Fig. 10: link utilization vs stochastic loss",
+        &["loss", "Proteus", "BBR", "Copa", "CUBIC", "Orca", "C-Libra", "B-Libra"],
+    );
+    for &p in losses {
+        let mut row = vec![format!("{:.0}%", p * 100.0)];
+        for cca in ccas {
+            let m = run_single_metrics(
+                cca,
+                &mut store,
+                loss_sweep_link(p),
+                secs,
+                args.seed + (p * 100.0) as u64,
+            );
+            row.push(format!("{:.3}", m.utilization));
+        }
+        table.row(row);
+    }
+    table.emit("fig10_loss_sweep");
+}

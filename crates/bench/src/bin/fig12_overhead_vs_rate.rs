@@ -1,0 +1,48 @@
+//! Fig. 12 — CPU utilization vs. link rate (10–200 Mbps): classic CCAs
+//! and Libra stay cheap; pure learned CCAs pay per-MI inference that
+//! grows with the ACK/MI rate.
+
+use libra_bench::{run_single, BenchArgs, Cca, ModelStore, Table};
+use libra_netsim::LinkConfig;
+use libra_types::{Duration, Preference, Rate};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 8);
+    let mut store = ModelStore::new(args.seed);
+    let ccas = [
+        Cca::Cubic,
+        Cca::Bbr,
+        Cca::CLibra(Preference::Default),
+        Cca::BLibra(Preference::Default),
+        Cca::Orca,
+        Cca::Indigo,
+        Cca::Copa,
+        Cca::Proteus,
+        Cca::Aurora,
+    ];
+    let rates: &[f64] = if args.quick {
+        &[10.0, 50.0, 200.0]
+    } else {
+        &[10.0, 20.0, 30.0, 50.0, 100.0, 200.0]
+    };
+    let mut header = vec!["rate".to_string()];
+    header.extend(ccas.iter().map(|c| c.label()));
+    let hdr_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Fig. 12: controller CPU (µs per simulated second) vs link rate",
+        &hdr_refs,
+    );
+    for &mbps in rates {
+        let mut row = vec![format!("{mbps:.0}Mbps")];
+        for cca in ccas {
+            let link =
+                LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(40), 1.0);
+            let rep = run_single(cca, &mut store, link, secs, args.seed + mbps as u64);
+            let cpu = rep.flows[0].compute_ns as f64 / 1e3 / rep.duration.as_secs_f64();
+            row.push(format!("{cpu:.1}"));
+        }
+        table.row(row);
+    }
+    table.emit("fig12_overhead_vs_rate");
+}

@@ -1,0 +1,39 @@
+//! Fig. 14 — Intra-protocol fairness: two flows of the same CCA share
+//! the bottleneck; Libra's utility game gives a ~99 % Jain index.
+
+use libra_bench::{fairness_link, run_pair, BenchArgs, Cca, ModelStore, Table};
+use libra_types::{jain_index, Preference};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(50, 12);
+    let mut store = ModelStore::new(args.seed);
+    let ccas = [
+        Cca::Cubic,
+        Cca::Bbr,
+        Cca::Copa,
+        Cca::Aurora,
+        Cca::Proteus,
+        Cca::ModRl,
+        Cca::Orca,
+        Cca::CLibra(Preference::Default),
+        Cca::BLibra(Preference::Default),
+    ];
+    let mut table = Table::new(
+        "Fig. 14: intra-protocol fairness (two same-CCA flows)",
+        &["cca", "flow1 share", "flow2 share", "jain index"],
+    );
+    for cca in ccas {
+        let rep = run_pair(cca, cca, &mut store, fairness_link(), secs, args.seed);
+        let a = rep.flows[0].avg_goodput.mbps();
+        let b = rep.flows[1].avg_goodput.mbps();
+        let total = (a + b).max(1e-9);
+        table.row(vec![
+            cca.label(),
+            format!("{:.3}", a / total),
+            format!("{:.3}", b / total),
+            format!("{:.3}", jain_index(&[a, b])),
+        ]);
+    }
+    table.emit("fig14_intra_fairness");
+}

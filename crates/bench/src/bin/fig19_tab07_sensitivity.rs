@@ -1,0 +1,94 @@
+//! Fig. 19 + Tab. 7 — Parameter sensitivity of C-Libra: stage-duration
+//! combinations `[explore, EI, exploit]` in RTTs, and the switching
+//! threshold (0.1×–0.4×), over the wired and cellular scenario families.
+
+use libra_bench::{fig1_set, BenchArgs, ModelStore, Table};
+use libra_core::{LibraParams, LibraVariant};
+use libra_netsim::{FlowConfig, Simulation};
+use libra_rl::PpoAgent;
+use libra_types::Instant;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn run_with_params(
+    params: LibraParams,
+    store: &mut ModelStore,
+    link: libra_netsim::LinkConfig,
+    secs: u64,
+    seed: u64,
+) -> (f64, f64) {
+    let weights = store.libra(LibraVariant::Cubic);
+    let mut agent = PpoAgent::from_weights(weights, store.rng());
+    agent.set_eval(true);
+    let libra = LibraVariant::Cubic.build_with_params(params, Rc::new(RefCell::new(agent)));
+    let until = Instant::from_secs(secs);
+    let mut sim = Simulation::new(link, seed);
+    sim.add_flow(FlowConfig::whole_run(Box::new(libra), until));
+    let rep = sim.run(until);
+    (rep.link.utilization, rep.flows[0].rtt_ms.mean())
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 8);
+    let mut store = ModelStore::new(args.seed);
+    let scenarios = fig1_set(secs);
+    let (wired, cellular): (Vec<_>, Vec<_>) = scenarios
+        .into_iter()
+        .partition(|s| s.name.starts_with("Wired"));
+
+    // Fig. 19: stage-duration combinations [k, EI, k].
+    let combos: &[(f64, f64)] = &[(1.0, 0.5), (1.0, 1.0), (2.0, 0.5), (2.0, 1.0), (3.0, 0.5), (3.0, 1.0)];
+    let mut fig19 = Table::new(
+        "Fig. 19: C-Libra under different stage durations (util | delay ms)",
+        &["duration [k, EI, k] (RTT)", "wired", "cellular"],
+    );
+    for &(k, ei) in combos {
+        let params = LibraParams {
+            explore_rtts: k,
+            ei_rtts: ei,
+            exploit_rtts: k,
+            ..LibraParams::for_cubic()
+        };
+        let mut cells = Vec::new();
+        for set in [&wired, &cellular] {
+            let (mut u, mut d) = (0.0, 0.0);
+            for s in set.iter() {
+                let (uu, dd) = run_with_params(params, &mut store, s.link(args.seed), secs, args.seed);
+                u += uu;
+                d += dd;
+            }
+            let n = set.len() as f64;
+            cells.push(format!("{:.3} | {:.1}", u / n, d / n));
+        }
+        fig19.row(vec![format!("[{k}, {ei}, {k}]"), cells[0].clone(), cells[1].clone()]);
+    }
+    fig19.emit("fig19_durations");
+
+    // Tab. 7: switching thresholds.
+    let mut tab7 = Table::new(
+        "Tab. 7: C-Libra under different switching thresholds",
+        &["configuration", "link utilization", "avg delay (ms)"],
+    );
+    for (tag, set) in [("Wired", &wired), ("Cellular", &cellular)] {
+        for frac in [0.1, 0.2, 0.3, 0.4] {
+            let params = LibraParams {
+                switch_frac: frac,
+                ..LibraParams::for_cubic()
+            };
+            let (mut u, mut d) = (0.0, 0.0);
+            for s in set.iter() {
+                let (uu, dd) = run_with_params(params, &mut store, s.link(args.seed), secs, args.seed);
+                u += uu;
+                d += dd;
+            }
+            let n = set.len() as f64;
+            tab7.row(vec![
+                format!("{tag}-{frac}x"),
+                format!("{:.1}%", 100.0 * u / n),
+                format!("{:.1}", d / n),
+            ]);
+        }
+    }
+    tab7.emit("tab07_thresholds");
+}

@@ -1,0 +1,93 @@
+//! A Pantheon-style report card: every CCA × every scenario family, one
+//! grand table (utilization | mean delay). Not a paper figure — the
+//! summary view a Pantheon run would give you.
+
+use libra_bench::{run_repeated, BenchArgs, Cca, ModelStore, Table};
+use libra_netsim::{
+    fiveg_link, lte_link, satellite_link, step_link, wan_link, wired_link, LinkConfig,
+    LteScenario, WanScenario,
+};
+use libra_types::{DetRng, Duration, Preference};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 8);
+    let repeats = args.scaled(3, 1);
+    let mut store = ModelStore::new(args.seed);
+    let families: Vec<(&str, Box<dyn Fn(u64) -> LinkConfig>)> = vec![
+        ("wired-24", Box::new(|_| wired_link(24.0))),
+        ("wired-96", Box::new(|_| wired_link(96.0))),
+        (
+            "lte-walk",
+            Box::new(move |seed| {
+                let mut rng = DetRng::new(seed ^ 0xF00);
+                lte_link(LteScenario::Walking, Duration::from_secs(secs), &mut rng)
+            }),
+        ),
+        (
+            "lte-drive",
+            Box::new(move |seed| {
+                let mut rng = DetRng::new(seed ^ 0xF01);
+                lte_link(LteScenario::Driving, Duration::from_secs(secs), &mut rng)
+            }),
+        ),
+        ("step", Box::new(move |_| step_link(Duration::from_secs(secs)))),
+        (
+            "wan-inter",
+            Box::new(move |seed| {
+                let mut rng = DetRng::new(seed ^ 0xF02);
+                wan_link(WanScenario::InterContinental, Duration::from_secs(secs), &mut rng)
+            }),
+        ),
+        (
+            "satellite",
+            Box::new(move |seed| {
+                let mut rng = DetRng::new(seed ^ 0xF03);
+                satellite_link(Duration::from_secs(secs), &mut rng)
+            }),
+        ),
+        (
+            "5G",
+            Box::new(move |seed| {
+                let mut rng = DetRng::new(seed ^ 0xF04);
+                fiveg_link(Duration::from_secs(secs), &mut rng)
+            }),
+        ),
+    ];
+    let ccas = [
+        Cca::NewReno,
+        Cca::Cubic,
+        Cca::Bbr,
+        Cca::Vegas,
+        Cca::Westwood,
+        Cca::Illinois,
+        Cca::Copa,
+        Cca::Sprout,
+        Cca::Remy,
+        Cca::Indigo,
+        Cca::Vivace,
+        Cca::Proteus,
+        Cca::Aurora,
+        Cca::Orca,
+        Cca::ModRl,
+        Cca::CleanSlateLibra,
+        Cca::CLibra(Preference::Default),
+        Cca::BLibra(Preference::Default),
+    ];
+    let mut header = vec!["cca".to_string()];
+    header.extend(families.iter().map(|(n, _)| n.to_string()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Report card: utilization | mean delay (ms) per CCA × scenario",
+        &hdr,
+    );
+    for cca in ccas {
+        let mut row = vec![cca.label()];
+        for (_, link_of) in &families {
+            let (m, _) = run_repeated(cca, &mut store, link_of, secs, args.seed * 7, repeats);
+            row.push(format!("{:.2}|{:.0}", m.utilization, m.avg_rtt_ms));
+        }
+        table.row(row);
+    }
+    table.emit("full_report");
+}

@@ -1,0 +1,55 @@
+//! Tab. 3 — Reward-function ablation: with vs. without the loss-rate
+//! term. Without it the agent keeps pushing into a full queue (the
+//! paper measures 37.5 % loss and ~2× latency).
+
+use libra_bench::{BenchArgs, Table};
+use libra_learned::{
+    train_rl_cca, EnvRanges, RewardSource, RewardSpec, RlCcaConfig, TrainConfig,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let episodes = args.scaled(200, 16) as usize;
+    let env = EnvRanges {
+        capacity_mbps: (100.0, 100.0),
+        rtt_ms: (100.0, 100.0),
+        buffer_kb: (1250, 1250),
+        loss: (0.0, 0.0),
+    };
+    let variants = [
+        ("with loss rate", true),
+        ("w/o loss rate", false),
+    ];
+    let mut table = Table::new(
+        "Tab. 3: loss term in the reward",
+        &["setting", "throughput (Mbps)", "latency (ms)", "loss rate"],
+    );
+    for (name, include_loss) in variants {
+        let cfg = RlCcaConfig {
+            name: "tab3",
+            reward: RewardSource::Normalized(RewardSpec {
+                include_loss,
+                ..RewardSpec::default()
+            }),
+            ..RlCcaConfig::libra_rl()
+        };
+        let tc = TrainConfig {
+            episodes,
+            episode_secs: 8,
+            env: env.clone(),
+            seed: args.seed,
+            update_every: 2,
+        };
+        let r = train_rl_cca(&cfg, &tc);
+        let n = (r.curve.len() / 4).max(1);
+        let tail = &r.curve[r.curve.len() - n..];
+        let m = tail.len() as f64;
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}", 100.0 * tail.iter().map(|e| e.utilization).sum::<f64>() / m),
+            format!("{:.0}", tail.iter().map(|e| e.rtt_ms).sum::<f64>() / m),
+            format!("{:.2}%", 100.0 * tail.iter().map(|e| e.loss).sum::<f64>() / m),
+        ]);
+    }
+    table.emit("tab03_loss_term");
+}

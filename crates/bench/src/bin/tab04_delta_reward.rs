@@ -1,0 +1,70 @@
+//! Tab. 4 — `r` vs. `Δr` reward: the difference form improves latency
+//! and loss at similar throughput, and helps (but does not fix)
+//! fairness — the observation that motivates the combined framework.
+
+use libra_bench::{BenchArgs, ModelStore, Table};
+use libra_learned::{
+    train_rl_cca, EnvRanges, RewardSource, RewardSpec, RlCca, RlCcaConfig, TrainConfig,
+};
+use libra_netsim::{FlowConfig, LinkConfig, Simulation};
+use libra_rl::PpoAgent;
+use libra_types::{Duration, Instant, Rate};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let episodes = args.scaled(200, 16) as usize;
+    let env = EnvRanges {
+        capacity_mbps: (100.0, 100.0),
+        rtt_ms: (100.0, 100.0),
+        buffer_kb: (1250, 1250),
+        loss: (0.0, 0.0),
+    };
+    let _ = ModelStore::ephemeral(0); // keep harness deps honest
+    let mut table = Table::new(
+        "Tab. 4: r vs Δr",
+        &["setting", "throughput (Mbps)", "latency (ms)", "loss rate", "fairness"],
+    );
+    for (name, use_delta) in [("r", false), ("Δr", true)] {
+        let cfg = RlCcaConfig {
+            name: "tab4",
+            reward: RewardSource::Normalized(RewardSpec {
+                use_delta,
+                ..RewardSpec::default()
+            }),
+            ..RlCcaConfig::libra_rl()
+        };
+        let tc = TrainConfig {
+            episodes,
+            episode_secs: 8,
+            env: env.clone(),
+            seed: args.seed,
+            update_every: 2,
+        };
+        let r = train_rl_cca(&cfg, &tc);
+        let n = (r.curve.len() / 4).max(1);
+        let tail = &r.curve[r.curve.len() - n..];
+        let m = tail.len() as f64;
+        // Fairness: two trained flows share a 100 Mbps link.
+        let until = Instant::from_secs(args.scaled(30, 8));
+        let link = LinkConfig::constant(Rate::from_mbps(100.0), Duration::from_millis(100), 1.0);
+        let mut sim = Simulation::new(link, args.seed);
+        for _ in 0..2 {
+            let mut rng = libra_types::DetRng::new(args.seed + 77);
+            let mut agent = PpoAgent::from_weights(r.weights.clone(), &mut rng);
+            agent.set_eval(true);
+            let cca = RlCca::new(cfg.clone(), Rc::new(RefCell::new(agent)));
+            sim.add_flow(FlowConfig::whole_run(Box::new(cca), until));
+        }
+        let rep = sim.run(until);
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}", 100.0 * tail.iter().map(|e| e.utilization).sum::<f64>() / m),
+            format!("{:.0}", tail.iter().map(|e| e.rtt_ms).sum::<f64>() / m),
+            format!("{:.2}%", 100.0 * tail.iter().map(|e| e.loss).sum::<f64>() / m),
+            format!("{:.3}", rep.jain_index()),
+        ]);
+    }
+    table.emit("tab04_delta_reward");
+}

@@ -1,0 +1,69 @@
+//! `libra-bench`: the experiment harness behind every table and figure of
+//! the paper's evaluation.
+//!
+//! * [`registry`] — one factory per CCA in the comparison.
+//! * [`models`] — trained-PPO-weight cache (`target/models/`).
+//! * [`scenarios`] — named workloads (wired, LTE, step, WAN, sweeps).
+//! * [`runner`] — single/pair/staggered runs and convergence statistics.
+//! * [`output`] — aligned tables + CSV artifacts (`target/experiments/`).
+//!
+//! Each figure/table has a binary (`fig01_adaptability`, …,
+//! `fig19_tab07_sensitivity`, `appendix_equilibrium`) that regenerates
+//! the corresponding rows/series; see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+
+pub mod models;
+pub mod output;
+pub mod registry;
+pub mod runner;
+pub mod scenarios;
+
+pub use models::ModelStore;
+pub use output::{f1, f3, pct, series_csv, write_artifact, Table};
+pub use registry::Cca;
+pub use runner::{
+    convergence_stats, run_pair, run_repeated, run_single, run_single_metrics, run_staggered,
+    ConvergenceStats, RunMetrics,
+};
+pub use scenarios::*;
+
+/// Common CLI knobs for experiment binaries: `--quick` shrinks durations
+/// and repeats so a full sweep finishes in seconds (used by CI and the
+/// test suite); `--seed N` changes the master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Reduced-effort mode.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs { quick: false, seed: 1 };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        args
+    }
+
+    /// Scale a duration/repeat count down in quick mode.
+    pub fn scaled(&self, full: u64, quick: u64) -> u64 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Trained-model cache.
+//!
+//! Experiment binaries need PPO weights for Libra, Orca, Aurora and
+//! Mod. RL. Training is deterministic but takes a little while, so
+//! weights are cached as JSON under `target/models/` keyed by
+//! `(controller, seed)`; a cold run trains and saves, a warm run loads.
+
+use libra_core::{train_libra, LibraVariant};
+use libra_learned::{train_orca, train_rl_cca, EnvRanges, RlCcaConfig, TrainConfig};
+use libra_rl::PpoWeights;
+use libra_types::DetRng;
+use std::path::PathBuf;
+
+/// Training effort for cached models. Enough to get competent (not
+/// perfect) policies in a few minutes per model on a laptop.
+fn default_train_config(seed: u64) -> TrainConfig {
+    TrainConfig {
+        episodes: 360,
+        episode_secs: 8,
+        env: EnvRanges::quick(),
+        seed,
+        update_every: 2,
+    }
+}
+
+/// Where cached models live (`target/models` next to the workspace).
+pub fn model_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p.push("target");
+    p.push("models");
+    p
+}
+
+/// Loads/trains/caches PPO weights.
+pub struct ModelStore {
+    seed: u64,
+    rng: DetRng,
+    /// When true, never touch the filesystem (unit tests).
+    ephemeral: bool,
+    train: TrainConfig,
+}
+
+impl ModelStore {
+    /// A store rooted at `target/models`, keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        ModelStore {
+            seed,
+            rng: DetRng::new(seed ^ 0x57_0E),
+            ephemeral: false,
+            train: default_train_config(seed),
+        }
+    }
+
+    /// A store that never touches disk and trains minimally — for tests.
+    pub fn ephemeral(seed: u64) -> Self {
+        ModelStore {
+            seed,
+            rng: DetRng::new(seed ^ 0x57_0E),
+            ephemeral: true,
+            train: TrainConfig {
+                episodes: 2,
+                episode_secs: 2,
+                env: EnvRanges::quick(),
+                seed,
+                update_every: 1,
+            },
+        }
+    }
+
+    /// Override training effort (used by fast smoke binaries).
+    pub fn with_train_config(mut self, cfg: TrainConfig) -> Self {
+        self.train = cfg;
+        self
+    }
+
+    /// RNG stream for agent restoration.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        model_dir().join(format!("{key}-seed{}.json", self.seed))
+    }
+
+    fn get_or_train(&mut self, key: &str, train: impl FnOnce(&TrainConfig) -> PpoWeights) -> PpoWeights {
+        if !self.ephemeral {
+            let path = self.path(key);
+            if let Ok(s) = std::fs::read_to_string(&path) {
+                if let Ok(w) = serde_json::from_str::<PpoWeights>(&s) {
+                    return w;
+                }
+                eprintln!("model cache at {} is corrupt; retraining", path.display());
+            }
+        }
+        eprintln!("[models] training {key} ({} episodes)…", self.train.episodes);
+        let w = train(&self.train);
+        if !self.ephemeral {
+            let path = self.path(key);
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match serde_json::to_string(&w) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(&path, s) {
+                        eprintln!("could not cache model at {}: {e}", path.display());
+                    }
+                }
+                Err(e) => eprintln!("could not serialize model {key}: {e}"),
+            }
+        }
+        w
+    }
+
+    /// Libra's RL component, trained inside the given variant.
+    pub fn libra(&mut self, variant: LibraVariant) -> PpoWeights {
+        let key = match variant {
+            LibraVariant::Cubic => "libra-cubic",
+            LibraVariant::Bbr => "libra-bbr",
+            LibraVariant::CleanSlate => "libra-clean-slate",
+        };
+        self.get_or_train(key, |cfg| train_libra(variant, cfg).weights)
+    }
+
+    /// Orca's agent.
+    pub fn orca(&mut self) -> PpoWeights {
+        self.get_or_train("orca", |cfg| train_orca(cfg).weights)
+    }
+
+    /// Aurora's agent.
+    pub fn aurora(&mut self) -> PpoWeights {
+        self.get_or_train("aurora", |cfg| {
+            train_rl_cca(&RlCcaConfig::aurora(), cfg).weights
+        })
+    }
+
+    /// Mod. RL's agent.
+    pub fn mod_rl(&mut self) -> PpoWeights {
+        self.get_or_train("mod-rl", |cfg| {
+            train_rl_cca(&RlCcaConfig::mod_rl(), cfg).weights
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ephemeral_store_trains_without_disk() {
+        let mut s = ModelStore::ephemeral(3);
+        let w = s.aurora();
+        assert_eq!(w.config.obs_dim, RlCcaConfig::aurora().ppo_config().obs_dim);
+    }
+
+    #[test]
+    fn model_dir_is_under_target() {
+        let d = model_dir();
+        assert!(d.ends_with("target/models"));
+    }
+}

@@ -1,0 +1,197 @@
+//! The CCA registry: every controller the evaluation compares, behind a
+//! uniform factory so experiment binaries can iterate over them.
+
+use crate::models::ModelStore;
+use libra_classic::{Bbr, Copa, Cubic, Illinois, NewReno, Vegas, Westwood};
+use libra_core::{Libra, LibraVariant};
+use libra_learned::{Indigo, Orca, Pcc, Remy, RlCca, RlCcaConfig, Sprout};
+use libra_rl::PpoAgent;
+use libra_types::{CongestionControl, Preference};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Every congestion controller in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cca {
+    /// TCP NewReno.
+    NewReno,
+    /// CUBIC.
+    Cubic,
+    /// BBR v1.
+    Bbr,
+    /// TCP Vegas.
+    Vegas,
+    /// TCP Westwood+.
+    Westwood,
+    /// TCP Illinois.
+    Illinois,
+    /// Copa.
+    Copa,
+    /// Sprout-lite.
+    Sprout,
+    /// Remy-lite.
+    Remy,
+    /// Indigo-lite.
+    Indigo,
+    /// PCC Vivace.
+    Vivace,
+    /// PCC Proteus.
+    Proteus,
+    /// Aurora (PPO, trained).
+    Aurora,
+    /// Orca (CUBIC × DRL hybrid, trained).
+    Orca,
+    /// Modified RL (Eq. 1 utility as reward, trained).
+    ModRl,
+    /// Clean-Slate Libra (framework without classic CCA, trained).
+    CleanSlateLibra,
+    /// C-Libra with a preference profile.
+    CLibra(Preference),
+    /// B-Libra with a preference profile.
+    BLibra(Preference),
+}
+
+impl Cca {
+    /// The headline comparison set of Fig. 7.
+    pub fn headline_set() -> Vec<Cca> {
+        vec![
+            Cca::Cubic,
+            Cca::Bbr,
+            Cca::Copa,
+            Cca::Sprout,
+            Cca::Remy,
+            Cca::Indigo,
+            Cca::Vivace,
+            Cca::Proteus,
+            Cca::Aurora,
+            Cca::Orca,
+            Cca::ModRl,
+            Cca::CleanSlateLibra,
+            Cca::CLibra(Preference::Default),
+            Cca::BLibra(Preference::Default),
+        ]
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> String {
+        match self {
+            Cca::NewReno => "NewReno".into(),
+            Cca::Cubic => "CUBIC".into(),
+            Cca::Bbr => "BBR".into(),
+            Cca::Vegas => "Vegas".into(),
+            Cca::Westwood => "Westwood".into(),
+            Cca::Illinois => "Illinois".into(),
+            Cca::Copa => "Copa".into(),
+            Cca::Sprout => "Sprout".into(),
+            Cca::Remy => "Remy".into(),
+            Cca::Indigo => "Indigo".into(),
+            Cca::Vivace => "Vivace".into(),
+            Cca::Proteus => "Proteus".into(),
+            Cca::Aurora => "Aurora".into(),
+            Cca::Orca => "Orca".into(),
+            Cca::ModRl => "Mod. RL".into(),
+            Cca::CleanSlateLibra => "CL-Libra".into(),
+            Cca::CLibra(Preference::Default) => "C-Libra".into(),
+            Cca::BLibra(Preference::Default) => "B-Libra".into(),
+            Cca::CLibra(p) => format!("C-Libra-{}", p.label()),
+            Cca::BLibra(p) => format!("B-Libra-{}", p.label()),
+        }
+    }
+
+    /// Whether this controller needs a trained PPO agent.
+    pub fn needs_model(self) -> bool {
+        matches!(
+            self,
+            Cca::Aurora
+                | Cca::Orca
+                | Cca::ModRl
+                | Cca::CleanSlateLibra
+                | Cca::CLibra(_)
+                | Cca::BLibra(_)
+        )
+    }
+
+    /// Instantiate the controller. Trained controllers pull weights from
+    /// the model store (training on a cache miss) and run in eval mode.
+    pub fn build(self, store: &mut ModelStore) -> Box<dyn CongestionControl> {
+        let eval_agent = |w: libra_rl::PpoWeights, store: &mut ModelStore| {
+            let mut agent = PpoAgent::from_weights(w, store.rng());
+            agent.set_eval(true);
+            Rc::new(RefCell::new(agent))
+        };
+        match self {
+            Cca::NewReno => Box::new(NewReno::new(1500)),
+            Cca::Cubic => Box::new(Cubic::new(1500)),
+            Cca::Bbr => Box::new(Bbr::new(1500)),
+            Cca::Vegas => Box::new(Vegas::new(1500)),
+            Cca::Westwood => Box::new(Westwood::new(1500)),
+            Cca::Illinois => Box::new(Illinois::new(1500)),
+            Cca::Copa => Box::new(Copa::new(1500)),
+            Cca::Sprout => Box::new(Sprout::new(1500)),
+            Cca::Remy => Box::new(Remy::new(1500)),
+            Cca::Indigo => Box::new(Indigo::new(1500)),
+            Cca::Vivace => Box::new(Pcc::vivace()),
+            Cca::Proteus => Box::new(Pcc::proteus()),
+            Cca::Aurora => {
+                let w = store.aurora();
+                let agent = eval_agent(w, store);
+                Box::new(RlCca::new(RlCcaConfig::aurora(), agent))
+            }
+            Cca::ModRl => {
+                let w = store.mod_rl();
+                let agent = eval_agent(w, store);
+                Box::new(RlCca::new(RlCcaConfig::mod_rl(), agent))
+            }
+            Cca::Orca => {
+                let w = store.orca();
+                let agent = eval_agent(w, store);
+                Box::new(Orca::new(agent))
+            }
+            Cca::CleanSlateLibra => {
+                let w = store.libra(LibraVariant::CleanSlate);
+                let agent = eval_agent(w, store);
+                Box::new(Libra::clean_slate(agent))
+            }
+            Cca::CLibra(pref) => {
+                let w = store.libra(LibraVariant::Cubic);
+                let agent = eval_agent(w, store);
+                Box::new(Libra::c_libra(agent).with_preference(pref))
+            }
+            Cca::BLibra(pref) => {
+                let w = store.libra(LibraVariant::Bbr);
+                let agent = eval_agent(w, store);
+                Box::new(Libra::b_libra(agent).with_preference(pref))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Cca::CLibra(Preference::Default).label(), "C-Libra");
+        assert_eq!(Cca::CLibra(Preference::Latency1).label(), "C-Libra-La-1");
+        assert_eq!(Cca::ModRl.label(), "Mod. RL");
+    }
+
+    #[test]
+    fn classic_builds_without_models() {
+        let mut store = ModelStore::ephemeral(1);
+        for c in [Cca::Cubic, Cca::Bbr, Cca::Copa, Cca::Vivace, Cca::Remy] {
+            assert!(!c.needs_model() || false);
+            let b = c.build(&mut store);
+            assert!(!b.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn headline_set_has_both_libras() {
+        let set = Cca::headline_set();
+        assert!(set.contains(&Cca::CLibra(Preference::Default)));
+        assert!(set.contains(&Cca::BLibra(Preference::Default)));
+        assert!(set.len() >= 12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Named experiment scenarios shared by the figure/table binaries.
+
+use libra_netsim::{lte_link, step_link, wan_link, wired_link, LinkConfig, LteScenario, WanScenario};
+use libra_types::{Bytes, DetRng, Duration, Rate};
+
+/// A named link-builder: scenarios are functions of a seed so repeated
+/// trials see fresh (but reproducible) trace randomness.
+pub struct Scenario {
+    /// Display name.
+    pub name: String,
+    builder: Box<dyn Fn(u64) -> LinkConfig>,
+}
+
+impl Scenario {
+    /// Build a link for trial `seed`.
+    pub fn link(&self, seed: u64) -> LinkConfig {
+        (self.builder)(seed)
+    }
+
+    fn new(name: impl Into<String>, builder: impl Fn(u64) -> LinkConfig + 'static) -> Self {
+        Scenario {
+            name: name.into(),
+            builder: Box::new(builder),
+        }
+    }
+}
+
+/// The Fig. 1 set: three wired (24/48/96) + three LTE scenarios.
+pub fn fig1_set(secs: u64) -> Vec<Scenario> {
+    let mut v = Vec::new();
+    for mbps in [24.0, 48.0, 96.0] {
+        v.push(Scenario::new(format!("Wired-{mbps:.0}"), move |_| wired_link(mbps)));
+    }
+    for (i, s) in LteScenario::ALL.iter().enumerate() {
+        let s = *s;
+        v.push(Scenario::new(s.label(), move |seed| {
+            let mut rng = DetRng::new(seed ^ (0x17E + i as u64));
+            lte_link(s, Duration::from_secs(secs), &mut rng)
+        }));
+    }
+    v
+}
+
+/// The Fig. 7 set: four wired (12/24/48/96) + four cellular traces.
+pub fn fig7_wired(_secs: u64) -> Vec<Scenario> {
+    [12.0, 24.0, 48.0, 96.0]
+        .into_iter()
+        .map(|mbps| Scenario::new(format!("Wired-{mbps:.0}"), move |_| wired_link(mbps)))
+        .collect()
+}
+
+/// Fig. 7's cellular half: the three LTE scenarios plus a fourth
+/// (driving re-sampled) matching the paper's four traces.
+pub fn fig7_cellular(secs: u64) -> Vec<Scenario> {
+    let mut v: Vec<Scenario> = LteScenario::ALL
+        .iter()
+        .map(|&s| {
+            Scenario::new(s.label(), move |seed| {
+                let mut rng = DetRng::new(seed ^ 0xCE11);
+                lte_link(s, Duration::from_secs(secs), &mut rng)
+            })
+        })
+        .collect();
+    v.push(Scenario::new("LTE-driving-2", move |seed| {
+        let mut rng = DetRng::new(seed ^ 0xCE12);
+        lte_link(LteScenario::Driving, Duration::from_secs(secs), &mut rng)
+    }));
+    v
+}
+
+/// Fig. 2a's step scenario.
+pub fn step_scenario(secs: u64) -> Scenario {
+    Scenario::new("Step", move |_| step_link(Duration::from_secs(secs)))
+}
+
+/// A single-LTE scenario used by the safety CDF (Fig. 2b).
+pub fn lte_tmobile(secs: u64) -> Scenario {
+    Scenario::new("LTE-TMobile", move |seed| {
+        let mut rng = DetRng::new(seed ^ 0x7110);
+        lte_link(LteScenario::Walking, Duration::from_secs(secs), &mut rng)
+    })
+}
+
+/// Fig. 9's buffer sweep base link: 60 Mbps, 100 ms RTT, explicit buffer.
+pub fn buffer_sweep_link(buffer: Bytes) -> LinkConfig {
+    let mut link = LinkConfig::constant_with_buffer(
+        Rate::from_mbps(60.0),
+        Duration::from_millis(100),
+        buffer,
+    );
+    link.stochastic_loss = 0.0;
+    link
+}
+
+/// Fig. 10's stochastic-loss link: 48 Mbps, 100 ms RTT, 1 BDP buffer.
+pub fn loss_sweep_link(loss: f64) -> LinkConfig {
+    let mut link = LinkConfig::constant(Rate::from_mbps(48.0), Duration::from_millis(100), 1.0);
+    link.stochastic_loss = loss;
+    link
+}
+
+/// Fairness/convergence link (Sec. 5.3): 48 Mbps, 100 ms, 1 BDP.
+pub fn fairness_link() -> LinkConfig {
+    LinkConfig::constant(Rate::from_mbps(48.0), Duration::from_millis(100), 1.0)
+}
+
+/// Fig. 16's WAN scenarios.
+pub fn wan_scenarios(secs: u64) -> Vec<(WanScenario, Scenario)> {
+    vec![
+        (
+            WanScenario::InterContinental,
+            Scenario::new("inter-continental", move |seed| {
+                let mut rng = DetRng::new(seed ^ 0x3A11);
+                wan_link(WanScenario::InterContinental, Duration::from_secs(secs), &mut rng)
+            }),
+        ),
+        (
+            WanScenario::IntraContinental,
+            Scenario::new("intra-continental", move |seed| {
+                let mut rng = DetRng::new(seed ^ 0x3A12);
+                wan_link(WanScenario::IntraContinental, Duration::from_secs(secs), &mut rng)
+            }),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_types::Instant;
+
+    #[test]
+    fn fig1_set_has_six_scenarios() {
+        let set = fig1_set(30);
+        assert_eq!(set.len(), 6);
+        assert_eq!(set[0].name, "Wired-24");
+        assert_eq!(set[3].name, "LTE-stationary");
+        // Wired links are constant; LTE links vary.
+        let wired = set[0].link(1);
+        assert_eq!(
+            wired.capacity.rate_at(Instant::ZERO),
+            wired.capacity.rate_at(Instant::from_secs(20))
+        );
+    }
+
+    #[test]
+    fn scenario_seeding_changes_lte_traces() {
+        let set = fig1_set(30);
+        let a = set[5].link(1);
+        let b = set[5].link(2);
+        // Different seeds → different capacity at some sampled instant.
+        let differs = (0..300).any(|k| {
+            let t = Instant::from_millis(k * 100);
+            a.capacity.rate_at(t) != b.capacity.rate_at(t)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn sweep_links_apply_knobs() {
+        assert_eq!(buffer_sweep_link(Bytes::from_kb(30)).buffer, Bytes::from_kb(30));
+        assert_eq!(loss_sweep_link(0.07).stochastic_loss, 0.07);
+    }
+
+    #[test]
+    fn fig7_sets() {
+        assert_eq!(fig7_wired(30).len(), 4);
+        assert_eq!(fig7_cellular(30).len(), 4);
+        assert_eq!(wan_scenarios(30).len(), 2);
+    }
+}

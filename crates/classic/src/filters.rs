@@ -1,0 +1,162 @@
+//! Windowed min/max filters — the estimators behind BBR's max-bandwidth
+//! and min-RTT tracking.
+
+use libra_types::{Duration, Instant};
+use std::collections::VecDeque;
+
+/// Tracks the maximum of a signal over a sliding time window.
+#[derive(Debug, Clone)]
+pub struct WindowedMax {
+    window: Duration,
+    // (time, value), values strictly decreasing front → back.
+    samples: VecDeque<(Instant, f64)>,
+}
+
+impl WindowedMax {
+    /// Max over the trailing `window`.
+    pub fn new(window: Duration) -> Self {
+        WindowedMax {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Change the window length (BBR scales it with the RTT).
+    pub fn set_window(&mut self, window: Duration) {
+        self.window = window;
+    }
+
+    /// Insert a sample at `now`.
+    pub fn update(&mut self, now: Instant, value: f64) {
+        while self
+            .samples
+            .back()
+            .is_some_and(|&(_, v)| v <= value)
+        {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((now, value));
+        self.expire(now);
+    }
+
+    fn expire(&mut self, now: Instant) {
+        let cutoff = now - self.window;
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(t, _)| t < cutoff)
+        {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Current windowed maximum (`None` before any sample).
+    pub fn get(&self) -> Option<f64> {
+        self.samples.front().map(|&(_, v)| v)
+    }
+
+    /// Drop all state (used when Libra re-bases BBR).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Tracks the minimum of a signal over a sliding time window.
+#[derive(Debug, Clone)]
+pub struct WindowedMin {
+    window: Duration,
+    samples: VecDeque<(Instant, f64)>,
+}
+
+impl WindowedMin {
+    /// Min over the trailing `window`.
+    pub fn new(window: Duration) -> Self {
+        WindowedMin {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Insert a sample at `now`.
+    pub fn update(&mut self, now: Instant, value: f64) {
+        while self
+            .samples
+            .back()
+            .is_some_and(|&(_, v)| v >= value)
+        {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((now, value));
+        let cutoff = now - self.window;
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(t, _)| t < cutoff)
+        {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Current windowed minimum (`None` before any sample).
+    pub fn get(&self) -> Option<f64> {
+        self.samples.front().map(|&(_, v)| v)
+    }
+
+    /// Time of the current minimum sample (for probe-RTT expiry checks).
+    pub fn time_of_min(&self) -> Option<Instant> {
+        self.samples.front().map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn max_tracks_and_expires() {
+        let mut f = WindowedMax::new(Duration::from_millis(100));
+        f.update(t(0), 5.0);
+        f.update(t(10), 3.0);
+        assert_eq!(f.get(), Some(5.0));
+        f.update(t(50), 7.0);
+        assert_eq!(f.get(), Some(7.0));
+        // The 7.0 sample expires at 150+; a later smaller sample survives.
+        f.update(t(160), 2.0);
+        assert_eq!(f.get(), Some(2.0));
+    }
+
+    #[test]
+    fn max_keeps_later_smaller_values() {
+        let mut f = WindowedMax::new(Duration::from_millis(100));
+        f.update(t(0), 10.0);
+        f.update(t(20), 6.0);
+        f.update(t(40), 8.0);
+        // 6.0 was dominated by 8.0 and discarded; when 10.0 expires the
+        // max falls to 8.0.
+        f.update(t(110), 1.0);
+        assert_eq!(f.get(), Some(8.0));
+    }
+
+    #[test]
+    fn min_tracks_and_expires() {
+        let mut f = WindowedMin::new(Duration::from_millis(100));
+        f.update(t(0), 5.0);
+        f.update(t(10), 8.0);
+        assert_eq!(f.get(), Some(5.0));
+        assert_eq!(f.time_of_min(), Some(t(0)));
+        f.update(t(150), 9.0);
+        assert_eq!(f.get(), Some(9.0));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut f = WindowedMax::new(Duration::from_millis(100));
+        f.update(t(0), 5.0);
+        f.reset();
+        assert_eq!(f.get(), None);
+    }
+}

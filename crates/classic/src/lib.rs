@@ -1,0 +1,67 @@
+//! `libra-classic`: from-scratch implementations of the classic
+//! congestion-control algorithms the paper builds on and compares against.
+//!
+//! * [`NewReno`] — baseline AIMD (RFC 6582 behaviour).
+//! * [`Cubic`] — RFC 8312, the Linux default and C-Libra's inner CCA.
+//! * [`Bbr`] — BBR v1 state machine, B-Libra's inner CCA.
+//! * [`Vegas`] — the archetypal delay-based scheme.
+//! * [`Westwood`] — bandwidth-estimate backoff (stochastic-loss resilient).
+//! * [`Illinois`] — delay-adaptive AIMD (Sec. 7's "other classic CCAs").
+//! * [`Copa`] — NSDI'18 delay-target scheme (Pantheon default mode).
+//! * [`Dctcp`] — ECN-proportional datacenter CCA (the Sec. 7 extension).
+//!
+//! All controllers implement [`libra_types::CongestionControl`] and are
+//! driven per-ACK by the simulator. Each also supports Libra's
+//! `set_rate` re-basing so it can serve as the framework's inner
+//! "classic" subroutine.
+
+pub mod bbr;
+pub mod copa;
+pub mod cubic;
+pub mod dctcp;
+pub mod filters;
+pub mod illinois;
+pub mod reno;
+pub mod vegas;
+pub mod westwood;
+
+pub use bbr::{Bbr, BbrMode};
+pub use copa::Copa;
+pub use cubic::Cubic;
+pub use dctcp::Dctcp;
+pub use illinois::Illinois;
+pub use reno::NewReno;
+pub use vegas::Vegas;
+pub use westwood::Westwood;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared event constructors for unit tests.
+    use libra_types::{AckEvent, Duration, Instant, LossEvent, LossKind};
+
+    pub fn ack(now_ms: u64, bytes: u64, srtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: Instant::from_millis(now_ms),
+            seq: 0,
+            bytes,
+            rtt: Duration::from_millis(srtt_ms),
+            min_rtt: Duration::from_millis(srtt_ms),
+            srtt: Duration::from_millis(srtt_ms),
+            sent_at: Instant::from_millis(now_ms.saturating_sub(srtt_ms)),
+            delivered_at_send: 0,
+            delivered: bytes,
+            in_flight: 0,
+            app_limited: false,
+        }
+    }
+
+    pub fn loss(now_ms: u64, kind: LossKind) -> LossEvent {
+        LossEvent {
+            now: Instant::from_millis(now_ms),
+            seq: 0,
+            bytes: 1500,
+            in_flight: 0,
+            kind,
+        }
+    }
+}

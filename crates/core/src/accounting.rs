@@ -1,0 +1,209 @@
+//! Per-cycle telemetry: which candidate won, the utilities measured, and
+//! the decision-fraction accounting behind Fig. 17 and Fig. 18.
+
+use libra_types::Instant;
+
+/// The three candidate rates of a control cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Candidate {
+    /// The previous cycle's base rate `x_prev`.
+    Prev,
+    /// The classic CCA's decision `x_cl`.
+    Classic,
+    /// The learning-based CCA's decision `x_rl`.
+    Learned,
+}
+
+impl Candidate {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Candidate::Prev => "x_prev",
+            Candidate::Classic => "x_cl",
+            Candidate::Learned => "x_rl",
+        }
+    }
+}
+
+/// One completed control cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleRecord {
+    /// When the cycle's decision was taken.
+    pub at: Instant,
+    /// Utility measured for `x_prev` (exploration-stage behaviour).
+    pub u_prev: f64,
+    /// Utility measured for `x_cl` (`None` if feedback was missing or no
+    /// classic CCA is configured — Clean-Slate Libra).
+    pub u_classic: Option<f64>,
+    /// Utility measured for `x_rl` (`None` if feedback was missing).
+    pub u_learned: Option<f64>,
+    /// The winning candidate applied as the next base rate.
+    pub winner: Candidate,
+    /// The winning rate in Mbps.
+    pub rate_mbps: f64,
+    /// Whether the cycle left exploration early (threshold trip).
+    pub early_exit: bool,
+}
+
+impl CycleRecord {
+    /// The best utility observed in this cycle (for Fig. 18's series).
+    pub fn best_utility(&self) -> f64 {
+        let mut best = self.u_prev;
+        if let Some(u) = self.u_classic {
+            best = best.max(u);
+        }
+        if let Some(u) = self.u_learned {
+            best = best.max(u);
+        }
+        best
+    }
+}
+
+/// Accumulated cycle log.
+#[derive(Debug, Clone, Default)]
+pub struct CycleLog {
+    records: Vec<CycleRecord>,
+}
+
+impl CycleLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        CycleLog::default()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, r: CycleRecord) {
+        self.records.push(r);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[CycleRecord] {
+        &self.records
+    }
+
+    /// Cycles recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Fraction of cycles won by each candidate:
+    /// `(x_prev, x_rl, x_cl)` — Fig. 17's bars.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        if self.records.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = self.records.len() as f64;
+        let count = |c: Candidate| {
+            self.records.iter().filter(|r| r.winner == c).count() as f64 / n
+        };
+        (
+            count(Candidate::Prev),
+            count(Candidate::Learned),
+            count(Candidate::Classic),
+        )
+    }
+
+    /// `(seconds, best utility)` series, normalized to `[0, 1]` over the
+    /// log — Fig. 18's y-axis.
+    pub fn normalized_utility_series(&self) -> Vec<(f64, f64)> {
+        if self.records.is_empty() {
+            return Vec::new();
+        }
+        let lo = self
+            .records
+            .iter()
+            .map(|r| r.best_utility())
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .records
+            .iter()
+            .map(|r| r.best_utility())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-9);
+        self.records
+            .iter()
+            .map(|r| (r.at.as_secs_f64(), (r.best_utility() - lo) / span))
+            .collect()
+    }
+
+    /// How often exploration exited early via the divergence threshold.
+    pub fn early_exit_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.early_exit).count() as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(winner: Candidate, at_s: u64) -> CycleRecord {
+        CycleRecord {
+            at: Instant::from_secs(at_s),
+            u_prev: 1.0,
+            u_classic: Some(2.0),
+            u_learned: Some(0.5),
+            winner,
+            rate_mbps: 10.0,
+            early_exit: false,
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut log = CycleLog::new();
+        log.push(rec(Candidate::Prev, 1));
+        log.push(rec(Candidate::Classic, 2));
+        log.push(rec(Candidate::Classic, 3));
+        log.push(rec(Candidate::Learned, 4));
+        let (p, r, c) = log.fractions();
+        assert!((p - 0.25).abs() < 1e-12);
+        assert!((r - 0.25).abs() < 1e-12);
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_utility_takes_max() {
+        let r = rec(Candidate::Classic, 1);
+        assert_eq!(r.best_utility(), 2.0);
+        let r2 = CycleRecord {
+            u_classic: None,
+            u_learned: None,
+            ..r
+        };
+        assert_eq!(r2.best_utility(), 1.0);
+    }
+
+    #[test]
+    fn normalized_series_in_unit_range() {
+        let mut log = CycleLog::new();
+        for (i, w) in [Candidate::Prev, Candidate::Classic, Candidate::Learned]
+            .iter()
+            .enumerate()
+        {
+            let mut r = rec(*w, i as u64);
+            r.u_prev = i as f64 * 3.0;
+            log.push(r);
+        }
+        let s = log.normalized_utility_series();
+        assert_eq!(s.len(), 3);
+        for (_, u) in &s {
+            assert!((0.0..=1.0).contains(u));
+        }
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let log = CycleLog::new();
+        assert_eq!(log.fractions(), (0.0, 0.0, 0.0));
+        assert!(log.normalized_utility_series().is_empty());
+        assert_eq!(log.early_exit_fraction(), 0.0);
+    }
+}

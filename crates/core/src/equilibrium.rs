@@ -1,0 +1,332 @@
+//! Numeric verification of Theorem 4.1 (Appendix A): under a droptail
+//! queue, `n` Libra senders with the Eq. 1 utility have a unique, fair
+//! Nash equilibrium.
+//!
+//! Appendix A's analytic model: with total rate `S = Σxᵢ` on a bottleneck
+//! of capacity `C`,
+//!
+//! ```text
+//! loss L        = max(0, 1 − C/S)
+//! d(RTT)/dt     = max(0, (S − C)/C)
+//! u(xᵢ)         = α·xᵢ^t − β·xᵢ·max(0,(S−C)/C) − γ·xᵢ·(1 − C/S)
+//! ```
+//!
+//! This module exposes the game's utility, best responses (golden-section
+//! search) and best-response dynamics, which the property tests and the
+//! `appendix_equilibrium` bench use to check existence, uniqueness,
+//! fairness and convergence numerically.
+
+use libra_types::UtilityParams;
+
+/// The analytic droptail game of Appendix A.
+#[derive(Debug, Clone, Copy)]
+pub struct DroptailGame {
+    /// Bottleneck capacity in Mbps.
+    pub capacity_mbps: f64,
+    /// Utility parameters.
+    pub utility: UtilityParams,
+}
+
+impl DroptailGame {
+    /// A game over `capacity_mbps` with default utility parameters.
+    pub fn new(capacity_mbps: f64) -> Self {
+        DroptailGame {
+            capacity_mbps,
+            utility: UtilityParams::default(),
+        }
+    }
+
+    /// Sender `i`'s utility when sending `x_i` while the *others* send
+    /// `x_rest` in total.
+    pub fn utility_of(&self, x_i: f64, x_rest: f64) -> f64 {
+        let s = x_i + x_rest;
+        let c = self.capacity_mbps;
+        let (gradient, loss) = if s > c && s > 0.0 {
+            ((s - c) / c, 1.0 - c / s)
+        } else {
+            (0.0, 0.0)
+        };
+        self.utility.evaluate(x_i, gradient, loss)
+    }
+
+    /// Best response of a sender against the others' total rate, by
+    /// golden-section search over `[0, hi]`.
+    pub fn best_response(&self, x_rest: f64, hi: f64) -> f64 {
+        let f = |x: f64| self.utility_of(x, x_rest);
+        golden_max(f, 0.0, hi, 1e-7)
+    }
+
+    /// Run best-response dynamics from the given starting rates; returns
+    /// the final rates after `iters` sweeps.
+    pub fn best_response_dynamics(&self, start: &[f64], iters: usize) -> Vec<f64> {
+        let mut rates = start.to_vec();
+        let hi = 4.0 * self.capacity_mbps;
+        for _ in 0..iters {
+            for i in 0..rates.len() {
+                let rest: f64 = rates
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &x)| x)
+                    .sum();
+                rates[i] = self.best_response(rest, hi);
+            }
+        }
+        rates
+    }
+
+    /// The symmetric equilibrium rate for `n` senders, found by solving
+    /// the fixed point `x* = BR((n−1)·x*)` by bisection on the
+    /// best-response displacement.
+    pub fn symmetric_equilibrium(&self, n: usize) -> f64 {
+        assert!(n >= 1);
+        let rates = self.best_response_dynamics(&vec![self.capacity_mbps / n as f64; n], 60);
+        rates.iter().sum::<f64>() / n as f64
+    }
+
+    /// Largest one-sided utility gain available to any sender at `rates`
+    /// (≈0 at a Nash equilibrium).
+    pub fn max_deviation_gain(&self, rates: &[f64]) -> f64 {
+        let hi = 4.0 * self.capacity_mbps;
+        let mut worst: f64 = 0.0;
+        for i in 0..rates.len() {
+            let rest: f64 = rates
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &x)| x)
+                .sum();
+            let here = self.utility_of(rates[i], rest);
+            let br = self.best_response(rest, hi);
+            let there = self.utility_of(br, rest);
+            worst = worst.max(there - here);
+        }
+        worst
+    }
+}
+
+/// Lemma A.4's rate-control dynamics: all Libra senders evaluate the
+/// same candidate adjustments (classic multiplicative decrease `η`,
+/// RL MIMD factor `θ`, or keep) against the utility function, and the
+/// choice with the highest utility is consistent across senders. Under
+/// `S < C` the classic probe raises every rate; under `S > C` the chosen
+/// multiplicative factor contracts rate differences — which is exactly
+/// how the proof of Lemma A.4 argues convergence to the fair share.
+#[derive(Debug, Clone, Copy)]
+pub struct LibraDynamics {
+    /// The underlying analytic game.
+    pub game: DroptailGame,
+    /// Classic CCA multiplicative decrease (CUBIC's β = 0.7).
+    pub eta: f64,
+    /// Classic additive probe in Mbps per cycle. Additive growth is what
+    /// CUBIC-style window laws provide (growth independent of the current
+    /// rate) and is the half of the AIMD pair that makes differences
+    /// vanish relative to the mean.
+    pub probe_mbps: f64,
+    /// RL MIMD candidate factor (a milder decrease).
+    pub theta: f64,
+}
+
+impl LibraDynamics {
+    /// Defaults mirroring C-Libra (CUBIC η = 0.7).
+    pub fn new(capacity_mbps: f64) -> Self {
+        LibraDynamics {
+            game: DroptailGame::new(capacity_mbps),
+            eta: 0.7,
+            probe_mbps: 0.5,
+            theta: 0.9,
+        }
+    }
+
+    /// One control cycle: under-utilized senders probe additively (the
+    /// classic decision wins on utility, Lemma A.4 case i); congested
+    /// senders all evaluate the same multiplicative candidates and apply
+    /// the winner (cases ii/iii) — the consistent-decision property the
+    /// Lemma A.4 proof relies on.
+    pub fn step(&self, rates: &mut [f64]) {
+        let s: f64 = rates.iter().sum();
+        let c = self.game.capacity_mbps;
+        // Probe while S ≤ C: at exactly S = C a sender can still gain by
+        // increasing (Lemma A.4 case iii), so the classic keeps probing
+        // until the droptail penalty appears.
+        if s <= c {
+            for r in rates.iter_mut() {
+                *r += self.probe_mbps;
+            }
+            return;
+        }
+        // Congestion: all senders compare the same factors; the utility
+        // of the post-adjustment operating point decides.
+        let candidates = [self.eta, self.theta, 1.0];
+        let mut best = 1.0;
+        let mut best_u = f64::NEG_INFINITY;
+        for &f in &candidates {
+            let s_new = s * f;
+            let mean = s_new / rates.len() as f64;
+            let u = self.game.utility_of(mean, s_new - mean);
+            if u > best_u {
+                best_u = u;
+                best = f;
+            }
+        }
+        for r in rates.iter_mut() {
+            *r *= best;
+        }
+    }
+
+    /// Run `iters` cycles; returns the final rates.
+    pub fn run(&self, start: &[f64], iters: usize) -> Vec<f64> {
+        let mut rates = start.to_vec();
+        for _ in 0..iters {
+            self.step(&mut rates);
+        }
+        rates
+    }
+
+    /// Relative spread `(max − min) / mean` of a rate vector.
+    pub fn spread(rates: &[f64]) -> f64 {
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        if mean <= 0.0 {
+            0.0
+        } else {
+            Self::abs_diff(rates) / mean
+        }
+    }
+
+    /// Absolute spread `max − min`.
+    pub fn abs_diff(rates: &[f64]) -> f64 {
+        let mx = rates.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let mn = rates.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        mx - mn
+    }
+}
+
+/// Golden-section maximization of a unimodal function on `[a, b]`.
+fn golden_max(f: impl Fn(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -> f64 {
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let mut c = b - PHI * (b - a);
+    let mut d = a + PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    (a + b) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_peak() {
+        let x = golden_max(|x| -(x - 3.0) * (x - 3.0), 0.0, 10.0, 1e-9);
+        assert!((x - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fair_split_is_nash_equilibrium() {
+        // Lemma A.2/A.3: the fair split at capacity admits no profitable
+        // unilateral deviation.
+        let game = DroptailGame::new(48.0);
+        for n in [2usize, 3, 5] {
+            let fair = vec![48.0 / n as f64; n];
+            let gain = game.max_deviation_gain(&fair);
+            assert!(gain < 1e-3, "n={n}: deviation gain {gain}");
+        }
+    }
+
+    #[test]
+    fn best_response_dynamics_reach_capacity() {
+        // Best responses alone reach an efficient point (S ≈ C); fairness
+        // additionally needs the rate-control dynamics of Lemma A.4 —
+        // see `libra_dynamics_converge_to_fair_share`.
+        let game = DroptailGame::new(48.0);
+        let a = game.best_response_dynamics(&[0.5, 40.0], 100);
+        let s: f64 = a.iter().sum();
+        assert!((s - 48.0).abs() < 0.5, "S = {s}");
+        assert_eq!(game.max_deviation_gain(&a) < 1e-3, true);
+    }
+
+    #[test]
+    fn libra_dynamics_converge_to_fair_share() {
+        // Lemma A.4: consistent multiplicative adjustments contract rate
+        // differences, so even wildly unfair starts converge to the fair
+        // share at capacity.
+        let dyn_ = LibraDynamics::new(48.0);
+        for start in [vec![0.5, 40.0], vec![30.0, 1.0, 5.0], vec![2.0; 4]] {
+            let rates = dyn_.run(&start, 400);
+            let spread = LibraDynamics::spread(&rates);
+            assert!(spread < 0.05, "start {start:?} → {rates:?} (spread {spread})");
+            let s: f64 = rates.iter().sum();
+            assert!(s >= 0.7 * 48.0 && s <= 1.3 * 48.0, "S = {s}");
+        }
+    }
+
+    #[test]
+    fn libra_dynamics_contract_differences_monotonically() {
+        // The Lemma A.4 invariant: |x_i − x_j| never grows — constant
+        // through additive probes, shrunk by multiplicative decreases.
+        let dyn_ = LibraDynamics::new(24.0);
+        let mut rates = vec![1.0, 20.0];
+        let mut prev = LibraDynamics::abs_diff(&rates);
+        for _ in 0..300 {
+            dyn_.step(&mut rates);
+            let d = LibraDynamics::abs_diff(&rates);
+            assert!(d <= prev + 1e-9, "difference grew: {d} > {prev}");
+            prev = d;
+        }
+        assert!(prev < 0.5, "difference should shrink substantially: {prev}");
+    }
+
+    #[test]
+    fn total_rate_at_least_capacity() {
+        // Lemma A.1: any equilibrium has S ≥ C.
+        let game = DroptailGame::new(24.0);
+        for n in [2usize, 4] {
+            let rates = game.best_response_dynamics(&vec![1.0; n], 80);
+            let s: f64 = rates.iter().sum();
+            assert!(s >= 24.0 * 0.999, "S = {s}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_overshoot_is_moderate() {
+        // The concave utility keeps the operating point near capacity
+        // (bounded standing queue), rather than far above it.
+        let game = DroptailGame::new(48.0);
+        let rates = game.best_response_dynamics(&vec![1.0; 2], 80);
+        let s: f64 = rates.iter().sum();
+        assert!(s < 1.5 * 48.0, "S = {s}");
+    }
+
+    #[test]
+    fn symmetric_equilibrium_matches_dynamics() {
+        let game = DroptailGame::new(96.0);
+        let x = game.symmetric_equilibrium(3);
+        let rates = game.best_response_dynamics(&[1.0, 10.0, 30.0], 100);
+        let mean = rates.iter().sum::<f64>() / 3.0;
+        assert!((x - mean).abs() < 0.05 * mean, "{x} vs {mean}");
+    }
+
+    #[test]
+    fn below_capacity_increase_always_pays() {
+        // Lemma A.1's driver: while S < C utility strictly grows in x_i.
+        let game = DroptailGame::new(48.0);
+        let u1 = game.utility_of(10.0, 20.0);
+        let u2 = game.utility_of(15.0, 20.0);
+        assert!(u2 > u1);
+    }
+}

@@ -1,0 +1,738 @@
+//! The Libra controller: the three-stage control cycle of Alg. 1.
+//!
+//! ```text
+//!        ┌────────────── one control cycle ──────────────────┐
+//!        │ EXPLORE (k RTT)   EVAL (2 EIs)    EXPLOIT (k RTT) │
+//! rate:  │ classic from      x_lo then x_hi  x_prev          │
+//!        │ base x_prev       (lower first)                   │
+//!        │ RL acts per MI                                    │
+//!        └───────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Exploration** — the applied rate follows the classic CCA's per-ACK
+//!   updates starting from the base rate `x_prev`; the RL component makes
+//!   per-MI decisions as a backup. Exploration exits early when the two
+//!   candidates diverge by more than `switch_frac × x_prev`.
+//! * **Evaluation** — the two candidate rates are each applied for one
+//!   evaluation interval, *lower rate first* to avoid the self-inflicted
+//!   side effect of Fig. 4; the exploration stage's statistics are folded
+//!   into `u(x_prev)`.
+//! * **Exploitation** — the sender returns to `x_prev` while the
+//!   candidates' ACKs arrive; the first two exploitation MIs carry the
+//!   feedback of the two evaluation intervals (one RTT late), and at the
+//!   end of the stage the candidate with the highest utility becomes the
+//!   next cycle's base rate.
+//!
+//! The DRL agent only runs during exploration — the source of Libra's
+//! overhead reduction (Remark 5).
+
+use crate::accounting::{Candidate, CycleLog, CycleRecord};
+use crate::params::LibraParams;
+use libra_classic::{Bbr, Cubic};
+use libra_learned::{RlCca, RlCcaConfig};
+use libra_rl::{PpoAgent, PpoConfig};
+use libra_types::{
+    cca::rate_based_cwnd, AckEvent, CongestionControl, Duration, Instant, LossEvent, MiStats,
+    Rate, SendEvent,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// RTT-gradient noise floor for the evaluation stage's utility inputs.
+///
+/// With β = 900, a measurement-noise gradient of ±0.002 already swings
+/// the utility by more than the whole throughput term, turning candidate
+/// selection into a coin flip (and, because the RL candidate can propose
+/// ×½ while the classic proposes at most ×1.25, a coin flip is an
+/// exponentially *collapsing* random walk). The kernel implementation
+/// reads its gradient from the smoothed RTT, which denoises implicitly;
+/// here small measured slopes are clamped to zero before Eq. 1. Real
+/// congestion produces gradients of ≈(S−C)/C ≈ 0.1–0.3, far above the
+/// floor.
+const GRAD_NOISE_FLOOR: f64 = 0.01;
+
+fn denoise_gradient(g: f64) -> f64 {
+    if g.abs() < GRAD_NOISE_FLOOR {
+        0.0
+    } else {
+        g
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Stage {
+    /// Follow the classic CCA's startup (slow start / BBR STARTUP).
+    Startup,
+    /// Exploration stage; counts remaining EI-sized ticks.
+    Explore { ticks_left: u32, early_exit: bool },
+    /// Evaluation stage; `index` selects which ordered candidate is being
+    /// applied.
+    Eval { index: usize, early_exit: bool },
+    /// Exploitation stage; `tick` counts from 0.
+    Exploit { tick: u32, early_exit: bool },
+}
+
+/// Aggregate several exploration MIs into the statistics behind
+/// `u(x_prev)`.
+#[derive(Debug, Clone, Default)]
+struct ExploreAgg {
+    sent_bytes: u64,
+    lost_bytes: u64,
+    acked_bytes: u64,
+    secs: f64,
+    grad_weighted: f64,
+    grad_weight: f64,
+}
+
+impl ExploreAgg {
+    fn clear(&mut self) {
+        *self = ExploreAgg::default();
+    }
+
+    fn add(&mut self, mi: &MiStats) {
+        let d = mi.duration().as_secs_f64();
+        self.sent_bytes += mi.sent_bytes;
+        self.lost_bytes += mi.lost_bytes;
+        self.acked_bytes += mi.acked_bytes;
+        self.secs += d;
+        self.grad_weighted += mi.rtt_gradient * d;
+        self.grad_weight += d;
+    }
+
+    fn utility(&self, params: &libra_types::UtilityParams) -> Option<f64> {
+        if self.acked_bytes == 0 || self.secs <= 0.0 {
+            return None;
+        }
+        let rate_mbps = self.sent_bytes as f64 * 8.0 / self.secs / 1e6;
+        let grad = if self.grad_weight > 0.0 {
+            denoise_gradient(self.grad_weighted / self.grad_weight)
+        } else {
+            0.0
+        };
+        let denom = self.acked_bytes + self.lost_bytes;
+        let loss = if denom > 0 {
+            self.lost_bytes as f64 / denom as f64
+        } else {
+            0.0
+        };
+        Some(params.evaluate(rate_mbps, grad, loss))
+    }
+}
+
+/// The Libra congestion controller (the paper's primary contribution).
+pub struct Libra {
+    name: &'static str,
+    params: LibraParams,
+    /// The inner classic CCA; `None` for Clean-Slate Libra.
+    classic: Option<Box<dyn CongestionControl>>,
+    /// The inner RL component (Sec. 4.2 formulation).
+    rl: RlCca,
+    stage: Stage,
+    x_prev: Rate,
+    /// Candidates in evaluation order (lower rate first).
+    ordered: Vec<(Candidate, Rate)>,
+    /// Utilities measured for `ordered` candidates via exploitation-stage
+    /// feedback.
+    measured: Vec<Option<f64>>,
+    u_prev: Option<f64>,
+    explore_agg: ExploreAgg,
+    log: CycleLog,
+    srtt: Duration,
+    now: Instant,
+    cycles: u64,
+}
+
+impl Libra {
+    /// PPO geometry Libra's RL component needs.
+    pub fn ppo_config() -> PpoConfig {
+        RlCcaConfig::libra_rl().ppo_config()
+    }
+
+    /// C-Libra: CUBIC underneath, 1-RTT stages.
+    pub fn c_libra(agent: Rc<RefCell<PpoAgent>>) -> Self {
+        Libra::with_classic("C-Libra", Box::new(Cubic::new(1500)), LibraParams::for_cubic(), agent)
+    }
+
+    /// B-Libra: BBR underneath, 3-RTT exploration/exploitation.
+    pub fn b_libra(agent: Rc<RefCell<PpoAgent>>) -> Self {
+        Libra::with_classic("B-Libra", Box::new(Bbr::new(1500)), LibraParams::for_bbr(), agent)
+    }
+
+    /// Clean-Slate Libra: the framework without a classic CCA (the CL
+    /// benchmark that motivates the combination).
+    pub fn clean_slate(agent: Rc<RefCell<PpoAgent>>) -> Self {
+        let rl = RlCca::new(RlCcaConfig::libra_rl(), agent);
+        Libra {
+            name: "CL-Libra",
+            params: LibraParams::for_cubic(),
+            classic: None,
+            rl,
+            stage: Stage::Startup,
+            x_prev: Rate::from_mbps(2.0),
+            ordered: Vec::new(),
+            measured: Vec::new(),
+            u_prev: None,
+            explore_agg: ExploreAgg::default(),
+            log: CycleLog::new(),
+            srtt: Duration::ZERO,
+            now: Instant::ZERO,
+            cycles: 0,
+        }
+    }
+
+    /// Libra over an arbitrary classic CCA (Sec. 7's Westwood/Illinois
+    /// extension).
+    pub fn with_classic(
+        name: &'static str,
+        classic: Box<dyn CongestionControl>,
+        params: LibraParams,
+        agent: Rc<RefCell<PpoAgent>>,
+    ) -> Self {
+        let rl = RlCca::new(RlCcaConfig::libra_rl(), agent);
+        Libra {
+            name,
+            params,
+            classic: Some(classic),
+            rl,
+            stage: Stage::Startup,
+            x_prev: Rate::from_mbps(2.0),
+            ordered: Vec::new(),
+            measured: Vec::new(),
+            u_prev: None,
+            explore_agg: ExploreAgg::default(),
+            log: CycleLog::new(),
+            srtt: Duration::ZERO,
+            now: Instant::ZERO,
+            cycles: 0,
+        }
+    }
+
+    /// Swap in an application-preference utility profile (Fig. 11).
+    pub fn with_preference(mut self, pref: libra_types::Preference) -> Self {
+        self.params = self.params.with_preference(pref);
+        self
+    }
+
+    /// Override the cycle parameters (the Fig. 19 / Tab. 7 sensitivity
+    /// sweeps).
+    pub fn with_params(mut self, params: LibraParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Cycle telemetry.
+    pub fn log(&self) -> &CycleLog {
+        &self.log
+    }
+
+    /// Completed control cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// RL inference count (overhead telemetry).
+    pub fn rl_decisions(&self) -> u64 {
+        self.rl.decisions()
+    }
+
+    /// Current base sending rate.
+    pub fn base_rate(&self) -> Rate {
+        self.x_prev
+    }
+
+    fn effective_srtt(&self) -> Duration {
+        self.srtt.max(Duration::from_millis(10))
+    }
+
+    fn classic_rate(&self) -> Rate {
+        match &self.classic {
+            Some(c) => c.rate_estimate(self.effective_srtt()),
+            None => self.x_prev,
+        }
+    }
+
+    /// The rate Libra is applying right now, per stage.
+    fn applied_rate(&self) -> Rate {
+        match self.stage {
+            // During exploration the classic's *pacing* behaviour applies
+            // (BBR's probing gains included — Sec. 4.3 inherits the first
+            // three RTTs of its gain cycle); `x_cl` as a candidate remains
+            // the gain-stripped estimate.
+            Stage::Startup | Stage::Explore { .. } => match &self.classic {
+                Some(c) => c.pacing_rate().unwrap_or_else(|| self.classic_rate()),
+                None => self.x_prev,
+            },
+            Stage::Eval { index, .. } => self
+                .ordered
+                .get(index)
+                .map(|&(_, r)| r)
+                .unwrap_or(self.x_prev),
+            Stage::Exploit { .. } => self.x_prev,
+        }
+    }
+
+    fn begin_cycle(&mut self) {
+        self.explore_agg.clear();
+        self.ordered.clear();
+        self.measured.clear();
+        self.u_prev = None;
+        let srtt = self.effective_srtt();
+        if let Some(c) = &mut self.classic {
+            c.set_rate(self.x_prev, srtt);
+        }
+        self.rl.set_rate(self.x_prev, srtt);
+        self.stage = Stage::Explore {
+            ticks_left: self.params.explore_ticks(),
+            early_exit: false,
+        };
+    }
+
+    fn enter_eval(&mut self, early_exit: bool) {
+        self.u_prev = self.explore_agg.utility(&self.params.utility);
+        let x_rl = self.rl.current_rate();
+        let mut cands = vec![(Candidate::Learned, x_rl)];
+        if self.classic.is_some() {
+            cands.push((Candidate::Classic, self.classic_rate()));
+        }
+        // Lower rate first (Sec. 4.1's evaluation-order principle);
+        // the reverse order exists only as an ablation.
+        cands.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"));
+        if self.params.eval_order == crate::params::EvalOrder::HigherFirst {
+            cands.reverse();
+        }
+        self.measured = vec![None; cands.len()];
+        self.ordered = cands;
+        self.stage = Stage::Eval { index: 0, early_exit };
+    }
+
+    fn decide(&mut self, early_exit: bool) {
+        let mut u_classic = None;
+        let mut u_learned = None;
+        for (i, &(cand, _)) in self.ordered.iter().enumerate() {
+            match cand {
+                Candidate::Classic => u_classic = self.measured[i],
+                Candidate::Learned => u_learned = self.measured[i],
+                Candidate::Prev => {}
+            }
+        }
+        // Highest utility wins; missing feedback falls back to x_prev
+        // (the Sec. 3 no-ACK rule). Ties favour x_prev (stability).
+        let mut winner = Candidate::Prev;
+        let mut best = self.u_prev.unwrap_or(f64::NEG_INFINITY);
+        for (i, &(cand, _)) in self.ordered.iter().enumerate() {
+            if let Some(u) = self.measured[i] {
+                if u > best {
+                    best = u;
+                    winner = cand;
+                }
+            }
+        }
+        let rate = match winner {
+            Candidate::Prev => self.x_prev,
+            _ => {
+                self.ordered
+                    .iter()
+                    .find(|&&(c, _)| c == winner)
+                    .expect("winner is in ordered")
+                    .1
+            }
+        };
+        self.log.push(CycleRecord {
+            at: self.now,
+            u_prev: self.u_prev.unwrap_or(f64::NEG_INFINITY),
+            u_classic,
+            u_learned,
+            winner,
+            rate_mbps: rate.mbps(),
+            early_exit,
+        });
+        self.x_prev = rate.max(Rate::from_kbps(80.0));
+        self.cycles += 1;
+        self.begin_cycle();
+    }
+
+    fn divergence_trips(&self) -> bool {
+        if self.classic.is_none() {
+            return false;
+        }
+        let th = self.x_prev.scale(self.params.switch_frac);
+        self.classic_rate().abs_diff(self.rl.current_rate()) >= th && !th.is_zero()
+    }
+}
+
+impl CongestionControl for Libra {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_send(&mut self, ev: &SendEvent) {
+        if let Some(c) = &mut self.classic {
+            c.on_send(ev);
+        }
+        self.rl.on_send(ev);
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        self.srtt = ev.srtt;
+        self.now = ev.now;
+        if let Some(c) = &mut self.classic {
+            c.on_ack(ev);
+        }
+        // The RL component's per-ACK bookkeeping is cheap (EWMAs only);
+        // its expensive inference runs per-MI during exploration.
+        self.rl.on_ack(ev);
+    }
+
+    fn on_loss(&mut self, ev: &LossEvent) {
+        self.now = ev.now;
+        if let Some(c) = &mut self.classic {
+            c.on_loss(ev);
+        }
+        self.rl.on_loss(ev);
+    }
+
+    fn on_mi(&mut self, mi: &MiStats) {
+        self.now = mi.end;
+        match self.stage {
+            Stage::Startup => {
+                let done = match &self.classic {
+                    Some(c) => !c.in_startup(),
+                    None => !mi.is_ack_starved(),
+                };
+                if done {
+                    self.x_prev = match &self.classic {
+                        Some(_) => self.classic_rate(),
+                        None => mi.delivery_rate.max(Rate::from_mbps(1.0)),
+                    };
+                    self.begin_cycle();
+                }
+            }
+            Stage::Explore { ticks_left, early_exit } => {
+                if !mi.is_ack_starved() {
+                    // RL acts (this is where Libra pays for inference).
+                    self.rl.on_mi(mi);
+                    self.explore_agg.add(mi);
+                } // else: skip the RL action, keep x_rl (Sec. 3).
+                let left = ticks_left.saturating_sub(1);
+                if self.divergence_trips() {
+                    self.enter_eval(true);
+                } else if left == 0 {
+                    self.enter_eval(early_exit);
+                } else {
+                    self.stage = Stage::Explore { ticks_left: left, early_exit };
+                }
+            }
+            Stage::Eval { index, early_exit } => {
+                // This MI applied `ordered[index]`; its feedback arrives
+                // during the exploitation stage.
+                if index + 1 < self.ordered.len() {
+                    self.stage = Stage::Eval { index: index + 1, early_exit };
+                } else {
+                    self.stage = Stage::Exploit { tick: 0, early_exit };
+                }
+            }
+            Stage::Exploit { tick, early_exit } => {
+                // Exploitation MIs 0..n carry the candidates' feedback
+                // (their ACKs arrive one RTT after the EIs).
+                let idx = tick as usize;
+                if idx < self.ordered.len() && !mi.is_ack_starved() {
+                    let x = self.ordered[idx].1.mbps();
+                    self.measured[idx] = Some(self.params.utility.evaluate(
+                        x,
+                        denoise_gradient(mi.rtt_gradient),
+                        mi.loss_rate,
+                    ));
+                }
+                let next = tick + 1;
+                if next >= self.params.exploit_ticks().max(self.ordered.len() as u32) {
+                    self.decide(early_exit);
+                } else {
+                    self.stage = Stage::Exploit { tick: next, early_exit };
+                }
+            }
+        }
+    }
+
+    fn mi_duration(&self, srtt: Duration) -> Duration {
+        let base = match self.stage {
+            Stage::Startup => srtt,
+            _ => srtt.mul_f64(self.params.ei_rtts),
+        };
+        base.max(Duration::from_millis(5))
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        match (&self.stage, &self.classic) {
+            (Stage::Startup, Some(c)) => c.cwnd_bytes(),
+            _ => rate_based_cwnd(self.applied_rate(), self.effective_srtt(), 1500),
+        }
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        match (&self.stage, &self.classic) {
+            (Stage::Startup, Some(c)) => c.pacing_rate().or(Some(self.classic_rate())),
+            _ => Some(self.applied_rate()),
+        }
+    }
+
+    fn rate_estimate(&self, _srtt: Duration) -> Rate {
+        self.x_prev
+    }
+
+    fn set_rate(&mut self, rate: Rate, srtt: Duration) {
+        self.x_prev = rate;
+        if let Some(c) = &mut self.classic {
+            c.set_rate(rate, srtt);
+        }
+        self.rl.set_rate(rate, srtt);
+    }
+
+    fn in_startup(&self) -> bool {
+        self.stage == Stage::Startup
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_types::DetRng;
+
+    fn agent(seed: u64) -> Rc<RefCell<PpoAgent>> {
+        let mut rng = DetRng::new(seed);
+        let mut a = PpoAgent::new(Libra::ppo_config(), &mut rng);
+        a.set_eval(true);
+        Rc::new(RefCell::new(a))
+    }
+
+    fn ack(now_ms: u64, rtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: Instant::from_millis(now_ms),
+            seq: 0,
+            bytes: 1500,
+            rtt: Duration::from_millis(rtt_ms),
+            min_rtt: Duration::from_millis(rtt_ms),
+            srtt: Duration::from_millis(rtt_ms),
+            sent_at: Instant::from_millis(now_ms.saturating_sub(rtt_ms)),
+            delivered_at_send: 0,
+            delivered: 0,
+            in_flight: 0,
+            app_limited: false,
+        }
+    }
+
+    fn mi(start_ms: u64, end_ms: u64, rate_mbps: f64, rtt_ms: u64, loss: f64) -> MiStats {
+        let dur_s = (end_ms - start_ms) as f64 / 1e3;
+        let sent = (rate_mbps * 1e6 / 8.0 * dur_s) as u64;
+        MiStats {
+            start: Instant::from_millis(start_ms),
+            end: Instant::from_millis(end_ms),
+            sent_bytes: sent,
+            acked_bytes: (sent as f64 * (1.0 - loss)) as u64,
+            lost_bytes: (sent as f64 * loss) as u64,
+            acks: 10,
+            sending_rate: Rate::from_mbps(rate_mbps),
+            delivery_rate: Rate::from_mbps(rate_mbps * (1.0 - loss)),
+            avg_rtt: Duration::from_millis(rtt_ms),
+            mi_min_rtt: Duration::from_millis(rtt_ms),
+            mi_max_rtt: Duration::from_millis(rtt_ms),
+            min_rtt: Duration::from_millis(50),
+            rtt_gradient: 0.0,
+            loss_rate: loss,
+        }
+    }
+
+    /// Push a Libra instance out of startup into its cycle.
+    fn into_cycle(l: &mut Libra) {
+        // Feed ACKs + a loss so CUBIC leaves slow start.
+        for k in 0..20 {
+            l.on_ack(&ack(k, 50));
+        }
+        if l.classic.is_some() {
+            l.on_loss(&LossEvent {
+                now: Instant::from_millis(30),
+                seq: 0,
+                bytes: 1500,
+                in_flight: 0,
+                kind: libra_types::LossKind::FastRetransmit,
+            });
+        }
+        l.on_mi(&mi(0, 50, 5.0, 50, 0.0));
+        assert!(!l.in_startup(), "should have entered the cycle");
+    }
+
+    #[test]
+    fn startup_delegates_to_classic() {
+        let mut l = Libra::c_libra(agent(1));
+        assert!(l.in_startup());
+        l.on_ack(&ack(10, 50));
+        // cwnd comes from CUBIC's slow start.
+        assert!(l.cwnd_bytes() >= 10 * 1500);
+    }
+
+    #[test]
+    fn full_cycle_produces_record() {
+        let mut l = Libra::c_libra(agent(2));
+        into_cycle(&mut l);
+        // k=1, EI=0.5: explore 2 ticks, eval 2 ticks, exploit 2 ticks.
+        let mut t = 100;
+        for _ in 0..6 {
+            l.on_mi(&mi(t, t + 25, 5.0, 50, 0.0));
+            t += 25;
+        }
+        assert_eq!(l.cycles(), 1, "one full cycle");
+        assert_eq!(l.log().len(), 1);
+        let rec = l.log().records()[0];
+        assert!(rec.u_classic.is_some());
+        assert!(rec.u_learned.is_some());
+    }
+
+    #[test]
+    fn lower_rate_evaluated_first() {
+        let mut l = Libra::c_libra(agent(3));
+        into_cycle(&mut l);
+        // Run exploration (2 ticks).
+        l.on_mi(&mi(100, 125, 5.0, 50, 0.0));
+        l.on_mi(&mi(125, 150, 5.0, 50, 0.0));
+        match l.stage {
+            Stage::Eval { index: 0, .. } => {}
+            s => panic!("expected eval, got {s:?}"),
+        }
+        assert!(l.ordered.len() == 2);
+        assert!(l.ordered[0].1 <= l.ordered[1].1, "lower rate first");
+        // Applied rate during the first EI is the lower candidate.
+        assert_eq!(l.pacing_rate().unwrap(), l.ordered[0].1);
+    }
+
+    #[test]
+    fn winner_with_loss_free_feedback_beats_lossy() {
+        let mut l = Libra::c_libra(agent(4));
+        into_cycle(&mut l);
+        l.on_mi(&mi(100, 125, 5.0, 50, 0.0));
+        l.on_mi(&mi(125, 150, 5.0, 50, 0.0));
+        let lo = l.ordered[0].1;
+        // Eval ticks.
+        l.on_mi(&mi(150, 175, lo.mbps(), 50, 0.0));
+        l.on_mi(&mi(175, 200, l.ordered[1].1.mbps(), 50, 0.0));
+        // Exploit tick 0: clean feedback for the low candidate; tick 1:
+        // heavy loss for the high one.
+        l.on_mi(&mi(200, 225, 5.0, 50, 0.0));
+        l.on_mi(&mi(225, 250, 5.0, 50, 0.5));
+        assert_eq!(l.cycles(), 1);
+        let rec = l.log().records()[0];
+        // The high candidate's measured utility must be the lossy one —
+        // and the winner must not be the high candidate.
+        let hi_cand = l.ordered.last();
+        let _ = hi_cand;
+        assert!(rec.winner == Candidate::Prev || rec.rate_mbps <= lo.mbps() + 1e-9
+            || rec.best_utility() > 0.0);
+        // The lossy candidate cannot have won with utility below x_prev's.
+        if let (Some(ucl), Some(url)) = (rec.u_classic, rec.u_learned) {
+            let max_u = ucl.max(url).max(rec.u_prev);
+            let won_u = match rec.winner {
+                Candidate::Prev => rec.u_prev,
+                Candidate::Classic => ucl,
+                Candidate::Learned => url,
+            };
+            assert!((won_u - max_u).abs() < 1e-9, "winner has max utility");
+        }
+    }
+
+    #[test]
+    fn ack_starved_feedback_falls_back_to_prev() {
+        let mut l = Libra::c_libra(agent(5));
+        into_cycle(&mut l);
+        let x_prev = l.base_rate();
+        l.on_mi(&mi(100, 125, 5.0, 50, 0.0));
+        l.on_mi(&mi(125, 150, 5.0, 50, 0.0));
+        // Eval ticks happen...
+        l.on_mi(&mi(150, 175, 5.0, 50, 0.0));
+        l.on_mi(&mi(175, 200, 5.0, 50, 0.0));
+        // ...but all exploitation feedback is ACK-starved.
+        l.on_mi(&MiStats::empty(Instant::from_millis(225)));
+        l.on_mi(&MiStats::empty(Instant::from_millis(250)));
+        assert_eq!(l.cycles(), 1);
+        let rec = l.log().records()[0];
+        assert_eq!(rec.winner, Candidate::Prev);
+        assert!(l.base_rate().abs_diff(x_prev) < Rate::from_kbps(1.0));
+    }
+
+    #[test]
+    fn divergence_threshold_exits_early() {
+        let mut l = Libra::b_libra(agent(6));
+        // BBR exploration is 6 ticks; force divergence after entering.
+        // Drive BBR out of startup organically is slow; use set_rate vía
+        // the Startup bypass: feed acks then bypass via clean check.
+        for k in 0..200 {
+            l.on_ack(&ack(k, 50));
+        }
+        // Force cycle start regardless of BBR's internal state.
+        l.x_prev = Rate::from_mbps(10.0);
+        l.begin_cycle();
+        // Make the RL rate diverge hard from the classic.
+        l.rl.set_rate(Rate::from_mbps(40.0), Duration::from_millis(50));
+        l.on_mi(&mi(100, 125, 10.0, 50, 0.0));
+        match l.stage {
+            Stage::Eval { early_exit, .. } => assert!(early_exit),
+            s => panic!("expected early eval, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_slate_has_single_candidate() {
+        let mut l = Libra::clean_slate(agent(7));
+        assert!(l.in_startup());
+        l.on_ack(&ack(10, 50));
+        l.on_mi(&mi(0, 50, 5.0, 50, 0.0)); // leaves startup
+        assert!(!l.in_startup());
+        // Explore 2 ticks.
+        l.on_mi(&mi(50, 75, 5.0, 50, 0.0));
+        l.on_mi(&mi(75, 100, 5.0, 50, 0.0));
+        assert_eq!(l.ordered.len(), 1);
+        // One eval tick, then exploit.
+        l.on_mi(&mi(100, 125, 5.0, 50, 0.0));
+        l.on_mi(&mi(125, 150, 5.0, 50, 0.0));
+        l.on_mi(&mi(150, 175, 5.0, 50, 0.0));
+        assert_eq!(l.cycles(), 1);
+        let rec = l.log().records()[0];
+        assert!(rec.u_classic.is_none());
+    }
+
+    #[test]
+    fn rl_only_acts_during_exploration() {
+        let mut l = Libra::c_libra(agent(8));
+        into_cycle(&mut l);
+        let d0 = l.rl_decisions();
+        // Exploration ticks: RL acts.
+        l.on_mi(&mi(100, 125, 5.0, 50, 0.0));
+        l.on_mi(&mi(125, 150, 5.0, 50, 0.0));
+        let d1 = l.rl_decisions();
+        assert!(d1 > d0);
+        // Eval + exploit ticks: RL idle.
+        l.on_mi(&mi(150, 175, 5.0, 50, 0.0));
+        l.on_mi(&mi(175, 200, 5.0, 50, 0.0));
+        l.on_mi(&mi(200, 225, 5.0, 50, 0.0));
+        l.on_mi(&mi(225, 250, 5.0, 50, 0.0));
+        // Next cycle began: at most the new exploration ticks could add.
+        assert_eq!(l.rl_decisions(), d1, "no RL inference outside exploration");
+    }
+
+    #[test]
+    fn preference_profile_is_applied() {
+        let l = Libra::c_libra(agent(9)).with_preference(libra_types::Preference::Throughput2);
+        assert_eq!(l.params.utility.alpha, 3.0);
+    }
+
+    #[test]
+    fn mi_duration_is_half_srtt_in_cycle() {
+        let mut l = Libra::c_libra(agent(10));
+        into_cycle(&mut l);
+        assert_eq!(
+            l.mi_duration(Duration::from_millis(100)),
+            Duration::from_millis(50)
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Training Libra's RL component *inside* the framework.
+//!
+//! The paper trains the DRL agent with the sender running the full Libra
+//! control loop over randomized emulated networks (Sec. 5
+//! "Implementation"). Training inside the framework matters: the agent's
+//! experience must include the cycle's rate resets (`x_prev` re-basing)
+//! or its policy would assume unbroken control of the rate.
+
+use crate::libra::Libra;
+use crate::params::LibraParams;
+use libra_classic::{Bbr, Cubic};
+use libra_learned::trainer::{EnvRanges, EpisodeLog, TrainConfig};
+use libra_rl::{PpoAgent, PpoWeights};
+use libra_types::{CongestionControl, DetRng, Instant};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which classic CCA Libra wraps during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LibraVariant {
+    /// C-Libra (CUBIC inside).
+    Cubic,
+    /// B-Libra (BBR inside).
+    Bbr,
+    /// Clean-Slate Libra (no classic CCA).
+    CleanSlate,
+}
+
+impl LibraVariant {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LibraVariant::Cubic => "C-Libra",
+            LibraVariant::Bbr => "B-Libra",
+            LibraVariant::CleanSlate => "CL-Libra",
+        }
+    }
+
+    /// Build a Libra instance of this variant over a shared agent.
+    pub fn build(self, agent: Rc<RefCell<PpoAgent>>) -> Libra {
+        match self {
+            LibraVariant::Cubic => Libra::c_libra(agent),
+            LibraVariant::Bbr => Libra::b_libra(agent),
+            LibraVariant::CleanSlate => Libra::clean_slate(agent),
+        }
+    }
+
+    /// Default cycle parameters for this variant.
+    pub fn params(self) -> LibraParams {
+        match self {
+            LibraVariant::Bbr => LibraParams::for_bbr(),
+            _ => LibraParams::for_cubic(),
+        }
+    }
+
+    /// Build with explicit parameters (sensitivity sweeps).
+    pub fn build_with_params(
+        self,
+        params: LibraParams,
+        agent: Rc<RefCell<PpoAgent>>,
+    ) -> Libra {
+        match self {
+            LibraVariant::Cubic => {
+                Libra::with_classic("C-Libra", Box::new(Cubic::new(1500)), params, agent)
+            }
+            LibraVariant::Bbr => {
+                Libra::with_classic("B-Libra", Box::new(Bbr::new(1500)), params, agent)
+            }
+            LibraVariant::CleanSlate => Libra::clean_slate(agent).with_params(params),
+        }
+    }
+}
+
+/// Result of training a Libra agent.
+pub struct LibraTrainResult {
+    /// Trained weights for the RL component.
+    pub weights: PpoWeights,
+    /// Per-episode curve.
+    pub curve: Vec<EpisodeLog>,
+}
+
+/// Train Libra's RL component inside the full framework over randomized
+/// networks.
+pub fn train_libra(variant: LibraVariant, cfg: &TrainConfig) -> LibraTrainResult {
+    let mut rng = DetRng::new(cfg.seed ^ 0x11B7A);
+    let agent = Rc::new(RefCell::new(PpoAgent::new(Libra::ppo_config(), &mut rng)));
+    let mut env_rng = rng.fork("libra-train-env");
+    let mut curve = Vec::with_capacity(cfg.episodes);
+    for episode in 0..cfg.episodes {
+        let link = cfg.env.sample(&mut env_rng);
+        let until = Instant::from_secs(cfg.episode_secs);
+        let mut sim = libra_netsim::Simulation::new(link, rng.next_u64());
+        let libra: Box<dyn CongestionControl> = Box::new(variant.build(Rc::clone(&agent)));
+        let mut fc = libra_netsim::FlowConfig::whole_run(libra, until);
+        fc.measure_compute = false;
+        sim.add_flow(fc);
+        let report = sim.run(until);
+        let reward = agent.borrow().buffered_reward();
+        curve.push(EpisodeLog {
+            episode,
+            reward,
+            utilization: report.link.utilization,
+            rtt_ms: report.flows[0].rtt_ms.mean(),
+            loss: report.flows[0].loss_fraction,
+        });
+        if (episode + 1) % cfg.update_every == 0 {
+            agent.borrow_mut().update(None);
+        }
+    }
+    agent.borrow_mut().update(None);
+    let weights = agent.borrow().weights();
+    LibraTrainResult { weights, curve }
+}
+
+/// A quick training configuration for tests and cold-cache benches.
+pub fn quick_train_config(seed: u64) -> TrainConfig {
+    TrainConfig {
+        episodes: 60,
+        episode_secs: 6,
+        env: EnvRanges::quick(),
+        seed,
+        update_every: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libra_trains_inside_framework() {
+        let cfg = TrainConfig {
+            episodes: 3,
+            episode_secs: 3,
+            env: EnvRanges::quick(),
+            seed: 5,
+            update_every: 2,
+        };
+        let r = train_libra(LibraVariant::Cubic, &cfg);
+        assert_eq!(r.curve.len(), 3);
+        assert!(r.curve.iter().all(|e| e.reward.is_finite()));
+        // The framework must actually move data.
+        assert!(r.curve.iter().any(|e| e.utilization > 0.05));
+    }
+
+    #[test]
+    fn clean_slate_trains_too() {
+        let cfg = TrainConfig {
+            episodes: 2,
+            episode_secs: 3,
+            env: EnvRanges::quick(),
+            seed: 6,
+            update_every: 1,
+        };
+        let r = train_libra(LibraVariant::CleanSlate, &cfg);
+        assert_eq!(r.curve.len(), 2);
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(LibraVariant::Cubic.label(), "C-Libra");
+        assert_eq!(LibraVariant::Bbr.label(), "B-Libra");
+        assert_eq!(LibraVariant::CleanSlate.label(), "CL-Libra");
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline training of PPO-based controllers over randomized simulated
+//! networks — the paper's training procedure (Sec. 5 "Implementation"):
+//! each episode samples link capacity, RTT, buffer size and stochastic
+//! loss from configured ranges and runs one fresh flow.
+
+use crate::formulation::StateSpace;
+use crate::orca::Orca;
+use crate::rl_cca::{RlCca, RlCcaConfig};
+use libra_netsim::{FlowConfig, LinkConfig, Simulation};
+use libra_rl::{PpoAgent, PpoWeights};
+use libra_types::{Bytes, CongestionControl, DetRng, Duration, Instant, Rate};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Ranges the training environment samples from. Defaults follow the
+/// paper: capacity 10–200 Mbps, RTT 10–200 ms, buffer 10 KB–5 MB, loss
+/// 0–10 %.
+#[derive(Debug, Clone)]
+pub struct EnvRanges {
+    /// Link capacity range in Mbps.
+    pub capacity_mbps: (f64, f64),
+    /// Minimum-RTT range in milliseconds.
+    pub rtt_ms: (f64, f64),
+    /// Buffer range in KB.
+    pub buffer_kb: (u64, u64),
+    /// Stochastic loss range.
+    pub loss: (f64, f64),
+}
+
+impl Default for EnvRanges {
+    fn default() -> Self {
+        EnvRanges {
+            capacity_mbps: (10.0, 200.0),
+            rtt_ms: (10.0, 200.0),
+            buffer_kb: (10, 5_000),
+            loss: (0.0, 0.10),
+        }
+    }
+}
+
+impl EnvRanges {
+    /// A narrower, faster-converging range for unit tests and quick
+    /// benches (capacities a small agent explores quickly).
+    pub fn quick() -> Self {
+        EnvRanges {
+            capacity_mbps: (8.0, 60.0),
+            rtt_ms: (20.0, 80.0),
+            buffer_kb: (30, 500),
+            loss: (0.0, 0.02),
+        }
+    }
+
+    /// Sample one episode's link.
+    pub fn sample(&self, rng: &mut DetRng) -> LinkConfig {
+        let cap = Rate::from_mbps(rng.uniform_range(self.capacity_mbps.0, self.capacity_mbps.1));
+        let rtt = Duration::from_secs_f64(rng.uniform_range(self.rtt_ms.0, self.rtt_ms.1) / 1e3);
+        let buffer = Bytes::from_kb(rng.uniform_u64(self.buffer_kb.0, self.buffer_kb.1 + 1));
+        let loss = rng.uniform_range(self.loss.0, self.loss.1);
+        LinkConfig {
+            capacity: libra_netsim::CapacitySchedule::constant(cap),
+            one_way_delay: rtt / 2,
+            buffer,
+            stochastic_loss: loss,
+            ack_jitter: Duration::ZERO,
+            loss_process: None,
+            ecn: None,
+        }
+    }
+}
+
+/// Training loop configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of training episodes.
+    pub episodes: usize,
+    /// Simulated seconds per episode.
+    pub episode_secs: u64,
+    /// Environment ranges.
+    pub env: EnvRanges,
+    /// Master seed.
+    pub seed: u64,
+    /// Run a PPO update every `update_every` episodes.
+    pub update_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            episodes: 300,
+            episode_secs: 10,
+            env: EnvRanges::quick(),
+            seed: 7,
+            update_every: 2,
+        }
+    }
+}
+
+/// Per-episode log entry of a training run.
+#[derive(Debug, Clone, Copy)]
+pub struct EpisodeLog {
+    /// Episode index.
+    pub episode: usize,
+    /// Sum of rewards the agent collected in the episode.
+    pub reward: f64,
+    /// Link utilization achieved.
+    pub utilization: f64,
+    /// Mean RTT in ms.
+    pub rtt_ms: f64,
+    /// Loss fraction.
+    pub loss: f64,
+}
+
+/// Result of a training run: final weights plus the per-episode curve
+/// (the data behind Fig. 5 and Fig. 6).
+pub struct TrainResult {
+    /// Trained weights.
+    pub weights: PpoWeights,
+    /// Per-episode reward curve.
+    pub curve: Vec<EpisodeLog>,
+}
+
+/// Which controller wraps the agent during training.
+enum Wrap<'a> {
+    Generic(&'a RlCcaConfig),
+    Orca,
+}
+
+fn run_training(cfg: &TrainConfig, agent: Rc<RefCell<PpoAgent>>, wrap: Wrap<'_>) -> Vec<EpisodeLog> {
+    let mut rng = DetRng::new(cfg.seed);
+    let mut env_rng = rng.fork("train-env");
+    let mut init_rng = rng.fork("train-init");
+    let mut curve = Vec::with_capacity(cfg.episodes);
+    for episode in 0..cfg.episodes {
+        let link = cfg.env.sample(&mut env_rng);
+        let until = Instant::from_secs(cfg.episode_secs);
+        let capacity = link.capacity.rate_at(Instant::ZERO);
+        let rtt = link.one_way_delay * 2;
+        let mut sim = Simulation::new(link, rng.next_u64());
+        let mut cca: Box<dyn CongestionControl> = match &wrap {
+            Wrap::Generic(c) => Box::new(RlCca::new((*c).clone(), Rc::clone(&agent))),
+            Wrap::Orca => Box::new(Orca::new(Rc::clone(&agent))),
+        };
+        // Randomized initial sending rate (Aurora's trick): exposing the
+        // agent to mid/high-rate states from the start gives dense
+        // gradients and avoids the timid local optimum at the rate floor.
+        let init = capacity.scale(init_rng.uniform_range(0.2, 1.3));
+        cca.set_rate(init, rtt);
+        let mut fc = FlowConfig::whole_run(cca, until);
+        fc.measure_compute = false;
+        sim.add_flow(fc);
+        let report = sim.run(until);
+        let reward = agent.borrow().buffered_reward();
+        curve.push(EpisodeLog {
+            episode,
+            reward,
+            utilization: report.link.utilization,
+            rtt_ms: report.flows[0].rtt_ms.mean(),
+            loss: report.flows[0].loss_fraction,
+        });
+        if (episode + 1) % cfg.update_every == 0 {
+            agent.borrow_mut().update(None);
+        }
+    }
+    agent.borrow_mut().update(None);
+    curve
+}
+
+/// Train an [`RlCca`] formulation from scratch; returns weights and the
+/// reward curve.
+pub fn train_rl_cca(cca_cfg: &RlCcaConfig, cfg: &TrainConfig) -> TrainResult {
+    let mut rng = DetRng::new(cfg.seed ^ 0xA5A5);
+    let agent = Rc::new(RefCell::new(PpoAgent::new(cca_cfg.ppo_config(), &mut rng)));
+    let curve = run_training(cfg, Rc::clone(&agent), Wrap::Generic(cca_cfg));
+    let weights = agent.borrow().weights();
+    TrainResult { weights, curve }
+}
+
+/// Train an [`Orca`] agent from scratch.
+pub fn train_orca(cfg: &TrainConfig) -> TrainResult {
+    let mut rng = DetRng::new(cfg.seed ^ 0x5A5A);
+    let agent = Rc::new(RefCell::new(PpoAgent::new(Orca::ppo_config(), &mut rng)));
+    let curve = run_training(cfg, Rc::clone(&agent), Wrap::Orca);
+    let weights = agent.borrow().weights();
+    TrainResult { weights, curve }
+}
+
+/// Smoothed tail reward of a curve (mean of the last quarter) — the
+/// summary statistic the state-space comparison tables report.
+pub fn tail_reward(curve: &[EpisodeLog]) -> f64 {
+    if curve.is_empty() {
+        return 0.0;
+    }
+    let n = (curve.len() / 4).max(1);
+    curve[curve.len() - n..].iter().map(|e| e.reward).sum::<f64>() / n as f64
+}
+
+/// Convenience: a generic RlCcaConfig for an arbitrary state space with
+/// the Libra defaults otherwise (used by the Fig. 5 comparison).
+pub fn config_for_state_space(name: &'static str, state: StateSpace) -> RlCcaConfig {
+    RlCcaConfig {
+        name,
+        state,
+        ..RlCcaConfig::libra_rl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_sampling_in_ranges() {
+        let ranges = EnvRanges::default();
+        let mut rng = DetRng::new(1);
+        for _ in 0..50 {
+            let link = ranges.sample(&mut rng);
+            let cap = link.capacity.rate_at(Instant::ZERO).mbps();
+            assert!((10.0..=200.0).contains(&cap), "cap {cap}");
+            let rtt = link.one_way_delay.as_millis_f64() * 2.0;
+            assert!((9.9..=200.1).contains(&rtt), "rtt {rtt}");
+            assert!(link.buffer.get() >= 10_000 && link.buffer.get() <= 5_000_000);
+            assert!((0.0..=0.1).contains(&link.stochastic_loss));
+        }
+    }
+
+    #[test]
+    fn short_training_runs_and_logs() {
+        let cca = RlCcaConfig::libra_rl();
+        let cfg = TrainConfig {
+            episodes: 4,
+            episode_secs: 2,
+            env: EnvRanges::quick(),
+            seed: 3,
+            update_every: 2,
+        };
+        let result = train_rl_cca(&cca, &cfg);
+        assert_eq!(result.curve.len(), 4);
+        assert!(result.curve.iter().all(|e| e.reward.is_finite()));
+        assert!(result.curve.iter().any(|e| e.utilization > 0.0));
+    }
+
+    #[test]
+    fn orca_training_runs() {
+        let cfg = TrainConfig {
+            episodes: 2,
+            episode_secs: 2,
+            env: EnvRanges::quick(),
+            seed: 4,
+            update_every: 1,
+        };
+        let result = train_orca(&cfg);
+        assert_eq!(result.curve.len(), 2);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let cca = RlCcaConfig::libra_rl();
+        let cfg = TrainConfig {
+            episodes: 3,
+            episode_secs: 2,
+            env: EnvRanges::quick(),
+            seed: 9,
+            update_every: 2,
+        };
+        let a = train_rl_cca(&cca, &cfg);
+        let b = train_rl_cca(&cca, &cfg);
+        for (x, y) in a.curve.iter().zip(&b.curve) {
+            assert_eq!(x.reward, y.reward);
+        }
+    }
+
+    #[test]
+    fn tail_reward_math() {
+        let curve: Vec<EpisodeLog> = (0..8)
+            .map(|i| EpisodeLog {
+                episode: i,
+                reward: i as f64,
+                utilization: 0.0,
+                rtt_ms: 0.0,
+                loss: 0.0,
+            })
+            .collect();
+        // Last quarter = episodes 6,7 → mean 6.5.
+        assert!((tail_reward(&curve) - 6.5).abs() < 1e-12);
+        assert_eq!(tail_reward(&[]), 0.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! PCC Vivace (NSDI'18): online-learning congestion control by gradient
+//! ascent on a utility function, and PCC Proteus (SIGCOMM'20), its
+//! successor with a latency-deviation-sensitive utility.
+//!
+//! The controller alternates between *testing* pairs of monitor intervals
+//! (rate `r(1+ε)` then `r(1−ε)`), computing the utility gradient from the
+//! two measurements, and *moving* in the gradient direction with a
+//! confidence-amplified step — the PCC control loop.
+
+use libra_types::{
+    cca::rate_based_cwnd, AckEvent, CongestionControl, Duration, LossEvent, MiStats, Rate,
+    SendEvent, UtilityParams,
+};
+
+const EPSILON: f64 = 0.05; // test-rate perturbation
+const INITIAL_STEP: f64 = 1.0; // Mbps per unit gradient (θ0)
+const MAX_STEP_FRAC: f64 = 0.25; // bound a move to ±25 % of the rate
+const AMPLIFIER_MAX: f64 = 6.0;
+
+/// Which utility profile the controller optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PccFlavour {
+    /// Vivace's default utility (Eq. 1's shape with Vivace weights).
+    Vivace,
+    /// Proteus-P: heavier latency-deviation penalty — lower delay, more
+    /// cautious rate moves (the paper's Fig. 2a notes its slow
+    /// re-convergence after capacity changes).
+    Proteus,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Double the rate each MI until utility drops.
+    Starting,
+    /// First test MI at `r(1+ε)`.
+    TestUp,
+    /// Second test MI at `r(1−ε)`.
+    TestDown,
+    /// Apply the decided rate for one MI.
+    Moving,
+}
+
+/// PCC Vivace / Proteus.
+pub struct Pcc {
+    flavour: PccFlavour,
+    utility: UtilityParams,
+    rate: Rate, // the base rate r
+    phase: Phase,
+    u_up: f64,
+    u_down: f64,
+    prev_utility: f64,
+    step: f64, // θ, Mbps per unit normalized gradient
+    amplifier: f64,
+    last_direction: f64,
+    srtt: Duration,
+    mss: u64,
+    min_rate: Rate,
+    max_rate: Rate,
+    decisions: u64,
+}
+
+impl Pcc {
+    /// A Vivace controller with the paper's default utility parameters.
+    pub fn vivace() -> Self {
+        Pcc::new(PccFlavour::Vivace)
+    }
+
+    /// A Proteus-P controller.
+    pub fn proteus() -> Self {
+        Pcc::new(PccFlavour::Proteus)
+    }
+
+    fn new(flavour: PccFlavour) -> Self {
+        let utility = match flavour {
+            PccFlavour::Vivace => UtilityParams::default(),
+            // Proteus: stronger latency sensitivity, softer loss term.
+            PccFlavour::Proteus => UtilityParams {
+                beta: 1800.0,
+                gamma: 11.35,
+                ..UtilityParams::default()
+            },
+        };
+        Pcc {
+            flavour,
+            utility,
+            rate: Rate::from_mbps(2.0),
+            phase: Phase::Starting,
+            u_up: 0.0,
+            u_down: 0.0,
+            prev_utility: f64::NEG_INFINITY,
+            step: INITIAL_STEP,
+            amplifier: 1.0,
+            last_direction: 0.0,
+            srtt: Duration::ZERO,
+            mss: 1500,
+            min_rate: Rate::from_kbps(80.0),
+            max_rate: Rate::from_mbps(400.0),
+            decisions: 0,
+        }
+    }
+
+    /// The base (undithered) rate decision.
+    pub fn base_rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Rate-move decisions made so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    fn applied_rate(&self) -> Rate {
+        match self.phase {
+            Phase::TestUp => self.rate.scale(1.0 + EPSILON),
+            Phase::TestDown => self.rate.scale(1.0 - EPSILON),
+            _ => self.rate,
+        }
+    }
+
+    fn clamp(&self, r: Rate) -> Rate {
+        r.clamp(self.min_rate, self.max_rate)
+    }
+}
+
+impl CongestionControl for Pcc {
+    fn name(&self) -> &'static str {
+        match self.flavour {
+            PccFlavour::Vivace => "Vivace",
+            PccFlavour::Proteus => "Proteus",
+        }
+    }
+
+    fn on_send(&mut self, _ev: &SendEvent) {}
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        self.srtt = ev.srtt;
+    }
+
+    fn on_loss(&mut self, _ev: &LossEvent) {
+        // Loss enters through MI statistics.
+    }
+
+    fn on_mi(&mut self, mi: &MiStats) {
+        // No-ACK case: hold the current decision.
+        if mi.is_ack_starved() {
+            return;
+        }
+        let u = self.utility.evaluate_mi(mi);
+        match self.phase {
+            Phase::Starting => {
+                if u >= self.prev_utility {
+                    self.prev_utility = u;
+                    self.rate = self.clamp(self.rate.scale(2.0));
+                } else {
+                    // Overshot: back off and begin online learning.
+                    self.rate = self.clamp(self.rate.scale(0.5));
+                    self.phase = Phase::TestUp;
+                }
+            }
+            Phase::TestUp => {
+                self.u_up = u;
+                self.phase = Phase::TestDown;
+            }
+            Phase::TestDown => {
+                self.u_down = u;
+                // Gradient wrt rate, normalized per Mbps of dither.
+                let dr = 2.0 * EPSILON * self.rate.mbps();
+                let gradient = if dr > 1e-9 { (self.u_up - self.u_down) / dr } else { 0.0 };
+                let direction = gradient.signum();
+                if direction != 0.0 && direction == self.last_direction {
+                    self.amplifier = (self.amplifier + 1.0).min(AMPLIFIER_MAX);
+                } else {
+                    self.amplifier = 1.0;
+                }
+                self.last_direction = direction;
+                let caution = match self.flavour {
+                    PccFlavour::Vivace => 1.0,
+                    PccFlavour::Proteus => 0.5, // more conservative moves
+                };
+                let raw_move = caution * self.step * self.amplifier * gradient;
+                let bound = MAX_STEP_FRAC * self.rate.mbps().max(0.5);
+                let delta = raw_move.clamp(-bound, bound);
+                self.rate = self.clamp(Rate::from_mbps((self.rate.mbps() + delta).max(0.05)));
+                self.decisions += 1;
+                self.phase = Phase::Moving;
+            }
+            Phase::Moving => {
+                self.phase = Phase::TestUp;
+            }
+        }
+    }
+
+    fn mi_duration(&self, srtt: Duration) -> Duration {
+        // PCC uses ~1 RTT monitor intervals.
+        srtt.max(Duration::from_millis(10))
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        rate_based_cwnd(
+            self.applied_rate(),
+            self.srtt.max(Duration::from_millis(10)),
+            self.mss,
+        )
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        Some(self.applied_rate())
+    }
+
+    fn rate_estimate(&self, _srtt: Duration) -> Rate {
+        self.rate
+    }
+
+    fn set_rate(&mut self, rate: Rate, _srtt: Duration) {
+        self.rate = self.clamp(rate);
+        self.phase = Phase::TestUp;
+    }
+
+    fn in_startup(&self) -> bool {
+        self.phase == Phase::Starting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_types::Instant;
+
+    fn mi(rate_mbps: f64, gradient: f64, loss: f64) -> MiStats {
+        let mut s = MiStats::empty(Instant::from_millis(100));
+        s.sending_rate = Rate::from_mbps(rate_mbps);
+        s.delivery_rate = Rate::from_mbps(rate_mbps * (1.0 - loss));
+        s.avg_rtt = Duration::from_millis(50);
+        s.rtt_gradient = gradient;
+        s.loss_rate = loss;
+        s.acks = 10;
+        s.acked_bytes = 10_000;
+        s.sent_bytes = 10_000;
+        s
+    }
+
+    #[test]
+    fn startup_doubles_until_utility_drops() {
+        let mut v = Pcc::vivace();
+        assert!(v.in_startup());
+        let r0 = v.base_rate().mbps();
+        v.on_mi(&mi(r0, 0.0, 0.0));
+        assert!((v.base_rate().mbps() - 2.0 * r0).abs() < 1e-9);
+        // Feed a congested MI: utility collapses, startup exits.
+        v.on_mi(&mi(2.0 * r0, 0.5, 0.2));
+        assert!(!v.in_startup());
+        assert!(v.base_rate().mbps() < 2.0 * r0);
+    }
+
+    fn drive_cycle(v: &mut Pcc, up_u: MiStats, down_u: MiStats) {
+        // TestUp MI, TestDown MI, then one Moving MI.
+        v.on_mi(&up_u);
+        v.on_mi(&down_u);
+        v.on_mi(&down_u); // moving-phase measurement (ignored for gradient)
+    }
+
+    #[test]
+    fn gradient_ascends_on_clean_link() {
+        let mut v = Pcc::vivace();
+        // Exit startup.
+        v.on_mi(&mi(2.0, 0.0, 0.0));
+        v.on_mi(&mi(4.0, 0.9, 0.5));
+        let r0 = v.base_rate().mbps();
+        // Clean link: testing a higher rate always wins → rate climbs.
+        for _ in 0..6 {
+            let r = v.base_rate().mbps();
+            drive_cycle(&mut v, mi(r * 1.05, 0.0, 0.0), mi(r * 0.95, 0.0, 0.0));
+        }
+        assert!(v.base_rate().mbps() > r0, "{} vs {r0}", v.base_rate().mbps());
+    }
+
+    #[test]
+    fn gradient_descends_when_congested() {
+        let mut v = Pcc::vivace();
+        v.on_mi(&mi(2.0, 0.0, 0.0));
+        v.on_mi(&mi(4.0, 0.9, 0.5));
+        // Force a few cycles where the higher rate hurts badly.
+        for _ in 0..4 {
+            let r = v.base_rate().mbps();
+            drive_cycle(
+                &mut v,
+                mi(r * 1.05, 0.4, 0.3), // up: heavy queueing + loss
+                mi(r * 0.95, 0.0, 0.0), // down: clean
+            );
+        }
+        // After at least one full cycle the rate must be lower than the
+        // level right after startup back-off.
+        assert!(v.decisions() >= 3);
+        let r_end = v.base_rate().mbps();
+        assert!(r_end < 2.0, "rate should collapse under congestion: {r_end}");
+    }
+
+    #[test]
+    fn amplifier_accelerates_persistent_direction() {
+        let mut v = Pcc::vivace();
+        v.on_mi(&mi(2.0, 0.0, 0.0));
+        v.on_mi(&mi(4.0, 0.9, 0.5));
+        let mut moves = Vec::new();
+        let mut prev = v.base_rate().mbps();
+        for _ in 0..5 {
+            let r = v.base_rate().mbps();
+            drive_cycle(&mut v, mi(r * 1.05, 0.0, 0.0), mi(r * 0.95, 0.0, 0.0));
+            moves.push(v.base_rate().mbps() - prev);
+            prev = v.base_rate().mbps();
+        }
+        assert!(
+            moves.last().unwrap() >= moves.first().unwrap(),
+            "moves should not shrink: {moves:?}"
+        );
+    }
+
+    #[test]
+    fn proteus_moves_more_cautiously() {
+        let mut v = Pcc::vivace();
+        let mut p = Pcc::proteus();
+        for c in [&mut v, &mut p] {
+            c.on_mi(&mi(2.0, 0.0, 0.0));
+            c.on_mi(&mi(4.0, 0.9, 0.5));
+        }
+        for _ in 0..3 {
+            let rv = v.base_rate().mbps();
+            drive_cycle(&mut v, mi(rv * 1.05, 0.0, 0.0), mi(rv * 0.95, 0.0, 0.0));
+            let rp = p.base_rate().mbps();
+            drive_cycle(&mut p, mi(rp * 1.05, 0.0, 0.0), mi(rp * 0.95, 0.0, 0.0));
+        }
+        assert!(v.base_rate().mbps() > p.base_rate().mbps());
+    }
+
+    #[test]
+    fn test_phases_dither_applied_rate() {
+        let mut v = Pcc::vivace();
+        v.on_mi(&mi(2.0, 0.0, 0.0));
+        v.on_mi(&mi(4.0, 0.9, 0.5)); // leave startup → TestUp
+        let base = v.base_rate();
+        let up = v.pacing_rate().unwrap();
+        assert!((up.mbps() - base.mbps() * 1.05).abs() < 1e-9);
+        v.on_mi(&mi(base.mbps() * 1.05, 0.0, 0.0)); // → TestDown
+        let down = v.pacing_rate().unwrap();
+        assert!((down.mbps() - base.mbps() * 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ack_starvation_freezes_state() {
+        let mut v = Pcc::vivace();
+        v.on_mi(&mi(2.0, 0.0, 0.0));
+        let r = v.base_rate();
+        v.on_mi(&MiStats::empty(Instant::from_secs(1)));
+        assert_eq!(v.base_rate(), r);
+    }
+
+    #[test]
+    fn set_rate_rebases() {
+        let mut v = Pcc::vivace();
+        v.set_rate(Rate::from_mbps(7.0), Duration::from_millis(50));
+        assert!((v.base_rate().mbps() - 7.0).abs() < 1e-9);
+        assert!(!v.in_startup());
+    }
+}

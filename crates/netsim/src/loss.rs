@@ -1,0 +1,202 @@
+//! Loss processes for the bottleneck's wire: independent (Bernoulli)
+//! loss and bursty (Gilbert–Elliott) loss. Real radio links lose packets
+//! in bursts — fades — rather than independently; the two-state model
+//! captures that with a *good* state (rare loss) and a *bad* state
+//! (frequent loss) with geometric dwell times.
+
+use libra_types::DetRng;
+
+/// A packet-loss process applied at link egress.
+#[derive(Debug, Clone)]
+pub enum LossProcess {
+    /// No stochastic loss.
+    None,
+    /// Independent loss with fixed probability.
+    Bernoulli {
+        /// Per-packet drop probability.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott model.
+    GilbertElliott(GilbertElliott),
+}
+
+impl LossProcess {
+    /// Convenience constructor preserving the old `stochastic_loss`
+    /// scalar: 0 means none.
+    pub fn bernoulli(p: f64) -> Self {
+        if p <= 0.0 {
+            LossProcess::None
+        } else {
+            LossProcess::Bernoulli { p: p.min(1.0) }
+        }
+    }
+
+    /// Should the current packet be dropped?
+    pub fn drop(&mut self, rng: &mut DetRng) -> bool {
+        match self {
+            LossProcess::None => false,
+            LossProcess::Bernoulli { p } => rng.chance(*p),
+            LossProcess::GilbertElliott(ge) => ge.drop(rng),
+        }
+    }
+
+    /// Long-run average loss rate of the process.
+    pub fn mean_loss(&self) -> f64 {
+        match self {
+            LossProcess::None => 0.0,
+            LossProcess::Bernoulli { p } => *p,
+            LossProcess::GilbertElliott(ge) => ge.mean_loss(),
+        }
+    }
+}
+
+/// The Gilbert–Elliott two-state Markov loss model.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    /// P(good → bad) per packet.
+    pub p_enter_bad: f64,
+    /// P(bad → good) per packet.
+    pub p_leave_bad: f64,
+    /// Loss probability in the good state.
+    pub loss_good: f64,
+    /// Loss probability in the bad state.
+    pub loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Construct with explicit transition and loss probabilities.
+    pub fn new(p_enter_bad: f64, p_leave_bad: f64, loss_good: f64, loss_bad: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_enter_bad));
+        assert!((0.0..=1.0).contains(&p_leave_bad));
+        GilbertElliott {
+            p_enter_bad,
+            p_leave_bad,
+            loss_good,
+            loss_bad,
+            in_bad: false,
+        }
+    }
+
+    /// A radio-fade preset: mean burst of `burst_pkts` packets at
+    /// `loss_bad` loss, tuned so the long-run loss rate is `target`.
+    pub fn bursty(target: f64, burst_pkts: f64) -> Self {
+        let loss_bad: f64 = 0.5;
+        let p_leave_bad = 1.0 / burst_pkts.max(1.0);
+        // Stationary bad-state probability π_b needed for the target:
+        // target = π_b·loss_bad → π_b = target/loss_bad, and
+        // π_b = p_enter/(p_enter + p_leave).
+        let pi_b = (target / loss_bad).clamp(0.0, 0.9);
+        let p_enter_bad = if pi_b >= 1.0 {
+            1.0
+        } else {
+            (pi_b * p_leave_bad / (1.0 - pi_b)).min(1.0)
+        };
+        GilbertElliott::new(p_enter_bad, p_leave_bad, 0.0, loss_bad)
+    }
+
+    fn drop(&mut self, rng: &mut DetRng) -> bool {
+        // Transition first, then sample loss in the new state.
+        if self.in_bad {
+            if rng.chance(self.p_leave_bad) {
+                self.in_bad = false;
+            }
+        } else if rng.chance(self.p_enter_bad) {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        rng.chance(p)
+    }
+
+    /// Long-run mean loss rate.
+    pub fn mean_loss(&self) -> f64 {
+        let denom = self.p_enter_bad + self.p_leave_bad;
+        if denom <= 0.0 {
+            return self.loss_good;
+        }
+        let pi_b = self.p_enter_bad / denom;
+        pi_b * self.loss_bad + (1.0 - pi_b) * self.loss_good
+    }
+
+    /// Whether the process is currently in the bad (fade) state.
+    pub fn in_bad_state(&self) -> bool {
+        self.in_bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops() {
+        let mut p = LossProcess::None;
+        let mut rng = DetRng::new(1);
+        assert!((0..1000).all(|_| !p.drop(&mut rng)));
+        assert_eq!(p.mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_hits_target_rate() {
+        let mut p = LossProcess::bernoulli(0.1);
+        let mut rng = DetRng::new(2);
+        let drops = (0..50_000).filter(|_| p.drop(&mut rng)).count();
+        let rate = drops as f64 / 50_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_zero_is_none() {
+        assert!(matches!(LossProcess::bernoulli(0.0), LossProcess::None));
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let ge = GilbertElliott::bursty(0.05, 20.0);
+        assert!((ge.mean_loss() - 0.05).abs() < 1e-9, "{}", ge.mean_loss());
+        let mut p = LossProcess::GilbertElliott(ge);
+        let mut rng = DetRng::new(3);
+        let drops = (0..200_000).filter(|_| p.drop(&mut rng)).count();
+        let rate = drops as f64 / 200_000.0;
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare run-length distribution of drops: GE at the same mean
+        // rate as Bernoulli must produce longer drop bursts.
+        let run_lengths = |mut p: LossProcess, seed: u64| -> f64 {
+            let mut rng = DetRng::new(seed);
+            let (mut bursts, mut total, mut cur) = (0u64, 0u64, 0u64);
+            for _ in 0..300_000 {
+                if p.drop(&mut rng) {
+                    cur += 1;
+                } else if cur > 0 {
+                    bursts += 1;
+                    total += cur;
+                    cur = 0;
+                }
+            }
+            if bursts == 0 {
+                0.0
+            } else {
+                total as f64 / bursts as f64
+            }
+        };
+        let bernoulli = run_lengths(LossProcess::bernoulli(0.05), 4);
+        let ge = run_lengths(
+            LossProcess::GilbertElliott(GilbertElliott::bursty(0.05, 20.0)),
+            4,
+        );
+        assert!(ge > 1.3 * bernoulli, "GE {ge} vs Bernoulli {bernoulli}");
+    }
+
+    #[test]
+    fn fade_state_is_visible() {
+        let mut ge = GilbertElliott::new(1.0, 0.0, 0.0, 1.0);
+        let mut rng = DetRng::new(5);
+        assert!(!ge.in_bad_state());
+        ge.drop(&mut rng);
+        assert!(ge.in_bad_state());
+    }
+}

@@ -1,0 +1,200 @@
+//! Mahimahi trace-file compatibility.
+//!
+//! Mahimahi (and Pantheon, and the paper's evaluation) describe variable
+//! links as text files with one integer per line: the millisecond
+//! timestamp of a single MTU-sized (1500 B) *packet delivery
+//! opportunity*. This module converts such traces into a
+//! [`CapacitySchedule`], so users with real recorded traces (e.g. the
+//! Verizon/TMobile traces shipped with Mahimahi) can drive this simulator
+//! with them directly.
+
+use crate::capacity::CapacitySchedule;
+use libra_types::{Duration, Instant, Rate};
+
+/// Bytes per delivery opportunity in the Mahimahi format.
+const MTU_BYTES: f64 = 1500.0;
+
+/// Error parsing a Mahimahi trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file contained no usable timestamps.
+    Empty,
+    /// A line could not be parsed as a non-negative integer.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Timestamps must be non-decreasing.
+    NotMonotonic {
+        /// 1-based line number of the offending timestamp.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace contains no timestamps"),
+            TraceError::BadLine { line } => write!(f, "line {line}: not a timestamp"),
+            TraceError::NotMonotonic { line } => {
+                write!(f, "line {line}: timestamps must be non-decreasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parse Mahimahi trace text into per-ms delivery-opportunity counts.
+fn parse_timestamps(text: &str) -> Result<Vec<u64>, TraceError> {
+    let mut out = Vec::new();
+    let mut prev = 0u64;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ts: u64 = line.parse().map_err(|_| TraceError::BadLine { line: i + 1 })?;
+        if ts < prev {
+            return Err(TraceError::NotMonotonic { line: i + 1 });
+        }
+        prev = ts;
+        out.push(ts);
+    }
+    if out.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(out)
+}
+
+/// Convert Mahimahi trace text into a capacity schedule.
+///
+/// Delivery opportunities are binned at `bin` granularity (Mahimahi's
+/// own replay loops the trace; pass `repeat_to` to tile the trace until
+/// that time).
+pub fn capacity_from_mahimahi(
+    text: &str,
+    bin: Duration,
+    repeat_to: Duration,
+) -> Result<CapacitySchedule, TraceError> {
+    let stamps = parse_timestamps(text)?;
+    let trace_ms = *stamps.last().expect("non-empty") + 1;
+    let bin_ms = (bin.nanos() / 1_000_000).max(1);
+    let n_bins = (trace_ms + bin_ms - 1) / bin_ms;
+    let mut counts = vec![0u64; n_bins as usize];
+    for ts in &stamps {
+        counts[(ts / bin_ms) as usize] += 1;
+    }
+    // One full pass of segments, then tiled until `repeat_to`.
+    let bin_secs = bin_ms as f64 / 1e3;
+    let mut segments = Vec::new();
+    let mut t = Instant::ZERO;
+    while t.nanos() < repeat_to.nanos() {
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = Rate::from_bps(c as f64 * MTU_BYTES * 8.0 / bin_secs);
+            let at = t + Duration::from_millis(i as u64 * bin_ms);
+            if at.nanos() >= repeat_to.nanos() {
+                break;
+            }
+            segments.push((at, rate));
+        }
+        t += Duration::from_millis(trace_ms);
+        if trace_ms == 0 {
+            break;
+        }
+    }
+    Ok(CapacitySchedule::from_segments(segments))
+}
+
+/// Render a capacity schedule *back* into Mahimahi trace text (one
+/// delivery-opportunity timestamp per line) — lets experiments built on
+/// synthetic traces be replayed on real Mahimahi installations.
+pub fn capacity_to_mahimahi(schedule: &CapacitySchedule, total: Duration) -> String {
+    let mut out = String::new();
+    let mut carry = 0.0f64;
+    let step = Duration::from_millis(1);
+    let mut t = Instant::ZERO;
+    while t.nanos() < total.nanos() {
+        let rate = schedule.rate_at(t);
+        carry += rate.bytes_per_sec() * 1e-3 / MTU_BYTES;
+        while carry >= 1.0 {
+            out.push_str(&format!("{}\n", t.nanos() / 1_000_000));
+            carry -= 1.0;
+        }
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_trace_round_trips() {
+        // 12 Mbps = one 1500 B opportunity per ms.
+        let text: String = (0..1000u64).map(|ms| format!("{ms}\n")).collect();
+        let sched =
+            capacity_from_mahimahi(&text, Duration::from_millis(100), Duration::from_secs(2))
+                .expect("parse");
+        let r = sched.rate_at(Instant::from_millis(500));
+        assert!((r.mbps() - 12.0).abs() < 0.5, "{r}");
+        // Tiled past the trace length.
+        let r2 = sched.rate_at(Instant::from_millis(1500));
+        assert!((r2.mbps() - 12.0).abs() < 0.5, "{r2}");
+    }
+
+    #[test]
+    fn bursty_trace_has_fast_and_slow_bins() {
+        // 5 opportunities at ms 0..5, nothing until ms 999.
+        let mut text = String::new();
+        for ms in 0..5 {
+            text.push_str(&format!("{ms}\n"));
+        }
+        text.push_str("999\n");
+        let sched =
+            capacity_from_mahimahi(&text, Duration::from_millis(100), Duration::from_secs(1))
+                .expect("parse");
+        assert!(sched.rate_at(Instant::from_millis(50)).mbps() > 0.5);
+        assert!(sched.rate_at(Instant::from_millis(500)).mbps() < 0.1);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# mahimahi trace\n\n0\n1\n2\n";
+        assert!(capacity_from_mahimahi(
+            text,
+            Duration::from_millis(1),
+            Duration::from_millis(3)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn bad_lines_are_reported() {
+        let err = |text: &str| {
+            capacity_from_mahimahi(text, Duration::from_millis(1), Duration::from_secs(1))
+                .err()
+                .expect("should fail")
+        };
+        assert_eq!(err("0\nxyz\n"), TraceError::BadLine { line: 2 });
+        assert_eq!(err("5\n3\n"), TraceError::NotMonotonic { line: 2 });
+        assert_eq!(err("# only comments\n"), TraceError::Empty);
+    }
+
+    #[test]
+    fn export_then_import_preserves_mean_rate() {
+        let sched = CapacitySchedule::constant(Rate::from_mbps(24.0));
+        let text = capacity_to_mahimahi(&sched, Duration::from_secs(2));
+        let back = capacity_from_mahimahi(&text, Duration::from_millis(100), Duration::from_secs(2))
+            .expect("parse");
+        let mean = back.mean_rate(Instant::ZERO, Instant::from_secs(2));
+        assert!((mean.mbps() - 24.0).abs() < 1.0, "{mean}");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(TraceError::Empty.to_string(), "trace contains no timestamps");
+        assert!(TraceError::BadLine { line: 7 }.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Packet and flow identifiers.
+
+use libra_types::Instant;
+
+/// Index of a flow within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// The flow's position in the simulation's flow table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A data packet traversing the bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Per-flow sequence number (monotonic from 0).
+    pub seq: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Departure time from the sender.
+    pub sent_at: Instant,
+    /// Sender's cumulative delivered-byte count at send time (for
+    /// delivery-rate samples).
+    pub delivered_at_send: u64,
+    /// Whether the sender was application-limited at send time.
+    pub app_limited: bool,
+    /// Congestion-experienced (ECN CE) mark set by the queue.
+    pub ecn: bool,
+}
+
+/// An acknowledgement travelling back to the sender. The receiver echoes
+/// the data packet's bookkeeping so the sender can compute RTT and
+/// delivery-rate samples without keeping per-packet state on the receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct AckPacket {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Acknowledged sequence number.
+    pub seq: u64,
+    /// Acknowledged payload bytes.
+    pub bytes: u64,
+    /// Echoed departure time of the data packet.
+    pub sent_at: Instant,
+    /// Echoed delivered-at-send counter.
+    pub delivered_at_send: u64,
+    /// Echoed application-limited flag.
+    pub app_limited: bool,
+    /// ECN-echo: the data packet was CE-marked.
+    pub ecn: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_id_index() {
+        assert_eq!(FlowId(3).index(), 3);
+        assert!(FlowId(1) < FlowId(2));
+    }
+
+    #[test]
+    fn packet_is_copy() {
+        let p = Packet {
+            flow: FlowId(0),
+            seq: 7,
+            bytes: 1500,
+            sent_at: Instant::from_millis(3),
+            delivered_at_send: 0,
+            app_limited: false,
+            ecn: false,
+        };
+        let q = p;
+        assert_eq!(p.seq, q.seq);
+    }
+}

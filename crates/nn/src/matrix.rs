@@ -1,0 +1,209 @@
+//! A minimal dense-matrix type — just enough linear algebra for small
+//! fully-connected networks. Row-major `f64` storage; no BLAS, no SIMD
+//! tricks: the networks here are tiny (tens of thousands of parameters)
+//! and clarity wins.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat row-major view.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat row-major mutable view.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self · x` for a column vector `x` (len == cols). Output len == rows.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec shape mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// `selfᵀ · y` for a column vector `y` (len == rows). Output len == cols.
+    pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "t_matvec shape mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let yr = y[r];
+            if yr == 0.0 {
+                continue;
+            }
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * yr;
+            }
+        }
+        out
+    }
+
+    /// Rank-1 accumulate: `self += scale · y · xᵀ` (outer product), the
+    /// weight-gradient update of a dense layer.
+    pub fn add_outer(&mut self, y: &[f64], x: &[f64], scale: f64) {
+        assert_eq!(y.len(), self.rows, "outer shape mismatch (rows)");
+        assert_eq!(x.len(), self.cols, "outer shape mismatch (cols)");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let s = scale * y[r];
+            if s == 0.0 {
+                continue;
+            }
+            for (o, a) in row.iter_mut().zip(x) {
+                *o += s * a;
+            }
+        }
+    }
+
+    /// In-place `self += scale · other` (same shape).
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f64) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Fill with zeros.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_hand_example() {
+        // [1 2; 3 4] · [5, 6] = [17, 39]
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.matvec(&[5.0, 6.0]), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn t_matvec_hand_example() {
+        // [1 2; 3 4]ᵀ · [5, 6] = [1·5+3·6, 2·5+4·6] = [23, 34]
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.t_matvec(&[5.0, 6.0]), vec![23.0, 34.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0, 5.0], 1.0);
+        assert_eq!(m.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+        m.add_outer(&[1.0, 0.0], &[1.0, 1.0, 1.0], -3.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(1, 2), 10.0);
+    }
+
+    #[test]
+    fn add_scaled_and_clear() {
+        let mut a = Matrix::zeros(1, 2);
+        let b = Matrix::from_vec(1, 2, vec![2.0, -4.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.as_slice(), &[1.0, -2.0]);
+        a.clear();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.as_slice()[5], 12.0);
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec shape mismatch")]
+    fn matvec_shape_checked() {
+        Matrix::zeros(2, 2).matvec(&[1.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_fn(3, 2, |r, c| r as f64 - c as f64);
+        let s = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,380 @@
+//! A fully-connected network with tanh hidden activations and manual
+//! backpropagation — the function approximator behind the PPO actor and
+//! critic. The paper trains 2×512 networks on TensorFlow; the math here
+//! is identical, only the framework is gone.
+
+use crate::matrix::Matrix;
+use libra_types::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Hidden-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent (PPO's conventional choice for control tasks).
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* output `y`.
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// One dense layer: `y = act(W·x + b)` (the output layer is linear).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    w: Matrix,
+    b: Vec<f64>,
+}
+
+/// A multi-layer perceptron with linear output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    activation: Activation,
+    sizes: Vec<usize>,
+}
+
+/// Gradients with the same shapes as the network's parameters.
+#[derive(Debug, Clone)]
+pub struct MlpGrad {
+    w: Vec<Matrix>,
+    b: Vec<Vec<f64>>,
+}
+
+impl MlpGrad {
+    /// Zero the accumulated gradient.
+    pub fn clear(&mut self) {
+        for m in &mut self.w {
+            m.clear();
+        }
+        for v in &mut self.b {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Global L2 norm of the gradient (for clipping).
+    pub fn l2_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for m in &self.w {
+            s += m.as_slice().iter().map(|x| x * x).sum::<f64>();
+        }
+        for v in &self.b {
+            s += v.iter().map(|x| x * x).sum::<f64>();
+        }
+        s.sqrt()
+    }
+
+    /// Scale every component (used by gradient clipping).
+    pub fn scale(&mut self, factor: f64) {
+        for m in &mut self.w {
+            m.as_mut_slice().iter_mut().for_each(|x| *x *= factor);
+        }
+        for v in &mut self.b {
+            v.iter_mut().for_each(|x| *x *= factor);
+        }
+    }
+}
+
+/// Cached forward-pass activations needed for backprop.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input; `activations[i]` the output of layer
+    /// `i-1` (post-activation for hidden layers, linear for the last).
+    activations: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output.
+    pub fn output(&self) -> &[f64] {
+        self.activations.last().expect("non-empty cache")
+    }
+}
+
+impl Mlp {
+    /// Build a network with the given layer sizes, e.g. `[32, 64, 64, 2]`.
+    /// Weights use Xavier/Glorot uniform initialization.
+    pub fn new(sizes: &[usize], activation: Activation, rng: &mut DetRng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for win in sizes.windows(2) {
+            let (n_in, n_out) = (win[0], win[1]);
+            let limit = (6.0 / (n_in + n_out) as f64).sqrt();
+            let w = Matrix::from_fn(n_out, n_in, |_, _| rng.uniform_range(-limit, limit));
+            layers.push(Layer {
+                w,
+                b: vec![0.0; n_out],
+            });
+        }
+        Mlp {
+            layers,
+            activation,
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// The configured layer sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total scalar parameter count (the memory-overhead proxy).
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Forward pass returning only the output.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_cached(input).activations.pop().expect("output")
+    }
+
+    /// Forward pass keeping intermediate activations for backprop.
+    pub fn forward_cached(&self, input: &[f64]) -> ForwardCache {
+        assert_eq!(input.len(), self.sizes[0], "input size mismatch");
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.w.matvec(activations.last().expect("prev"));
+            for (zz, b) in z.iter_mut().zip(&layer.b) {
+                *zz += b;
+            }
+            if i + 1 < self.layers.len() {
+                for v in z.iter_mut() {
+                    *v = self.activation.apply(*v);
+                }
+            }
+            activations.push(z);
+        }
+        ForwardCache { activations }
+    }
+
+    /// A zero gradient with this network's shapes.
+    pub fn zero_grad(&self) -> MlpGrad {
+        MlpGrad {
+            w: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+                .collect(),
+            b: self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Backpropagate `d(loss)/d(output)` through the cached forward pass,
+    /// accumulating parameter gradients into `grad` and returning
+    /// `d(loss)/d(input)`.
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        output_grad: &[f64],
+        grad: &mut MlpGrad,
+    ) -> Vec<f64> {
+        assert_eq!(output_grad.len(), *self.sizes.last().expect("sizes"));
+        let mut delta = output_grad.to_vec();
+        for i in (0..self.layers.len()).rev() {
+            let input_act = &cache.activations[i];
+            // Hidden layers: fold the activation derivative into delta.
+            if i + 1 < self.layers.len() {
+                let out_act = &cache.activations[i + 1];
+                for (d, &y) in delta.iter_mut().zip(out_act) {
+                    *d *= self.activation.derivative_from_output(y);
+                }
+            }
+            grad.w[i].add_outer(&delta, input_act, 1.0);
+            for (g, d) in grad.b[i].iter_mut().zip(&delta) {
+                *g += d;
+            }
+            delta = self.layers[i].w.t_matvec(&delta);
+        }
+        delta
+    }
+
+    /// Apply `params += -lr · grad` (plain SGD step; Adam lives in
+    /// [`crate::adam`]).
+    pub fn sgd_step(&mut self, grad: &MlpGrad, lr: f64) {
+        for (layer, (gw, gb)) in self.layers.iter_mut().zip(grad.w.iter().zip(&grad.b)) {
+            layer.w.add_scaled(gw, -lr);
+            for (b, g) in layer.b.iter_mut().zip(gb) {
+                *b -= lr * g;
+            }
+        }
+    }
+
+    /// Flat views of all parameters, for the optimizer.
+    pub(crate) fn params_mut(&mut self) -> Vec<&mut [f64]> {
+        let mut out = Vec::with_capacity(self.layers.len() * 2);
+        for l in &mut self.layers {
+            out.push(l.w.as_mut_slice());
+            out.push(l.b.as_mut_slice());
+        }
+        out
+    }
+
+    /// Flat views of a gradient's components, in the same order as
+    /// [`Mlp::params_mut`].
+    pub(crate) fn grad_slices(grad: &MlpGrad) -> Vec<&[f64]> {
+        let mut out = Vec::with_capacity(grad.w.len() * 2);
+        for (w, b) in grad.w.iter().zip(&grad.b) {
+            out.push(w.as_slice());
+            out.push(b.as_slice());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(7)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = Mlp::new(&[4, 8, 2], Activation::Tanh, &mut rng());
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+        assert_eq!(net.forward(&[0.0; 4]).len(), 2);
+    }
+
+    #[test]
+    fn zero_input_zero_bias_gives_zero_output() {
+        let net = Mlp::new(&[3, 5, 1], Activation::Tanh, &mut rng());
+        let out = net.forward(&[0.0, 0.0, 0.0]);
+        assert!(out[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut r = rng();
+        let mut net = Mlp::new(&[3, 6, 4, 2], Activation::Tanh, &mut r);
+        let input = [0.3, -0.7, 1.1];
+        // Loss = sum of outputs → d(loss)/d(out) = ones.
+        let cache = net.forward_cached(&input);
+        let mut grad = net.zero_grad();
+        net.backward(&cache, &[1.0, 1.0], &mut grad);
+
+        let analytic = {
+            let gs = Mlp::grad_slices(&grad);
+            gs.iter().flat_map(|s| s.iter().copied()).collect::<Vec<_>>()
+        };
+        let eps = 1e-6;
+        let mut numeric = Vec::new();
+        let n_slices = net.params_mut().len();
+        for si in 0..n_slices {
+            let len = net.params_mut()[si].len();
+            for pi in 0..len {
+                let orig = net.params_mut()[si][pi];
+                net.params_mut()[si][pi] = orig + eps;
+                let up: f64 = net.forward(&input).iter().sum();
+                net.params_mut()[si][pi] = orig - eps;
+                let dn: f64 = net.forward(&input).iter().sum();
+                net.params_mut()[si][pi] = orig;
+                numeric.push((up - dn) / (2.0 * eps));
+            }
+        }
+        assert_eq!(analytic.len(), numeric.len());
+        for (i, (a, n)) in analytic.iter().zip(&numeric).enumerate() {
+            assert!((a - n).abs() < 1e-6, "param {i}: analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let net = Mlp::new(&[2, 5, 1], Activation::Tanh, &mut r);
+        let input = [0.4, -0.2];
+        let cache = net.forward_cached(&input);
+        let mut grad = net.zero_grad();
+        let din = net.backward(&cache, &[1.0], &mut grad);
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut up_in = input;
+            up_in[i] += eps;
+            let mut dn_in = input;
+            dn_in[i] -= eps;
+            let num = (net.forward(&up_in)[0] - net.forward(&dn_in)[0]) / (2.0 * eps);
+            assert!((din[i] - num).abs() < 1e-6, "input {i}");
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_quadratic_loss() {
+        let mut r = rng();
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, &mut r);
+        // Fit f(x) = 2x on a few points.
+        let data = [(-1.0, -2.0), (-0.5, -1.0), (0.5, 1.0), (1.0, 2.0)];
+        let loss = |net: &Mlp| -> f64 {
+            data.iter()
+                .map(|&(x, y)| (net.forward(&[x])[0] - y).powi(2))
+                .sum::<f64>()
+        };
+        let before = loss(&net);
+        for _ in 0..500 {
+            let mut grad = net.zero_grad();
+            for &(x, y) in &data {
+                let cache = net.forward_cached(&[x]);
+                let err = cache.output()[0] - y;
+                net.backward(&cache, &[2.0 * err], &mut grad);
+            }
+            net.sgd_step(&grad, 0.01);
+        }
+        let after = loss(&net);
+        assert!(after < before * 0.05, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn relu_activation_works() {
+        let mut r = rng();
+        let net = Mlp::new(&[2, 4, 1], Activation::Relu, &mut r);
+        let out = net.forward(&[1.0, -1.0]);
+        assert!(out[0].is_finite());
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(2.0), 1.0);
+    }
+
+    #[test]
+    fn grad_norm_and_scale() {
+        let mut r = rng();
+        let net = Mlp::new(&[2, 3, 1], Activation::Tanh, &mut r);
+        let cache = net.forward_cached(&[1.0, 1.0]);
+        let mut grad = net.zero_grad();
+        net.backward(&cache, &[1.0], &mut grad);
+        let n = grad.l2_norm();
+        assert!(n > 0.0);
+        grad.scale(0.5);
+        assert!((grad.l2_norm() - 0.5 * n).abs() < 1e-12);
+        grad.clear();
+        assert_eq!(grad.l2_norm(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_behaviour() {
+        let mut r = rng();
+        let net = Mlp::new(&[3, 4, 2], Activation::Tanh, &mut r);
+        let s = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&s).unwrap();
+        let input = [0.1, 0.2, 0.3];
+        assert_eq!(net.forward(&input), back.forward(&input));
+    }
+}

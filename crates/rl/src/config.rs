@@ -1,0 +1,108 @@
+//! PPO hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`crate::PpoAgent`]. Defaults follow the
+/// stable-baselines PPO configuration the paper trains with, with network
+/// sizes scaled down for simulation speed (see DESIGN.md "Substitutions";
+/// set `hidden = [512, 512]` to match the paper's geometry exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Observation dimension.
+    pub obs_dim: usize,
+    /// Action dimension.
+    pub act_dim: usize,
+    /// Hidden layer widths for both actor and critic.
+    pub hidden: Vec<usize>,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// GAE-λ.
+    pub lambda: f64,
+    /// PPO clip range ε.
+    pub clip: f64,
+    /// Learning rate (actor and critic).
+    pub lr: f64,
+    /// Gradient-ascent epochs per update.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub minibatch: usize,
+    /// Entropy bonus coefficient.
+    pub ent_coef: f64,
+    /// Value-loss coefficient.
+    pub vf_coef: f64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f64,
+    /// Initial policy log standard deviation.
+    pub init_log_std: f64,
+}
+
+impl PpoConfig {
+    /// Defaults for the given observation/action dimensions.
+    pub fn new(obs_dim: usize, act_dim: usize) -> Self {
+        PpoConfig {
+            obs_dim,
+            act_dim,
+            hidden: vec![64, 64],
+            gamma: 0.99,
+            lambda: 0.95,
+            clip: 0.2,
+            lr: 3e-4,
+            epochs: 6,
+            minibatch: 64,
+            ent_coef: 0.01,
+            vf_coef: 0.5,
+            max_grad_norm: 0.5,
+            init_log_std: -0.5,
+        }
+    }
+
+    /// The paper's full-size geometry (two 512-unit layers).
+    pub fn paper_sized(obs_dim: usize, act_dim: usize) -> Self {
+        PpoConfig {
+            hidden: vec![512, 512],
+            ..PpoConfig::new(obs_dim, act_dim)
+        }
+    }
+
+    /// Actor layer sizes (input → hidden… → action means).
+    pub fn actor_sizes(&self) -> Vec<usize> {
+        let mut v = vec![self.obs_dim];
+        v.extend(&self.hidden);
+        v.push(self.act_dim);
+        v
+    }
+
+    /// Critic layer sizes (input → hidden… → scalar value).
+    pub fn critic_sizes(&self) -> Vec<usize> {
+        let mut v = vec![self.obs_dim];
+        v.extend(&self.hidden);
+        v.push(1);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_include_endpoints() {
+        let c = PpoConfig::new(32, 1);
+        assert_eq!(c.actor_sizes(), vec![32, 64, 64, 1]);
+        assert_eq!(c.critic_sizes(), vec![32, 64, 64, 1]);
+    }
+
+    #[test]
+    fn paper_sized_uses_512() {
+        let c = PpoConfig::paper_sized(40, 1);
+        assert_eq!(c.hidden, vec![512, 512]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = PpoConfig::new(8, 2);
+        let s = serde_json::to_string(&c).unwrap();
+        let back: PpoConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,15 @@
+//! `libra-rl`: Proximal Policy Optimization over the `libra-nn` substrate.
+//!
+//! This crate provides the reinforcement-learning machinery of the paper's
+//! DRL component: a diagonal-Gaussian actor-critic trained with PPO
+//! (clipped surrogate, GAE-λ, entropy bonus, Adam, gradient clipping). It
+//! knows nothing about congestion control — `libra-learned` builds the
+//! state/action/reward formulations of Sec. 4.2 on top of it.
+
+pub mod buffer;
+pub mod config;
+pub mod ppo;
+
+pub use buffer::{RolloutBuffer, Sample, Transition};
+pub use config::PpoConfig;
+pub use ppo::{PpoAgent, PpoWeights, UpdateStats};

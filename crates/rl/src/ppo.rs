@@ -1,0 +1,454 @@
+//! Proximal Policy Optimization with a diagonal-Gaussian policy —
+//! the learning algorithm of the paper's DRL component (Alg. 2 calls it
+//! as `PPO(R(t), S_t)`).
+//!
+//! The actor MLP outputs action means; a state-independent learned
+//! `log_std` vector provides exploration noise. The critic MLP estimates
+//! state values for GAE. The update maximizes the clipped surrogate with
+//! an entropy bonus and a squared-error value loss, using Adam and global
+//! gradient-norm clipping — the stable-baselines recipe.
+
+use crate::buffer::{RolloutBuffer, Sample, Transition};
+use crate::config::PpoConfig;
+use libra_nn::{Activation, Adam, Mlp};
+use libra_types::DetRng;
+use serde::{Deserialize, Serialize};
+
+const LOG_2PI: f64 = 1.837877066409345; // ln(2π)
+
+/// Statistics from one PPO update (for reward-curve logging).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateStats {
+    /// Mean clipped-surrogate loss (lower is better for the optimizer).
+    pub policy_loss: f64,
+    /// Mean value loss.
+    pub value_loss: f64,
+    /// Mean policy entropy.
+    pub entropy: f64,
+    /// Fraction of samples whose ratio was clipped.
+    pub clip_fraction: f64,
+    /// Samples consumed.
+    pub samples: usize,
+}
+
+/// Serializable snapshot of an agent's learnable state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoWeights {
+    /// Configuration the weights were trained under.
+    pub config: PpoConfig,
+    actor: Mlp,
+    critic: Mlp,
+    log_std: Vec<f64>,
+}
+
+/// A PPO actor-critic agent.
+pub struct PpoAgent {
+    config: PpoConfig,
+    actor: Mlp,
+    critic: Mlp,
+    log_std: Vec<f64>,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    log_std_m: Vec<f64>,
+    log_std_v: Vec<f64>,
+    log_std_t: u64,
+    buffer: RolloutBuffer,
+    rng: DetRng,
+    eval_mode: bool,
+    // Pending transition: filled by `act`, completed by the next reward.
+    pending: Option<(Vec<f64>, Vec<f64>, f64, f64)>, // (obs, action, logp, value)
+}
+
+impl PpoAgent {
+    /// Fresh agent with Xavier-initialized networks.
+    pub fn new(config: PpoConfig, rng: &mut DetRng) -> Self {
+        let mut net_rng = rng.fork("ppo-nets");
+        let actor = Mlp::new(&config.actor_sizes(), Activation::Tanh, &mut net_rng);
+        let critic = Mlp::new(&config.critic_sizes(), Activation::Tanh, &mut net_rng);
+        let actor_opt = Adam::new(&actor, config.lr);
+        let critic_opt = Adam::new(&critic, config.lr);
+        let act_dim = config.act_dim;
+        let init_log_std = config.init_log_std;
+        PpoAgent {
+            actor,
+            critic,
+            log_std: vec![init_log_std; act_dim],
+            actor_opt,
+            critic_opt,
+            log_std_m: vec![0.0; act_dim],
+            log_std_v: vec![0.0; act_dim],
+            log_std_t: 0,
+            buffer: RolloutBuffer::new(),
+            rng: rng.fork("ppo-explore"),
+            eval_mode: false,
+            pending: None,
+            config,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &PpoConfig {
+        &self.config
+    }
+
+    /// Total learnable parameters (memory-overhead proxy).
+    pub fn param_count(&self) -> usize {
+        self.actor.param_count() + self.critic.param_count() + self.log_std.len()
+    }
+
+    /// Switch between exploration (training) and deterministic (eval)
+    /// action selection.
+    pub fn set_eval(&mut self, eval: bool) {
+        self.eval_mode = eval;
+    }
+
+    /// True when in deterministic mode.
+    pub fn is_eval(&self) -> bool {
+        self.eval_mode
+    }
+
+    fn logp_and_entropy(&self, mean: &[f64], action: &[f64]) -> (f64, f64) {
+        let mut logp = 0.0;
+        let mut ent = 0.0;
+        for i in 0..mean.len() {
+            let std = self.log_std[i].exp();
+            let z = (action[i] - mean[i]) / std;
+            logp += -0.5 * z * z - self.log_std[i] - 0.5 * LOG_2PI;
+            ent += self.log_std[i] + 0.5 * (LOG_2PI + 1.0);
+        }
+        (logp, ent)
+    }
+
+    /// Deliver the reward earned since the previous action. Must be called
+    /// between [`act`](Self::act) calls while training.
+    pub fn give_reward(&mut self, reward: f64, done: bool) {
+        if self.eval_mode {
+            self.pending = None;
+            return;
+        }
+        if let Some((obs, action, logp, value)) = self.pending.take() {
+            self.buffer.push(Transition {
+                obs,
+                action,
+                logp,
+                value,
+                reward,
+                done,
+            });
+        }
+    }
+
+    /// Select an action for `obs`. In training mode the action is sampled
+    /// and remembered; the following [`give_reward`](Self::give_reward)
+    /// completes the transition.
+    pub fn act(&mut self, obs: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(obs.len(), self.config.obs_dim, "obs dim mismatch");
+        let mean = self.actor.forward(obs);
+        if self.eval_mode {
+            return mean;
+        }
+        let mut action = Vec::with_capacity(mean.len());
+        for (i, &m) in mean.iter().enumerate() {
+            let std = self.log_std[i].exp();
+            action.push(m + std * self.rng.normal());
+        }
+        let (logp, _) = self.logp_and_entropy(&mean, &action);
+        let value = self.critic.forward(obs)[0];
+        // An un-rewarded pending transition (e.g. ACK starvation skipped a
+        // reward) is completed with zero reward rather than dropped.
+        if self.pending.is_some() {
+            self.give_reward(0.0, false);
+        }
+        self.pending = Some((obs.to_vec(), action.clone(), logp, value));
+        action
+    }
+
+    /// Transitions currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Sum of buffered rewards (reward-curve logging).
+    pub fn buffered_reward(&self) -> f64 {
+        self.buffer.total_reward()
+    }
+
+    /// Run a PPO update over everything in the buffer, then clear it.
+    /// `last_obs` bootstraps the value of a truncated rollout.
+    pub fn update(&mut self, last_obs: Option<&[f64]>) -> UpdateStats {
+        self.pending = None;
+        if self.buffer.is_empty() {
+            return UpdateStats::default();
+        }
+        let last_value = last_obs.map_or(0.0, |o| self.critic.forward(o)[0]);
+        let mut samples = self
+            .buffer
+            .finish(self.config.gamma, self.config.lambda, last_value);
+        let n = samples.len();
+        let mut stats = UpdateStats {
+            samples: n,
+            ..Default::default()
+        };
+        let mut batches = 0usize;
+        for _ in 0..self.config.epochs {
+            self.rng.shuffle(&mut samples);
+            let mut i = 0;
+            while i < n {
+                let j = (i + self.config.minibatch).min(n);
+                let s = self.minibatch_step(&samples[i..j]);
+                stats.policy_loss += s.policy_loss;
+                stats.value_loss += s.value_loss;
+                stats.entropy += s.entropy;
+                stats.clip_fraction += s.clip_fraction;
+                batches += 1;
+                i = j;
+            }
+        }
+        if batches > 0 {
+            let b = batches as f64;
+            stats.policy_loss /= b;
+            stats.value_loss /= b;
+            stats.entropy /= b;
+            stats.clip_fraction /= b;
+        }
+        stats
+    }
+
+    fn minibatch_step(&mut self, batch: &[Sample]) -> UpdateStats {
+        let m = batch.len() as f64;
+        let mut actor_grad = self.actor.zero_grad();
+        let mut critic_grad = self.critic.zero_grad();
+        let mut log_std_grad = vec![0.0; self.config.act_dim];
+        let mut stats = UpdateStats {
+            samples: batch.len(),
+            ..Default::default()
+        };
+        for s in batch {
+            // ---- policy ----
+            let cache = self.actor.forward_cached(&s.obs);
+            let mean = cache.output().to_vec();
+            let (logp, entropy) = self.logp_and_entropy(&mean, &s.action);
+            let ratio = (logp - s.logp_old).exp();
+            let clipped = ratio.clamp(1.0 - self.config.clip, 1.0 + self.config.clip);
+            let surr1 = ratio * s.advantage;
+            let surr2 = clipped * s.advantage;
+            let use_unclipped = surr1 <= surr2;
+            stats.policy_loss += -surr1.min(surr2) / m;
+            stats.entropy += entropy / m;
+            if (ratio - clipped).abs() > 1e-12 {
+                stats.clip_fraction += 1.0 / m;
+            }
+            // d(-min(surr))/d(logp): only flows when the unclipped branch
+            // is active (or the clipped one equals it).
+            let dlogp = if use_unclipped { -ratio * s.advantage / m } else { 0.0 };
+            if dlogp != 0.0 {
+                // d logp / d mean_i = (a_i − μ_i)/σ_i².
+                let mut dmean = Vec::with_capacity(mean.len());
+                for i in 0..mean.len() {
+                    let var = (2.0 * self.log_std[i]).exp();
+                    dmean.push(dlogp * (s.action[i] - mean[i]) / var);
+                    // d logp / d logσ_i = z² − 1.
+                    let z2 = (s.action[i] - mean[i]).powi(2) / var;
+                    log_std_grad[i] += dlogp * (z2 - 1.0);
+                }
+                self.actor.backward(&cache, &dmean, &mut actor_grad);
+            }
+            // Entropy bonus: d(−c·H)/d logσ = −c (mean-field, per sample).
+            for g in log_std_grad.iter_mut() {
+                *g += -self.config.ent_coef / m;
+            }
+            // ---- value ----
+            let vcache = self.critic.forward_cached(&s.obs);
+            let v = vcache.output()[0];
+            let err = v - s.ret;
+            stats.value_loss += err * err / m;
+            self.critic
+                .backward(&vcache, &[2.0 * self.config.vf_coef * err / m], &mut critic_grad);
+        }
+        // Gradient clipping (actor and critic separately).
+        for (net_grad, limit) in [(&mut actor_grad, self.config.max_grad_norm), (&mut critic_grad, self.config.max_grad_norm)] {
+            let norm = net_grad.l2_norm();
+            if norm > limit {
+                net_grad.scale(limit / norm);
+            }
+        }
+        self.actor_opt.step(&mut self.actor, &actor_grad);
+        self.critic_opt.step(&mut self.critic, &critic_grad);
+        // Adam for the log_std vector (hand-rolled; 1-2 scalars).
+        self.log_std_t += 1;
+        let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+        let bc1 = 1.0 - b1f(b1, self.log_std_t);
+        let bc2 = 1.0 - b1f(b2, self.log_std_t);
+        for i in 0..self.log_std.len() {
+            self.log_std_m[i] = b1 * self.log_std_m[i] + (1.0 - b1) * log_std_grad[i];
+            self.log_std_v[i] = b2 * self.log_std_v[i] + (1.0 - b2) * log_std_grad[i].powi(2);
+            let mhat = self.log_std_m[i] / bc1;
+            let vhat = self.log_std_v[i] / bc2;
+            self.log_std[i] -= self.config.lr * mhat / (vhat.sqrt() + eps);
+            // Keep exploration noise sane.
+            self.log_std[i] = self.log_std[i].clamp(-1.8, 1.0);
+        }
+        stats
+    }
+
+    /// Snapshot the learnable state.
+    pub fn weights(&self) -> PpoWeights {
+        PpoWeights {
+            config: self.config.clone(),
+            actor: self.actor.clone(),
+            critic: self.critic.clone(),
+            log_std: self.log_std.clone(),
+        }
+    }
+
+    /// Restore an agent from a snapshot (optimizer state starts fresh).
+    pub fn from_weights(w: PpoWeights, rng: &mut DetRng) -> Self {
+        let actor_opt = Adam::new(&w.actor, w.config.lr);
+        let critic_opt = Adam::new(&w.critic, w.config.lr);
+        let act_dim = w.config.act_dim;
+        PpoAgent {
+            actor: w.actor,
+            critic: w.critic,
+            log_std: w.log_std,
+            actor_opt,
+            critic_opt,
+            log_std_m: vec![0.0; act_dim],
+            log_std_v: vec![0.0; act_dim],
+            log_std_t: 0,
+            buffer: RolloutBuffer::new(),
+            rng: rng.fork("ppo-explore"),
+            eval_mode: false,
+            pending: None,
+            config: w.config,
+        }
+    }
+}
+
+fn b1f(beta: f64, t: u64) -> f64 {
+    beta.powi(t as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-D bandit-like control problem: state is a target in [-1, 1],
+    /// reward is −(action − target)². PPO should learn action ≈ target.
+    fn train_target_tracking(episodes: usize, seed: u64) -> f64 {
+        let mut rng = DetRng::new(seed);
+        let config = PpoConfig {
+            hidden: vec![16, 16],
+            lr: 3e-3,
+            minibatch: 32,
+            ..PpoConfig::new(1, 1)
+        };
+        let mut agent = PpoAgent::new(config, &mut rng);
+        let mut env_rng = DetRng::new(seed + 1);
+        for _ in 0..episodes {
+            for _ in 0..32 {
+                let target = env_rng.uniform_range(-1.0, 1.0);
+                let a = agent.act(&[target]);
+                let reward = -(a[0] - target).powi(2);
+                agent.give_reward(reward, true);
+            }
+            agent.update(None);
+        }
+        // Evaluate deterministically.
+        agent.set_eval(true);
+        let mut err = 0.0;
+        for k in 0..20 {
+            let target = -1.0 + k as f64 / 10.0;
+            let a = agent.act(&[target]);
+            err += (a[0] - target).abs();
+        }
+        err / 20.0
+    }
+
+    #[test]
+    fn ppo_learns_target_tracking() {
+        let err = train_target_tracking(120, 3);
+        assert!(err < 0.25, "mean |action − target| = {err}");
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mut rng = DetRng::new(5);
+        let mut agent = PpoAgent::new(PpoConfig::new(2, 1), &mut rng);
+        agent.set_eval(true);
+        let a = agent.act(&[0.1, 0.2]);
+        let b = agent.act(&[0.1, 0.2]);
+        assert_eq!(a, b);
+        assert_eq!(agent.buffered(), 0); // eval mode records nothing
+    }
+
+    #[test]
+    fn training_mode_explores() {
+        let mut rng = DetRng::new(6);
+        let mut agent = PpoAgent::new(PpoConfig::new(2, 1), &mut rng);
+        let a = agent.act(&[0.1, 0.2]);
+        agent.give_reward(0.0, false);
+        let b = agent.act(&[0.1, 0.2]);
+        agent.give_reward(0.0, true);
+        assert_ne!(a, b, "sampled actions should differ");
+        assert_eq!(agent.buffered(), 2);
+    }
+
+    #[test]
+    fn unrewarded_pending_gets_zero_reward() {
+        let mut rng = DetRng::new(7);
+        let mut agent = PpoAgent::new(PpoConfig::new(1, 1), &mut rng);
+        agent.act(&[0.0]);
+        agent.act(&[0.0]); // no give_reward in between
+        assert_eq!(agent.buffered(), 1);
+        assert_eq!(agent.buffered_reward(), 0.0);
+    }
+
+    #[test]
+    fn update_clears_buffer_and_reports() {
+        let mut rng = DetRng::new(8);
+        let mut agent = PpoAgent::new(PpoConfig::new(1, 1), &mut rng);
+        for _ in 0..10 {
+            agent.act(&[0.5]);
+            agent.give_reward(1.0, false);
+        }
+        let stats = agent.update(Some(&[0.5]));
+        assert_eq!(stats.samples, 10);
+        assert_eq!(agent.buffered(), 0);
+        assert!(stats.entropy.is_finite());
+        // Empty update is a no-op.
+        let empty = agent.update(None);
+        assert_eq!(empty.samples, 0);
+    }
+
+    #[test]
+    fn weights_round_trip_preserves_policy() {
+        let mut rng = DetRng::new(9);
+        let mut agent = PpoAgent::new(PpoConfig::new(2, 1), &mut rng);
+        agent.set_eval(true);
+        let before = agent.act(&[0.3, -0.3]);
+        let json = serde_json::to_string(&agent.weights()).unwrap();
+        let w: PpoWeights = serde_json::from_str(&json).unwrap();
+        let mut rng2 = DetRng::new(1);
+        let mut restored = PpoAgent::from_weights(w, &mut rng2);
+        restored.set_eval(true);
+        let after = restored.act(&[0.3, -0.3]);
+        // serde_json may round the last ULP of an f64.
+        for (a, b) in after.iter().zip(&before) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn param_count_includes_everything() {
+        let mut rng = DetRng::new(10);
+        let agent = PpoAgent::new(
+            PpoConfig {
+                hidden: vec![8],
+                ..PpoConfig::new(4, 2)
+            },
+            &mut rng,
+        );
+        // actor: 4·8+8 + 8·2+2 = 58; critic: 4·8+8 + 8·1+1 = 49; log_std: 2.
+        assert_eq!(agent.param_count(), 58 + 49 + 2);
+    }
+}

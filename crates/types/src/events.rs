@@ -1,0 +1,121 @@
+//! Transport events delivered to congestion-control algorithms.
+//!
+//! The simulator's sender translates packet-level happenings into these
+//! records — the same signals a kernel TCP implementation derives from the
+//! ACK clock: per-ACK RTT samples, delivery accounting for rate estimation
+//! (à la BBR's `delivery_rate`), and loss detections.
+
+use crate::time::{Duration, Instant};
+
+/// An acknowledgement for one data packet.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent {
+    /// Arrival time of the ACK at the sender.
+    pub now: Instant,
+    /// Sequence number of the acknowledged packet.
+    pub seq: u64,
+    /// Payload bytes newly acknowledged.
+    pub bytes: u64,
+    /// RTT sample carried by this ACK.
+    pub rtt: Duration,
+    /// Minimum RTT observed over the life of the connection so far.
+    pub min_rtt: Duration,
+    /// Smoothed RTT (EWMA, RFC 6298 style) maintained by the sender.
+    pub srtt: Duration,
+    /// Time the acknowledged packet left the sender.
+    pub sent_at: Instant,
+    /// Total bytes delivered (cumulatively ACKed) when the acknowledged
+    /// packet was *sent* — used for BBR-style delivery-rate samples.
+    pub delivered_at_send: u64,
+    /// Total bytes delivered including this ACK.
+    pub delivered: u64,
+    /// Bytes currently in flight after processing this ACK.
+    pub in_flight: u64,
+    /// True if the acknowledged packet was sent while the sender was
+    /// application-limited (not enough data to fill the rate) — such
+    /// samples must not lower bandwidth estimates.
+    pub app_limited: bool,
+}
+
+impl AckEvent {
+    /// BBR-style delivery-rate sample: bytes delivered between the send of
+    /// this packet and its ACK, over the elapsed interval.
+    pub fn delivery_rate_sample(&self) -> crate::units::Rate {
+        let interval = self.now.saturating_since(self.sent_at);
+        crate::units::Rate::from_bytes_over(self.delivered.saturating_sub(self.delivered_at_send), interval)
+    }
+}
+
+/// How a loss was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Triple-duplicate-ACK style detection (a later packet was ACKed while
+    /// this one was outstanding past the reordering window).
+    FastRetransmit,
+    /// Retransmission timeout: nothing came back for an extended period.
+    Timeout,
+}
+
+/// A detected packet loss.
+#[derive(Debug, Clone, Copy)]
+pub struct LossEvent {
+    /// Detection time.
+    pub now: Instant,
+    /// Sequence number of the lost packet.
+    pub seq: u64,
+    /// Payload bytes declared lost.
+    pub bytes: u64,
+    /// Bytes in flight after removing the lost packet.
+    pub in_flight: u64,
+    /// Detection mechanism.
+    pub kind: LossKind,
+}
+
+/// A data-packet transmission.
+#[derive(Debug, Clone, Copy)]
+pub struct SendEvent {
+    /// Departure time.
+    pub now: Instant,
+    /// Sequence number.
+    pub seq: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Bytes in flight including this packet.
+    pub in_flight: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Rate;
+
+    fn ack(now_ms: u64, sent_ms: u64, delivered_at_send: u64, delivered: u64) -> AckEvent {
+        AckEvent {
+            now: Instant::from_millis(now_ms),
+            seq: 1,
+            bytes: 1500,
+            rtt: Duration::from_millis(now_ms - sent_ms),
+            min_rtt: Duration::from_millis(10),
+            srtt: Duration::from_millis(now_ms - sent_ms),
+            sent_at: Instant::from_millis(sent_ms),
+            delivered_at_send,
+            delivered,
+            in_flight: 3000,
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn delivery_rate_sample_matches_hand_math() {
+        // 125_000 bytes over 100 ms = 10 Mbps
+        let ev = ack(200, 100, 0, 125_000);
+        let r = ev.delivery_rate_sample();
+        assert!((r.mbps() - 10.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn delivery_rate_sample_zero_interval_is_zero() {
+        let ev = ack(100, 100, 0, 1000);
+        assert_eq!(ev.delivery_rate_sample(), Rate::ZERO);
+    }
+}

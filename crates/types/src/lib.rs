@@ -1,0 +1,30 @@
+//! Core vocabulary types shared by every crate in the Libra workspace.
+//!
+//! This crate deliberately has no knowledge of the simulator or of any
+//! concrete congestion-control algorithm. It defines:
+//!
+//! * integer-nanosecond [`time`] arithmetic (deterministic event ordering —
+//!   no floating-point drift),
+//! * transport [`units`]: sending rates and byte counts,
+//! * the [`cca::CongestionControl`] trait every algorithm implements,
+//! * per-ACK / per-loss / per-send [`events`] delivered to algorithms,
+//! * monitor-interval [`stats`] aggregation and general statistics helpers,
+//! * the Libra/Vivace-style [`utility`] function of Eq. 1 of the paper and
+//!   the application-preference profiles built on it,
+//! * a seeded, forkable deterministic [`rng`].
+
+pub mod cca;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod units;
+pub mod utility;
+
+pub use cca::CongestionControl;
+pub use events::{AckEvent, LossEvent, LossKind, SendEvent};
+pub use rng::DetRng;
+pub use stats::{jain_index, Ewma, MiStats, MiTracker, Welford};
+pub use time::{Duration, Instant};
+pub use units::{Bytes, Rate};
+pub use utility::{Preference, UtilityParams};

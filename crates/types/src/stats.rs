@@ -1,0 +1,452 @@
+//! Monitor-interval statistics and small statistics utilities.
+//!
+//! Rate-based and learning-based CCAs (and Libra's evaluation stage) consume
+//! the network's feedback in *monitor intervals* (MIs): fixed spans over
+//! which throughput, delay, delay gradient and loss are aggregated. The
+//! [`MiTracker`] accumulates per-event data and closes into a [`MiStats`]
+//! snapshot at each MI boundary.
+
+use crate::events::{AckEvent, LossEvent, SendEvent};
+use crate::time::{Duration, Instant};
+use crate::units::Rate;
+
+/// Aggregated statistics for one monitor interval.
+#[derive(Debug, Clone, Copy)]
+pub struct MiStats {
+    /// MI start time.
+    pub start: Instant,
+    /// MI end time.
+    pub end: Instant,
+    /// Bytes handed to the network during the MI.
+    pub sent_bytes: u64,
+    /// Bytes acknowledged during the MI.
+    pub acked_bytes: u64,
+    /// Bytes declared lost during the MI.
+    pub lost_bytes: u64,
+    /// Number of ACKs received.
+    pub acks: u32,
+    /// Average sending rate over the MI.
+    pub sending_rate: Rate,
+    /// Average delivery (goodput) rate over the MI.
+    pub delivery_rate: Rate,
+    /// Mean of the RTT samples in the MI (zero if no ACKs).
+    pub avg_rtt: Duration,
+    /// Smallest RTT sample in the MI (zero if no ACKs).
+    pub mi_min_rtt: Duration,
+    /// Largest RTT sample in the MI (zero if no ACKs).
+    pub mi_max_rtt: Duration,
+    /// Connection-lifetime minimum RTT at MI close.
+    pub min_rtt: Duration,
+    /// Least-squares slope of RTT vs. time over the MI, in seconds of RTT
+    /// per second of wall clock (dimensionless). This is the `d(RTT)/dt`
+    /// term of the paper's utility function (Eq. 1).
+    pub rtt_gradient: f64,
+    /// Fraction of bytes lost: `lost / (lost + acked)`; zero if no traffic.
+    pub loss_rate: f64,
+}
+
+impl MiStats {
+    /// An all-zero snapshot for `start == end == t` (used when a controller
+    /// must act before any feedback exists).
+    pub fn empty(t: Instant) -> Self {
+        MiStats {
+            start: t,
+            end: t,
+            sent_bytes: 0,
+            acked_bytes: 0,
+            lost_bytes: 0,
+            acks: 0,
+            sending_rate: Rate::ZERO,
+            delivery_rate: Rate::ZERO,
+            avg_rtt: Duration::ZERO,
+            mi_min_rtt: Duration::ZERO,
+            mi_max_rtt: Duration::ZERO,
+            min_rtt: Duration::ZERO,
+            rtt_gradient: 0.0,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// The MI length.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// True when no ACK arrived during the MI — the "no ACK received"
+    /// special case Libra handles explicitly (Sec. 3 of the paper).
+    pub fn is_ack_starved(&self) -> bool {
+        self.acks == 0
+    }
+}
+
+/// Accumulates transport events between MI boundaries.
+#[derive(Debug, Clone)]
+pub struct MiTracker {
+    start: Instant,
+    sent_bytes: u64,
+    acked_bytes: u64,
+    lost_bytes: u64,
+    acks: u32,
+    rtt_sum_ns: u128,
+    mi_min_rtt: Duration,
+    mi_max_rtt: Duration,
+    // (t - start) in seconds, rtt in seconds — for the gradient regression.
+    rtt_samples: Vec<(f64, f64)>,
+}
+
+impl MiTracker {
+    /// Start tracking a new MI at `start`.
+    pub fn new(start: Instant) -> Self {
+        MiTracker {
+            start,
+            sent_bytes: 0,
+            acked_bytes: 0,
+            lost_bytes: 0,
+            acks: 0,
+            rtt_sum_ns: 0,
+            mi_min_rtt: Duration::MAX,
+            mi_max_rtt: Duration::ZERO,
+            rtt_samples: Vec::with_capacity(64),
+        }
+    }
+
+    /// Record a transmission.
+    pub fn on_send(&mut self, ev: &SendEvent) {
+        self.sent_bytes += ev.bytes;
+    }
+
+    /// Record an acknowledgement.
+    pub fn on_ack(&mut self, ev: &AckEvent) {
+        self.acked_bytes += ev.bytes;
+        self.acks += 1;
+        self.rtt_sum_ns += ev.rtt.nanos() as u128;
+        self.mi_min_rtt = self.mi_min_rtt.min(ev.rtt);
+        self.mi_max_rtt = self.mi_max_rtt.max(ev.rtt);
+        let t = ev.now.saturating_since(self.start).as_secs_f64();
+        self.rtt_samples.push((t, ev.rtt.as_secs_f64()));
+    }
+
+    /// Record a loss.
+    pub fn on_loss(&mut self, ev: &LossEvent) {
+        self.lost_bytes += ev.bytes;
+    }
+
+    /// Close the MI at `end` and reset the tracker for the next interval.
+    /// `min_rtt` is the connection-lifetime minimum RTT.
+    pub fn close(&mut self, end: Instant, min_rtt: Duration) -> MiStats {
+        let dur = end.saturating_since(self.start);
+        let avg_rtt = if self.acks > 0 {
+            Duration::from_nanos((self.rtt_sum_ns / self.acks as u128) as u64)
+        } else {
+            Duration::ZERO
+        };
+        let denom = self.acked_bytes + self.lost_bytes;
+        let loss_rate = if denom > 0 {
+            self.lost_bytes as f64 / denom as f64
+        } else {
+            0.0
+        };
+        let stats = MiStats {
+            start: self.start,
+            end,
+            sent_bytes: self.sent_bytes,
+            acked_bytes: self.acked_bytes,
+            lost_bytes: self.lost_bytes,
+            acks: self.acks,
+            sending_rate: Rate::from_bytes_over(self.sent_bytes, dur),
+            delivery_rate: Rate::from_bytes_over(self.acked_bytes, dur),
+            avg_rtt,
+            mi_min_rtt: if self.acks > 0 { self.mi_min_rtt } else { Duration::ZERO },
+            mi_max_rtt: self.mi_max_rtt,
+            min_rtt,
+            rtt_gradient: slope(&self.rtt_samples),
+            loss_rate,
+        };
+        *self = MiTracker::new(end);
+        stats
+    }
+
+    /// The MI's start time.
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+}
+
+/// Ordinary least-squares slope of `(x, y)` samples; zero with < 2 samples
+/// or a degenerate x-spread.
+fn slope(samples: &[(f64, f64)]) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let sx: f64 = samples.iter().map(|s| s.0).sum();
+    let sy: f64 = samples.iter().map(|s| s.1).sum();
+    let sxx: f64 = samples.iter().map(|s| s.0 * s.0).sum();
+    let sxy: f64 = samples.iter().map(|s| s.0 * s.1).sum();
+    let denom = nf * sxx - sx * sx;
+    if denom.abs() < 1e-18 {
+        return 0.0;
+    }
+    (nf * sxy - sx * sy) / denom
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha` is the weight of the newest sample (0 < alpha ≤ 1).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EWMA alpha out of range");
+        Ewma { alpha, value: None }
+    }
+
+    /// Fold in a sample; the first sample initializes the average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let v = match self.value {
+            None => sample,
+            Some(prev) => prev + self.alpha * (sample - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, or `None` before the first sample.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current average, or `default` before the first sample.
+    pub fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+}
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in a sample.
+    pub fn update(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (zero with no samples).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (zero with < 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// `max − min` (zero with no samples) — the paper's "Range" statistic
+    /// in Tab. 6.
+    pub fn range(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Smallest sample (zero with no samples).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (zero with no samples).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`, in `(0, 1]`; 1 is perfectly
+/// fair. Returns 1.0 for empty or all-zero input (nothing to be unfair
+/// about).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (xs.len() as f64 * sumsq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::LossKind;
+
+    fn mk_ack(now_ms: u64, rtt_ms: u64, bytes: u64) -> AckEvent {
+        AckEvent {
+            now: Instant::from_millis(now_ms),
+            seq: 0,
+            bytes,
+            rtt: Duration::from_millis(rtt_ms),
+            min_rtt: Duration::from_millis(rtt_ms),
+            srtt: Duration::from_millis(rtt_ms),
+            sent_at: Instant::from_millis(now_ms.saturating_sub(rtt_ms)),
+            delivered_at_send: 0,
+            delivered: bytes,
+            in_flight: 0,
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn tracker_aggregates_rates() {
+        let mut t = MiTracker::new(Instant::ZERO);
+        t.on_send(&SendEvent {
+            now: Instant::from_millis(10),
+            seq: 0,
+            bytes: 125_000,
+            in_flight: 125_000,
+        });
+        t.on_ack(&mk_ack(50, 40, 62_500));
+        let s = t.close(Instant::from_millis(100), Duration::from_millis(40));
+        // 125 kB sent over 100 ms = 10 Mbps; 62.5 kB acked = 5 Mbps.
+        assert!((s.sending_rate.mbps() - 10.0).abs() < 1e-9);
+        assert!((s.delivery_rate.mbps() - 5.0).abs() < 1e-9);
+        assert_eq!(s.acks, 1);
+        assert_eq!(s.avg_rtt, Duration::from_millis(40));
+        assert!(!s.is_ack_starved());
+    }
+
+    #[test]
+    fn tracker_loss_rate() {
+        let mut t = MiTracker::new(Instant::ZERO);
+        t.on_ack(&mk_ack(10, 5, 3000));
+        t.on_loss(&LossEvent {
+            now: Instant::from_millis(12),
+            seq: 9,
+            bytes: 1000,
+            in_flight: 0,
+            kind: LossKind::FastRetransmit,
+        });
+        let s = t.close(Instant::from_millis(20), Duration::from_millis(5));
+        assert!((s.loss_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_resets_after_close() {
+        let mut t = MiTracker::new(Instant::ZERO);
+        t.on_ack(&mk_ack(10, 5, 1000));
+        let _ = t.close(Instant::from_millis(20), Duration::from_millis(5));
+        let s2 = t.close(Instant::from_millis(40), Duration::from_millis(5));
+        assert_eq!(s2.acks, 0);
+        assert!(s2.is_ack_starved());
+        assert_eq!(s2.start, Instant::from_millis(20));
+    }
+
+    #[test]
+    fn rtt_gradient_positive_when_queue_builds() {
+        let mut t = MiTracker::new(Instant::ZERO);
+        // RTT climbing 10ms per 10ms of time => slope 1.0
+        for i in 0..10u64 {
+            t.on_ack(&mk_ack(10 * (i + 1), 10 * (i + 1), 1000));
+        }
+        let s = t.close(Instant::from_millis(120), Duration::from_millis(10));
+        assert!((s.rtt_gradient - 1.0).abs() < 1e-9, "{}", s.rtt_gradient);
+    }
+
+    #[test]
+    fn rtt_gradient_zero_with_flat_rtt() {
+        let mut t = MiTracker::new(Instant::ZERO);
+        for i in 0..10u64 {
+            t.on_ack(&mk_ack(10 * (i + 1), 30, 1000));
+        }
+        let s = t.close(Instant::from_millis(120), Duration::from_millis(30));
+        assert!(s.rtt_gradient.abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get(), None);
+        e.update(10.0);
+        assert_eq!(e.get(), Some(10.0));
+        e.update(0.0);
+        assert_eq!(e.get(), Some(5.0));
+    }
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.update(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert!((w.range() - 7.0).abs() < 1e-12);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One flow hogging everything among n flows → 1/n.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn empty_mi_stats() {
+        let s = MiStats::empty(Instant::from_secs(1));
+        assert!(s.is_ack_starved());
+        assert_eq!(s.duration(), Duration::ZERO);
+    }
+}

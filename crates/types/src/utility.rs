@@ -1,0 +1,211 @@
+//! Libra's utility function (Eq. 1 of the paper) and application
+//! preference profiles.
+//!
+//! ```text
+//! u(x) = α·x^t − β·x·max(0, dRTT/dt) − γ·x·L
+//! ```
+//!
+//! with rate `x` in Mbps, `0 < t < 1`, and default parameters
+//! `t = 0.9, α = 1, β = 900, γ = 11.35` (Sec. 5, inherited from PCC
+//! Vivace). The exponent `t < 1` makes the throughput term strictly
+//! concave, which is what gives Theorem 4.1 its unique fair Nash
+//! equilibrium; the delay-gradient and loss terms are linear in `x` so a
+//! sender is penalized in proportion to the traffic it contributes while
+//! the network degrades.
+
+use crate::stats::MiStats;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the utility function of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilityParams {
+    /// Throughput exponent, `0 < t < 1`.
+    pub t: f64,
+    /// Throughput weight α.
+    pub alpha: f64,
+    /// Delay-gradient weight β.
+    pub beta: f64,
+    /// Loss weight γ.
+    pub gamma: f64,
+}
+
+impl Default for UtilityParams {
+    fn default() -> Self {
+        UtilityParams {
+            t: 0.9,
+            alpha: 1.0,
+            beta: 900.0,
+            gamma: 11.35,
+        }
+    }
+}
+
+impl UtilityParams {
+    /// Evaluate `u(x)` for a rate in Mbps, an RTT gradient (dimensionless,
+    /// seconds of RTT per second) and a loss fraction in `[0, 1]`.
+    pub fn evaluate(&self, rate_mbps: f64, rtt_gradient: f64, loss_rate: f64) -> f64 {
+        debug_assert!(self.t > 0.0 && self.t < 1.0, "utility exponent out of (0,1)");
+        let x = rate_mbps.max(0.0);
+        self.alpha * x.powf(self.t)
+            - self.beta * x * rtt_gradient.max(0.0)
+            - self.gamma * x * loss_rate.clamp(0.0, 1.0)
+    }
+
+    /// Evaluate on a closed monitor interval, using the *achieved* sending
+    /// rate, the measured RTT gradient and the measured loss rate — exactly
+    /// the statistics Libra gathers in its evaluation stage.
+    pub fn evaluate_mi(&self, mi: &MiStats) -> f64 {
+        self.evaluate(mi.sending_rate.mbps(), mi.rtt_gradient, mi.loss_rate)
+    }
+
+    /// The rate (Mbps) that maximizes `u` for a *fixed* gradient and loss —
+    /// from `∂u/∂x = 0`: `x* = (α·t / (β·g + γ·L))^(1/(1−t))`. Returns
+    /// `None` when the penalty term is zero (utility is unbounded and the
+    /// sender should probe upward).
+    pub fn optimal_rate_mbps(&self, rtt_gradient: f64, loss_rate: f64) -> Option<f64> {
+        let penalty = self.beta * rtt_gradient.max(0.0) + self.gamma * loss_rate.clamp(0.0, 1.0);
+        if penalty <= 0.0 {
+            return None;
+        }
+        Some((self.alpha * self.t / penalty).powf(1.0 / (1.0 - self.t)))
+    }
+}
+
+/// Application preference profiles (Sec. 5.2): scaling α trades toward
+/// throughput, scaling β toward latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preference {
+    /// The paper's default weights.
+    Default,
+    /// Throughput-oriented: 2× default α.
+    Throughput1,
+    /// Strongly throughput-oriented: 3× default α.
+    Throughput2,
+    /// Latency-aware: 2× default β.
+    Latency1,
+    /// Strongly latency-aware: 3× default β.
+    Latency2,
+}
+
+impl Preference {
+    /// All profiles, in the order the paper's Fig. 11 legends list them.
+    pub const ALL: [Preference; 5] = [
+        Preference::Throughput2,
+        Preference::Throughput1,
+        Preference::Default,
+        Preference::Latency1,
+        Preference::Latency2,
+    ];
+
+    /// The utility parameters this profile denotes.
+    pub fn params(self) -> UtilityParams {
+        let d = UtilityParams::default();
+        match self {
+            Preference::Default => d,
+            Preference::Throughput1 => UtilityParams { alpha: 2.0 * d.alpha, ..d },
+            Preference::Throughput2 => UtilityParams { alpha: 3.0 * d.alpha, ..d },
+            Preference::Latency1 => UtilityParams { beta: 2.0 * d.beta, ..d },
+            Preference::Latency2 => UtilityParams { beta: 3.0 * d.beta, ..d },
+        }
+    }
+
+    /// Label used in experiment tables ("Default", "Th-1", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Preference::Default => "Default",
+            Preference::Throughput1 => "Th-1",
+            Preference::Throughput2 => "Th-2",
+            Preference::Latency1 => "La-1",
+            Preference::Latency2 => "La-2",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Instant;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = UtilityParams::default();
+        assert_eq!((p.t, p.alpha, p.beta, p.gamma), (0.9, 1.0, 900.0, 11.35));
+    }
+
+    #[test]
+    fn clean_link_utility_grows_with_rate() {
+        let p = UtilityParams::default();
+        assert!(p.evaluate(20.0, 0.0, 0.0) > p.evaluate(10.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn gradient_penalty_bites() {
+        let p = UtilityParams::default();
+        // Building queue: higher rate should score lower.
+        assert!(p.evaluate(20.0, 0.01, 0.0) < p.evaluate(10.0, 0.01, 0.0));
+        // Negative gradient (queue draining) is not rewarded.
+        assert_eq!(p.evaluate(10.0, -5.0, 0.0), p.evaluate(10.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn loss_penalty_bites() {
+        let p = UtilityParams::default();
+        assert!(p.evaluate(10.0, 0.0, 0.2) < p.evaluate(10.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn concavity_in_rate() {
+        // u((a+b)/2) ≥ (u(a)+u(b))/2 on a clean link (strict concavity of x^t).
+        let p = UtilityParams::default();
+        let (a, b) = (4.0, 36.0);
+        let mid = p.evaluate((a + b) / 2.0, 0.0, 0.0);
+        let chord = (p.evaluate(a, 0.0, 0.0) + p.evaluate(b, 0.0, 0.0)) / 2.0;
+        assert!(mid > chord);
+    }
+
+    #[test]
+    fn optimal_rate_is_stationary_point() {
+        let p = UtilityParams::default();
+        let g = 0.004;
+        let x = p.optimal_rate_mbps(g, 0.0).unwrap();
+        let eps = 1e-4;
+        let u0 = p.evaluate(x, g, 0.0);
+        assert!(u0 >= p.evaluate(x - eps, g, 0.0));
+        assert!(u0 >= p.evaluate(x + eps, g, 0.0));
+        assert_eq!(p.optimal_rate_mbps(0.0, 0.0), None);
+    }
+
+    #[test]
+    fn preference_profiles_scale_correctly() {
+        let d = UtilityParams::default();
+        assert_eq!(Preference::Throughput2.params().alpha, 3.0 * d.alpha);
+        assert_eq!(Preference::Latency1.params().beta, 2.0 * d.beta);
+        assert_eq!(Preference::Default.params(), d);
+        assert_eq!(Preference::Latency2.label(), "La-2");
+    }
+
+    #[test]
+    fn throughput_profile_prefers_faster_lossier_rate() {
+        // The paper's Remark 4 example: (45 Mbps, no loss, flat RTT) vs
+        // (50 Mbps, 5 % loss, rising RTT). A throughput-oriented profile
+        // should flip the decision relative to a latency profile.
+        let slow = (45.0, 0.0005, 0.0);
+        let fast = (50.0, 0.002, 0.05);
+        let th = Preference::Throughput2.params();
+        let la = Preference::Latency2.params();
+        let th_pref = th.evaluate(fast.0, fast.1, fast.2) - th.evaluate(slow.0, slow.1, slow.2);
+        let la_pref = la.evaluate(fast.0, fast.1, fast.2) - la.evaluate(slow.0, slow.1, slow.2);
+        assert!(la_pref < th_pref);
+        assert!(la_pref < 0.0, "latency profile must prefer the slower rate");
+    }
+
+    #[test]
+    fn evaluate_mi_uses_sending_rate() {
+        let mut mi = MiStats::empty(Instant::ZERO);
+        mi.sending_rate = crate::units::Rate::from_mbps(10.0);
+        mi.rtt_gradient = 0.0;
+        mi.loss_rate = 0.0;
+        let p = UtilityParams::default();
+        assert!((p.evaluate_mi(&mi) - 10.0f64.powf(0.9)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,56 @@
+//! Cloud gaming: a delay-sensitive application on a cellular link.
+//!
+//! The paper's flexibility claim (Sec. 5.2): the same Libra binary serves
+//! different applications by swapping the utility profile. Here the
+//! latency-oriented profile (La-2) is compared with the default and with
+//! plain CUBIC on an LTE trace with a walking user.
+//!
+//! ```sh
+//! cargo run --release --example cloud_gaming
+//! ```
+
+use libra::prelude::*;
+use std::{cell::RefCell, rc::Rc};
+
+fn run(label: &str, cca: Box<dyn CongestionControl>, seed: u64) {
+    let secs = 30;
+    let mut rng = DetRng::new(seed);
+    let link = lte_link(LteScenario::Walking, Duration::from_secs(secs), &mut rng);
+    let until = Instant::from_secs(secs);
+    let mut sim = Simulation::new(link, seed);
+    sim.add_flow(FlowConfig::whole_run(cca, until));
+    let report = sim.run(until);
+    let flow = &report.flows[0];
+    println!(
+        "{label:<18} util {:>5.1}%   mean RTT {:>6.1} ms   p-max RTT {:>6.1} ms",
+        100.0 * report.link.utilization,
+        flow.rtt_ms.mean(),
+        flow.rtt_ms.max(),
+    );
+}
+
+fn agent() -> Rc<RefCell<PpoAgent>> {
+    let mut rng = DetRng::new(99);
+    let mut a = PpoAgent::new(Libra::ppo_config(), &mut rng);
+    a.set_eval(true);
+    Rc::new(RefCell::new(a))
+}
+
+fn main() {
+    println!("=== cloud gaming: delay-sensitive traffic on LTE (walking) ===");
+    println!("A game stream needs low, stable delay; throughput beyond the");
+    println!("encode rate is wasted. Libra-La-2 triples the delay penalty.\n");
+    run("CUBIC", Box::new(Cubic::new(1500)), 11);
+    run(
+        "C-Libra (default)",
+        Box::new(Libra::c_libra(agent())),
+        11,
+    );
+    run(
+        "C-Libra (La-2)",
+        Box::new(Libra::c_libra(agent()).with_preference(Preference::Latency2)),
+        11,
+    );
+    println!("\nThe latency profile trades a few utilization points for a");
+    println!("flatter RTT — no AQM or network support required (Sec. 2).");
+}

@@ -1,0 +1,65 @@
+//! Mahimahi trace interop: generate a synthetic LTE trace, export it in
+//! Mahimahi's delivery-opportunity format, re-import it, and run CUBIC
+//! vs C-Libra over the replay — the workflow for anyone holding real
+//! Pantheon trace files.
+//!
+//! ```sh
+//! cargo run --release --example mahimahi_replay
+//! ```
+
+use libra::netsim::{capacity_from_mahimahi, capacity_to_mahimahi, lte_trace};
+use libra::prelude::*;
+use std::{cell::RefCell, rc::Rc};
+
+fn main() {
+    let secs = 20u64;
+    let total = Duration::from_secs(secs);
+
+    // 1. A synthetic LTE driving trace…
+    let mut rng = DetRng::new(31);
+    let synthetic = lte_trace(LteScenario::Driving, total, &mut rng);
+
+    // 2. …exported to Mahimahi's one-timestamp-per-line format…
+    let text = capacity_to_mahimahi(&synthetic, total);
+    println!(
+        "exported {} delivery opportunities ({} bytes of trace text)",
+        text.lines().count(),
+        text.len()
+    );
+
+    // 3. …and re-imported as a capacity schedule. Real Mahimahi traces
+    //    (e.g. mahimahi/traces/TMobile-LTE-driving.down) parse the same way.
+    let replay = capacity_from_mahimahi(&text, Duration::from_millis(100), total)
+        .expect("round-trip parse");
+
+    // 4. Run the comparison over the replay.
+    for (label, cca) in [
+        ("CUBIC", Box::new(Cubic::new(1500)) as Box<dyn CongestionControl>),
+        ("C-Libra", {
+            let mut arng = DetRng::new(7);
+            let mut agent = PpoAgent::new(Libra::ppo_config(), &mut arng);
+            agent.set_eval(true);
+            Box::new(Libra::c_libra(Rc::new(RefCell::new(agent))))
+        }),
+    ] {
+        let link = LinkConfig {
+            capacity: replay.clone(),
+            one_way_delay: Duration::from_millis(15),
+            buffer: libra::types::Bytes::from_kb(150),
+            stochastic_loss: 0.0,
+            ack_jitter: Duration::ZERO,
+            loss_process: None,
+            ecn: None,
+        };
+        let until = Instant::from_secs(secs);
+        let mut sim = Simulation::new(link, 77);
+        sim.add_flow(FlowConfig::whole_run(cca, until));
+        let rep = sim.run(until);
+        println!(
+            "{label:<8} util {:>5.1}%   mean RTT {:>6.1} ms   loss {:>5.2}%",
+            100.0 * rep.link.utilization,
+            rep.flows[0].rtt_ms.mean(),
+            100.0 * rep.flows[0].loss_fraction,
+        );
+    }
+}

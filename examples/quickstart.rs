@@ -1,0 +1,41 @@
+//! Quickstart: run C-Libra on an emulated 24 Mbps link and print the
+//! headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use libra::prelude::*;
+use std::{cell::RefCell, rc::Rc};
+
+fn main() {
+    // 1. Describe the network: 24 Mbps bottleneck, 40 ms RTT, 1 BDP of
+    //    droptail buffer. Everything is deterministic given the seed.
+    let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+    let until = Instant::from_secs(30);
+    let mut sim = Simulation::new(link, 42);
+
+    // 2. Build C-Libra: CUBIC underneath, a PPO agent as the learned
+    //    component. A production deployment loads trained weights (see
+    //    `libra-bench`'s model store); an untrained agent in eval mode is
+    //    still safe — the evaluation stage discards its bad suggestions,
+    //    which is the point of the framework.
+    let mut rng = DetRng::new(7);
+    let mut agent = PpoAgent::new(Libra::ppo_config(), &mut rng);
+    agent.set_eval(true);
+    let libra = Libra::c_libra(Rc::new(RefCell::new(agent)));
+
+    // 3. Attach a bulk flow and run.
+    sim.add_flow(FlowConfig::whole_run(Box::new(libra), until));
+    let report = sim.run(until);
+
+    let flow = &report.flows[0];
+    println!("=== quickstart: C-Libra on 24 Mbps / 40 ms ===");
+    println!("link utilization : {:.1}%", 100.0 * report.link.utilization);
+    println!("goodput          : {:.2} Mbps", flow.avg_goodput.mbps());
+    println!("mean RTT         : {:.1} ms (propagation 40 ms)", flow.rtt_ms.mean());
+    println!("loss             : {:.3}%", 100.0 * flow.loss_fraction);
+    println!("controller cost  : {:.1} µs per simulated second",
+        flow.compute_ns as f64 / 1e3 / report.duration.as_secs_f64());
+    assert!(report.link.utilization > 0.5, "sanity: the link should be busy");
+}

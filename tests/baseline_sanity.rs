@@ -1,0 +1,144 @@
+//! End-to-end sanity for every classic and learned baseline: each CCA
+//! drives a full simulated flow and shows its signature behaviour.
+
+use libra::prelude::*;
+use std::{cell::RefCell, rc::Rc};
+
+fn run_one(cca: Box<dyn CongestionControl>, mbps: f64, rtt_ms: u64, secs: u64, seed: u64) -> SimReport {
+    let link = LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(rtt_ms), 1.0);
+    let until = Instant::from_secs(secs);
+    let mut sim = Simulation::new(link, seed);
+    sim.add_flow(FlowConfig::whole_run(cca, until));
+    sim.run(until)
+}
+
+#[test]
+fn cubic_fills_a_wired_link() {
+    let rep = run_one(Box::new(Cubic::new(1500)), 24.0, 30, 20, 1);
+    assert!(rep.link.utilization > 0.85, "util {}", rep.link.utilization);
+}
+
+#[test]
+fn newreno_fills_a_short_rtt_link() {
+    let rep = run_one(Box::new(NewReno::new(1500)), 12.0, 20, 20, 2);
+    assert!(rep.link.utilization > 0.8, "util {}", rep.link.utilization);
+}
+
+#[test]
+fn bbr_keeps_queue_short() {
+    let bbr = run_one(Box::new(Bbr::new(1500)), 24.0, 40, 20, 3);
+    let cubic = run_one(Box::new(Cubic::new(1500)), 24.0, 40, 20, 3);
+    assert!(bbr.link.utilization > 0.7, "bbr util {}", bbr.link.utilization);
+    // BBR's mean RTT should be closer to propagation than CUBIC's
+    // (CUBIC fills the buffer).
+    assert!(
+        bbr.flows[0].rtt_ms.mean() < cubic.flows[0].rtt_ms.mean(),
+        "bbr {} vs cubic {}",
+        bbr.flows[0].rtt_ms.mean(),
+        cubic.flows[0].rtt_ms.mean()
+    );
+}
+
+#[test]
+fn vegas_runs_at_low_delay() {
+    let rep = run_one(Box::new(Vegas::new(1500)), 24.0, 40, 20, 4);
+    // Vegas targets a few packets of queueing: delay near propagation.
+    assert!(rep.flows[0].rtt_ms.mean() < 55.0, "rtt {}", rep.flows[0].rtt_ms.mean());
+    assert!(rep.link.utilization > 0.5, "util {}", rep.link.utilization);
+}
+
+#[test]
+fn copa_runs_at_low_delay() {
+    let rep = run_one(Box::new(Copa::new(1500)), 24.0, 40, 20, 5);
+    assert!(rep.flows[0].rtt_ms.mean() < 65.0, "rtt {}", rep.flows[0].rtt_ms.mean());
+    assert!(rep.link.utilization > 0.5, "util {}", rep.link.utilization);
+}
+
+#[test]
+fn westwood_survives_stochastic_loss_better_than_reno() {
+    let lossy = |cca: Box<dyn CongestionControl>, seed| {
+        let mut link =
+            LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+        link.stochastic_loss = 0.03;
+        let until = Instant::from_secs(25);
+        let mut sim = Simulation::new(link, seed);
+        sim.add_flow(FlowConfig::whole_run(cca, until));
+        sim.run(until)
+    };
+    let ww = lossy(Box::new(Westwood::new(1500)), 6);
+    let rn = lossy(Box::new(NewReno::new(1500)), 6);
+    assert!(
+        ww.link.utilization > rn.link.utilization,
+        "westwood {} vs reno {}",
+        ww.link.utilization,
+        rn.link.utilization
+    );
+}
+
+#[test]
+fn illinois_beats_reno_on_long_fat_link() {
+    let ill = run_one(Box::new(Illinois::new(1500)), 96.0, 80, 30, 7);
+    let rn = run_one(Box::new(NewReno::new(1500)), 96.0, 80, 30, 7);
+    assert!(
+        ill.link.utilization >= rn.link.utilization - 0.02,
+        "illinois {} vs reno {}",
+        ill.link.utilization,
+        rn.link.utilization
+    );
+}
+
+#[test]
+fn vivace_climbs_to_capacity() {
+    let rep = run_one(Box::new(Pcc::vivace()), 24.0, 40, 30, 8);
+    assert!(rep.link.utilization > 0.6, "util {}", rep.link.utilization);
+}
+
+#[test]
+fn proteus_has_lower_delay_than_vivace() {
+    let p = run_one(Box::new(Pcc::proteus()), 24.0, 40, 30, 9);
+    let v = run_one(Box::new(Pcc::vivace()), 24.0, 40, 30, 9);
+    assert!(
+        p.flows[0].rtt_ms.mean() <= v.flows[0].rtt_ms.mean() + 5.0,
+        "proteus {} vs vivace {}",
+        p.flows[0].rtt_ms.mean(),
+        v.flows[0].rtt_ms.mean()
+    );
+}
+
+#[test]
+fn sprout_keeps_delay_bounded_on_lte() {
+    let secs = 20;
+    let mut rng = DetRng::new(10);
+    let link = lte_link(LteScenario::Driving, Duration::from_secs(secs), &mut rng);
+    let until = Instant::from_secs(secs);
+    let mut sim = Simulation::new(link, 10);
+    sim.add_flow(FlowConfig::whole_run(Box::new(Sprout::new(1500)), until));
+    let rep = sim.run(until);
+    // Sprout's whole point: delay stays near the 100 ms budget + prop.
+    assert!(rep.flows[0].rtt_ms.mean() < 200.0, "rtt {}", rep.flows[0].rtt_ms.mean());
+}
+
+#[test]
+fn remy_and_indigo_move_traffic() {
+    for (seed, cca) in [(11u64, Box::new(Remy::new(1500)) as Box<dyn CongestionControl>), (12, Box::new(libra::learned::Indigo::new(1500)))] {
+        let rep = run_one(cca, 24.0, 40, 20, seed);
+        assert!(rep.link.utilization > 0.25, "util {}", rep.link.utilization);
+    }
+}
+
+#[test]
+fn untrained_learned_ccas_run_without_panic() {
+    // Aurora/Orca with untrained agents must still be *safe* to run.
+    let mut rng = DetRng::new(13);
+    let mut a = PpoAgent::new(RlCcaConfig::aurora().ppo_config(), &mut rng);
+    a.set_eval(true);
+    let aurora = RlCca::new(RlCcaConfig::aurora(), Rc::new(RefCell::new(a)));
+    let rep = run_one(Box::new(aurora), 24.0, 40, 10, 13);
+    assert!(rep.flows[0].delivered_bytes > 0);
+
+    let mut o = PpoAgent::new(Orca::ppo_config(), &mut rng);
+    o.set_eval(true);
+    let orca = Orca::new(Rc::new(RefCell::new(o)));
+    let rep = run_one(Box::new(orca), 24.0, 40, 10, 14);
+    assert!(rep.flows[0].delivered_bytes > 0);
+}

@@ -1,0 +1,125 @@
+//! Finer-grained semantics tests of Libra's control cycle against the
+//! simulator — cycle cadence, stage budgets, and the overhead claim.
+
+use libra::core::Libra;
+use libra::prelude::*;
+use std::{cell::RefCell, rc::Rc};
+
+fn agent(seed: u64) -> Rc<RefCell<PpoAgent>> {
+    let mut rng = DetRng::new(seed);
+    let mut a = PpoAgent::new(Libra::ppo_config(), &mut rng);
+    a.set_eval(true);
+    Rc::new(RefCell::new(a))
+}
+
+fn run_libra(secs: u64, seed: u64) -> SimReport {
+    let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+    let until = Instant::from_secs(secs);
+    let mut sim = Simulation::new(link, seed);
+    sim.add_flow(FlowConfig::whole_run(Box::new(Libra::c_libra(agent(seed))), until));
+    sim.run(until)
+}
+
+#[test]
+fn cycle_cadence_matches_stage_budget() {
+    // C-Libra cycle = 1 RTT explore + 2×0.5 RTT eval + 1 RTT exploit
+    //              = 3 RTT ≈ 120 ms at a 40 ms RTT (self-inflicted
+    //                queueing stretches the RTT, so allow headroom).
+    let secs = 30u64;
+    let rep = run_libra(secs, 1);
+    let libra = rep.flows[0]
+        .cca
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Libra>())
+        .expect("downcast");
+    let cycles = libra.cycles() as f64;
+    let expected = secs as f64 / 0.120;
+    assert!(
+        cycles > 0.3 * expected && cycles < 1.5 * expected,
+        "cycles {cycles} vs expected ≈{expected}"
+    );
+}
+
+#[test]
+fn rl_inferences_bounded_by_exploration_budget() {
+    // RL acts once per exploration MI: 2 MIs per ~6-MI cycle, so the
+    // inference count must be well under the total MI count.
+    let rep = run_libra(30, 2);
+    let libra = rep.flows[0]
+        .cca
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Libra>())
+        .expect("downcast");
+    let inferences = libra.rl_decisions() as f64;
+    let cycles = libra.cycles() as f64;
+    assert!(cycles > 0.0);
+    // ≤ explore_ticks (2) per cycle, plus slack for early-exit cycles.
+    assert!(
+        inferences <= 3.0 * cycles + 10.0,
+        "inferences {inferences} vs cycles {cycles}"
+    );
+}
+
+#[test]
+fn winner_rate_is_always_positive_and_bounded() {
+    let rep = run_libra(30, 3);
+    let libra = rep.flows[0]
+        .cca
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Libra>())
+        .expect("downcast");
+    for rec in libra.log().records() {
+        assert!(rec.rate_mbps > 0.0, "{rec:?}");
+        assert!(rec.rate_mbps < 500.0, "{rec:?}");
+    }
+}
+
+#[test]
+fn early_exit_fires_under_capacity_steps() {
+    // A step scenario produces divergence between classic and RL rates,
+    // so at least some cycles should exit exploration early.
+    let secs = 40u64;
+    let link = step_link(Duration::from_secs(secs));
+    let until = Instant::from_secs(secs);
+    let mut sim = Simulation::new(link, 4);
+    sim.add_flow(FlowConfig::whole_run(Box::new(Libra::c_libra(agent(4))), until));
+    let rep = sim.run(until);
+    let libra = rep.flows[0]
+        .cca
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Libra>())
+        .expect("downcast");
+    // Not asserting a specific fraction — only that the mechanism is
+    // alive and bounded.
+    let frac = libra.log().early_exit_fraction();
+    assert!((0.0..=1.0).contains(&frac));
+    assert!(libra.cycles() > 5);
+}
+
+#[test]
+fn b_libra_uses_longer_stages_than_c_libra() {
+    let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+    let until = Instant::from_secs(30);
+    let run = |cca: Box<dyn CongestionControl>, seed| {
+        let mut sim = Simulation::new(link.clone(), seed);
+        sim.add_flow(FlowConfig::whole_run(cca, until));
+        sim.run(until)
+    };
+    let c = run(Box::new(Libra::c_libra(agent(5))), 5);
+    let b = run(Box::new(Libra::b_libra(agent(6))), 5);
+    let cycles = |rep: &SimReport| {
+        rep.flows[0]
+            .cca
+            .as_any()
+            .and_then(|a| a.downcast_ref::<Libra>())
+            .expect("downcast")
+            .cycles()
+    };
+    // B-Libra's 3-RTT stages → materially fewer cycles per second.
+    assert!(
+        cycles(&b) < cycles(&c),
+        "B-Libra {} vs C-Libra {}",
+        cycles(&b),
+        cycles(&c)
+    );
+}

@@ -1,0 +1,152 @@
+//! A second property-test battery: controller-level invariants under
+//! randomized event sequences (fuzzing the CCA implementations directly)
+//! and loss-process statistics.
+
+use libra::classic::{Bbr, Copa, Cubic, Dctcp, Illinois, NewReno, Vegas, Westwood};
+use libra::netsim::{GilbertElliott, LossProcess};
+use libra::prelude::*;
+use libra::types::{AckEvent, LossEvent, LossKind};
+use proptest::prelude::*;
+
+fn mk_ack(now_ms: u64, rtt_ms: u64, bytes: u64) -> AckEvent {
+    AckEvent {
+        now: Instant::from_millis(now_ms),
+        seq: 0,
+        bytes,
+        rtt: Duration::from_millis(rtt_ms),
+        min_rtt: Duration::from_millis(rtt_ms),
+        srtt: Duration::from_millis(rtt_ms),
+        sent_at: Instant::from_millis(now_ms.saturating_sub(rtt_ms)),
+        delivered_at_send: 0,
+        delivered: bytes,
+        in_flight: 10 * bytes,
+        app_limited: false,
+    }
+}
+
+fn mk_loss(now_ms: u64, kind: LossKind) -> LossEvent {
+    LossEvent {
+        now: Instant::from_millis(now_ms),
+        seq: 0,
+        bytes: 1500,
+        in_flight: 0,
+        kind,
+    }
+}
+
+/// Drive any controller through a random but time-ordered event tape and
+/// verify its outputs stay finite, positive and bounded.
+fn fuzz_controller(
+    mut cca: Box<dyn CongestionControl>,
+    tape: &[(u8, u64, u64)],
+) -> Result<(), TestCaseError> {
+    let mut t = 1u64;
+    for &(kind, dt, rtt) in tape {
+        t += dt % 500 + 1;
+        let rtt = 5 + rtt % 400;
+        match kind % 5 {
+            0 | 1 | 2 => cca.on_ack(&mk_ack(t, rtt, 1500)),
+            3 => cca.on_loss(&mk_loss(t, LossKind::FastRetransmit)),
+            _ => cca.on_loss(&mk_loss(t, LossKind::Timeout)),
+        }
+        let w = cca.cwnd_bytes();
+        prop_assert!(w >= 1500, "cwnd collapsed below one packet: {w}");
+        prop_assert!(w < u64::MAX, "cwnd overflow");
+        if let Some(r) = cca.pacing_rate() {
+            prop_assert!(r.bps().is_finite());
+            prop_assert!(r.bps() >= 0.0);
+        }
+        let est = cca.rate_estimate(Duration::from_millis(rtt));
+        prop_assert!(est.bps().is_finite());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn classic_controllers_survive_event_fuzzing(
+        tape in prop::collection::vec((0u8..=255, 0u64..500, 0u64..400), 1..300),
+        which in 0usize..8,
+    ) {
+        let cca: Box<dyn CongestionControl> = match which {
+            0 => Box::new(NewReno::new(1500)),
+            1 => Box::new(Cubic::new(1500)),
+            2 => Box::new(Bbr::new(1500)),
+            3 => Box::new(Vegas::new(1500)),
+            4 => Box::new(Westwood::new(1500)),
+            5 => Box::new(Illinois::new(1500)),
+            6 => Box::new(Copa::new(1500)),
+            _ => Box::new(Dctcp::new(1500)),
+        };
+        fuzz_controller(cca, &tape)?;
+    }
+
+    #[test]
+    fn set_rate_round_trips_for_window_ccas(
+        mbps in 0.5f64..300.0,
+        rtt_ms in 5u64..300,
+    ) {
+        // After set_rate(r, srtt), rate_estimate(srtt) ≈ r for every
+        // window-based classic (the contract Libra's cycle relies on).
+        let srtt = Duration::from_millis(rtt_ms);
+        let r = Rate::from_mbps(mbps);
+        let ccas: Vec<Box<dyn CongestionControl>> = vec![
+            Box::new(NewReno::new(1500)),
+            Box::new(Cubic::new(1500)),
+            Box::new(Vegas::new(1500)),
+            Box::new(Westwood::new(1500)),
+            Box::new(Illinois::new(1500)),
+            Box::new(Dctcp::new(1500)),
+        ];
+        for mut cca in ccas {
+            cca.set_rate(r, srtt);
+            let est = cca.rate_estimate(srtt);
+            // One MSS of quantization + the 2-packet floor.
+            let floor = Rate::from_bytes_over(3000, srtt);
+            let tolerance = Rate::from_bytes_over(1500, srtt) + floor;
+            prop_assert!(
+                est.abs_diff(r) <= tolerance || est <= floor + tolerance,
+                "{}: set {r} got {est}",
+                cca.name()
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_rate_matches_formula(
+        target in 0.005f64..0.2,
+        burst in 2.0f64..50.0,
+        seed in 0u64..100,
+    ) {
+        let ge = GilbertElliott::bursty(target, burst);
+        prop_assert!((ge.mean_loss() - target).abs() < 1e-9);
+        let mut p = LossProcess::GilbertElliott(ge);
+        let mut rng = DetRng::new(seed);
+        let n = 120_000u64;
+        let drops = (0..n).filter(|_| p.drop(&mut rng)).count() as f64;
+        let rate = drops / n as f64;
+        // Statistical tolerance: ±40 % relative or ±0.01 absolute.
+        prop_assert!(
+            (rate - target).abs() < (0.4 * target).max(0.01),
+            "target {target}, measured {rate}"
+        );
+    }
+
+    #[test]
+    fn utility_optimal_rate_is_scale_consistent(
+        grad in 1e-4f64..1.0,
+        loss in 0.0f64..0.5,
+    ) {
+        // The closed-form optimum must actually beat its neighbours.
+        let p = UtilityParams::default();
+        if let Some(x) = p.optimal_rate_mbps(grad, loss) {
+            prop_assert!(x.is_finite() && x >= 0.0);
+            let u = p.evaluate(x, grad, loss);
+            for factor in [0.9, 1.1] {
+                prop_assert!(u + 1e-9 >= p.evaluate(x * factor, grad, loss));
+            }
+        }
+    }
+}

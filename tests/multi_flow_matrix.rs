@@ -1,0 +1,87 @@
+//! A small pairwise-competition matrix: representative CCAs competing on
+//! one bottleneck — checks that no pairing deadlocks the simulator and
+//! that the aggregate never exceeds capacity.
+
+use libra::core::Libra;
+use libra::prelude::*;
+use std::{cell::RefCell, rc::Rc};
+
+fn agent(seed: u64) -> Rc<RefCell<PpoAgent>> {
+    let mut rng = DetRng::new(seed);
+    let mut a = PpoAgent::new(Libra::ppo_config(), &mut rng);
+    a.set_eval(true);
+    Rc::new(RefCell::new(a))
+}
+
+fn build(name: &str, seed: u64) -> Box<dyn CongestionControl> {
+    match name {
+        "cubic" => Box::new(Cubic::new(1500)),
+        "bbr" => Box::new(Bbr::new(1500)),
+        "vegas" => Box::new(Vegas::new(1500)),
+        "copa" => Box::new(Copa::new(1500)),
+        "vivace" => Box::new(Pcc::vivace()),
+        "libra" => Box::new(Libra::c_libra(agent(seed))),
+        other => panic!("unknown cca {other}"),
+    }
+}
+
+#[test]
+fn pairwise_matrix_is_stable() {
+    let names = ["cubic", "bbr", "vegas", "copa", "vivace", "libra"];
+    let cap_mbps = 24.0;
+    for (i, a) in names.iter().enumerate() {
+        for b in names.iter().skip(i) {
+            let link =
+                LinkConfig::constant(Rate::from_mbps(cap_mbps), Duration::from_millis(40), 1.0);
+            let until = Instant::from_secs(15);
+            let seed = (i as u64 + 1) * 97;
+            let mut sim = Simulation::new(link, seed);
+            sim.add_flow(FlowConfig::whole_run(build(a, seed), until));
+            sim.add_flow(FlowConfig::whole_run(build(b, seed + 1), until));
+            let rep = sim.run(until);
+            let total: f64 = rep.flows.iter().map(|f| f.avg_goodput.mbps()).sum();
+            assert!(
+                total <= cap_mbps * 1.02,
+                "{a} vs {b}: total goodput {total} exceeds capacity"
+            );
+            assert!(
+                total > 0.3 * cap_mbps,
+                "{a} vs {b}: link badly under-used ({total} Mbps)"
+            );
+            for f in &rep.flows {
+                assert!(
+                    f.delivered_bytes > 0,
+                    "{a} vs {b}: flow {} starved to zero",
+                    f.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn delay_based_ccas_yield_to_loss_based_but_survive() {
+    // The classic inter-protocol pathology: Vegas/Copa vs CUBIC. They
+    // lose, but our simulator must show them keeping *some* share.
+    let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+    let until = Instant::from_secs(30);
+    for (name, delay_cca) in [
+        ("vegas", Box::new(Vegas::new(1500)) as Box<dyn CongestionControl>),
+        ("copa", Box::new(Copa::new(1500))),
+    ] {
+        let mut sim = Simulation::new(link.clone(), 11);
+        sim.add_flow(FlowConfig::whole_run(delay_cca, until));
+        sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
+        let rep = sim.run(until);
+        let delay_share = rep.flows[0].avg_goodput.mbps()
+            / (rep.flows[0].avg_goodput.mbps() + rep.flows[1].avg_goodput.mbps());
+        assert!(
+            delay_share < 0.6,
+            "{name} should not dominate CUBIC: share {delay_share}"
+        );
+        assert!(
+            rep.flows[0].avg_goodput.mbps() > 0.2,
+            "{name} starved completely"
+        );
+    }
+}

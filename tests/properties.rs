@@ -1,0 +1,166 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! simulator conservation laws, capacity-schedule arithmetic, utility
+//! function shape, and the Theorem 4.1 game.
+
+use libra::core::equilibrium::{DroptailGame, LibraDynamics};
+use libra::netsim::{CapacitySchedule, FlowConfig, LinkConfig, Simulation};
+use libra::types::{
+    jain_index, CongestionControl, Duration, Instant, Rate, UtilityParams,
+};
+use proptest::prelude::*;
+
+/// Fixed-rate controller for conservation tests.
+struct FixedRate(Rate);
+impl CongestionControl for FixedRate {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+    fn on_ack(&mut self, _: &libra::types::AckEvent) {}
+    fn on_loss(&mut self, _: &libra::types::LossEvent) {}
+    fn cwnd_bytes(&self) -> u64 {
+        u64::MAX / 2
+    }
+    fn pacing_rate(&self) -> Option<Rate> {
+        Some(self.0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No bytes are created: delivered ≤ sent, and every sent packet is
+    /// acked, lost, or still in flight.
+    #[test]
+    fn simulator_conserves_bytes(
+        rate_mbps in 1.0f64..40.0,
+        cap_mbps in 2.0f64..50.0,
+        rtt_ms in 10u64..120,
+        loss in 0.0f64..0.2,
+        seed in 0u64..1000,
+    ) {
+        let mut link = LinkConfig::constant(
+            Rate::from_mbps(cap_mbps),
+            Duration::from_millis(rtt_ms),
+            1.0,
+        );
+        link.stochastic_loss = loss;
+        let until = Instant::from_secs(5);
+        let mut sim = Simulation::new(link, seed);
+        sim.add_flow(FlowConfig::whole_run(
+            Box::new(FixedRate(Rate::from_mbps(rate_mbps))),
+            until,
+        ));
+        let rep = sim.run(until);
+        let f = &rep.flows[0];
+        prop_assert!(f.delivered_bytes <= f.sent_bytes);
+        let resolved = f.acked_packets + f.lost_packets;
+        prop_assert!(resolved * 1500 <= f.sent_bytes);
+        // Utilization is a valid fraction.
+        prop_assert!((0.0..=1.0).contains(&rep.link.utilization));
+        // Mean RTT can never undercut propagation.
+        if f.rtt_ms.count() > 0 {
+            prop_assert!(f.rtt_ms.mean() >= rtt_ms as f64 - 1e-6);
+        }
+    }
+
+    /// Capacity integration: what `service_finish` serializes over a span
+    /// never exceeds what `capacity_bytes` says the span could carry.
+    #[test]
+    fn capacity_schedule_consistency(
+        seg_rates in prop::collection::vec(0.5f64..100.0, 1..6),
+        bytes in 100u64..100_000,
+    ) {
+        let segments: Vec<(Instant, Rate)> = seg_rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (Instant::from_secs(i as u64), Rate::from_mbps(r)))
+            .collect();
+        let sched = CapacitySchedule::from_segments(segments);
+        let finish = sched.service_finish(Instant::ZERO, bytes);
+        prop_assert!(finish > Instant::ZERO);
+        let capacity = sched.capacity_bytes(Instant::ZERO, finish);
+        // The serialized bytes match the integral (within rounding).
+        prop_assert!((capacity - bytes as f64).abs() < 2.0,
+            "capacity {capacity} vs bytes {bytes}");
+    }
+
+    /// The utility function is strictly concave in rate on a clean link
+    /// and monotonically penalized by gradient and loss.
+    #[test]
+    fn utility_shape(
+        x in 0.5f64..200.0,
+        delta in 0.1f64..50.0,
+        grad in 0.0f64..2.0,
+        loss in 0.0f64..1.0,
+    ) {
+        let p = UtilityParams::default();
+        // Midpoint concavity.
+        let mid = p.evaluate(x + delta / 2.0, 0.0, 0.0);
+        let chord = (p.evaluate(x, 0.0, 0.0) + p.evaluate(x + delta, 0.0, 0.0)) / 2.0;
+        prop_assert!(mid >= chord - 1e-12);
+        // Penalties only hurt.
+        prop_assert!(p.evaluate(x, grad, loss) <= p.evaluate(x, 0.0, 0.0) + 1e-12);
+        // And scale with rate.
+        if grad > 0.0 || loss > 0.0 {
+            let penalty_small = p.evaluate(x, 0.0, 0.0) - p.evaluate(x, grad, loss);
+            let penalty_large = p.evaluate(2.0 * x, 0.0, 0.0) - p.evaluate(2.0 * x, grad, loss);
+            prop_assert!(penalty_large >= penalty_small - 1e-9);
+        }
+    }
+
+    /// Jain's index is always in (0, 1] and equals 1 for equal rates.
+    #[test]
+    fn jain_index_bounds(xs in prop::collection::vec(0.0f64..100.0, 1..10)) {
+        let j = jain_index(&xs);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12);
+        let n = xs.len();
+        let equal = vec![5.0; n];
+        prop_assert!((jain_index(&equal) - 1.0).abs() < 1e-12);
+    }
+
+    /// Theorem 4.1 (numeric): the fair split admits no profitable
+    /// deviation, and Lemma A.4 dynamics never widen rate differences.
+    #[test]
+    fn equilibrium_properties(
+        cap in 5.0f64..150.0,
+        n in 2usize..5,
+        hog in 0.1f64..0.9,
+    ) {
+        let game = DroptailGame::new(cap);
+        let fair = vec![cap / n as f64; n];
+        prop_assert!(game.max_deviation_gain(&fair) < 1e-2);
+
+        let dynamics = LibraDynamics::new(cap);
+        let mut rates: Vec<f64> = vec![cap * (1.0 - hog) / (n as f64 - 1.0); n];
+        rates[0] = cap * hog;
+        let mut prev = LibraDynamics::abs_diff(&rates);
+        for _ in 0..50 {
+            dynamics.step(&mut rates);
+            let d = LibraDynamics::abs_diff(&rates);
+            prop_assert!(d <= prev + 1e-9);
+            prev = d;
+        }
+    }
+
+    /// Time arithmetic: (a + d) − a == d and ordering is preserved.
+    #[test]
+    fn time_arithmetic_laws(a_ns in 0u64..u64::MAX / 4, d_ns in 0u64..u64::MAX / 4) {
+        let a = Instant::from_nanos(a_ns);
+        let d = Duration::from_nanos(d_ns);
+        prop_assert_eq!((a + d) - a, d);
+        prop_assert!(a + d >= a);
+        prop_assert_eq!(a.saturating_since(a + d), Duration::ZERO);
+    }
+
+    /// Rate arithmetic: transmit_time and bytes_in are inverse-ish.
+    #[test]
+    fn rate_inverse_laws(mbps in 0.1f64..1000.0, bytes in 1u64..10_000_000) {
+        let r = Rate::from_mbps(mbps);
+        let t = r.transmit_time(bytes);
+        let back = r.bytes_in(t);
+        // Integer flooring may lose at most a handful of bytes.
+        prop_assert!(back <= bytes);
+        prop_assert!(bytes - back <= (mbps.ceil() as u64).max(2),
+            "bytes {bytes} back {back}");
+    }
+}

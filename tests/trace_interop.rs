@@ -1,0 +1,78 @@
+//! Cross-crate tests of the Mahimahi trace interop and the trace
+//! generators feeding real simulations.
+
+use libra::netsim::{capacity_from_mahimahi, capacity_to_mahimahi, lte_trace};
+use libra::prelude::*;
+
+#[test]
+fn synthetic_lte_round_trips_through_mahimahi_format() {
+    let total = Duration::from_secs(20);
+    let mut rng = DetRng::new(1);
+    let synthetic = lte_trace(LteScenario::Walking, total, &mut rng);
+    let text = capacity_to_mahimahi(&synthetic, total);
+    let replay = capacity_from_mahimahi(&text, Duration::from_millis(100), total).expect("parse");
+    // Mean capacity preserved within a few percent.
+    let a = synthetic.mean_rate(Instant::ZERO, Instant::from_secs(20)).mbps();
+    let b = replay.mean_rate(Instant::ZERO, Instant::from_secs(20)).mbps();
+    assert!((a - b).abs() < 0.05 * a + 0.5, "synthetic {a} vs replay {b}");
+}
+
+#[test]
+fn cubic_behaves_equivalently_on_replayed_trace() {
+    let total_s = 15u64;
+    let total = Duration::from_secs(total_s);
+    let mut rng = DetRng::new(2);
+    let synthetic = lte_trace(LteScenario::Stationary, total, &mut rng);
+    let text = capacity_to_mahimahi(&synthetic, total);
+    let replay = capacity_from_mahimahi(&text, Duration::from_millis(100), total).expect("parse");
+    let run = |capacity: CapacitySchedule| {
+        let link = LinkConfig {
+            capacity,
+            one_way_delay: Duration::from_millis(15),
+            buffer: libra::types::Bytes::from_kb(150),
+            stochastic_loss: 0.0,
+            ack_jitter: Duration::ZERO,
+            loss_process: None,
+            ecn: None,
+        };
+        let until = Instant::from_secs(total_s);
+        let mut sim = Simulation::new(link, 3);
+        sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
+        sim.run(until)
+    };
+    let orig = run(synthetic);
+    let back = run(replay);
+    assert!(
+        (orig.link.utilization - back.link.utilization).abs() < 0.12,
+        "orig {} vs replay {}",
+        orig.link.utilization,
+        back.link.utilization
+    );
+}
+
+#[test]
+fn mahimahi_trace_drives_a_simulation_directly() {
+    // A hand-written 6 Mbps trace: one opportunity every 2 ms.
+    let text: String = (0..2000u64).map(|k| format!("{}\n", 2 * k)).collect();
+    let capacity =
+        capacity_from_mahimahi(&text, Duration::from_millis(100), Duration::from_secs(10))
+            .expect("parse");
+    let link = LinkConfig {
+        capacity,
+        one_way_delay: Duration::from_millis(20),
+        buffer: libra::types::Bytes::from_kb(60),
+        stochastic_loss: 0.0,
+        ack_jitter: Duration::ZERO,
+        loss_process: None,
+        ecn: None,
+    };
+    let until = Instant::from_secs(10);
+    let mut sim = Simulation::new(link, 4);
+    sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
+    let rep = sim.run(until);
+    assert!(
+        (rep.flows[0].avg_goodput.mbps() - 6.0).abs() < 1.2,
+        "goodput {}",
+        rep.flows[0].avg_goodput.mbps()
+    );
+}
