@@ -8,9 +8,7 @@ use libra_classic::{Bbr, Cubic};
 use libra_core::Libra;
 use libra_learned::{RlCca, RlCcaConfig};
 use libra_rl::PpoAgent;
-use libra_types::{
-    AckEvent, CongestionControl, DetRng, Duration, Instant, MiStats, Rate,
-};
+use libra_types::{AckEvent, CongestionControl, DetRng, Duration, Instant, MiStats, Rate};
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;

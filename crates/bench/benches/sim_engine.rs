@@ -13,8 +13,7 @@ fn bench_simulation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cubic_10s_24mbps", |b| {
         b.iter(|| {
-            let link =
-                LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+            let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
             let until = Instant::from_secs(10);
             let mut sim = Simulation::new(link, 7);
             sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
@@ -23,8 +22,7 @@ fn bench_simulation(c: &mut Criterion) {
     });
     group.bench_function("three_cubic_flows_10s", |b| {
         b.iter(|| {
-            let link =
-                LinkConfig::constant(Rate::from_mbps(48.0), Duration::from_millis(40), 1.0);
+            let link = LinkConfig::constant(Rate::from_mbps(48.0), Duration::from_millis(40), 1.0);
             let until = Instant::from_secs(10);
             let mut sim = Simulation::new(link, 7);
             for _ in 0..3 {

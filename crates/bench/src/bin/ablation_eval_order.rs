@@ -34,8 +34,8 @@ fn main() {
                     eval_order: order,
                     ..LibraParams::for_cubic()
                 };
-                let libra = LibraVariant::Cubic
-                    .build_with_params(params, Rc::new(RefCell::new(agent)));
+                let libra =
+                    LibraVariant::Cubic.build_with_params(params, Rc::new(RefCell::new(agent)));
                 let until = Instant::from_secs(secs);
                 let mut sim = Simulation::new(scenario.link(args.seed + k), args.seed + k);
                 sim.add_flow(FlowConfig::whole_run(Box::new(libra), until));

@@ -9,7 +9,14 @@ fn main() {
     let args = BenchArgs::parse();
     let mut table = Table::new(
         "Appendix A: equilibrium checks per capacity / sender count",
-        &["C (Mbps)", "n", "fair dev. gain", "BR total S", "dyn spread", "dyn total S"],
+        &[
+            "C (Mbps)",
+            "n",
+            "fair dev. gain",
+            "BR total S",
+            "dyn spread",
+            "dyn total S",
+        ],
     );
     let caps = if args.quick {
         vec![48.0]

@@ -68,7 +68,8 @@ fn main() {
         &["cca", "utilization", "avg delay (µs)", "ecn echoes", "loss"],
     );
     let until = Instant::from_secs(args.scaled(10, 3));
-    let candidates: Vec<(&str, Box<dyn Fn(&mut ModelStore) -> Box<dyn CongestionControl>>)> = vec![
+    type CcaFactory = Box<dyn Fn(&mut ModelStore) -> Box<dyn CongestionControl>>;
+    let candidates: Vec<(&str, CcaFactory)> = vec![
         ("CUBIC", Box::new(|s: &mut ModelStore| Cca::Cubic.build(s))),
         ("DCTCP", Box::new(|_| Box::new(Dctcp::new(1500)))),
         (

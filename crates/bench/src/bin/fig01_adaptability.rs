@@ -22,11 +22,15 @@ fn main() {
     ];
     let mut util = Table::new(
         "Fig. 1 (top): link utilization per scenario",
-        &["scenario", "CUBIC", "BBR", "Orca", "Proteus", "C-Libra", "B-Libra"],
+        &[
+            "scenario", "CUBIC", "BBR", "Orca", "Proteus", "C-Libra", "B-Libra",
+        ],
     );
     let mut delay = Table::new(
         "Fig. 1 (bottom): average delay (ms) per scenario",
-        &["scenario", "CUBIC", "BBR", "Orca", "Proteus", "C-Libra", "B-Libra"],
+        &[
+            "scenario", "CUBIC", "BBR", "Orca", "Proteus", "C-Libra", "B-Libra",
+        ],
     );
     for scenario in fig1_set(secs) {
         let mut urow = vec![scenario.name.clone()];

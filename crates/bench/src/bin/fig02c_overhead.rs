@@ -14,9 +14,8 @@ use libra_types::Preference;
 fn memory_units(cca: Cca) -> f64 {
     let ppo = |cfg: libra_rl::PpoConfig| {
         // actor + critic parameter counts from the layer sizes.
-        let count = |sizes: &[usize]| -> usize {
-            sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
-        };
+        let count =
+            |sizes: &[usize]| -> usize { sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum() };
         (count(&cfg.actor_sizes()) + count(&cfg.critic_sizes())) as f64
     };
     match cca {

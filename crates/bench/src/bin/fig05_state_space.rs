@@ -45,7 +45,11 @@ fn main() {
         };
         let r = train_rl_cca(&cfg, &tc);
         let tail = tail_reward(&r.curve);
-        table.row(vec![name.to_string(), labels.join(""), format!("{tail:.2}")]);
+        table.row(vec![
+            name.to_string(),
+            labels.join(""),
+            format!("{tail:.2}"),
+        ]);
         results.push((name, tail));
         // Smoothed reward curve (window of 8) for plotting.
         let pts: Vec<(f64, f64)> = r
@@ -63,7 +67,11 @@ fn main() {
     }
     table.emit("fig05_state_space");
     libra_bench::write_artifact("fig05_curves.csv", &series_csv(&series));
-    let libra = results.iter().find(|(n, _)| *n == "Libra").expect("libra ran").1;
+    let libra = results
+        .iter()
+        .find(|(n, _)| *n == "Libra")
+        .expect("libra ran")
+        .1;
     let best_other = results
         .iter()
         .filter(|(n, _)| *n != "Libra")

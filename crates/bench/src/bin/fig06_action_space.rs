@@ -3,9 +3,7 @@
 //! small-scale AIAD lags.
 
 use libra_bench::{series_csv, BenchArgs, Table};
-use libra_learned::{
-    tail_reward, train_rl_cca, ActionSpace, EnvRanges, RlCcaConfig, TrainConfig,
-};
+use libra_learned::{tail_reward, train_rl_cca, ActionSpace, EnvRanges, RlCcaConfig, TrainConfig};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -44,7 +42,7 @@ fn main() {
         };
         let r = train_rl_cca(&cfg, &tc);
         // Early-learning indicator: mean reward of the first half.
-        let half = &r.curve[..r.curve.len() / 2.max(1)];
+        let half = &r.curve[..r.curve.len() / 2];
         let half_mean = if half.is_empty() {
             0.0
         } else {

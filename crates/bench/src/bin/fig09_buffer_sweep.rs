@@ -25,7 +25,9 @@ fn main() {
     };
     let mut table = Table::new(
         "Fig. 9: buffer sweep (utilization | avg delay ms)",
-        &["buffer", "Proteus", "BBR", "Copa", "CUBIC", "Orca", "C-Libra", "B-Libra"],
+        &[
+            "buffer", "Proteus", "BBR", "Copa", "CUBIC", "Orca", "C-Libra", "B-Libra",
+        ],
     );
     for &kb in buffers_kb {
         let mut row = vec![format!("{kb}KB")];

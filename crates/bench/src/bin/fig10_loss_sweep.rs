@@ -25,7 +25,9 @@ fn main() {
     };
     let mut table = Table::new(
         "Fig. 10: link utilization vs stochastic loss",
-        &["loss", "Proteus", "BBR", "Copa", "CUBIC", "Orca", "C-Libra", "B-Libra"],
+        &[
+            "loss", "Proteus", "BBR", "Copa", "CUBIC", "Orca", "C-Libra", "B-Libra",
+        ],
     );
     for &p in losses {
         let mut row = vec![format!("{:.0}%", p * 100.0)];

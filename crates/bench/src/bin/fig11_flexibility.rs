@@ -25,7 +25,10 @@ fn main() {
             &["cca", "utilization", "avg delay (ms)"],
         );
         for pref in Preference::ALL {
-            for mk in [Cca::CLibra as fn(Preference) -> Cca, Cca::BLibra as fn(Preference) -> Cca] {
+            for mk in [
+                Cca::CLibra as fn(Preference) -> Cca,
+                Cca::BLibra as fn(Preference) -> Cca,
+            ] {
                 let cca = mk(pref);
                 let mut util = 0.0;
                 let mut delay = 0.0;
@@ -58,9 +61,19 @@ fn main() {
         &["cca", "throughput ratio", "avg delay (ms)"],
     );
     for pref in Preference::ALL {
-        for mk in [Cca::CLibra as fn(Preference) -> Cca, Cca::BLibra as fn(Preference) -> Cca] {
+        for mk in [
+            Cca::CLibra as fn(Preference) -> Cca,
+            Cca::BLibra as fn(Preference) -> Cca,
+        ] {
             let cca = mk(pref);
-            let rep = run_pair(cca, Cca::Cubic, &mut store, fairness_link(), secs, args.seed);
+            let rep = run_pair(
+                cca,
+                Cca::Cubic,
+                &mut store,
+                fairness_link(),
+                secs,
+                args.seed,
+            );
             let a = rep.flows[0].avg_goodput.mbps();
             let b = rep.flows[1].avg_goodput.mbps();
             let share = if a + b > 0.0 { a / (a + b) } else { 0.0 };

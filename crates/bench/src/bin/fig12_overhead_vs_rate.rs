@@ -36,8 +36,7 @@ fn main() {
     for &mbps in rates {
         let mut row = vec![format!("{mbps:.0}Mbps")];
         for cca in ccas {
-            let link =
-                LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(40), 1.0);
+            let link = LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(40), 1.0);
             let rep = run_single(cca, &mut store, link, secs, args.seed + mbps as u64);
             let cpu = rep.flows[0].compute_ns as f64 / 1e3 / rep.duration.as_secs_f64();
             row.push(format!("{cpu:.1}"));

@@ -25,7 +25,14 @@ fn main() {
         &["cca under test", "test share", "cubic share", "jain index"],
     );
     for cca in ccas {
-        let rep = run_pair(cca, Cca::Cubic, &mut store, fairness_link(), secs, args.seed);
+        let rep = run_pair(
+            cca,
+            Cca::Cubic,
+            &mut store,
+            fairness_link(),
+            secs,
+            args.seed,
+        );
         let a = rep.flows[0].avg_goodput.mbps();
         let b = rep.flows[1].avg_goodput.mbps();
         let total = (a + b).max(1e-9);

@@ -4,8 +4,7 @@
 //! plus the per-flow throughput series.
 
 use libra_bench::{
-    convergence_stats, fairness_link, run_staggered, series_csv, BenchArgs, Cca, ModelStore,
-    Table,
+    convergence_stats, fairness_link, run_staggered, series_csv, BenchArgs, Cca, ModelStore, Table,
 };
 use libra_types::{Duration, Preference};
 
@@ -25,7 +24,13 @@ fn main() {
     ];
     let mut table = Table::new(
         "Tab. 5: convergence of the third flow (starts at 10 s)",
-        &["cca", "conv. time (s)", "thr. deviation (Mbps)", "avg throughput (Mbps)", "jain"],
+        &[
+            "cca",
+            "conv. time (s)",
+            "thr. deviation (Mbps)",
+            "avg throughput (Mbps)",
+            "jain",
+        ],
     );
     for cca in ccas {
         let rep = run_staggered(

@@ -51,9 +51,6 @@ fn main() {
                 format!("{:.3}", loss),
             ]);
         }
-        table.emit(&format!(
-            "fig16_{}",
-            scenario.name.replace('-', "_")
-        ));
+        table.emit(&format!("fig16_{}", scenario.name.replace('-', "_")));
     }
 }

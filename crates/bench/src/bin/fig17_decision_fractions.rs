@@ -3,9 +3,7 @@
 //! cellular and wired scenarios — the "no single CCA wins everywhere"
 //! deep dive.
 
-use libra_bench::{
-    lte_tmobile, run_single, step_scenario, BenchArgs, Cca, ModelStore, Table,
-};
+use libra_bench::{lte_tmobile, run_single, step_scenario, BenchArgs, Cca, ModelStore, Table};
 use libra_core::Libra;
 use libra_netsim::wired_link;
 use libra_types::Preference;
@@ -15,7 +13,10 @@ fn main() {
     let secs = args.scaled(40, 10);
     let trials = args.scaled(10, 2);
     let mut store = ModelStore::new(args.seed);
-    for cca in [Cca::CLibra(Preference::Default), Cca::BLibra(Preference::Default)] {
+    for cca in [
+        Cca::CLibra(Preference::Default),
+        Cca::BLibra(Preference::Default),
+    ] {
         let mut table = Table::new(
             &format!("Fig. 17 ({}): fraction of applied decisions", cca.label()),
             &["scenario", "x_prev", "x_rl", "x_cl", "cycles", "early-exit"],

@@ -71,9 +71,27 @@ fn main() {
         ("C", Cca::CLibra(Preference::Default), Cca::Cubic),
         ("B", Cca::BLibra(Preference::Default), Cca::Bbr),
     ] {
-        let libra_rep = run_single(libra_cca, &mut store, scenario.link(args.seed), secs, args.seed);
-        let classic_rep = run_single(classic_cca, &mut store, scenario.link(args.seed), secs, args.seed);
-        let cl_rep = run_single(Cca::CleanSlateLibra, &mut store, scenario.link(args.seed), secs, args.seed);
+        let libra_rep = run_single(
+            libra_cca,
+            &mut store,
+            scenario.link(args.seed),
+            secs,
+            args.seed,
+        );
+        let classic_rep = run_single(
+            classic_cca,
+            &mut store,
+            scenario.link(args.seed),
+            secs,
+            args.seed,
+        );
+        let cl_rep = run_single(
+            Cca::CleanSlateLibra,
+            &mut store,
+            scenario.link(args.seed),
+            secs,
+            args.seed,
+        );
         let u_libra = utility_series(&libra_rep.flows[0], &params);
         let u_classic = utility_series(&classic_rep.flows[0], &params);
         let u_cl = utility_series(&cl_rep.flows[0], &params);

@@ -38,7 +38,14 @@ fn main() {
         .partition(|s| s.name.starts_with("Wired"));
 
     // Fig. 19: stage-duration combinations [k, EI, k].
-    let combos: &[(f64, f64)] = &[(1.0, 0.5), (1.0, 1.0), (2.0, 0.5), (2.0, 1.0), (3.0, 0.5), (3.0, 1.0)];
+    let combos: &[(f64, f64)] = &[
+        (1.0, 0.5),
+        (1.0, 1.0),
+        (2.0, 0.5),
+        (2.0, 1.0),
+        (3.0, 0.5),
+        (3.0, 1.0),
+    ];
     let mut fig19 = Table::new(
         "Fig. 19: C-Libra under different stage durations (util | delay ms)",
         &["duration [k, EI, k] (RTT)", "wired", "cellular"],
@@ -54,14 +61,19 @@ fn main() {
         for set in [&wired, &cellular] {
             let (mut u, mut d) = (0.0, 0.0);
             for s in set.iter() {
-                let (uu, dd) = run_with_params(params, &mut store, s.link(args.seed), secs, args.seed);
+                let (uu, dd) =
+                    run_with_params(params, &mut store, s.link(args.seed), secs, args.seed);
                 u += uu;
                 d += dd;
             }
             let n = set.len() as f64;
             cells.push(format!("{:.3} | {:.1}", u / n, d / n));
         }
-        fig19.row(vec![format!("[{k}, {ei}, {k}]"), cells[0].clone(), cells[1].clone()]);
+        fig19.row(vec![
+            format!("[{k}, {ei}, {k}]"),
+            cells[0].clone(),
+            cells[1].clone(),
+        ]);
     }
     fig19.emit("fig19_durations");
 
@@ -78,7 +90,8 @@ fn main() {
             };
             let (mut u, mut d) = (0.0, 0.0);
             for s in set.iter() {
-                let (uu, dd) = run_with_params(params, &mut store, s.link(args.seed), secs, args.seed);
+                let (uu, dd) =
+                    run_with_params(params, &mut store, s.link(args.seed), secs, args.seed);
                 u += uu;
                 d += dd;
             }

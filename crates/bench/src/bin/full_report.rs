@@ -4,8 +4,8 @@
 
 use libra_bench::{run_repeated, BenchArgs, Cca, ModelStore, Table};
 use libra_netsim::{
-    fiveg_link, lte_link, satellite_link, step_link, wan_link, wired_link, LinkConfig,
-    LteScenario, WanScenario,
+    fiveg_link, lte_link, satellite_link, step_link, wan_link, wired_link, LinkConfig, LteScenario,
+    WanScenario,
 };
 use libra_types::{DetRng, Duration, Preference};
 
@@ -14,7 +14,8 @@ fn main() {
     let secs = args.scaled(30, 8);
     let repeats = args.scaled(3, 1);
     let mut store = ModelStore::new(args.seed);
-    let families: Vec<(&str, Box<dyn Fn(u64) -> LinkConfig>)> = vec![
+    type LinkFactory = Box<dyn Fn(u64) -> LinkConfig>;
+    let families: Vec<(&str, LinkFactory)> = vec![
         ("wired-24", Box::new(|_| wired_link(24.0))),
         ("wired-96", Box::new(|_| wired_link(96.0))),
         (
@@ -31,12 +32,19 @@ fn main() {
                 lte_link(LteScenario::Driving, Duration::from_secs(secs), &mut rng)
             }),
         ),
-        ("step", Box::new(move |_| step_link(Duration::from_secs(secs)))),
+        (
+            "step",
+            Box::new(move |_| step_link(Duration::from_secs(secs))),
+        ),
         (
             "wan-inter",
             Box::new(move |seed| {
                 let mut rng = DetRng::new(seed ^ 0xF02);
-                wan_link(WanScenario::InterContinental, Duration::from_secs(secs), &mut rng)
+                wan_link(
+                    WanScenario::InterContinental,
+                    Duration::from_secs(secs),
+                    &mut rng,
+                )
             }),
         ),
         (

@@ -39,15 +39,94 @@ fn main() {
     use Feature::*;
     // The paper's Tab. 2 rows: baseline ± feature groups.
     let variants: Vec<(&'static str, Vec<Feature>)> = vec![
-        ("Baseline", vec![SendingRate, RttAndMinRtt, LossRate, LatencyGradient, DeliveryRate]),
-        ("-(vi)", vec![SendingRate, LossRate, LatencyGradient, DeliveryRate]),
-        ("+(i)(ii)", vec![AckInterarrivalEwma, SendInterarrivalEwma, SendingRate, RttAndMinRtt, LossRate, LatencyGradient, DeliveryRate]),
-        ("+(i)(ii)(iii)", vec![AckInterarrivalEwma, SendInterarrivalEwma, RttRatio, SendingRate, RttAndMinRtt, LossRate, LatencyGradient, DeliveryRate]),
-        ("+(ii)(iii)(v)-(iv)", vec![SendInterarrivalEwma, RttRatio, SentAckedRatio, RttAndMinRtt, LossRate, LatencyGradient, DeliveryRate]),
-        ("+(iii)", vec![RttRatio, SendingRate, RttAndMinRtt, LossRate, LatencyGradient, DeliveryRate]),
-        ("+(ii)", vec![SendInterarrivalEwma, SendingRate, RttAndMinRtt, LossRate, LatencyGradient, DeliveryRate]),
-        ("+(i)", vec![AckInterarrivalEwma, SendingRate, RttAndMinRtt, LossRate, LatencyGradient, DeliveryRate]),
-        ("-(ix)", vec![SendingRate, RttAndMinRtt, LossRate, LatencyGradient]),
+        (
+            "Baseline",
+            vec![
+                SendingRate,
+                RttAndMinRtt,
+                LossRate,
+                LatencyGradient,
+                DeliveryRate,
+            ],
+        ),
+        (
+            "-(vi)",
+            vec![SendingRate, LossRate, LatencyGradient, DeliveryRate],
+        ),
+        (
+            "+(i)(ii)",
+            vec![
+                AckInterarrivalEwma,
+                SendInterarrivalEwma,
+                SendingRate,
+                RttAndMinRtt,
+                LossRate,
+                LatencyGradient,
+                DeliveryRate,
+            ],
+        ),
+        (
+            "+(i)(ii)(iii)",
+            vec![
+                AckInterarrivalEwma,
+                SendInterarrivalEwma,
+                RttRatio,
+                SendingRate,
+                RttAndMinRtt,
+                LossRate,
+                LatencyGradient,
+                DeliveryRate,
+            ],
+        ),
+        (
+            "+(ii)(iii)(v)-(iv)",
+            vec![
+                SendInterarrivalEwma,
+                RttRatio,
+                SentAckedRatio,
+                RttAndMinRtt,
+                LossRate,
+                LatencyGradient,
+                DeliveryRate,
+            ],
+        ),
+        (
+            "+(iii)",
+            vec![
+                RttRatio,
+                SendingRate,
+                RttAndMinRtt,
+                LossRate,
+                LatencyGradient,
+                DeliveryRate,
+            ],
+        ),
+        (
+            "+(ii)",
+            vec![
+                SendInterarrivalEwma,
+                SendingRate,
+                RttAndMinRtt,
+                LossRate,
+                LatencyGradient,
+                DeliveryRate,
+            ],
+        ),
+        (
+            "+(i)",
+            vec![
+                AckInterarrivalEwma,
+                SendingRate,
+                RttAndMinRtt,
+                LossRate,
+                LatencyGradient,
+                DeliveryRate,
+            ],
+        ),
+        (
+            "-(ix)",
+            vec![SendingRate, RttAndMinRtt, LossRate, LatencyGradient],
+        ),
     ];
     let mut results = Vec::new();
     for (name, feats) in &variants {

@@ -3,9 +3,7 @@
 //! paper measures 37.5 % loss and ~2× latency).
 
 use libra_bench::{BenchArgs, Table};
-use libra_learned::{
-    train_rl_cca, EnvRanges, RewardSource, RewardSpec, RlCcaConfig, TrainConfig,
-};
+use libra_learned::{train_rl_cca, EnvRanges, RewardSource, RewardSpec, RlCcaConfig, TrainConfig};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -16,10 +14,7 @@ fn main() {
         buffer_kb: (1250, 1250),
         loss: (0.0, 0.0),
     };
-    let variants = [
-        ("with loss rate", true),
-        ("w/o loss rate", false),
-    ];
+    let variants = [("with loss rate", true), ("w/o loss rate", false)];
     let mut table = Table::new(
         "Tab. 3: loss term in the reward",
         &["setting", "throughput (Mbps)", "latency (ms)", "loss rate"],
@@ -46,9 +41,15 @@ fn main() {
         let m = tail.len() as f64;
         table.row(vec![
             name.to_string(),
-            format!("{:.1}", 100.0 * tail.iter().map(|e| e.utilization).sum::<f64>() / m),
+            format!(
+                "{:.1}",
+                100.0 * tail.iter().map(|e| e.utilization).sum::<f64>() / m
+            ),
             format!("{:.0}", tail.iter().map(|e| e.rtt_ms).sum::<f64>() / m),
-            format!("{:.2}%", 100.0 * tail.iter().map(|e| e.loss).sum::<f64>() / m),
+            format!(
+                "{:.2}%",
+                100.0 * tail.iter().map(|e| e.loss).sum::<f64>() / m
+            ),
         ]);
     }
     table.emit("tab03_loss_term");

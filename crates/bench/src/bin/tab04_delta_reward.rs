@@ -24,7 +24,13 @@ fn main() {
     let _ = ModelStore::ephemeral(0); // keep harness deps honest
     let mut table = Table::new(
         "Tab. 4: r vs Δr",
-        &["setting", "throughput (Mbps)", "latency (ms)", "loss rate", "fairness"],
+        &[
+            "setting",
+            "throughput (Mbps)",
+            "latency (ms)",
+            "loss rate",
+            "fairness",
+        ],
     );
     for (name, use_delta) in [("r", false), ("Δr", true)] {
         let cfg = RlCcaConfig {
@@ -60,9 +66,15 @@ fn main() {
         let rep = sim.run(until);
         table.row(vec![
             name.to_string(),
-            format!("{:.1}", 100.0 * tail.iter().map(|e| e.utilization).sum::<f64>() / m),
+            format!(
+                "{:.1}",
+                100.0 * tail.iter().map(|e| e.utilization).sum::<f64>() / m
+            ),
             format!("{:.0}", tail.iter().map(|e| e.rtt_ms).sum::<f64>() / m),
-            format!("{:.2}%", 100.0 * tail.iter().map(|e| e.loss).sum::<f64>() / m),
+            format!(
+                "{:.2}%",
+                100.0 * tail.iter().map(|e| e.loss).sum::<f64>() / m
+            ),
             format!("{:.3}", rep.jain_index()),
         ]);
     }

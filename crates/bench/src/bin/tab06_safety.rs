@@ -17,7 +17,8 @@ fn main() {
         ("#C", Cca::CLibra(Preference::Default)),
         ("#B", Cca::BLibra(Preference::Default)),
     ];
-    let networks: Vec<(&str, Box<dyn Fn(u64) -> libra_netsim::LinkConfig>)> = vec![
+    type LinkFactory = Box<dyn Fn(u64) -> libra_netsim::LinkConfig>;
+    let networks: Vec<(&str, LinkFactory)> = vec![
         ("Wired#1 (24Mbps)", Box::new(|_| wired_link(24.0))),
         ("Wired#2 (48Mbps)", Box::new(|_| wired_link(48.0))),
         (

@@ -41,7 +41,10 @@ pub struct BenchArgs {
 impl BenchArgs {
     /// Parse from `std::env::args`.
     pub fn parse() -> Self {
-        let mut args = BenchArgs { quick: false, seed: 1 };
+        let mut args = BenchArgs {
+            quick: false,
+            seed: 1,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {

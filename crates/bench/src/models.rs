@@ -84,7 +84,11 @@ impl ModelStore {
         model_dir().join(format!("{key}-seed{}.json", self.seed))
     }
 
-    fn get_or_train(&mut self, key: &str, train: impl FnOnce(&TrainConfig) -> PpoWeights) -> PpoWeights {
+    fn get_or_train(
+        &mut self,
+        key: &str,
+        train: impl FnOnce(&TrainConfig) -> PpoWeights,
+    ) -> PpoWeights {
         if !self.ephemeral {
             let path = self.path(key);
             if let Ok(s) = std::fs::read_to_string(&path) {
@@ -94,7 +98,10 @@ impl ModelStore {
                 eprintln!("model cache at {} is corrupt; retraining", path.display());
             }
         }
-        eprintln!("[models] training {key} ({} episodes)…", self.train.episodes);
+        eprintln!(
+            "[models] training {key} ({} episodes)…",
+            self.train.episodes
+        );
         let w = train(&self.train);
         if !self.ephemeral {
             let path = self.path(key);

@@ -166,7 +166,11 @@ pub fn convergence_stats(
         .filter(|&(t, _)| t >= flow_start_s)
         .collect();
     let window = {
-        let bin = if raw.len() >= 2 { (raw[1].0 - raw[0].0).max(1e-3) } else { 0.1 };
+        let bin = if raw.len() >= 2 {
+            (raw[1].0 - raw[0].0).max(1e-3)
+        } else {
+            0.1
+        };
         ((1.0 / bin).round() as usize).max(1)
     };
     let pts: Vec<(f64, f64)> = raw
@@ -184,7 +188,11 @@ pub fn convergence_stats(
             avg_mbps: 0.0,
         };
     }
-    let bin = if pts.len() >= 2 { pts[1].0 - pts[0].0 } else { 0.1 };
+    let bin = if pts.len() >= 2 {
+        pts[1].0 - pts[0].0
+    } else {
+        0.1
+    };
     let need = (stable_window_s / bin).round().max(1.0) as usize;
     // Find the earliest index from which the next `need` points stay
     // within ±25 % of their own mean.
@@ -276,7 +284,14 @@ mod tests {
         let series: Vec<(f64, f64)> = (0..200)
             .map(|i| {
                 let t = i as f64 * 0.1;
-                (t, if (t / 3.0) as u64 % 2 == 0 { 1.0 } else { 20.0 })
+                (
+                    t,
+                    if ((t / 3.0) as u64).is_multiple_of(2) {
+                        1.0
+                    } else {
+                        20.0
+                    },
+                )
             })
             .collect();
         let s = convergence_stats(&series, 0.0, 5.0);

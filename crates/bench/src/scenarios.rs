@@ -1,6 +1,8 @@
 //! Named experiment scenarios shared by the figure/table binaries.
 
-use libra_netsim::{lte_link, step_link, wan_link, wired_link, LinkConfig, LteScenario, WanScenario};
+use libra_netsim::{
+    lte_link, step_link, wan_link, wired_link, LinkConfig, LteScenario, WanScenario,
+};
 use libra_types::{Bytes, DetRng, Duration, Rate};
 
 /// A named link-builder: scenarios are functions of a seed so repeated
@@ -29,7 +31,9 @@ impl Scenario {
 pub fn fig1_set(secs: u64) -> Vec<Scenario> {
     let mut v = Vec::new();
     for mbps in [24.0, 48.0, 96.0] {
-        v.push(Scenario::new(format!("Wired-{mbps:.0}"), move |_| wired_link(mbps)));
+        v.push(Scenario::new(format!("Wired-{mbps:.0}"), move |_| {
+            wired_link(mbps)
+        }));
     }
     for (i, s) in LteScenario::ALL.iter().enumerate() {
         let s = *s;
@@ -83,11 +87,8 @@ pub fn lte_tmobile(secs: u64) -> Scenario {
 
 /// Fig. 9's buffer sweep base link: 60 Mbps, 100 ms RTT, explicit buffer.
 pub fn buffer_sweep_link(buffer: Bytes) -> LinkConfig {
-    let mut link = LinkConfig::constant_with_buffer(
-        Rate::from_mbps(60.0),
-        Duration::from_millis(100),
-        buffer,
-    );
+    let mut link =
+        LinkConfig::constant_with_buffer(Rate::from_mbps(60.0), Duration::from_millis(100), buffer);
     link.stochastic_loss = 0.0;
     link
 }
@@ -111,14 +112,22 @@ pub fn wan_scenarios(secs: u64) -> Vec<(WanScenario, Scenario)> {
             WanScenario::InterContinental,
             Scenario::new("inter-continental", move |seed| {
                 let mut rng = DetRng::new(seed ^ 0x3A11);
-                wan_link(WanScenario::InterContinental, Duration::from_secs(secs), &mut rng)
+                wan_link(
+                    WanScenario::InterContinental,
+                    Duration::from_secs(secs),
+                    &mut rng,
+                )
             }),
         ),
         (
             WanScenario::IntraContinental,
             Scenario::new("intra-continental", move |seed| {
                 let mut rng = DetRng::new(seed ^ 0x3A12);
-                wan_link(WanScenario::IntraContinental, Duration::from_secs(secs), &mut rng)
+                wan_link(
+                    WanScenario::IntraContinental,
+                    Duration::from_secs(secs),
+                    &mut rng,
+                )
             }),
         ),
     ]
@@ -158,7 +167,10 @@ mod tests {
 
     #[test]
     fn sweep_links_apply_knobs() {
-        assert_eq!(buffer_sweep_link(Bytes::from_kb(30)).buffer, Bytes::from_kb(30));
+        assert_eq!(
+            buffer_sweep_link(Bytes::from_kb(30)).buffer,
+            Bytes::from_kb(30)
+        );
         assert_eq!(loss_sweep_link(0.07).stochastic_loss, 0.07);
     }
 

@@ -34,7 +34,7 @@ pub enum BbrMode {
 pub struct Bbr {
     mss: u64,
     mode: BbrMode,
-    max_bw: WindowedMax, // bytes/sec
+    max_bw: WindowedMax,  // bytes/sec
     min_rtt: WindowedMin, // seconds
     /// Externally injected base bandwidth (Libra's `set_rate`); acts as a
     /// fresh bandwidth estimate until organic samples replace it.
@@ -197,10 +197,7 @@ impl CongestionControl for Bbr {
                 self.advance_cycle(ev.now, ev.in_flight);
             }
             BbrMode::ProbeRtt => {
-                if self
-                    .probe_rtt_done
-                    .is_some_and(|t| ev.now >= t)
-                {
+                if self.probe_rtt_done.is_some_and(|t| ev.now >= t) {
                     self.probe_rtt_done = None;
                     self.mode = if self.full_bw_count >= STARTUP_FULL_BW_ROUNDS {
                         BbrMode::ProbeBw
@@ -270,7 +267,13 @@ impl CongestionControl for Bbr {
 mod tests {
     use super::*;
 
-    fn ack(now_ms: u64, rtt_ms: u64, delivered_at_send: u64, delivered: u64, in_flight: u64) -> AckEvent {
+    fn ack(
+        now_ms: u64,
+        rtt_ms: u64,
+        delivered_at_send: u64,
+        delivered: u64,
+        in_flight: u64,
+    ) -> AckEvent {
         AckEvent {
             now: Instant::from_millis(now_ms),
             seq: 0,

@@ -81,7 +81,11 @@ impl CongestionControl for Copa {
 
         // Slow start: double per RTT until the target rate is exceeded.
         let current_rate = self.cwnd / self.srtt.as_secs_f64().max(1e-6); // pkts/s
-        let target_rate = if dq > 1e-9 { 1.0 / (DELTA * dq) } else { f64::INFINITY };
+        let target_rate = if dq > 1e-9 {
+            1.0 / (DELTA * dq)
+        } else {
+            f64::INFINITY
+        };
         if self.in_slow_start {
             if current_rate < target_rate {
                 self.cwnd += ev.bytes as f64 / self.mss as f64;

@@ -157,7 +157,9 @@ impl CongestionControl for Cubic {
         if self.epoch_start.is_none() {
             self.begin_epoch(now);
         }
-        let t = now.saturating_since(self.epoch_start.expect("epoch set")).as_secs_f64();
+        let t = now
+            .saturating_since(self.epoch_start.expect("epoch set"))
+            .as_secs_f64();
         let rtt = ev.srtt.as_secs_f64();
         // Target: where the cubic wants to be one RTT from now.
         let target = self.w_cubic(t + rtt).clamp(self.cwnd, 1.5 * self.cwnd);

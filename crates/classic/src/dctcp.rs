@@ -97,8 +97,7 @@ impl CongestionControl for Dctcp {
         // One α-proportional reduction per round.
         if !self.reduced_this_round {
             self.reduced_this_round = true;
-            self.state.cwnd =
-                (self.state.cwnd * (1.0 - self.alpha / 2.0)).max(self.state.min_cwnd);
+            self.state.cwnd = (self.state.cwnd * (1.0 - self.alpha / 2.0)).max(self.state.min_cwnd);
             self.state.ssthresh = self.state.cwnd;
         }
     }

@@ -28,11 +28,7 @@ impl WindowedMax {
 
     /// Insert a sample at `now`.
     pub fn update(&mut self, now: Instant, value: f64) {
-        while self
-            .samples
-            .back()
-            .is_some_and(|&(_, v)| v <= value)
-        {
+        while self.samples.back().is_some_and(|&(_, v)| v <= value) {
             self.samples.pop_back();
         }
         self.samples.push_back((now, value));
@@ -41,11 +37,7 @@ impl WindowedMax {
 
     fn expire(&mut self, now: Instant) {
         let cutoff = now - self.window;
-        while self
-            .samples
-            .front()
-            .is_some_and(|&(t, _)| t < cutoff)
-        {
+        while self.samples.front().is_some_and(|&(t, _)| t < cutoff) {
             self.samples.pop_front();
         }
     }
@@ -79,20 +71,12 @@ impl WindowedMin {
 
     /// Insert a sample at `now`.
     pub fn update(&mut self, now: Instant, value: f64) {
-        while self
-            .samples
-            .back()
-            .is_some_and(|&(_, v)| v >= value)
-        {
+        while self.samples.back().is_some_and(|&(_, v)| v >= value) {
             self.samples.pop_back();
         }
         self.samples.push_back((now, value));
         let cutoff = now - self.window;
-        while self
-            .samples
-            .front()
-            .is_some_and(|&(t, _)| t < cutoff)
-        {
+        while self.samples.front().is_some_and(|&(t, _)| t < cutoff) {
             self.samples.pop_front();
         }
     }

@@ -199,7 +199,11 @@ mod tests {
         for k in 0..20 {
             ill.on_ack(&ack(3000 + k * 60, 50));
         }
-        assert!((ill.alpha() - ALPHA_MAX).abs() < 1e-9, "alpha {}", ill.alpha());
+        assert!(
+            (ill.alpha() - ALPHA_MAX).abs() < 1e-9,
+            "alpha {}",
+            ill.alpha()
+        );
         assert!((ill.beta() - BETA_MIN).abs() < 1e-9, "beta {}", ill.beta());
     }
 
@@ -248,6 +252,11 @@ mod tests {
             in_flight: 0,
             kind: LossKind::FastRetransmit,
         });
-        assert!((ill.cwnd_packets() - w * 0.5).abs() < 1e-6, "{} vs {}", ill.cwnd_packets(), w * 0.5);
+        assert!(
+            (ill.cwnd_packets() - w * 0.5).abs() < 1e-6,
+            "{} vs {}",
+            ill.cwnd_packets(),
+            w * 0.5
+        );
     }
 }

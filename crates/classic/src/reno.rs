@@ -170,7 +170,12 @@ mod tests {
         for i in 0..acks {
             r.on_ack(&ack(100 + i, 1500, 50));
         }
-        assert!((r.cwnd_packets() - (w + 1.0)).abs() < 0.1, "{} vs {}", r.cwnd_packets(), w + 1.0);
+        assert!(
+            (r.cwnd_packets() - (w + 1.0)).abs() < 0.1,
+            "{} vs {}",
+            r.cwnd_packets(),
+            w + 1.0
+        );
     }
 
     #[test]

@@ -160,7 +160,11 @@ mod tests {
                 v.on_ack(&ack(t0 + r * 50 + k, 50));
             }
         }
-        assert!(v.cwnd_packets() > w, "should grow: {} vs {w}", v.cwnd_packets());
+        assert!(
+            v.cwnd_packets() > w,
+            "should grow: {} vs {w}",
+            v.cwnd_packets()
+        );
     }
 
     #[test]
@@ -175,7 +179,11 @@ mod tests {
                 v.on_ack(&ack(t0 + r * 200 + k, 200));
             }
         }
-        assert!(v.cwnd_packets() < w, "should shrink: {} vs {w}", v.cwnd_packets());
+        assert!(
+            v.cwnd_packets() < w,
+            "should shrink: {} vs {w}",
+            v.cwnd_packets()
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! Sec. 7 suggests plugging into Libra.
 
 use crate::reno::AimdState;
-use libra_types::{AckEvent, CongestionControl, Duration, Ewma, Instant, LossEvent, LossKind, Rate};
+use libra_types::{
+    AckEvent, CongestionControl, Duration, Ewma, Instant, LossEvent, LossKind, Rate,
+};
 
 /// TCP Westwood+.
 #[derive(Debug, Clone)]
@@ -180,7 +182,8 @@ mod tests {
             });
         }
         assert!(
-            w.cwnd_packets() + 1e-9 >= bdp_pkts.min(2.0).max(2.0) || w.cwnd_packets() >= bdp_pkts - 1.0,
+            // Floor of two packets, or within one packet of the BDP.
+            w.cwnd_packets() + 1e-9 >= 2.0 || w.cwnd_packets() >= bdp_pkts - 1.0,
             "cwnd {} collapsed below bdp {}",
             w.cwnd_packets(),
             bdp_pkts

@@ -98,9 +98,7 @@ impl CycleLog {
             return (0.0, 0.0, 0.0);
         }
         let n = self.records.len() as f64;
-        let count = |c: Candidate| {
-            self.records.iter().filter(|r| r.winner == c).count() as f64 / n
-        };
+        let count = |c: Candidate| self.records.iter().filter(|r| r.winner == c).count() as f64 / n;
         (
             count(Candidate::Prev),
             count(Candidate::Learned),

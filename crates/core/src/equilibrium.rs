@@ -257,7 +257,7 @@ mod tests {
         let a = game.best_response_dynamics(&[0.5, 40.0], 100);
         let s: f64 = a.iter().sum();
         assert!((s - 48.0).abs() < 0.5, "S = {s}");
-        assert_eq!(game.max_deviation_gain(&a) < 1e-3, true);
+        assert!(game.max_deviation_gain(&a) < 1e-3);
     }
 
     #[test]
@@ -269,9 +269,12 @@ mod tests {
         for start in [vec![0.5, 40.0], vec![30.0, 1.0, 5.0], vec![2.0; 4]] {
             let rates = dyn_.run(&start, 400);
             let spread = LibraDynamics::spread(&rates);
-            assert!(spread < 0.05, "start {start:?} → {rates:?} (spread {spread})");
+            assert!(
+                spread < 0.05,
+                "start {start:?} → {rates:?} (spread {spread})"
+            );
             let s: f64 = rates.iter().sum();
-            assert!(s >= 0.7 * 48.0 && s <= 1.3 * 48.0, "S = {s}");
+            assert!((0.7 * 48.0..=1.3 * 48.0).contains(&s), "S = {s}");
         }
     }
 
@@ -307,7 +310,7 @@ mod tests {
         // The concave utility keeps the operating point near capacity
         // (bounded standing queue), rather than far above it.
         let game = DroptailGame::new(48.0);
-        let rates = game.best_response_dynamics(&vec![1.0; 2], 80);
+        let rates = game.best_response_dynamics(&[1.0; 2], 80);
         let s: f64 = rates.iter().sum();
         assert!(s < 1.5 * 48.0, "S = {s}");
     }

@@ -1,3 +1,8 @@
+// Production code must justify every potential panic site: unwraps are
+// banned outside tests (audited sites use `expect` with an invariant
+// message or handle the `None`/`Err` branch).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! `libra-core`: the paper's primary contribution — the Libra unified
 //! congestion-control framework (CoNEXT'21).
 //!
@@ -13,6 +18,8 @@
 //!   classic CCA via [`Libra::with_classic`]).
 //! * [`LibraParams`] — stage durations, EI length, switch threshold, and
 //!   application-preference profiles.
+//! * [`guardrail`] — runtime health tracking for the learned arm:
+//!   degraded mode, exponential-backoff re-probing, weight validation.
 //! * [`accounting`] — per-cycle telemetry (decision fractions, utilities).
 //! * [`equilibrium`] — numeric verification of Theorem 4.1's unique fair
 //!   Nash equilibrium.
@@ -34,12 +41,14 @@
 
 pub mod accounting;
 pub mod equilibrium;
+pub mod guardrail;
 pub mod libra;
 pub mod params;
 pub mod train;
 
 pub use accounting::{Candidate, CycleLog, CycleRecord};
 pub use equilibrium::DroptailGame;
+pub use guardrail::{Guardrail, GuardrailParams};
 pub use libra::Libra;
 pub use params::{EvalOrder, LibraParams};
 pub use train::{quick_train_config, train_libra, LibraTrainResult, LibraVariant};

@@ -27,13 +27,14 @@
 //! overhead reduction (Remark 5).
 
 use crate::accounting::{Candidate, CycleLog, CycleRecord};
+use crate::guardrail::Guardrail;
 use crate::params::LibraParams;
 use libra_classic::{Bbr, Cubic};
 use libra_learned::{RlCca, RlCcaConfig};
 use libra_rl::{PpoAgent, PpoConfig};
 use libra_types::{
-    cca::rate_based_cwnd, AckEvent, CongestionControl, Duration, Instant, LossEvent, MiStats,
-    Rate, SendEvent,
+    cca::rate_based_cwnd, AckEvent, CongestionControl, Duration, Instant, LossEvent, MiStats, Rate,
+    SendEvent,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -140,6 +141,10 @@ pub struct Libra {
     srtt: Duration,
     now: Instant,
     cycles: u64,
+    guardrail: Guardrail,
+    /// `rl.invalid_actions()` as of the previous observation, so each MI
+    /// feeds only the delta to the guardrail.
+    rl_invalid_seen: u64,
 }
 
 impl Libra {
@@ -150,21 +155,32 @@ impl Libra {
 
     /// C-Libra: CUBIC underneath, 1-RTT stages.
     pub fn c_libra(agent: Rc<RefCell<PpoAgent>>) -> Self {
-        Libra::with_classic("C-Libra", Box::new(Cubic::new(1500)), LibraParams::for_cubic(), agent)
+        Libra::with_classic(
+            "C-Libra",
+            Box::new(Cubic::new(1500)),
+            LibraParams::for_cubic(),
+            agent,
+        )
     }
 
     /// B-Libra: BBR underneath, 3-RTT exploration/exploitation.
     pub fn b_libra(agent: Rc<RefCell<PpoAgent>>) -> Self {
-        Libra::with_classic("B-Libra", Box::new(Bbr::new(1500)), LibraParams::for_bbr(), agent)
+        Libra::with_classic(
+            "B-Libra",
+            Box::new(Bbr::new(1500)),
+            LibraParams::for_bbr(),
+            agent,
+        )
     }
 
     /// Clean-Slate Libra: the framework without a classic CCA (the CL
     /// benchmark that motivates the combination).
     pub fn clean_slate(agent: Rc<RefCell<PpoAgent>>) -> Self {
         let rl = RlCca::new(RlCcaConfig::libra_rl(), agent);
+        let params = LibraParams::for_cubic();
         Libra {
             name: "CL-Libra",
-            params: LibraParams::for_cubic(),
+            params,
             classic: None,
             rl,
             stage: Stage::Startup,
@@ -177,6 +193,8 @@ impl Libra {
             srtt: Duration::ZERO,
             now: Instant::ZERO,
             cycles: 0,
+            guardrail: Guardrail::new(params.guardrail),
+            rl_invalid_seen: 0,
         }
     }
 
@@ -204,6 +222,8 @@ impl Libra {
             srtt: Duration::ZERO,
             now: Instant::ZERO,
             cycles: 0,
+            guardrail: Guardrail::new(params.guardrail),
+            rl_invalid_seen: 0,
         }
     }
 
@@ -217,6 +237,7 @@ impl Libra {
     /// sweeps).
     pub fn with_params(mut self, params: LibraParams) -> Self {
         self.params = params;
+        self.guardrail = Guardrail::new(params.guardrail);
         self
     }
 
@@ -238,6 +259,32 @@ impl Libra {
     /// Current base sending rate.
     pub fn base_rate(&self) -> Rate {
         self.x_prev
+    }
+
+    /// Times the guardrail tripped into degraded mode.
+    pub fn guardrail_trips(&self) -> u64 {
+        self.guardrail.trips()
+    }
+
+    /// Total time spent in degraded mode (decisions pinned to the
+    /// classic arm), including a still-open episode.
+    pub fn degraded_time(&self) -> Duration {
+        self.guardrail.degraded_time(self.now)
+    }
+
+    /// Times the RL arm was re-probed after a degraded period.
+    pub fn rl_reprobes(&self) -> u64 {
+        self.guardrail.reprobes()
+    }
+
+    /// Is the RL arm currently benched by the guardrail?
+    pub fn is_degraded(&self) -> bool {
+        self.guardrail.is_degraded()
+    }
+
+    /// RL actions rejected as non-finite (delegated telemetry).
+    pub fn rl_invalid_actions(&self) -> u64 {
+        self.rl.invalid_actions()
     }
 
     fn effective_srtt(&self) -> Duration {
@@ -295,14 +342,18 @@ impl Libra {
             cands.push((Candidate::Classic, self.classic_rate()));
         }
         // Lower rate first (Sec. 4.1's evaluation-order principle);
-        // the reverse order exists only as an ablation.
-        cands.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"));
+        // the reverse order exists only as an ablation. `total_cmp` keeps
+        // the sort well-defined even if a candidate rate were ever NaN.
+        cands.sort_by(|a, b| a.1.mbps().total_cmp(&b.1.mbps()));
         if self.params.eval_order == crate::params::EvalOrder::HigherFirst {
             cands.reverse();
         }
         self.measured = vec![None; cands.len()];
         self.ordered = cands;
-        self.stage = Stage::Eval { index: 0, early_exit };
+        self.stage = Stage::Eval {
+            index: 0,
+            early_exit,
+        };
     }
 
     fn decide(&mut self, early_exit: bool) {
@@ -317,26 +368,20 @@ impl Libra {
         }
         // Highest utility wins; missing feedback falls back to x_prev
         // (the Sec. 3 no-ACK rule). Ties favour x_prev (stability).
+        // A NaN utility can never win: `u > best` is false for NaN.
         let mut winner = Candidate::Prev;
         let mut best = self.u_prev.unwrap_or(f64::NEG_INFINITY);
-        for (i, &(cand, _)) in self.ordered.iter().enumerate() {
+        let mut rate = self.x_prev;
+        for (i, &(cand, r)) in self.ordered.iter().enumerate() {
             if let Some(u) = self.measured[i] {
                 if u > best {
                     best = u;
                     winner = cand;
+                    rate = r;
                 }
             }
         }
-        let rate = match winner {
-            Candidate::Prev => self.x_prev,
-            _ => {
-                self.ordered
-                    .iter()
-                    .find(|&&(c, _)| c == winner)
-                    .expect("winner is in ordered")
-                    .1
-            }
-        };
+        self.guardrail.on_cycle(self.now, u_learned, u_classic);
         self.log.push(CycleRecord {
             at: self.now,
             u_prev: self.u_prev.unwrap_or(f64::NEG_INFINITY),
@@ -393,6 +438,26 @@ impl CongestionControl for Libra {
 
     fn on_mi(&mut self, mi: &MiStats) {
         self.now = mi.end;
+        // Degraded mode: the classic arm has full control (see
+        // `cwnd_bytes`/`pacing_rate`); the cycle machinery idles while
+        // the guardrail counts down its backoff. On re-probe the PPO
+        // weights are validated (and restored from the last good
+        // snapshot if corrupt) before the cycle resumes.
+        if self.guardrail.is_degraded() {
+            if self.classic.is_some() {
+                // Track the classic arm so the next cycle resumes from a
+                // sane base rate.
+                self.x_prev = self.classic_rate();
+            }
+            if self.guardrail.tick_degraded(self.now) {
+                let bound = self.params.guardrail.weight_norm_bound;
+                self.rl.agent().borrow_mut().validate_or_restore(bound);
+                // Discard rejections accrued before the bench.
+                self.rl_invalid_seen = self.rl.invalid_actions();
+                self.begin_cycle();
+            }
+            return;
+        }
         match self.stage {
             Stage::Startup => {
                 let done = match &self.classic {
@@ -407,11 +472,23 @@ impl CongestionControl for Libra {
                     self.begin_cycle();
                 }
             }
-            Stage::Explore { ticks_left, early_exit } => {
+            Stage::Explore {
+                ticks_left,
+                early_exit,
+            } => {
                 if !mi.is_ack_starved() {
                     // RL acts (this is where Libra pays for inference).
                     self.rl.on_mi(mi);
                     self.explore_agg.add(mi);
+                    // Feed rejected-action deltas to the guardrail; a
+                    // streak of non-finite actions benches the RL arm.
+                    let invalid = self.rl.invalid_actions();
+                    let delta = invalid - self.rl_invalid_seen;
+                    self.rl_invalid_seen = invalid;
+                    self.guardrail.on_invalid_actions(self.now, delta);
+                    if self.guardrail.is_degraded() {
+                        return;
+                    }
                 } // else: skip the RL action, keep x_rl (Sec. 3).
                 let left = ticks_left.saturating_sub(1);
                 if self.divergence_trips() {
@@ -419,16 +496,25 @@ impl CongestionControl for Libra {
                 } else if left == 0 {
                     self.enter_eval(early_exit);
                 } else {
-                    self.stage = Stage::Explore { ticks_left: left, early_exit };
+                    self.stage = Stage::Explore {
+                        ticks_left: left,
+                        early_exit,
+                    };
                 }
             }
             Stage::Eval { index, early_exit } => {
                 // This MI applied `ordered[index]`; its feedback arrives
                 // during the exploitation stage.
                 if index + 1 < self.ordered.len() {
-                    self.stage = Stage::Eval { index: index + 1, early_exit };
+                    self.stage = Stage::Eval {
+                        index: index + 1,
+                        early_exit,
+                    };
                 } else {
-                    self.stage = Stage::Exploit { tick: 0, early_exit };
+                    self.stage = Stage::Exploit {
+                        tick: 0,
+                        early_exit,
+                    };
                 }
             }
             Stage::Exploit { tick, early_exit } => {
@@ -447,7 +533,10 @@ impl CongestionControl for Libra {
                 if next >= self.params.exploit_ticks().max(self.ordered.len() as u32) {
                     self.decide(early_exit);
                 } else {
-                    self.stage = Stage::Exploit { tick: next, early_exit };
+                    self.stage = Stage::Exploit {
+                        tick: next,
+                        early_exit,
+                    };
                 }
             }
         }
@@ -462,6 +551,12 @@ impl CongestionControl for Libra {
     }
 
     fn cwnd_bytes(&self) -> u64 {
+        if self.guardrail.is_degraded() {
+            return match &self.classic {
+                Some(c) => c.cwnd_bytes(),
+                None => rate_based_cwnd(self.x_prev, self.effective_srtt(), 1500),
+            };
+        }
         match (&self.stage, &self.classic) {
             (Stage::Startup, Some(c)) => c.cwnd_bytes(),
             _ => rate_based_cwnd(self.applied_rate(), self.effective_srtt(), 1500),
@@ -469,6 +564,12 @@ impl CongestionControl for Libra {
     }
 
     fn pacing_rate(&self) -> Option<Rate> {
+        if self.guardrail.is_degraded() {
+            return match &self.classic {
+                Some(c) => c.pacing_rate().or(Some(self.classic_rate())),
+                None => Some(self.x_prev),
+            };
+        }
         match (&self.stage, &self.classic) {
             (Stage::Startup, Some(c)) => c.pacing_rate().or(Some(self.classic_rate())),
             _ => Some(self.applied_rate()),
@@ -627,8 +728,11 @@ mod tests {
         // and the winner must not be the high candidate.
         let hi_cand = l.ordered.last();
         let _ = hi_cand;
-        assert!(rec.winner == Candidate::Prev || rec.rate_mbps <= lo.mbps() + 1e-9
-            || rec.best_utility() > 0.0);
+        assert!(
+            rec.winner == Candidate::Prev
+                || rec.rate_mbps <= lo.mbps() + 1e-9
+                || rec.best_utility() > 0.0
+        );
         // The lossy candidate cannot have won with utility below x_prev's.
         if let (Some(ucl), Some(url)) = (rec.u_classic, rec.u_learned) {
             let max_u = ucl.max(url).max(rec.u_prev);
@@ -718,6 +822,109 @@ mod tests {
         l.on_mi(&mi(225, 250, 5.0, 50, 0.0));
         // Next cycle began: at most the new exploration ticks could add.
         assert_eq!(l.rl_decisions(), d1, "no RL inference outside exploration");
+    }
+
+    #[test]
+    fn nan_policy_trips_guardrail_and_pins_to_classic() {
+        let a = agent(20);
+        a.borrow_mut().map_actor_params(|_| f64::NAN);
+        let mut l = Libra::c_libra(Rc::clone(&a));
+        into_cycle(&mut l);
+        let mut t = 100;
+        // Every exploration MI draws a NaN action; three rejections in a
+        // row bench the RL arm.
+        for _ in 0..8 {
+            l.on_mi(&mi(t, t + 25, 5.0, 50, 0.0));
+            t += 25;
+        }
+        assert_eq!(l.guardrail_trips(), 1);
+        assert!(l.is_degraded());
+        assert!(l.rl_invalid_actions() >= 3);
+        // Decisions are pinned to the classic arm while degraded.
+        let classic_cwnd = l.classic.as_ref().map(|c| c.cwnd_bytes());
+        assert_eq!(Some(l.cwnd_bytes()), classic_cwnd);
+        // Time spent degraded is observable.
+        l.on_mi(&mi(t, t + 25, 5.0, 50, 0.0));
+        assert!(l.degraded_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn reprobe_restores_snapshot_and_recovers() {
+        let a = agent(21);
+        a.borrow_mut().snapshot_good();
+        a.borrow_mut().map_actor_params(|_| f64::NAN);
+        let mut l = Libra::c_libra(Rc::clone(&a));
+        into_cycle(&mut l);
+        let mut t = 100;
+        for _ in 0..40 {
+            l.on_mi(&mi(t, t + 25, 5.0, 50, 0.0));
+            t += 25;
+        }
+        assert_eq!(l.guardrail_trips(), 1);
+        assert!(l.rl_reprobes() >= 1, "backoff elapsed and re-probed");
+        assert!(!l.is_degraded(), "restored weights keep the arm healthy");
+        assert_eq!(a.borrow().weight_restores(), 1);
+        // No further rejections after the restore.
+        let invalid = l.rl_invalid_actions();
+        for _ in 0..12 {
+            l.on_mi(&mi(t, t + 25, 5.0, 50, 0.0));
+            t += 25;
+        }
+        assert_eq!(l.rl_invalid_actions(), invalid);
+        assert_eq!(l.guardrail_trips(), 1, "no re-trip");
+    }
+
+    #[test]
+    fn unrecoverable_policy_retrips_with_longer_backoff() {
+        // No snapshot: every re-probe meets the same NaN network, so the
+        // guardrail must re-trip and back off exponentially.
+        let a = agent(22);
+        a.borrow_mut().map_actor_params(|_| f64::NAN);
+        let mut l = Libra::c_libra(Rc::clone(&a));
+        into_cycle(&mut l);
+        let mut t = 100;
+        for _ in 0..120 {
+            l.on_mi(&mi(t, t + 25, 5.0, 50, 0.0));
+            t += 25;
+        }
+        assert!(l.guardrail_trips() >= 2, "trips: {}", l.guardrail_trips());
+        assert!(l.rl_reprobes() >= 1);
+        assert!(l.degraded_time() > Duration::ZERO);
+        assert_eq!(a.borrow().weight_restores(), 0, "nothing to restore");
+    }
+
+    #[test]
+    fn utility_regression_trips_degraded_mode() {
+        let params = LibraParams {
+            guardrail: crate::guardrail::GuardrailParams {
+                max_utility_regressions: 1,
+                ..Default::default()
+            },
+            ..LibraParams::for_cubic()
+        };
+        let mut l = Libra::c_libra(agent(23)).with_params(params);
+        into_cycle(&mut l);
+        // Explore.
+        l.on_mi(&mi(100, 125, 5.0, 50, 0.0));
+        l.on_mi(&mi(125, 150, 5.0, 50, 0.0));
+        let learned_idx = l
+            .ordered
+            .iter()
+            .position(|&(c, _)| c == Candidate::Learned)
+            .unwrap();
+        // Eval ticks.
+        l.on_mi(&mi(150, 175, 5.0, 50, 0.0));
+        l.on_mi(&mi(175, 200, 5.0, 50, 0.0));
+        // Exploit: heavy loss lands on the learned candidate's feedback.
+        let mut t = 200;
+        for tick in 0..2 {
+            let loss = if tick == learned_idx { 0.5 } else { 0.0 };
+            l.on_mi(&mi(t, t + 25, 5.0, 50, loss));
+            t += 25;
+        }
+        assert_eq!(l.cycles(), 1);
+        assert_eq!(l.guardrail_trips(), 1, "one measured regression trips");
+        assert!(l.is_degraded());
     }
 
     #[test]

@@ -54,11 +54,7 @@ impl LibraVariant {
     }
 
     /// Build with explicit parameters (sensitivity sweeps).
-    pub fn build_with_params(
-        self,
-        params: LibraParams,
-        agent: Rc<RefCell<PpoAgent>>,
-    ) -> Libra {
+    pub fn build_with_params(self, params: LibraParams, agent: Rc<RefCell<PpoAgent>>) -> Libra {
         match self {
             LibraVariant::Cubic => {
                 Libra::with_classic("C-Libra", Box::new(Cubic::new(1500)), params, agent)

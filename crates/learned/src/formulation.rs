@@ -155,7 +155,11 @@ impl StateSpace {
     /// PCC-flavoured state: rate, loss, gradient.
     pub fn pcc() -> Self {
         StateSpace::new(
-            vec![Feature::SendingRate, Feature::LossRate, Feature::LatencyGradient],
+            vec![
+                Feature::SendingRate,
+                Feature::LossRate,
+                Feature::LatencyGradient,
+            ],
             8,
         )
     }
@@ -355,7 +359,11 @@ impl RewardSpec {
         } else {
             obs.mi.avg_rtt / obs.d_min
         };
-        let loss = if self.include_loss { obs.mi.loss_rate } else { 0.0 };
+        let loss = if self.include_loss {
+            obs.mi.loss_rate
+        } else {
+            0.0
+        };
         self.w1 * x_norm - self.w2 * d_norm - self.w3 * loss
     }
 

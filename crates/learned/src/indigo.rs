@@ -70,7 +70,8 @@ impl CongestionControl for Indigo {
         if ev.now >= self.decision_end {
             let span = ev.now.saturating_since(self.window_start);
             if !span.is_zero() && self.acked_since > 0 {
-                self.bw_est.update(self.acked_since as f64 / span.as_secs_f64());
+                self.bw_est
+                    .update(self.acked_since as f64 / span.as_secs_f64());
             }
             self.acked_since = 0;
             self.window_start = ev.now;
@@ -153,7 +154,7 @@ mod tests {
     fn damps_to_bdp_target_under_queueing() {
         let mut i = Indigo::new(1500);
         i.on_ack(&ack(0, 50, 1500)); // min_rtt = 50 ms
-        // Queueing regime: RTT 80 ms, delivery 10 Mbps (1500 B / 1.2 ms).
+                                     // Queueing regime: RTT 80 ms, delivery 10 Mbps (1500 B / 1.2 ms).
         let mut t_tenths = 10u64;
         for _ in 0..4000 {
             i.on_ack(&ack(t_tenths / 10, 80, 1500));

@@ -83,7 +83,7 @@ impl Orca {
         for k in 0..h {
             match self.history.get(self.history.len().wrapping_sub(h - k)) {
                 Some(step) => v.extend(step),
-                None => v.extend(std::iter::repeat(0.0).take(w)),
+                None => v.extend(std::iter::repeat_n(0.0, w)),
             }
         }
         v
@@ -97,7 +97,8 @@ impl CongestionControl for Orca {
 
     fn on_send(&mut self, ev: &SendEvent) {
         if let Some(prev) = self.last_send_at {
-            self.send_gap.update(ev.now.saturating_since(prev).as_secs_f64());
+            self.send_gap
+                .update(ev.now.saturating_since(prev).as_secs_f64());
         }
         self.last_send_at = Some(ev.now);
         self.cubic.on_send(ev);

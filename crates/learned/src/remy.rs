@@ -31,15 +31,40 @@ struct Rule {
 /// spirit of the published RemyCC-100x tables.
 const RULES: [Rule; 5] = [
     // ACKs streaming fast, RTT at baseline: open aggressively.
-    Rule { rtt_ratio_max: 1.1, ack_gap_max: 0.3, multiplier: 1.0, increment: 2.0 },
+    Rule {
+        rtt_ratio_max: 1.1,
+        ack_gap_max: 0.3,
+        multiplier: 1.0,
+        increment: 2.0,
+    },
     // Mild queueing: gentle additive increase.
-    Rule { rtt_ratio_max: 1.4, ack_gap_max: 0.6, multiplier: 1.0, increment: 0.5 },
+    Rule {
+        rtt_ratio_max: 1.4,
+        ack_gap_max: 0.6,
+        multiplier: 1.0,
+        increment: 0.5,
+    },
     // Moderate queueing: hold.
-    Rule { rtt_ratio_max: 1.8, ack_gap_max: 1.0, multiplier: 1.0, increment: 0.0 },
+    Rule {
+        rtt_ratio_max: 1.8,
+        ack_gap_max: 1.0,
+        multiplier: 1.0,
+        increment: 0.0,
+    },
     // Heavy queueing: multiplicative backoff.
-    Rule { rtt_ratio_max: 2.5, ack_gap_max: 2.0, multiplier: 0.85, increment: 0.0 },
+    Rule {
+        rtt_ratio_max: 2.5,
+        ack_gap_max: 2.0,
+        multiplier: 0.85,
+        increment: 0.0,
+    },
     // Severe: strong backoff (catch-all; thresholds infinite).
-    Rule { rtt_ratio_max: f64::INFINITY, ack_gap_max: f64::INFINITY, multiplier: 0.6, increment: 0.0 },
+    Rule {
+        rtt_ratio_max: f64::INFINITY,
+        ack_gap_max: f64::INFINITY,
+        multiplier: 0.6,
+        increment: 0.0,
+    },
 ];
 
 /// Remy-lite controller.
@@ -71,7 +96,7 @@ impl Remy {
             round_end: Instant::ZERO,
             last_rtt: Duration::ZERO,
             min_cwnd: 2.0,
-        rule_hits: [0; RULES.len()],
+            rule_hits: [0; RULES.len()],
         }
     }
 
@@ -117,14 +142,16 @@ impl CongestionControl for Remy {
 
     fn on_send(&mut self, ev: &libra_types::SendEvent) {
         if let Some(prev) = self.last_send_at {
-            self.send_gap.update(ev.now.saturating_since(prev).as_secs_f64());
+            self.send_gap
+                .update(ev.now.saturating_since(prev).as_secs_f64());
         }
         self.last_send_at = Some(ev.now);
     }
 
     fn on_ack(&mut self, ev: &AckEvent) {
         if let Some(prev) = self.last_ack_at {
-            self.ack_gap.update(ev.now.saturating_since(prev).as_secs_f64());
+            self.ack_gap
+                .update(ev.now.saturating_since(prev).as_secs_f64());
         }
         self.last_ack_at = Some(ev.now);
         self.min_rtt = self.min_rtt.min(ev.rtt);

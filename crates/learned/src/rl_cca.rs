@@ -122,6 +122,7 @@ pub struct RlCca {
     srtt: Duration,
     mss: u64,
     decisions: u64,
+    invalid_actions: u64,
     in_slow_start: bool,
 }
 
@@ -151,6 +152,7 @@ impl RlCca {
             srtt: Duration::ZERO,
             mss: 1500,
             decisions: 0,
+            invalid_actions: 0,
             in_slow_start: true,
         }
     }
@@ -158,6 +160,13 @@ impl RlCca {
     /// Decisions made so far (telemetry).
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Actions rejected because the policy emitted a non-finite value.
+    /// A rising count is the primary symptom of a corrupted network and
+    /// feeds Libra's guardrail.
+    pub fn invalid_actions(&self) -> u64 {
+        self.invalid_actions
     }
 
     /// Access the shared agent.
@@ -188,7 +197,7 @@ impl RlCca {
         for k in 0..h {
             match self.history.get(self.history.len().wrapping_sub(h - k)) {
                 Some(step) => v.extend(step),
-                None => v.extend(std::iter::repeat(0.0).take(w)),
+                None => v.extend(std::iter::repeat_n(0.0, w)),
             }
         }
         v
@@ -202,14 +211,16 @@ impl CongestionControl for RlCca {
 
     fn on_send(&mut self, ev: &SendEvent) {
         if let Some(prev) = self.last_send_at {
-            self.send_gap.update(ev.now.saturating_since(prev).as_secs_f64());
+            self.send_gap
+                .update(ev.now.saturating_since(prev).as_secs_f64());
         }
         self.last_send_at = Some(ev.now);
     }
 
     fn on_ack(&mut self, ev: &AckEvent) {
         if let Some(prev) = self.last_ack_at {
-            self.ack_gap.update(ev.now.saturating_since(prev).as_secs_f64());
+            self.ack_gap
+                .update(ev.now.saturating_since(prev).as_secs_f64());
         }
         self.last_ack_at = Some(ev.now);
         self.srtt = ev.srtt;
@@ -273,9 +284,20 @@ impl CongestionControl for RlCca {
         }
         let state = self.state_vector();
         let mut agent = self.agent.borrow_mut();
-        agent.give_reward(reward, false);
+        // A degenerate MI can yield a non-finite reward (e.g. a zero-length
+        // interval); feed the agent a neutral value rather than poisoning
+        // its advantages.
+        agent.give_reward(if reward.is_finite() { reward } else { 0.0 }, false);
         let action = agent.act(&state);
         drop(agent);
+        // Guardrail: a NaN/inf action means the policy network is corrupt.
+        // `Rate` would silently clamp NaN to zero, so the raw output must
+        // be checked *before* conversion; the rate holds and the rejection
+        // is counted so an arbiter above (Libra) can react.
+        if !action[0].is_finite() {
+            self.invalid_actions += 1;
+            return;
+        }
         self.rate = self
             .config
             .action
@@ -285,11 +307,16 @@ impl CongestionControl for RlCca {
     }
 
     fn mi_duration(&self, srtt: Duration) -> Duration {
-        srtt.mul_f64(self.config.mi_rtts).max(Duration::from_millis(5))
+        srtt.mul_f64(self.config.mi_rtts)
+            .max(Duration::from_millis(5))
     }
 
     fn cwnd_bytes(&self) -> u64 {
-        rate_based_cwnd(self.rate, self.srtt.max(Duration::from_millis(10)), self.mss)
+        rate_based_cwnd(
+            self.rate,
+            self.srtt.max(Duration::from_millis(10)),
+            self.mss,
+        )
     }
 
     fn pacing_rate(&self) -> Option<Rate> {
@@ -439,6 +466,23 @@ mod tests {
         cca.on_mi(&mi(10.0, 80, 0.1));
         assert!(!libra_types::CongestionControl::in_startup(&cca));
         assert!(cca.current_rate().mbps() <= before, "backed off");
+    }
+
+    #[test]
+    fn non_finite_actions_are_rejected_and_counted() {
+        let cfg = RlCcaConfig::libra_rl();
+        let agent = agent_for(&cfg, 9);
+        agent.borrow_mut().map_actor_params(|_| f64::NAN);
+        agent.borrow_mut().set_eval(true);
+        let mut cca = RlCca::new(cfg, agent);
+        cca.set_rate(Rate::from_mbps(5.0), Duration::from_millis(50)); // skip startup
+        let r0 = cca.current_rate();
+        for _ in 0..4 {
+            cca.on_mi(&mi(5.0, 50, 0.0));
+        }
+        assert_eq!(cca.invalid_actions(), 4);
+        assert_eq!(cca.decisions(), 0, "no decision applied");
+        assert_eq!(cca.current_rate(), r0, "rate held through NaN actions");
     }
 
     #[test]

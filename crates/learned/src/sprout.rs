@@ -83,8 +83,8 @@ impl CongestionControl for Sprout {
             if let Some(rate) = self.forecast_rate() {
                 // Send what the conservative forecast can drain within the
                 // delay budget.
-                let target = (rate * DELAY_BUDGET.as_secs_f64() / self.mss as f64)
-                    .max(self.min_cwnd);
+                let target =
+                    (rate * DELAY_BUDGET.as_secs_f64() / self.mss as f64).max(self.min_cwnd);
                 self.cwnd = target;
             } else {
                 self.cwnd += 1.0; // warm-up

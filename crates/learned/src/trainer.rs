@@ -6,7 +6,7 @@
 use crate::formulation::StateSpace;
 use crate::orca::Orca;
 use crate::rl_cca::{RlCca, RlCcaConfig};
-use libra_netsim::{FlowConfig, LinkConfig, Simulation};
+use libra_netsim::{FaultPlan, FlowConfig, LinkConfig, Simulation};
 use libra_rl::{PpoAgent, PpoWeights};
 use libra_types::{Bytes, CongestionControl, DetRng, Duration, Instant, Rate};
 use std::cell::RefCell;
@@ -64,6 +64,7 @@ impl EnvRanges {
             ack_jitter: Duration::ZERO,
             loss_process: None,
             ecn: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -125,7 +126,11 @@ enum Wrap<'a> {
     Orca,
 }
 
-fn run_training(cfg: &TrainConfig, agent: Rc<RefCell<PpoAgent>>, wrap: Wrap<'_>) -> Vec<EpisodeLog> {
+fn run_training(
+    cfg: &TrainConfig,
+    agent: Rc<RefCell<PpoAgent>>,
+    wrap: Wrap<'_>,
+) -> Vec<EpisodeLog> {
     let mut rng = DetRng::new(cfg.seed);
     let mut env_rng = rng.fork("train-env");
     let mut init_rng = rng.fork("train-init");
@@ -191,7 +196,11 @@ pub fn tail_reward(curve: &[EpisodeLog]) -> f64 {
         return 0.0;
     }
     let n = (curve.len() / 4).max(1);
-    curve[curve.len() - n..].iter().map(|e| e.reward).sum::<f64>() / n as f64
+    curve[curve.len() - n..]
+        .iter()
+        .map(|e| e.reward)
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Convenience: a generic RlCcaConfig for an arbitrary state space with

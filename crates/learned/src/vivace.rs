@@ -165,7 +165,11 @@ impl CongestionControl for Pcc {
                 self.u_down = u;
                 // Gradient wrt rate, normalized per Mbps of dither.
                 let dr = 2.0 * EPSILON * self.rate.mbps();
-                let gradient = if dr > 1e-9 { (self.u_up - self.u_down) / dr } else { 0.0 };
+                let gradient = if dr > 1e-9 {
+                    (self.u_up - self.u_down) / dr
+                } else {
+                    0.0
+                };
                 let direction = gradient.signum();
                 if direction != 0.0 && direction == self.last_direction {
                     self.amplifier = (self.amplifier + 1.0).min(AMPLIFIER_MAX);
@@ -271,7 +275,11 @@ mod tests {
             let r = v.base_rate().mbps();
             drive_cycle(&mut v, mi(r * 1.05, 0.0, 0.0), mi(r * 0.95, 0.0, 0.0));
         }
-        assert!(v.base_rate().mbps() > r0, "{} vs {r0}", v.base_rate().mbps());
+        assert!(
+            v.base_rate().mbps() > r0,
+            "{} vs {r0}",
+            v.base_rate().mbps()
+        );
     }
 
     #[test]
@@ -292,7 +300,10 @@ mod tests {
         // level right after startup back-off.
         assert!(v.decisions() >= 3);
         let r_end = v.base_rate().mbps();
-        assert!(r_end < 2.0, "rate should collapse under congestion: {r_end}");
+        assert!(
+            r_end < 2.0,
+            "rate should collapse under congestion: {r_end}"
+        );
     }
 
     #[test]

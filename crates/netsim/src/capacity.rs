@@ -64,6 +64,44 @@ impl CapacitySchedule {
         CapacitySchedule::from_segments(segments)
     }
 
+    /// Overlay zero-capacity outage windows (e.g. fault-plan link flaps)
+    /// onto this schedule: within each `[from, to)` window the rate is
+    /// forced to zero, and at `to` the underlying schedule resumes.
+    pub fn with_outages(&self, outages: &[(Instant, Instant)]) -> Self {
+        if outages.is_empty() {
+            return self.clone();
+        }
+        let mut windows: Vec<(Instant, Instant)> =
+            outages.iter().copied().filter(|(a, b)| a < b).collect();
+        windows.sort();
+        // Coalesce overlapping/adjacent windows so each resume point is
+        // genuinely outside every outage.
+        let mut merged: Vec<(Instant, Instant)> = Vec::new();
+        for (a, b) in windows {
+            match merged.last_mut() {
+                Some(last) if a <= last.1 => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        let windows = merged;
+        let mut segments = Vec::new();
+        for &(start, rate) in &self.segments {
+            if windows.iter().any(|&(a, b)| a <= start && start < b) {
+                // Breakpoint swallowed by an outage; the resume point below
+                // restores the correct underlying rate.
+                continue;
+            }
+            segments.push((start, rate));
+        }
+        for &(a, b) in &windows {
+            segments.push((a, Rate::ZERO));
+            if b != Instant::FAR_FUTURE {
+                segments.push((b, self.rate_at(b)));
+            }
+        }
+        CapacitySchedule::from_segments(segments)
+    }
+
     /// Rate in force at `t`.
     pub fn rate_at(&self, t: Instant) -> Rate {
         match self.segments.binary_search_by_key(&t, |s| s.0) {
@@ -244,7 +282,10 @@ mod tests {
         // Partial window inside one segment.
         let b2 = c.capacity_bytes(Instant::from_millis(500), Instant::from_millis(1500));
         assert!((b2 - (500_000.0 + 1_000_000.0)).abs() < 1.0);
-        assert_eq!(c.capacity_bytes(Instant::from_secs(3), Instant::from_secs(3)), 0.0);
+        assert_eq!(
+            c.capacity_bytes(Instant::from_secs(3), Instant::from_secs(3)),
+            0.0
+        );
     }
 
     #[test]
@@ -265,6 +306,47 @@ mod tests {
         ]);
         assert_eq!(c.rate_at(Instant::ZERO), mbps(7.0));
         assert_eq!(c.rate_at(Instant::from_secs(6)), mbps(2.0));
+    }
+
+    #[test]
+    fn outage_overlay_zeros_windows() {
+        let c = CapacitySchedule::constant(mbps(10.0)).with_outages(&[
+            (Instant::from_secs(2), Instant::from_secs(3)),
+            (Instant::from_secs(5), Instant::from_secs(6)),
+        ]);
+        assert_eq!(c.rate_at(Instant::from_secs(1)), mbps(10.0));
+        assert_eq!(c.rate_at(Instant::from_secs(2)), Rate::ZERO);
+        assert_eq!(c.rate_at(Instant::from_millis(2999)), Rate::ZERO);
+        assert_eq!(c.rate_at(Instant::from_secs(3)), mbps(10.0));
+        assert_eq!(c.rate_at(Instant::from_millis(5500)), Rate::ZERO);
+        assert_eq!(c.rate_at(Instant::from_secs(7)), mbps(10.0));
+    }
+
+    #[test]
+    fn outage_overlay_preserves_underlying_steps() {
+        // Underlying step at t=4 sits inside the outage [3, 5): after the
+        // outage the post-step rate must be in force.
+        let c = CapacitySchedule::from_segments(vec![
+            (Instant::ZERO, mbps(10.0)),
+            (Instant::from_secs(4), mbps(20.0)),
+        ])
+        .with_outages(&[(Instant::from_secs(3), Instant::from_secs(5))]);
+        assert_eq!(c.rate_at(Instant::from_millis(3500)), Rate::ZERO);
+        assert_eq!(c.rate_at(Instant::from_millis(4500)), Rate::ZERO);
+        assert_eq!(c.rate_at(Instant::from_secs(5)), mbps(20.0));
+    }
+
+    #[test]
+    fn outage_overlay_merges_overlaps() {
+        let c = CapacitySchedule::constant(mbps(10.0)).with_outages(&[
+            (Instant::from_secs(1), Instant::from_secs(3)),
+            (Instant::from_secs(2), Instant::from_secs(4)),
+        ]);
+        assert_eq!(c.rate_at(Instant::from_millis(3500)), Rate::ZERO);
+        assert_eq!(c.rate_at(Instant::from_secs(4)), mbps(10.0));
+        // Empty overlay is a no-op.
+        let c2 = CapacitySchedule::constant(mbps(10.0)).with_outages(&[]);
+        assert_eq!(c2.rate_at(Instant::ZERO), mbps(10.0));
     }
 
     #[test]

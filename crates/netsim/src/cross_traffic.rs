@@ -3,8 +3,7 @@
 //! Sec. 4.1 discussion mentions among the dynamics Libra must react to).
 
 use libra_types::{
-    cca::rate_based_cwnd, AckEvent, CongestionControl, Duration, Instant, LossEvent, MiStats,
-    Rate,
+    cca::rate_based_cwnd, AckEvent, CongestionControl, Duration, Instant, LossEvent, MiStats, Rate,
 };
 
 /// An unresponsive constant-bit-rate source (UDP-like): it ignores every
@@ -149,7 +148,10 @@ mod tests {
         let link = LinkConfig::constant(Rate::from_mbps(20.0), Duration::from_millis(40), 1.0);
         let until = Instant::from_secs(20);
         let mut sim = Simulation::new(link, 2);
-        sim.add_flow(FlowConfig::whole_run(Box::new(MiniAimd { cwnd: 10.0 }), until));
+        sim.add_flow(FlowConfig::whole_run(
+            Box::new(MiniAimd { cwnd: 10.0 }),
+            until,
+        ));
         sim.add_flow(FlowConfig::whole_run(
             Box::new(CbrSource::new(Rate::from_mbps(12.0))),
             until,
@@ -180,6 +182,9 @@ mod tests {
         // The series must contain both busy and idle bins.
         let bins = &rep.flows[0].goodput_series;
         assert!(bins.iter().any(|&(_, v)| v > 8.0));
-        assert!(bins.iter().filter(|&&(t, _)| t > 1.0).any(|&(_, v)| v < 1.0));
+        assert!(bins
+            .iter()
+            .filter(|&&(t, _)| t > 1.0)
+            .any(|&(_, v)| v < 1.0));
     }
 }

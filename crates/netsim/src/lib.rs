@@ -1,3 +1,8 @@
+// Production code must justify every potential panic site: unwraps are
+// banned outside tests (audited sites use `expect` with an invariant
+// message or handle the `None`/`Err` branch).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! A deterministic, packet-level, discrete-event network simulator — the
 //! workspace's substitute for the paper's Mahimahi/Pantheon emulation.
 //!
@@ -33,6 +38,7 @@
 
 pub mod capacity;
 pub mod cross_traffic;
+pub mod faults;
 pub mod loss;
 pub mod mahimahi;
 pub mod packet;
@@ -42,10 +48,11 @@ pub mod sim;
 pub mod trace;
 
 pub use capacity::CapacitySchedule;
-pub use packet::{AckPacket, FlowId, Packet};
 pub use cross_traffic::{CbrSource, OnOffSource};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultReport};
 pub use loss::{GilbertElliott, LossProcess};
 pub use mahimahi::{capacity_from_mahimahi, capacity_to_mahimahi, TraceError};
+pub use packet::{AckPacket, FlowId, Packet};
 pub use queue::{DroptailQueue, EcnConfig, Enqueue};
 pub use sender::{BinSeries, EmitResult, FlowSender};
 pub use sim::{FlowConfig, FlowReport, LinkConfig, LinkReport, SimReport, Simulation};

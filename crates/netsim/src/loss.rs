@@ -95,7 +95,8 @@ impl GilbertElliott {
         GilbertElliott::new(p_enter_bad, p_leave_bad, 0.0, loss_bad)
     }
 
-    fn drop(&mut self, rng: &mut DetRng) -> bool {
+    /// Should the current packet be dropped? Advances the Markov chain.
+    pub fn drop(&mut self, rng: &mut DetRng) -> bool {
         // Transition first, then sample loss in the new state.
         if self.in_bad {
             if rng.chance(self.p_leave_bad) {
@@ -104,7 +105,11 @@ impl GilbertElliott {
         } else if rng.chance(self.p_enter_bad) {
             self.in_bad = true;
         }
-        let p = if self.in_bad { self.loss_bad } else { self.loss_good };
+        let p = if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
         rng.chance(p)
     }
 

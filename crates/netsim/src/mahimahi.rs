@@ -54,7 +54,9 @@ fn parse_timestamps(text: &str) -> Result<Vec<u64>, TraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let ts: u64 = line.parse().map_err(|_| TraceError::BadLine { line: i + 1 })?;
+        let ts: u64 = line
+            .parse()
+            .map_err(|_| TraceError::BadLine { line: i + 1 })?;
         if ts < prev {
             return Err(TraceError::NotMonotonic { line: i + 1 });
         }
@@ -78,9 +80,11 @@ pub fn capacity_from_mahimahi(
     repeat_to: Duration,
 ) -> Result<CapacitySchedule, TraceError> {
     let stamps = parse_timestamps(text)?;
+    // Invariant: parse_timestamps returns Err(TraceError::Empty) rather
+    // than an empty vector.
     let trace_ms = *stamps.last().expect("non-empty") + 1;
     let bin_ms = (bin.nanos() / 1_000_000).max(1);
-    let n_bins = (trace_ms + bin_ms - 1) / bin_ms;
+    let n_bins = trace_ms.div_ceil(bin_ms);
     let mut counts = vec![0u64; n_bins as usize];
     for ts in &stamps {
         counts[(ts / bin_ms) as usize] += 1;
@@ -162,20 +166,17 @@ mod tests {
     #[test]
     fn comments_and_blanks_are_skipped() {
         let text = "# mahimahi trace\n\n0\n1\n2\n";
-        assert!(capacity_from_mahimahi(
-            text,
-            Duration::from_millis(1),
-            Duration::from_millis(3)
-        )
-        .is_ok());
+        assert!(
+            capacity_from_mahimahi(text, Duration::from_millis(1), Duration::from_millis(3))
+                .is_ok()
+        );
     }
 
     #[test]
     fn bad_lines_are_reported() {
         let err = |text: &str| {
             capacity_from_mahimahi(text, Duration::from_millis(1), Duration::from_secs(1))
-                .err()
-                .expect("should fail")
+                .expect_err("should fail")
         };
         assert_eq!(err("0\nxyz\n"), TraceError::BadLine { line: 2 });
         assert_eq!(err("5\n3\n"), TraceError::NotMonotonic { line: 2 });
@@ -186,15 +187,21 @@ mod tests {
     fn export_then_import_preserves_mean_rate() {
         let sched = CapacitySchedule::constant(Rate::from_mbps(24.0));
         let text = capacity_to_mahimahi(&sched, Duration::from_secs(2));
-        let back = capacity_from_mahimahi(&text, Duration::from_millis(100), Duration::from_secs(2))
-            .expect("parse");
+        let back =
+            capacity_from_mahimahi(&text, Duration::from_millis(100), Duration::from_secs(2))
+                .expect("parse");
         let mean = back.mean_rate(Instant::ZERO, Instant::from_secs(2));
         assert!((mean.mbps() - 24.0).abs() < 1.0, "{mean}");
     }
 
     #[test]
     fn error_display() {
-        assert_eq!(TraceError::Empty.to_string(), "trace contains no timestamps");
-        assert!(TraceError::BadLine { line: 7 }.to_string().contains("line 7"));
+        assert_eq!(
+            TraceError::Empty.to_string(),
+            "trace contains no timestamps"
+        );
+        assert!(TraceError::BadLine { line: 7 }
+            .to_string()
+            .contains("line 7"));
     }
 }

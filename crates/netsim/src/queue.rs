@@ -33,6 +33,12 @@ pub struct DroptailQueue {
     pub admitted: u64,
     /// Total packets CE-marked since construction.
     pub ecn_marks: u64,
+    /// Total bytes admitted since construction.
+    pub admitted_bytes: u64,
+    /// Total bytes dropped at the tail since construction.
+    pub dropped_bytes: u64,
+    /// Total bytes dequeued since construction.
+    pub dequeued_bytes: u64,
     /// Running integral of queue occupancy (byte·ns) for mean-occupancy
     /// reporting; updated lazily at each mutation.
     occupancy_integral: u128,
@@ -49,6 +55,9 @@ impl DroptailQueue {
             drops: 0,
             admitted: 0,
             ecn_marks: 0,
+            admitted_bytes: 0,
+            dropped_bytes: 0,
+            dequeued_bytes: 0,
             occupancy_integral: 0,
             last_change_ns: 0,
         }
@@ -72,6 +81,7 @@ impl DroptailQueue {
         self.advance_clock(now_ns);
         if self.occupied + packet.bytes > self.capacity.get() {
             self.drops += 1;
+            self.dropped_bytes += packet.bytes;
             return Enqueue::Dropped;
         }
         if let Some(cfg) = ecn {
@@ -82,6 +92,7 @@ impl DroptailQueue {
         }
         self.occupied += packet.bytes;
         self.admitted += 1;
+        self.admitted_bytes += packet.bytes;
         self.packets.push_back(packet);
         Enqueue::Accepted
     }
@@ -96,6 +107,7 @@ impl DroptailQueue {
         self.advance_clock(now_ns);
         let p = self.packets.pop_front()?;
         self.occupied -= p.bytes;
+        self.dequeued_bytes += p.bytes;
         Some(p)
     }
 
@@ -183,6 +195,26 @@ mod tests {
         let expect: u64 = (0..20u64).map(|s| 1000 + s * 10).sum();
         assert_eq!(total, expect);
         assert_eq!(q.occupied_bytes(), 0);
+        assert_eq!(q.admitted_bytes, expect);
+        assert_eq!(q.dequeued_bytes, expect);
+        assert_eq!(q.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn byte_counters_track_drops_and_inflight() {
+        let mut q = DroptailQueue::new(Bytes::new(3000));
+        q.enqueue(pkt(0, 1, 1500), 0);
+        q.enqueue(pkt(0, 2, 1500), 0);
+        q.enqueue(pkt(0, 3, 1500), 0); // dropped
+        q.dequeue(5);
+        assert_eq!(q.admitted_bytes, 3000);
+        assert_eq!(q.dropped_bytes, 1500);
+        assert_eq!(q.dequeued_bytes, 1500);
+        assert_eq!(
+            q.admitted_bytes - q.dequeued_bytes,
+            q.occupied_bytes(),
+            "enqueued - dequeued must equal in-flight"
+        );
     }
 
     #[test]
@@ -215,7 +247,9 @@ mod ecn_tests {
     #[test]
     fn marks_above_threshold_only() {
         let mut q = DroptailQueue::new(Bytes::new(30_000));
-        let ecn = Some(EcnConfig { threshold: Bytes::new(3000) });
+        let ecn = Some(EcnConfig {
+            threshold: Bytes::new(3000),
+        });
         for s in 0..6 {
             q.enqueue_with_ecn(pkt(s), 0, ecn);
         }

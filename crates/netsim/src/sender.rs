@@ -59,7 +59,10 @@ pub struct BinSeries {
 
 impl BinSeries {
     fn new(bin: Duration) -> Self {
-        BinSeries { bin, bins: Vec::new() }
+        BinSeries {
+            bin,
+            bins: Vec::new(),
+        }
     }
 
     fn add(&mut self, t: Instant, value: f64) {
@@ -242,7 +245,11 @@ impl FlowSender {
         // estimate (RFC 6298's K·srtt/2 bootstrap) — otherwise the timeout
         // lands exactly on the first ACK's arrival on long-RTT paths
         // (satellite) and wrongly flushes the window.
-        let var = if self.has_rtt { self.rttvar } else { self.init_rtt / 2 };
+        let var = if self.has_rtt {
+            self.rttvar
+        } else {
+            self.init_rtt / 2
+        };
         let base = self.srtt() + var * 4;
         base.max(MIN_RTO).min(MAX_RTO)
     }
@@ -329,7 +336,11 @@ impl FlowSender {
                     // Floor the pacing gap at 1 ns so an extreme rate can
                     // never freeze the pacing clock in integer time.
                     let gap = rate.transmit_time(self.mss).max(Duration::from_nanos(1));
-                    let base = if self.next_send_time > now { self.next_send_time } else { now };
+                    let base = if self.next_send_time > now {
+                        self.next_send_time
+                    } else {
+                        now
+                    };
                     self.next_send_time = base + gap;
                 }
             }
@@ -357,7 +368,13 @@ impl FlowSender {
             app_limited: false,
             ecn: false,
         };
-        self.outstanding.insert(seq, SentMeta { bytes: self.mss, sent_at: now });
+        self.outstanding.insert(
+            seq,
+            SentMeta {
+                bytes: self.mss,
+                sent_at: now,
+            },
+        );
         self.in_flight += self.mss;
         self.sent_bytes += self.mss;
         self.sent_packets += 1;
@@ -381,10 +398,12 @@ impl FlowSender {
             self.has_rtt = true;
         } else {
             // RFC 6298 with α=1/8, β=1/4.
-            let diff = if self.srtt > sample { self.srtt - sample } else { sample - self.srtt };
-            self.rttvar = Duration::from_nanos(
-                (self.rttvar.nanos() * 3 + diff.nanos()) / 4,
-            );
+            let diff = if self.srtt > sample {
+                self.srtt - sample
+            } else {
+                sample - self.srtt
+            };
+            self.rttvar = Duration::from_nanos((self.rttvar.nanos() * 3 + diff.nanos()) / 4);
             self.srtt = Duration::from_nanos((self.srtt.nanos() * 7 + sample.nanos()) / 8);
             self.min_rtt = self.min_rtt.min(sample);
         }
@@ -409,7 +428,8 @@ impl FlowSender {
         self.goodput_bins.add(now, meta.bytes as f64);
         // Keep the plotted RTT series sparse: one point per ~20 samples.
         if self.acked_packets % 20 == 1 {
-            self.rtt_series.push((now.as_secs_f64(), rtt.as_millis_f64()));
+            self.rtt_series
+                .push((now.as_secs_f64(), rtt.as_millis_f64()));
         }
 
         self.highest_acked = Some(self.highest_acked.map_or(ack.seq, |h| h.max(ack.seq)));
@@ -441,13 +461,14 @@ impl FlowSender {
     /// [`REORDER_WINDOW`] below the highest ACKed sequence are lost.
     fn detect_reorder_losses(&mut self, now: Instant) -> Vec<LossEvent> {
         let mut losses = Vec::new();
-        let Some(high) = self.highest_acked else { return losses };
+        let Some(high) = self.highest_acked else {
+            return losses;
+        };
         if high < REORDER_WINDOW {
             return losses;
         }
         let cutoff = high - REORDER_WINDOW;
-        loop {
-            let Some((&seq, &meta)) = self.outstanding.iter().next() else { break };
+        while let Some((&seq, &meta)) = self.outstanding.iter().next() {
             if seq >= cutoff {
                 break;
             }
@@ -480,6 +501,7 @@ impl FlowSender {
         // Everything outstanding is written off; the controller sees one
         // timeout event (per-packet spam would overstate congestion).
         let total: u64 = self.outstanding.values().map(|m| m.bytes).sum();
+        // Invariant: the is_empty() early return above guarantees a key.
         let oldest = *self.outstanding.keys().next().expect("non-empty");
         let n = self.outstanding.len() as u64;
         self.outstanding.clear();
@@ -559,7 +581,12 @@ mod tests {
     fn sender(cwnd: u64) -> FlowSender {
         FlowSender::new(
             FlowId(0),
-            Box::new(TestCca { cwnd, acks: 0, losses: 0, mis: 0 }),
+            Box::new(TestCca {
+                cwnd,
+                acks: 0,
+                losses: 0,
+                mis: 0,
+            }),
             1500,
             Instant::ZERO,
             Instant::from_secs(100),

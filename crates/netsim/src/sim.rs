@@ -16,6 +16,7 @@
 //! a lost packet still consumed queue space and capacity.
 
 use crate::capacity::CapacitySchedule;
+use crate::faults::{FaultEngine, FaultPlan, FaultReport};
 use crate::loss::LossProcess;
 use crate::packet::{AckPacket, FlowId, Packet};
 use crate::queue::{DroptailQueue, EcnConfig, Enqueue};
@@ -43,6 +44,9 @@ pub struct LinkConfig {
     pub loss_process: Option<LossProcess>,
     /// Optional ECN step-marking at the queue (DCTCP-style).
     pub ecn: Option<EcnConfig>,
+    /// Scheduled fault injection (flaps, reordering, duplication, ACK
+    /// compression, delay spikes, burst loss). Empty by default.
+    pub faults: FaultPlan,
 }
 
 impl LinkConfig {
@@ -59,6 +63,7 @@ impl LinkConfig {
             ack_jitter: Duration::ZERO,
             loss_process: None,
             ecn: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -72,7 +77,14 @@ impl LinkConfig {
             ack_jitter: Duration::ZERO,
             loss_process: None,
             ecn: None,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Attach a fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -196,6 +208,14 @@ pub struct LinkReport {
     pub tail_drops: u64,
     /// Packets dropped by the stochastic loss process.
     pub stochastic_drops: u64,
+    /// Bytes offered to (admitted into) the droptail queue.
+    pub queue_admitted_bytes: u64,
+    /// Bytes tail-dropped at the queue.
+    pub queue_dropped_bytes: u64,
+    /// Bytes dequeued into the link.
+    pub queue_dequeued_bytes: u64,
+    /// Bytes still sitting in the queue when the run ended.
+    pub queue_residual_bytes: u64,
 }
 
 /// Results of one simulation run.
@@ -206,6 +226,8 @@ pub struct SimReport {
     pub flows: Vec<FlowReport>,
     /// Link-level aggregates.
     pub link: LinkReport,
+    /// Per-fault-type activation counters (all zero without a fault plan).
+    pub faults: FaultReport,
 }
 
 impl SimReport {
@@ -247,6 +269,8 @@ pub struct Simulation {
     ack_jitter: Duration,
     loss_rng: DetRng,
     jitter_rng: DetRng,
+    faults: FaultEngine,
+    flap_windows: Vec<(Instant, Instant)>,
     // Flows.
     flows: Vec<FlowSender>,
     // Metrics.
@@ -261,11 +285,14 @@ impl Simulation {
     /// Create a simulation over `link`, seeded for determinism.
     pub fn new(link: LinkConfig, seed: u64) -> Self {
         let mut root = DetRng::new(seed);
+        let flap_windows = link.faults.outage_windows();
         Simulation {
             now: Instant::ZERO,
             events: BinaryHeap::new(),
             eseq: 0,
-            capacity: link.capacity,
+            // Link-flap faults become zero-capacity windows on the schedule:
+            // packets in service wait the outage out like a trace blackout.
+            capacity: link.capacity.with_outages(&flap_windows),
             queue: DroptailQueue::new(link.buffer),
             busy: false,
             in_service: None,
@@ -277,6 +304,8 @@ impl Simulation {
             ack_jitter: link.ack_jitter,
             loss_rng: root.fork("link-loss"),
             jitter_rng: root.fork("ack-jitter"),
+            faults: FaultEngine::new(&link.faults, root.fork("faults")),
+            flap_windows,
             flows: Vec::new(),
             delivered_link_bytes: 0,
             stochastic_drops: 0,
@@ -309,19 +338,29 @@ impl Simulation {
         self.schedule(cfg.stop, Event::FlowStop(id));
         // MI clock starts one init-RTT after the flow starts.
         self.schedule(cfg.start + init_rtt, Event::MiTick(id));
-        self.schedule(cfg.start + Duration::from_millis(200), Event::RtoCheck(id, 0));
+        self.schedule(
+            cfg.start + Duration::from_millis(200),
+            Event::RtoCheck(id, 0),
+        );
         self.flows.push(sender);
         id
     }
 
     fn schedule(&mut self, at: Instant, event: Event) {
         self.eseq += 1;
-        self.events.push(Reverse(EventEntry { at, seq: self.eseq, event }));
+        self.events.push(Reverse(EventEntry {
+            at,
+            seq: self.eseq,
+            event,
+        }));
     }
 
     /// Run until `until`; consumes the simulation and returns the report.
     pub fn run(mut self, until: Instant) -> SimReport {
-        self.schedule(Instant::ZERO + Duration::from_millis(25), Event::QueueSample);
+        self.schedule(
+            Instant::ZERO + Duration::from_millis(25),
+            Event::QueueSample,
+        );
         while let Some(Reverse(entry)) = self.events.pop() {
             if entry.at > until {
                 break;
@@ -387,7 +426,8 @@ impl Simulation {
                 }
             }
             Event::QueueSample => {
-                self.queue_samples.update(self.queue.occupied_bytes() as f64);
+                self.queue_samples
+                    .update(self.queue.occupied_bytes() as f64);
                 let next = self.now + self.sample_period;
                 if next <= until {
                     self.schedule(next, Event::QueueSample);
@@ -406,7 +446,7 @@ impl Simulation {
         if let Some(wake) = result.next_wake {
             let flow = &mut self.flows[id.index()];
             // Skip if an earlier-or-equal wake is already queued.
-            if !flow.pending_wake.is_some_and(|t| t <= wake) {
+            if flow.pending_wake.is_none_or(|t| t > wake) {
                 flow.pending_wake = Some(wake);
                 self.schedule(wake, Event::PacerWake(id));
             }
@@ -446,29 +486,39 @@ impl Simulation {
     }
 
     fn on_service_done(&mut self) {
+        // Invariant: a ServiceDone event is only ever scheduled by
+        // start_service, which sets `in_service` first.
         let packet = self.in_service.take().expect("service done without packet");
         self.busy = false;
         // Stochastic loss on the wire (after consuming capacity).
         if self.loss.drop(&mut self.loss_rng) {
             self.stochastic_drops += 1;
         } else {
-            self.delivered_link_bytes += packet.bytes;
             let jitter = if self.ack_jitter.is_zero() {
                 Duration::ZERO
             } else {
                 Duration::from_nanos(self.jitter_rng.uniform_u64(0, self.ack_jitter.nanos() + 1))
             };
             let ack_at = self.now + self.one_way_delay * 2 + jitter;
-            let ack = AckPacket {
-                flow: packet.flow,
-                seq: packet.seq,
-                bytes: packet.bytes,
-                sent_at: packet.sent_at,
-                delivered_at_send: packet.delivered_at_send,
-                app_limited: packet.app_limited,
-                ecn: packet.ecn,
-            };
-            self.schedule(ack_at, Event::AckArrive(ack));
+            // Active fault windows may drop the packet (burst loss), shift
+            // the ACK (reorder / delay spike / compression), or duplicate it.
+            let (fate, ack_at) = self.faults.ack_fate(self.now, ack_at);
+            if !fate.dropped {
+                self.delivered_link_bytes += packet.bytes;
+                let ack = AckPacket {
+                    flow: packet.flow,
+                    seq: packet.seq,
+                    bytes: packet.bytes,
+                    sent_at: packet.sent_at,
+                    delivered_at_send: packet.delivered_at_send,
+                    app_limited: packet.app_limited,
+                    ecn: packet.ecn,
+                };
+                if let Some(after) = fate.duplicate_after {
+                    self.schedule(ack_at + after, Event::AckArrive(ack));
+                }
+                self.schedule(ack_at, Event::AckArrive(ack));
+            }
         }
         if !self.queue.is_empty() {
             self.start_service();
@@ -490,7 +540,17 @@ impl Simulation {
             queue_samples: self.queue_samples,
             tail_drops: self.queue.drops,
             stochastic_drops: self.stochastic_drops,
+            queue_admitted_bytes: self.queue.admitted_bytes,
+            queue_dropped_bytes: self.queue.dropped_bytes,
+            queue_dequeued_bytes: self.queue.dequeued_bytes,
+            queue_residual_bytes: self.queue.occupied_bytes(),
         };
+        let mut fault_report = self.faults.report;
+        fault_report.link_flaps = self
+            .flap_windows
+            .iter()
+            .filter(|&&(from, _)| from < until)
+            .count() as u64;
         let flows = self
             .flows
             .into_iter()
@@ -520,6 +580,7 @@ impl Simulation {
             duration: until.saturating_since(Instant::ZERO),
             flows,
             link,
+            faults: fault_report,
         }
     }
 }
@@ -594,17 +655,16 @@ mod tests {
 
     #[test]
     fn rate_above_capacity_builds_queue_and_drops() {
-        let rep = run_single(
-            Box::new(FixedRate(Rate::from_mbps(20.0))),
-            10.0,
-            40,
-            10,
-        );
+        let rep = run_single(Box::new(FixedRate(Rate::from_mbps(20.0))), 10.0, 40, 10);
         assert!(rep.link.tail_drops > 0, "drops {}", rep.link.tail_drops);
         assert!(rep.flows[0].lost_packets > 0);
         // Queue is full most of the time → RTT ≈ prop + buffer/capacity
         //   = 40 ms + 50 kB / 10 Mbps = 80 ms.
-        assert!(rep.flows[0].rtt_ms.mean() > 60.0, "rtt {}", rep.flows[0].rtt_ms.mean());
+        assert!(
+            rep.flows[0].rtt_ms.mean() > 60.0,
+            "rtt {}",
+            rep.flows[0].rtt_ms.mean()
+        );
         assert!(rep.link.utilization > 0.9);
     }
 
@@ -621,7 +681,11 @@ mod tests {
         assert!(rep.link.stochastic_drops > 0);
         let f = &rep.flows[0];
         // Around 10 % of packets lost.
-        assert!(f.loss_fraction > 0.05 && f.loss_fraction < 0.2, "{}", f.loss_fraction);
+        assert!(
+            f.loss_fraction > 0.05 && f.loss_fraction < 0.2,
+            "{}",
+            f.loss_fraction
+        );
     }
 
     #[test]
@@ -629,8 +693,14 @@ mod tests {
         let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0);
         let until = Instant::from_secs(20);
         let mut sim = Simulation::new(link, 4);
-        sim.add_flow(FlowConfig::whole_run(Box::new(FixedRate(Rate::from_mbps(4.0))), until));
-        sim.add_flow(FlowConfig::whole_run(Box::new(FixedRate(Rate::from_mbps(4.0))), until));
+        sim.add_flow(FlowConfig::whole_run(
+            Box::new(FixedRate(Rate::from_mbps(4.0))),
+            until,
+        ));
+        sim.add_flow(FlowConfig::whole_run(
+            Box::new(FixedRate(Rate::from_mbps(4.0))),
+            until,
+        ));
         let rep = sim.run(until);
         assert!(rep.jain_index() > 0.99, "jain {}", rep.jain_index());
         assert!((rep.flows[0].avg_goodput.mbps() - 4.0).abs() < 0.5);
@@ -642,7 +712,10 @@ mod tests {
         let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0);
         let until = Instant::from_secs(10);
         let mut sim = Simulation::new(link, 5);
-        sim.add_flow(FlowConfig::whole_run(Box::new(FixedRate(Rate::from_mbps(2.0))), until));
+        sim.add_flow(FlowConfig::whole_run(
+            Box::new(FixedRate(Rate::from_mbps(2.0))),
+            until,
+        ));
         sim.add_flow(FlowConfig::new(
             Box::new(FixedRate(Rate::from_mbps(2.0))),
             Instant::from_secs(5),
@@ -677,10 +750,14 @@ mod tests {
             ack_jitter: Duration::ZERO,
             loss_process: None,
             ecn: None,
+            faults: FaultPlan::default(),
         };
         let until = Instant::from_secs(20);
         let mut sim = Simulation::new(link, 6);
-        sim.add_flow(FlowConfig::whole_run(Box::new(FixedRate(Rate::from_mbps(50.0))), until));
+        sim.add_flow(FlowConfig::whole_run(
+            Box::new(FixedRate(Rate::from_mbps(50.0))),
+            until,
+        ));
         let rep = sim.run(until);
         // Overdriving the link achieves ~full utilization with heavy loss.
         assert!(rep.link.utilization > 0.95);
@@ -726,6 +803,170 @@ mod tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::FaultKind;
+    use crate::loss::GilbertElliott;
+    use libra_types::{AckEvent, LossEvent};
+
+    struct Fixed(u64);
+    impl CongestionControl for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn on_ack(&mut self, _: &AckEvent) {}
+        fn on_loss(&mut self, _: &LossEvent) {}
+        fn cwnd_bytes(&self) -> u64 {
+            self.0
+        }
+    }
+
+    fn kitchen_sink_plan() -> FaultPlan {
+        FaultPlan::none()
+            .flap_train(
+                Instant::from_secs(2),
+                Duration::from_millis(500),
+                Duration::from_millis(1500),
+                2,
+            )
+            .with(
+                Instant::from_secs(6),
+                Instant::from_secs(8),
+                FaultKind::Reorder {
+                    probability: 0.3,
+                    extra_delay: Duration::from_millis(30),
+                },
+            )
+            .with(
+                Instant::from_secs(8),
+                Instant::from_secs(10),
+                FaultKind::Duplicate { probability: 0.2 },
+            )
+            .with(
+                Instant::from_secs(10),
+                Instant::from_secs(12),
+                FaultKind::AckCompression {
+                    flush_every: Duration::from_millis(15),
+                },
+            )
+            .with(
+                Instant::from_secs(12),
+                Instant::from_secs(14),
+                FaultKind::DelaySpike {
+                    extra: Duration::from_millis(40),
+                },
+            )
+            .with(
+                Instant::from_secs(14),
+                Instant::from_secs(16),
+                FaultKind::BurstLoss(GilbertElliott::bursty(0.2, 10.0)),
+            )
+    }
+
+    fn run_with_plan(seed: u64) -> SimReport {
+        let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0)
+            .with_faults(kitchen_sink_plan());
+        let until = Instant::from_secs(18);
+        let mut sim = Simulation::new(link, seed);
+        sim.add_flow(FlowConfig::whole_run(Box::new(Fixed(100_000)), until));
+        sim.run(until)
+    }
+
+    #[test]
+    fn every_fault_type_fires_and_is_counted() {
+        let rep = run_with_plan(11);
+        let f = rep.faults;
+        assert_eq!(f.link_flaps, 2, "flaps {f:?}");
+        assert!(f.reordered_acks > 0, "reorder {f:?}");
+        assert!(f.duplicated_acks > 0, "duplicate {f:?}");
+        assert!(f.compressed_acks > 0, "compression {f:?}");
+        assert!(f.delay_spiked_acks > 0, "spike {f:?}");
+        assert!(f.burst_loss_drops > 0, "burst {f:?}");
+        // The flow survives the whole gauntlet and keeps moving data.
+        assert!(rep.flows[0].delivered_bytes > 0);
+        assert!(rep.link.utilization > 0.2, "util {}", rep.link.utilization);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        let a = run_with_plan(11);
+        let b = run_with_plan(11);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.flows[0].delivered_bytes, b.flows[0].delivered_bytes);
+        assert_eq!(a.flows[0].lost_packets, b.flows[0].lost_packets);
+        let c = run_with_plan(12);
+        assert!(
+            c.faults != a.faults || c.flows[0].delivered_bytes != a.flows[0].delivered_bytes,
+            "different seeds should perturb the run"
+        );
+    }
+
+    #[test]
+    fn flaps_only_count_inside_horizon() {
+        let plan = FaultPlan::none().flap_train(
+            Instant::from_secs(2),
+            Duration::from_millis(200),
+            Duration::from_secs(20),
+            4,
+        );
+        let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0)
+            .with_faults(plan);
+        let until = Instant::from_secs(10);
+        let mut sim = Simulation::new(link, 1);
+        sim.add_flow(FlowConfig::whole_run(Box::new(Fixed(50_000)), until));
+        let rep = sim.run(until);
+        // Flaps start at 2 s, 22.2 s, 42.4 s, 62.6 s — only the first is
+        // inside the 10 s horizon.
+        assert_eq!(rep.faults.link_flaps, 1);
+    }
+
+    #[test]
+    fn flap_blackout_reduces_delivery_then_recovers() {
+        let clean = {
+            let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0);
+            let until = Instant::from_secs(10);
+            let mut sim = Simulation::new(link, 5);
+            sim.add_flow(FlowConfig::whole_run(Box::new(Fixed(100_000)), until));
+            sim.run(until)
+        };
+        let flapped = {
+            let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0)
+                .with_faults(FaultPlan::none().flap_train(
+                    Instant::from_secs(3),
+                    Duration::from_secs(2),
+                    Duration::from_secs(1),
+                    1,
+                ));
+            let until = Instant::from_secs(10);
+            let mut sim = Simulation::new(link, 5);
+            sim.add_flow(FlowConfig::whole_run(Box::new(Fixed(100_000)), until));
+            sim.run(until)
+        };
+        assert!(flapped.flows[0].delivered_bytes < clean.flows[0].delivered_bytes);
+        // Data still flows after the outage ends at 5 s.
+        let post: f64 = flapped.flows[0]
+            .goodput_series
+            .iter()
+            .filter(|&&(t, _)| t > 6.0)
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(post > 0.0, "no traffic after the flap");
+    }
+
+    #[test]
+    fn queue_byte_accounting_exposed_in_report() {
+        let rep = run_with_plan(11);
+        let l = &rep.link;
+        assert!(l.queue_admitted_bytes > 0);
+        assert_eq!(
+            l.queue_admitted_bytes - l.queue_dequeued_bytes,
+            l.queue_residual_bytes,
+            "queue byte conservation violated"
+        );
+    }
+}
+
+#[cfg(test)]
 mod robustness_tests {
     use super::*;
     use libra_types::{AckEvent, LossEvent};
@@ -756,7 +997,11 @@ mod robustness_tests {
         // the absurd rate into repeated bounded pumps.
         let t0 = std::time::Instant::now();
         let rep = sim.run(until);
-        assert!(t0.elapsed() < std::time::Duration::from_secs(30), "took {:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(30),
+            "took {:?}",
+            t0.elapsed()
+        );
         // Virtually everything was tail-dropped, the link stayed sane.
         assert!(rep.link.utilization <= 1.0);
         assert!(rep.link.tail_drops > 0);

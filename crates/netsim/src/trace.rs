@@ -13,6 +13,7 @@
 //!   stochastic loss, ACK jitter and shallow policer-style buffers.
 
 use crate::capacity::CapacitySchedule;
+use crate::faults::FaultPlan;
 use crate::loss::{GilbertElliott, LossProcess};
 use crate::queue::EcnConfig;
 use crate::sim::LinkConfig;
@@ -116,6 +117,7 @@ pub fn lte_link(scenario: LteScenario, total: Duration, rng: &mut DetRng) -> Lin
         ack_jitter: Duration::from_micros(500),
         loss_process: None,
         ecn: None,
+        faults: FaultPlan::default(),
     }
 }
 
@@ -139,6 +141,7 @@ pub fn step_link(total: Duration) -> LinkConfig {
         ack_jitter: Duration::ZERO,
         loss_process: None,
         ecn: None,
+        faults: FaultPlan::default(),
     }
 }
 
@@ -175,14 +178,18 @@ pub fn wan_link(scenario: WanScenario, total: Duration, rng: &mut DetRng) -> Lin
                 one_way_delay: Duration::from_secs_f64(rtt_ms / 2.0 / 1e3),
                 // Shallow policer-style buffer: ~0.4 BDP.
                 buffer: Bytes::new(
-                    (Bytes::bdp(Rate::from_mbps(mean_mbps), Duration::from_secs_f64(rtt_ms / 1e3))
-                        .get() as f64
+                    (Bytes::bdp(
+                        Rate::from_mbps(mean_mbps),
+                        Duration::from_secs_f64(rtt_ms / 1e3),
+                    )
+                    .get() as f64
                         * 0.4) as u64,
                 ),
                 stochastic_loss: loss,
                 ack_jitter: Duration::from_millis(4),
                 loss_process: None,
                 ecn: None,
+                faults: FaultPlan::default(),
             }
         }
         WanScenario::IntraContinental => {
@@ -200,6 +207,7 @@ pub fn wan_link(scenario: WanScenario, total: Duration, rng: &mut DetRng) -> Lin
                 ack_jitter: Duration::from_millis(1),
                 loss_process: None,
                 ecn: None,
+                faults: FaultPlan::default(),
             }
         }
     }
@@ -207,7 +215,12 @@ pub fn wan_link(scenario: WanScenario, total: Duration, rng: &mut DetRng) -> Lin
 
 /// Capacity that wobbles around a mean by ±`rel` (cross-traffic effect),
 /// resampled every 500 ms.
-fn jittery_capacity(mean_mbps: f64, rel: f64, total: Duration, rng: &mut DetRng) -> CapacitySchedule {
+fn jittery_capacity(
+    mean_mbps: f64,
+    rel: f64,
+    total: Duration,
+    rng: &mut DetRng,
+) -> CapacitySchedule {
     let step = Duration::from_millis(500);
     let steps = (total.nanos() / step.nanos()) as usize + 1;
     let mut segments = Vec::with_capacity(steps);
@@ -251,8 +264,16 @@ mod tests {
 
     #[test]
     fn lte_trace_deterministic() {
-        let a = lte_trace(LteScenario::Walking, Duration::from_secs(10), &mut DetRng::new(9));
-        let b = lte_trace(LteScenario::Walking, Duration::from_secs(10), &mut DetRng::new(9));
+        let a = lte_trace(
+            LteScenario::Walking,
+            Duration::from_secs(10),
+            &mut DetRng::new(9),
+        );
+        let b = lte_trace(
+            LteScenario::Walking,
+            Duration::from_secs(10),
+            &mut DetRng::new(9),
+        );
         assert_eq!(a.segments().len(), b.segments().len());
         for (x, y) in a.segments().iter().zip(b.segments()) {
             assert_eq!(x.0, y.0);
@@ -265,7 +286,10 @@ mod tests {
         let l = wired_link(48.0);
         assert_eq!(l.one_way_delay, Duration::from_millis(15));
         assert_eq!(l.buffer, Bytes::from_kb(150));
-        assert_eq!(l.capacity.rate_at(Instant::from_secs(30)), Rate::from_mbps(48.0));
+        assert_eq!(
+            l.capacity.rate_at(Instant::from_secs(30)),
+            Rate::from_mbps(48.0)
+        );
     }
 
     #[test]
@@ -280,8 +304,16 @@ mod tests {
     #[test]
     fn wan_profiles_have_expected_shape() {
         let mut rng = DetRng::new(5);
-        let inter = wan_link(WanScenario::InterContinental, Duration::from_secs(30), &mut rng);
-        let intra = wan_link(WanScenario::IntraContinental, Duration::from_secs(30), &mut rng);
+        let inter = wan_link(
+            WanScenario::InterContinental,
+            Duration::from_secs(30),
+            &mut rng,
+        );
+        let intra = wan_link(
+            WanScenario::IntraContinental,
+            Duration::from_secs(30),
+            &mut rng,
+        );
         assert!(inter.one_way_delay > intra.one_way_delay);
         assert!(inter.stochastic_loss > intra.stochastic_loss);
         let rtt_inter = inter.one_way_delay.as_millis_f64() * 2.0;
@@ -305,7 +337,10 @@ pub fn satellite_link(total: Duration, rng: &mut DetRng) -> LinkConfig {
         let mut segments = Vec::with_capacity(steps);
         let mut t = Instant::ZERO;
         for _ in 0..steps {
-            segments.push((t, Rate::from_mbps(20.0 * (1.0 + rng.uniform_range(-0.1, 0.1)))));
+            segments.push((
+                t,
+                Rate::from_mbps(20.0 * (1.0 + rng.uniform_range(-0.1, 0.1))),
+            ));
             t += step;
         }
         CapacitySchedule::from_segments(segments)
@@ -316,8 +351,11 @@ pub fn satellite_link(total: Duration, rng: &mut DetRng) -> LinkConfig {
         buffer: Bytes::bdp(Rate::from_mbps(20.0), Duration::from_millis(600)),
         stochastic_loss: 0.0,
         ack_jitter: Duration::from_millis(2),
-        loss_process: Some(LossProcess::GilbertElliott(GilbertElliott::bursty(0.02, 15.0))),
+        loss_process: Some(LossProcess::GilbertElliott(GilbertElliott::bursty(
+            0.02, 15.0,
+        ))),
         ecn: None,
+        faults: FaultPlan::default(),
     }
 }
 
@@ -352,6 +390,7 @@ pub fn fiveg_link(total: Duration, rng: &mut DetRng) -> LinkConfig {
         ack_jitter: Duration::from_micros(500),
         loss_process: None,
         ecn: None,
+        faults: FaultPlan::default(),
     }
 }
 
@@ -368,6 +407,7 @@ pub fn datacenter_link() -> LinkConfig {
         ecn: Some(EcnConfig {
             threshold: Bytes::new(20 * 1500),
         }),
+        faults: FaultPlan::default(),
     }
 }
 

@@ -54,10 +54,7 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let grads: Vec<Vec<f64>> = Mlp::grad_slices(grad)
-            .iter()
-            .map(|s| s.to_vec())
-            .collect();
+        let grads: Vec<Vec<f64>> = Mlp::grad_slices(grad).iter().map(|s| s.to_vec()).collect();
         let params = net.params_mut();
         assert_eq!(params.len(), grads.len(), "optimizer/net shape mismatch");
         for ((slice, g), (m, v)) in params
@@ -117,12 +114,12 @@ mod tests {
         let mut net_sgd = make(&mut r);
         let mut net_adam = net_sgd.clone();
         let mut adam = Adam::new(&net_adam, 3e-3);
-        train(&mut net_sgd, None, 800);
-        train(&mut net_adam, Some(&mut adam), 800);
+        train(&mut net_sgd, None, 1500);
+        train(&mut net_adam, Some(&mut adam), 1500);
         let (ls, la) = (loss(&net_sgd), loss(&net_adam));
         assert!(la < ls, "adam {la} should beat sgd {ls}");
         assert!(la < 0.05, "adam loss {la}");
-        assert_eq!(adam.steps(), 800);
+        assert_eq!(adam.steps(), 1500);
     }
 
     #[test]

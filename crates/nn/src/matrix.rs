@@ -78,13 +78,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec shape mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }
@@ -93,12 +93,11 @@ impl Matrix {
     pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "t_matvec shape mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let yr = y[r];
+        for (r, &yr) in y.iter().enumerate() {
             if yr == 0.0 {
                 continue;
             }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (o, a) in out.iter_mut().zip(row) {
                 *o += a * yr;
             }
@@ -111,12 +110,12 @@ impl Matrix {
     pub fn add_outer(&mut self, y: &[f64], x: &[f64], scale: f64) {
         assert_eq!(y.len(), self.rows, "outer shape mismatch (rows)");
         assert_eq!(x.len(), self.cols, "outer shape mismatch (cols)");
-        for r in 0..self.rows {
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            let s = scale * y[r];
+        for (r, &yr) in y.iter().enumerate() {
+            let s = scale * yr;
             if s == 0.0 {
                 continue;
             }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (o, a) in row.iter_mut().zip(x) {
                 *o += s * a;
             }

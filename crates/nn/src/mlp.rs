@@ -144,7 +144,10 @@ impl Mlp {
 
     /// Forward pass returning only the output.
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        self.forward_cached(input).activations.pop().expect("output")
+        self.forward_cached(input)
+            .activations
+            .pop()
+            .expect("output")
     }
 
     /// Forward pass keeping intermediate activations for backprop.
@@ -219,6 +222,38 @@ impl Mlp {
         }
     }
 
+    /// True when every weight and bias is a finite number. A single
+    /// NaN/inf parameter poisons every forward pass, so this is the
+    /// cheapest possible corruption probe.
+    pub fn params_finite(&self) -> bool {
+        self.layers.iter().all(|l| {
+            l.w.as_slice().iter().all(|x| x.is_finite()) && l.b.iter().all(|x| x.is_finite())
+        })
+    }
+
+    /// Global L2 norm over all parameters (weight-explosion probe).
+    pub fn param_l2_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for l in &self.layers {
+            s += l.w.as_slice().iter().map(|x| x * x).sum::<f64>();
+            s += l.b.iter().map(|x| x * x).sum::<f64>();
+        }
+        s.sqrt()
+    }
+
+    /// Apply `f` to every parameter in place. Exists so fault-injection
+    /// tests can corrupt a network deterministically.
+    pub fn map_params(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for l in &mut self.layers {
+            for x in l.w.as_mut_slice() {
+                *x = f(*x);
+            }
+            for x in &mut l.b {
+                *x = f(*x);
+            }
+        }
+    }
+
     /// Flat views of all parameters, for the optimizer.
     pub(crate) fn params_mut(&mut self) -> Vec<&mut [f64]> {
         let mut out = Vec::with_capacity(self.layers.len() * 2);
@@ -275,7 +310,9 @@ mod tests {
 
         let analytic = {
             let gs = Mlp::grad_slices(&grad);
-            gs.iter().flat_map(|s| s.iter().copied()).collect::<Vec<_>>()
+            gs.iter()
+                .flat_map(|s| s.iter().copied())
+                .collect::<Vec<_>>()
         };
         let eps = 1e-6;
         let mut numeric = Vec::new();
@@ -294,7 +331,10 @@ mod tests {
         }
         assert_eq!(analytic.len(), numeric.len());
         for (i, (a, n)) in analytic.iter().zip(&numeric).enumerate() {
-            assert!((a - n).abs() < 1e-6, "param {i}: analytic {a} vs numeric {n}");
+            assert!(
+                (a - n).abs() < 1e-6,
+                "param {i}: analytic {a} vs numeric {n}"
+            );
         }
     }
 
@@ -366,6 +406,20 @@ mod tests {
         assert!((grad.l2_norm() - 0.5 * n).abs() < 1e-12);
         grad.clear();
         assert_eq!(grad.l2_norm(), 0.0);
+    }
+
+    #[test]
+    fn finite_check_and_poisoning() {
+        let mut r = rng();
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, &mut r);
+        assert!(net.params_finite());
+        let norm = net.param_l2_norm();
+        assert!(norm > 0.0 && norm.is_finite());
+        net.map_params(|x| x * 2.0);
+        assert!((net.param_l2_norm() - 2.0 * norm).abs() < 1e-9);
+        net.map_params(|_| f64::NAN);
+        assert!(!net.params_finite());
+        assert!(net.forward(&[0.5, 0.5])[0].is_nan());
     }
 
     #[test]

@@ -12,4 +12,4 @@ pub mod ppo;
 
 pub use buffer::{RolloutBuffer, Sample, Transition};
 pub use config::PpoConfig;
-pub use ppo::{PpoAgent, PpoWeights, UpdateStats};
+pub use ppo::{PpoAgent, PpoWeights, UpdateStats, WEIGHT_NORM_BOUND};

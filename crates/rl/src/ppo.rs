@@ -31,6 +31,12 @@ pub struct UpdateStats {
     pub samples: usize,
 }
 
+/// Default L2-norm bound above which a weight set is treated as corrupt.
+/// A healthy 2×32 Xavier-initialized actor-critic pair sits around norm
+/// 10–30 and trained networks stay well under 10³; anything near 10⁶ is
+/// a runaway update, not a policy.
+pub const WEIGHT_NORM_BOUND: f64 = 1e6;
+
 /// Serializable snapshot of an agent's learnable state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PpoWeights {
@@ -39,6 +45,26 @@ pub struct PpoWeights {
     actor: Mlp,
     critic: Mlp,
     log_std: Vec<f64>,
+}
+
+impl PpoWeights {
+    /// Global L2 norm over every learnable parameter.
+    pub fn l2_norm(&self) -> f64 {
+        let a = self.actor.param_l2_norm();
+        let c = self.critic.param_l2_norm();
+        let s: f64 = self.log_std.iter().map(|x| x * x).sum();
+        (a * a + c * c + s).sqrt()
+    }
+
+    /// True when every parameter is finite and the global L2 norm stays
+    /// under `norm_bound` — the corruption check run on load and after
+    /// every PPO update.
+    pub fn is_valid(&self, norm_bound: f64) -> bool {
+        self.actor.params_finite()
+            && self.critic.params_finite()
+            && self.log_std.iter().all(|x| x.is_finite())
+            && self.l2_norm() <= norm_bound
+    }
 }
 
 /// A PPO actor-critic agent.
@@ -57,6 +83,9 @@ pub struct PpoAgent {
     eval_mode: bool,
     // Pending transition: filled by `act`, completed by the next reward.
     pending: Option<(Vec<f64>, Vec<f64>, f64, f64)>, // (obs, action, logp, value)
+    // Last weight set that passed validation; restored on corruption.
+    last_good: Option<PpoWeights>,
+    weight_restores: u64,
 }
 
 impl PpoAgent {
@@ -82,6 +111,8 @@ impl PpoAgent {
             rng: rng.fork("ppo-explore"),
             eval_mode: false,
             pending: None,
+            last_good: None,
+            weight_restores: 0,
             config,
         }
     }
@@ -180,6 +211,11 @@ impl PpoAgent {
         if self.buffer.is_empty() {
             return UpdateStats::default();
         }
+        // Guardrail: remember the pre-update weights so a corrupting
+        // update (NaN rewards, exploding gradients) can be rolled back.
+        if self.weights_valid(WEIGHT_NORM_BOUND) {
+            self.snapshot_good();
+        }
         let last_value = last_obs.map_or(0.0, |o| self.critic.forward(o)[0]);
         let mut samples = self
             .buffer
@@ -211,6 +247,9 @@ impl PpoAgent {
             stats.entropy /= b;
             stats.clip_fraction /= b;
         }
+        // Post-update validation: a single poisoned minibatch must not
+        // leave a NaN network deployed.
+        self.validate_or_restore(WEIGHT_NORM_BOUND);
         stats
     }
 
@@ -240,7 +279,11 @@ impl PpoAgent {
             }
             // d(-min(surr))/d(logp): only flows when the unclipped branch
             // is active (or the clipped one equals it).
-            let dlogp = if use_unclipped { -ratio * s.advantage / m } else { 0.0 };
+            let dlogp = if use_unclipped {
+                -ratio * s.advantage / m
+            } else {
+                0.0
+            };
             if dlogp != 0.0 {
                 // d logp / d mean_i = (a_i − μ_i)/σ_i².
                 let mut dmean = Vec::with_capacity(mean.len());
@@ -262,11 +305,17 @@ impl PpoAgent {
             let v = vcache.output()[0];
             let err = v - s.ret;
             stats.value_loss += err * err / m;
-            self.critic
-                .backward(&vcache, &[2.0 * self.config.vf_coef * err / m], &mut critic_grad);
+            self.critic.backward(
+                &vcache,
+                &[2.0 * self.config.vf_coef * err / m],
+                &mut critic_grad,
+            );
         }
         // Gradient clipping (actor and critic separately).
-        for (net_grad, limit) in [(&mut actor_grad, self.config.max_grad_norm), (&mut critic_grad, self.config.max_grad_norm)] {
+        for (net_grad, limit) in [
+            (&mut actor_grad, self.config.max_grad_norm),
+            (&mut critic_grad, self.config.max_grad_norm),
+        ] {
             let norm = net_grad.l2_norm();
             if norm > limit {
                 net_grad.scale(limit / norm);
@@ -279,9 +328,9 @@ impl PpoAgent {
         let (b1, b2, eps) = (0.9, 0.999, 1e-8);
         let bc1 = 1.0 - b1f(b1, self.log_std_t);
         let bc2 = 1.0 - b1f(b2, self.log_std_t);
-        for i in 0..self.log_std.len() {
-            self.log_std_m[i] = b1 * self.log_std_m[i] + (1.0 - b1) * log_std_grad[i];
-            self.log_std_v[i] = b2 * self.log_std_v[i] + (1.0 - b2) * log_std_grad[i].powi(2);
+        for (i, &g) in log_std_grad.iter().enumerate() {
+            self.log_std_m[i] = b1 * self.log_std_m[i] + (1.0 - b1) * g;
+            self.log_std_v[i] = b2 * self.log_std_v[i] + (1.0 - b2) * g.powi(2);
             let mhat = self.log_std_m[i] / bc1;
             let vhat = self.log_std_v[i] / bc2;
             self.log_std[i] -= self.config.lr * mhat / (vhat.sqrt() + eps);
@@ -319,8 +368,79 @@ impl PpoAgent {
             rng: rng.fork("ppo-explore"),
             eval_mode: false,
             pending: None,
+            last_good: None,
+            weight_restores: 0,
             config: w.config,
         }
+    }
+
+    /// Restore an agent from a snapshot, rejecting corrupt weights
+    /// (non-finite parameters or L2 norm above
+    /// [`WEIGHT_NORM_BOUND`]) instead of silently deploying them.
+    pub fn try_from_weights(w: PpoWeights, rng: &mut DetRng) -> Result<Self, String> {
+        if !w.is_valid(WEIGHT_NORM_BOUND) {
+            return Err(format!(
+                "rejecting PPO weights: non-finite parameters or L2 norm {:.3e} > {:.1e}",
+                w.l2_norm(),
+                WEIGHT_NORM_BOUND
+            ));
+        }
+        let mut agent = PpoAgent::from_weights(w, rng);
+        agent.snapshot_good();
+        Ok(agent)
+    }
+
+    /// Are the current learnable parameters finite with an L2 norm under
+    /// `norm_bound`?
+    pub fn weights_valid(&self, norm_bound: f64) -> bool {
+        self.actor.params_finite()
+            && self.critic.params_finite()
+            && self.log_std.iter().all(|x| x.is_finite())
+            && {
+                let a = self.actor.param_l2_norm();
+                let c = self.critic.param_l2_norm();
+                let s: f64 = self.log_std.iter().map(|x| x * x).sum();
+                (a * a + c * c + s).sqrt() <= norm_bound
+            }
+    }
+
+    /// Record the current weights as the last-known-good snapshot.
+    pub fn snapshot_good(&mut self) {
+        self.last_good = Some(self.weights());
+    }
+
+    /// Validate the current weights against `norm_bound`; on corruption
+    /// restore the last-known-good snapshot (if any). Returns `true` when
+    /// the weights were already healthy.
+    pub fn validate_or_restore(&mut self, norm_bound: f64) -> bool {
+        if self.weights_valid(norm_bound) {
+            return true;
+        }
+        if let Some(w) = self.last_good.clone() {
+            self.actor = w.actor;
+            self.critic = w.critic;
+            self.log_std = w.log_std;
+            // Optimizer moments may carry the same corruption; restart
+            // them along with the weights.
+            self.actor_opt = Adam::new(&self.actor, self.config.lr);
+            self.critic_opt = Adam::new(&self.critic, self.config.lr);
+            self.log_std_m = vec![0.0; self.config.act_dim];
+            self.log_std_v = vec![0.0; self.config.act_dim];
+            self.log_std_t = 0;
+            self.weight_restores += 1;
+        }
+        false
+    }
+
+    /// Times a corrupt weight set was rolled back to the last snapshot.
+    pub fn weight_restores(&self) -> u64 {
+        self.weight_restores
+    }
+
+    /// Corrupt/transform every actor parameter in place — the
+    /// fault-injection hook robustness tests use to poison a policy.
+    pub fn map_actor_params(&mut self, f: impl FnMut(f64) -> f64) {
+        self.actor.map_params(f);
     }
 }
 
@@ -436,6 +556,63 @@ mod tests {
         for (a, b) in after.iter().zip(&before) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn corrupt_weights_are_rejected_on_load() {
+        let mut rng = DetRng::new(11);
+        let mut agent = PpoAgent::new(PpoConfig::new(2, 1), &mut rng);
+        let good = agent.weights();
+        assert!(good.is_valid(WEIGHT_NORM_BOUND));
+        agent.map_actor_params(|_| f64::NAN);
+        let bad = agent.weights();
+        assert!(!bad.is_valid(WEIGHT_NORM_BOUND));
+        let mut rng2 = DetRng::new(12);
+        assert!(PpoAgent::try_from_weights(good, &mut rng2).is_ok());
+        assert!(PpoAgent::try_from_weights(bad, &mut rng2).is_err());
+    }
+
+    #[test]
+    fn poisoned_agent_restores_last_good_snapshot() {
+        let mut rng = DetRng::new(13);
+        let mut agent = PpoAgent::new(PpoConfig::new(2, 1), &mut rng);
+        agent.set_eval(true);
+        let before = agent.act(&[0.2, -0.4]);
+        agent.snapshot_good();
+        agent.map_actor_params(|_| f64::INFINITY);
+        assert!(!agent.weights_valid(WEIGHT_NORM_BOUND));
+        assert!(!agent.validate_or_restore(WEIGHT_NORM_BOUND));
+        assert_eq!(agent.weight_restores(), 1);
+        assert!(agent.weights_valid(WEIGHT_NORM_BOUND));
+        assert_eq!(agent.act(&[0.2, -0.4]), before);
+    }
+
+    #[test]
+    fn poisoning_without_snapshot_stays_poisoned() {
+        let mut rng = DetRng::new(14);
+        let mut agent = PpoAgent::new(PpoConfig::new(1, 1), &mut rng);
+        agent.set_eval(true);
+        agent.map_actor_params(|_| f64::NAN);
+        assert!(!agent.validate_or_restore(WEIGHT_NORM_BOUND));
+        assert_eq!(agent.weight_restores(), 0, "nothing to restore from");
+        assert!(agent.act(&[0.0])[0].is_nan());
+    }
+
+    #[test]
+    fn update_rolls_back_corrupting_training_batch() {
+        let mut rng = DetRng::new(15);
+        let mut agent = PpoAgent::new(PpoConfig::new(1, 1), &mut rng);
+        for _ in 0..8 {
+            agent.act(&[0.5]);
+            // A NaN reward poisons advantages and, through them, every
+            // parameter the minibatch touches.
+            agent.give_reward(f64::NAN, false);
+        }
+        agent.update(None);
+        assert!(agent.weights_valid(WEIGHT_NORM_BOUND), "rolled back");
+        assert_eq!(agent.weight_restores(), 1);
+        agent.set_eval(true);
+        assert!(agent.act(&[0.5])[0].is_finite());
     }
 
     #[test]

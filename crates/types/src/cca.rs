@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn default_mi_is_one_srtt() {
         let c = FixedWindow(1);
-        assert_eq!(c.mi_duration(Duration::from_millis(80)), Duration::from_millis(80));
+        assert_eq!(
+            c.mi_duration(Duration::from_millis(80)),
+            Duration::from_millis(80)
+        );
     }
 
     #[test]

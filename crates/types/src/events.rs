@@ -42,7 +42,10 @@ impl AckEvent {
     /// this packet and its ACK, over the elapsed interval.
     pub fn delivery_rate_sample(&self) -> crate::units::Rate {
         let interval = self.now.saturating_since(self.sent_at);
-        crate::units::Rate::from_bytes_over(self.delivered.saturating_sub(self.delivered_at_send), interval)
+        crate::units::Rate::from_bytes_over(
+            self.delivered.saturating_sub(self.delivered_at_send),
+            interval,
+        )
     }
 }
 

@@ -6,21 +6,29 @@
 //! reproducible from `(code, seed)`. Forked streams are independent: adding
 //! a draw to one component never perturbs another.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A seeded deterministic RNG stream.
+/// A seeded deterministic RNG stream (xoshiro256++, self-contained so the
+/// workspace carries no external RNG dependency).
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Create a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(splitmix64(seed)),
+        // Expand the seed into four state words with SplitMix64, the
+        // recommended seeding procedure for the xoshiro family.
+        let mut z = splitmix64(seed);
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            z = splitmix64(z);
+            *w = z;
         }
+        // xoshiro256++ has a single forbidden (all-zero) state.
+        if state == [0, 0, 0, 0] {
+            state[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        DetRng { state }
     }
 
     /// Derive an independent child stream labelled by `label`.
@@ -33,12 +41,12 @@ impl DetRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        DetRng::new(h ^ self.inner.next_u64())
+        DetRng::new(h ^ self.next_u64())
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`. Returns `lo` when the range is empty.
@@ -50,11 +58,24 @@ impl DetRng {
     }
 
     /// Uniform integer in `[lo, hi)`. Returns `lo` when the range is empty.
+    ///
+    /// Uses Lemire's widening-multiply rejection method, so the draw is
+    /// unbiased for every range width.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let range = hi - lo;
+        let mut m = u128::from(self.next_u64()) * u128::from(range);
+        let mut low = m as u64;
+        if low < range {
+            let threshold = range.wrapping_neg() % range;
+            while low < threshold {
+                m = u128::from(self.next_u64()) * u128::from(range);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Bernoulli draw: true with probability `p` (clamped to `[0,1]`).
@@ -83,7 +104,18 @@ impl DetRng {
 
     /// Raw 64-bit output (for seeding sub-systems).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
     }
 
     /// Shuffle a slice in place (Fisher–Yates).

@@ -156,7 +156,11 @@ impl MiTracker {
             sending_rate: Rate::from_bytes_over(self.sent_bytes, dur),
             delivery_rate: Rate::from_bytes_over(self.acked_bytes, dur),
             avg_rtt,
-            mi_min_rtt: if self.acks > 0 { self.mi_min_rtt } else { Duration::ZERO },
+            mi_min_rtt: if self.acks > 0 {
+                self.mi_min_rtt
+            } else {
+                Duration::ZERO
+            },
             mi_max_rtt: self.mi_max_rtt,
             min_rtt,
             rtt_gradient: slope(&self.rtt_samples),

@@ -43,12 +43,35 @@ impl Default for UtilityParams {
 impl UtilityParams {
     /// Evaluate `u(x)` for a rate in Mbps, an RTT gradient (dimensionless,
     /// seconds of RTT per second) and a loss fraction in `[0, 1]`.
+    ///
+    /// Inputs are sanitized to their neutral values — negative or
+    /// non-finite rates count as zero, negative or non-finite gradients
+    /// as flat, non-finite loss as lossless — so the result is always a
+    /// finite number. Degenerate monitor intervals (zero duration, NaN
+    /// telemetry) therefore cannot poison candidate arbitration; note
+    /// `f64::clamp` would have propagated a NaN loss rate straight into
+    /// the penalty term.
     pub fn evaluate(&self, rate_mbps: f64, rtt_gradient: f64, loss_rate: f64) -> f64 {
-        debug_assert!(self.t > 0.0 && self.t < 1.0, "utility exponent out of (0,1)");
-        let x = rate_mbps.max(0.0);
-        self.alpha * x.powf(self.t)
-            - self.beta * x * rtt_gradient.max(0.0)
-            - self.gamma * x * loss_rate.clamp(0.0, 1.0)
+        debug_assert!(
+            self.t > 0.0 && self.t < 1.0,
+            "utility exponent out of (0,1)"
+        );
+        let x = if rate_mbps.is_finite() {
+            rate_mbps.max(0.0)
+        } else {
+            0.0
+        };
+        let g = if rtt_gradient.is_finite() {
+            rtt_gradient.max(0.0)
+        } else {
+            0.0
+        };
+        let l = if loss_rate.is_finite() {
+            loss_rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.alpha * x.powf(self.t) - self.beta * x * g - self.gamma * x * l
     }
 
     /// Evaluate on a closed monitor interval, using the *achieved* sending
@@ -63,7 +86,17 @@ impl UtilityParams {
     /// `None` when the penalty term is zero (utility is unbounded and the
     /// sender should probe upward).
     pub fn optimal_rate_mbps(&self, rtt_gradient: f64, loss_rate: f64) -> Option<f64> {
-        let penalty = self.beta * rtt_gradient.max(0.0) + self.gamma * loss_rate.clamp(0.0, 1.0);
+        let g = if rtt_gradient.is_finite() {
+            rtt_gradient.max(0.0)
+        } else {
+            0.0
+        };
+        let l = if loss_rate.is_finite() {
+            loss_rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let penalty = self.beta * g + self.gamma * l;
         if penalty <= 0.0 {
             return None;
         }
@@ -102,10 +135,22 @@ impl Preference {
         let d = UtilityParams::default();
         match self {
             Preference::Default => d,
-            Preference::Throughput1 => UtilityParams { alpha: 2.0 * d.alpha, ..d },
-            Preference::Throughput2 => UtilityParams { alpha: 3.0 * d.alpha, ..d },
-            Preference::Latency1 => UtilityParams { beta: 2.0 * d.beta, ..d },
-            Preference::Latency2 => UtilityParams { beta: 3.0 * d.beta, ..d },
+            Preference::Throughput1 => UtilityParams {
+                alpha: 2.0 * d.alpha,
+                ..d
+            },
+            Preference::Throughput2 => UtilityParams {
+                alpha: 3.0 * d.alpha,
+                ..d
+            },
+            Preference::Latency1 => UtilityParams {
+                beta: 2.0 * d.beta,
+                ..d
+            },
+            Preference::Latency2 => UtilityParams {
+                beta: 3.0 * d.beta,
+                ..d
+            },
         }
     }
 
@@ -151,6 +196,44 @@ mod tests {
     fn loss_penalty_bites() {
         let p = UtilityParams::default();
         assert!(p.evaluate(10.0, 0.0, 0.2) < p.evaluate(10.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn zero_rate_scores_zero() {
+        let p = UtilityParams::default();
+        assert_eq!(p.evaluate(0.0, 0.0, 0.0), 0.0);
+        // Even with maximal penalties a silent sender scores zero, not −∞.
+        assert_eq!(p.evaluate(0.0, 10.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn negative_gradient_is_not_rewarded() {
+        let p = UtilityParams::default();
+        // dRTT/dt < 0 (queue draining) must clamp to the flat-RTT score.
+        assert_eq!(p.evaluate(10.0, -0.5, 0.0), p.evaluate(10.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn total_loss_penalty_is_bounded() {
+        let p = UtilityParams::default();
+        let u = p.evaluate(10.0, 0.0, 1.0);
+        assert!(u.is_finite());
+        assert_eq!(u, p.evaluate(10.0, 0.0, 2.0), "loss clamps at 1.0");
+        assert!(u < 0.0, "full loss at 10 Mbps must score negative");
+    }
+
+    #[test]
+    fn non_finite_inputs_cannot_poison_the_utility() {
+        let p = UtilityParams::default();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(p.evaluate(bad, 0.0, 0.0).is_finite(), "rate {bad}");
+            assert!(p.evaluate(10.0, bad, 0.0).is_finite(), "gradient {bad}");
+            assert!(p.evaluate(10.0, 0.0, bad).is_finite(), "loss {bad}");
+            let opt = p.optimal_rate_mbps(bad, bad);
+            assert!(opt.is_none() || opt.is_some_and(f64::is_finite));
+        }
+        // Negative rates count as silence, not as a sign-flipped bonus.
+        assert_eq!(p.evaluate(-5.0, 0.0, 0.0), 0.0);
     }
 
     #[test]

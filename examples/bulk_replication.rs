@@ -24,7 +24,11 @@ fn agent() -> Rc<RefCell<PpoAgent>> {
 fn run(label: &str, cca: Box<dyn CongestionControl>) {
     let secs = 30;
     let mut rng = DetRng::new(21);
-    let link = wan_link(WanScenario::InterContinental, Duration::from_secs(secs), &mut rng);
+    let link = wan_link(
+        WanScenario::InterContinental,
+        Duration::from_secs(secs),
+        &mut rng,
+    );
     let until = Instant::from_secs(secs);
     let mut sim = Simulation::new(link, 21);
     sim.add_flow(FlowConfig::whole_run(cca, until));
@@ -45,12 +49,14 @@ fn main() {
     run("CUBIC", Box::new(Cubic::new(1500)));
     run("Westwood", Box::new(Westwood::new(1500)));
     run("BBR", Box::new(Bbr::new(1500)));
-    run("C-Libra (Th-2)", Box::new(
-        Libra::c_libra(agent()).with_preference(Preference::Throughput2),
-    ));
-    run("B-Libra (Th-2)", Box::new(
-        Libra::b_libra(agent()).with_preference(Preference::Throughput2),
-    ));
+    run(
+        "C-Libra (Th-2)",
+        Box::new(Libra::c_libra(agent()).with_preference(Preference::Throughput2)),
+    );
+    run(
+        "B-Libra (Th-2)",
+        Box::new(Libra::b_libra(agent()).with_preference(Preference::Throughput2)),
+    );
     println!("\nLoss-based CCAs interpret stochastic loss as congestion and");
     println!("stall; Libra's candidates recover the rate after every wrong");
     println!("reduction because x_prev / x_rl score a higher utility.");

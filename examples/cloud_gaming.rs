@@ -41,11 +41,7 @@ fn main() {
     println!("A game stream needs low, stable delay; throughput beyond the");
     println!("encode rate is wasted. Libra-La-2 triples the delay penalty.\n");
     run("CUBIC", Box::new(Cubic::new(1500)), 11);
-    run(
-        "C-Libra (default)",
-        Box::new(Libra::c_libra(agent())),
-        11,
-    );
+    run("C-Libra (default)", Box::new(Libra::c_libra(agent())), 11);
     run(
         "C-Libra (La-2)",
         Box::new(Libra::c_libra(agent()).with_preference(Preference::Latency2)),

@@ -19,7 +19,11 @@ fn main() {
     let link = || {
         // Capacity steps between 10 and 30 Mbps every 10 s.
         let capacity = CapacitySchedule::step(
-            &[Rate::from_mbps(30.0), Rate::from_mbps(10.0), Rate::from_mbps(20.0)],
+            &[
+                Rate::from_mbps(30.0),
+                Rate::from_mbps(10.0),
+                Rate::from_mbps(20.0),
+            ],
             Duration::from_secs(10),
             Duration::from_secs(secs),
         );
@@ -31,6 +35,7 @@ fn main() {
             ack_jitter: Duration::ZERO,
             loss_process: None,
             ecn: None,
+            faults: FaultPlan::default(),
         }
     };
 

@@ -33,7 +33,10 @@ fn main() {
     let report = sim.run(until);
 
     println!("=== three C-Libra flows, staggered entries (48 Mbps) ===");
-    println!("{:>5}  {:>8}  {:>8}  {:>8}", "t(s)", "flow1", "flow2", "flow3");
+    println!(
+        "{:>5}  {:>8}  {:>8}  {:>8}",
+        "t(s)", "flow1", "flow2", "flow3"
+    );
     // Print 2-second snapshots of each flow's goodput.
     let value_at = |flow: usize, t: f64| -> f64 {
         report.flows[flow]
@@ -66,6 +69,9 @@ fn main() {
                 .sum::<f64>()
         })
         .collect();
-    println!("\nJain fairness index (t > 12 s): {:.3}", jain_index(&shares));
+    println!(
+        "\nJain fairness index (t > 12 s): {:.3}",
+        jain_index(&shares)
+    );
     println!("(1.000 = perfectly fair; the paper reports ≈0.99 for Libra)");
 }

@@ -29,12 +29,15 @@ fn main() {
 
     // 3. …and re-imported as a capacity schedule. Real Mahimahi traces
     //    (e.g. mahimahi/traces/TMobile-LTE-driving.down) parse the same way.
-    let replay = capacity_from_mahimahi(&text, Duration::from_millis(100), total)
-        .expect("round-trip parse");
+    let replay =
+        capacity_from_mahimahi(&text, Duration::from_millis(100), total).expect("round-trip parse");
 
     // 4. Run the comparison over the replay.
     for (label, cca) in [
-        ("CUBIC", Box::new(Cubic::new(1500)) as Box<dyn CongestionControl>),
+        (
+            "CUBIC",
+            Box::new(Cubic::new(1500)) as Box<dyn CongestionControl>,
+        ),
         ("C-Libra", {
             let mut arng = DetRng::new(7);
             let mut agent = PpoAgent::new(Libra::ppo_config(), &mut arng);
@@ -50,6 +53,7 @@ fn main() {
             ack_jitter: Duration::ZERO,
             loss_process: None,
             ecn: None,
+            faults: FaultPlan::default(),
         };
         let until = Instant::from_secs(secs);
         let mut sim = Simulation::new(link, 77);

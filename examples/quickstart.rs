@@ -33,9 +33,17 @@ fn main() {
     println!("=== quickstart: C-Libra on 24 Mbps / 40 ms ===");
     println!("link utilization : {:.1}%", 100.0 * report.link.utilization);
     println!("goodput          : {:.2} Mbps", flow.avg_goodput.mbps());
-    println!("mean RTT         : {:.1} ms (propagation 40 ms)", flow.rtt_ms.mean());
+    println!(
+        "mean RTT         : {:.1} ms (propagation 40 ms)",
+        flow.rtt_ms.mean()
+    );
     println!("loss             : {:.3}%", 100.0 * flow.loss_fraction);
-    println!("controller cost  : {:.1} µs per simulated second",
-        flow.compute_ns as f64 / 1e3 / report.duration.as_secs_f64());
-    assert!(report.link.utilization > 0.5, "sanity: the link should be busy");
+    println!(
+        "controller cost  : {:.1} µs per simulated second",
+        flow.compute_ns as f64 / 1e3 / report.duration.as_secs_f64()
+    );
+    assert!(
+        report.link.utilization > 0.5,
+        "sanity: the link should be busy"
+    );
 }

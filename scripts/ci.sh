@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The repo's tier-1 gate, runnable locally and in CI:
+#
+#   scripts/ci.sh            # full gate
+#
+# Fails fast on the cheapest check first. All steps are offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test (workspace)"
+cargo test --workspace --offline -q
+
+echo "ci: all green"

@@ -56,11 +56,12 @@ pub use libra_types as types;
 /// The most common imports in one place.
 pub mod prelude {
     pub use libra_classic::{Bbr, Copa, Cubic, Illinois, NewReno, Vegas, Westwood};
-    pub use libra_core::{Libra, LibraParams, LibraVariant};
+    pub use libra_core::{GuardrailParams, Libra, LibraParams, LibraVariant};
     pub use libra_learned::{Orca, Pcc, Remy, RlCca, RlCcaConfig, Sprout};
     pub use libra_netsim::{
-        lte_link, step_link, wan_link, wired_link, CapacitySchedule, FlowConfig, LinkConfig,
-        LteScenario, SimReport, Simulation, WanScenario,
+        lte_link, step_link, wan_link, wired_link, CapacitySchedule, FaultKind, FaultPlan,
+        FaultReport, FlowConfig, GilbertElliott, LinkConfig, LteScenario, SimReport, Simulation,
+        WanScenario,
     };
     pub use libra_rl::{PpoAgent, PpoConfig};
     pub use libra_types::{

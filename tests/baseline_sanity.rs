@@ -4,7 +4,13 @@
 use libra::prelude::*;
 use std::{cell::RefCell, rc::Rc};
 
-fn run_one(cca: Box<dyn CongestionControl>, mbps: f64, rtt_ms: u64, secs: u64, seed: u64) -> SimReport {
+fn run_one(
+    cca: Box<dyn CongestionControl>,
+    mbps: f64,
+    rtt_ms: u64,
+    secs: u64,
+    seed: u64,
+) -> SimReport {
     let link = LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(rtt_ms), 1.0);
     let until = Instant::from_secs(secs);
     let mut sim = Simulation::new(link, seed);
@@ -28,7 +34,11 @@ fn newreno_fills_a_short_rtt_link() {
 fn bbr_keeps_queue_short() {
     let bbr = run_one(Box::new(Bbr::new(1500)), 24.0, 40, 20, 3);
     let cubic = run_one(Box::new(Cubic::new(1500)), 24.0, 40, 20, 3);
-    assert!(bbr.link.utilization > 0.7, "bbr util {}", bbr.link.utilization);
+    assert!(
+        bbr.link.utilization > 0.7,
+        "bbr util {}",
+        bbr.link.utilization
+    );
     // BBR's mean RTT should be closer to propagation than CUBIC's
     // (CUBIC fills the buffer).
     assert!(
@@ -43,22 +53,29 @@ fn bbr_keeps_queue_short() {
 fn vegas_runs_at_low_delay() {
     let rep = run_one(Box::new(Vegas::new(1500)), 24.0, 40, 20, 4);
     // Vegas targets a few packets of queueing: delay near propagation.
-    assert!(rep.flows[0].rtt_ms.mean() < 55.0, "rtt {}", rep.flows[0].rtt_ms.mean());
+    assert!(
+        rep.flows[0].rtt_ms.mean() < 55.0,
+        "rtt {}",
+        rep.flows[0].rtt_ms.mean()
+    );
     assert!(rep.link.utilization > 0.5, "util {}", rep.link.utilization);
 }
 
 #[test]
 fn copa_runs_at_low_delay() {
     let rep = run_one(Box::new(Copa::new(1500)), 24.0, 40, 20, 5);
-    assert!(rep.flows[0].rtt_ms.mean() < 65.0, "rtt {}", rep.flows[0].rtt_ms.mean());
+    assert!(
+        rep.flows[0].rtt_ms.mean() < 65.0,
+        "rtt {}",
+        rep.flows[0].rtt_ms.mean()
+    );
     assert!(rep.link.utilization > 0.5, "util {}", rep.link.utilization);
 }
 
 #[test]
 fn westwood_survives_stochastic_loss_better_than_reno() {
     let lossy = |cca: Box<dyn CongestionControl>, seed| {
-        let mut link =
-            LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+        let mut link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
         link.stochastic_loss = 0.03;
         let until = Instant::from_secs(25);
         let mut sim = Simulation::new(link, seed);
@@ -115,12 +132,22 @@ fn sprout_keeps_delay_bounded_on_lte() {
     sim.add_flow(FlowConfig::whole_run(Box::new(Sprout::new(1500)), until));
     let rep = sim.run(until);
     // Sprout's whole point: delay stays near the 100 ms budget + prop.
-    assert!(rep.flows[0].rtt_ms.mean() < 200.0, "rtt {}", rep.flows[0].rtt_ms.mean());
+    assert!(
+        rep.flows[0].rtt_ms.mean() < 200.0,
+        "rtt {}",
+        rep.flows[0].rtt_ms.mean()
+    );
 }
 
 #[test]
 fn remy_and_indigo_move_traffic() {
-    for (seed, cca) in [(11u64, Box::new(Remy::new(1500)) as Box<dyn CongestionControl>), (12, Box::new(libra::learned::Indigo::new(1500)))] {
+    for (seed, cca) in [
+        (
+            11u64,
+            Box::new(Remy::new(1500)) as Box<dyn CongestionControl>,
+        ),
+        (12, Box::new(libra::learned::Indigo::new(1500))),
+    ] {
         let rep = run_one(cca, 24.0, 40, 20, seed);
         assert!(rep.link.utilization > 0.25, "util {}", rep.link.utilization);
     }

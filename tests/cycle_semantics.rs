@@ -16,7 +16,10 @@ fn run_libra(secs: u64, seed: u64) -> SimReport {
     let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
     let until = Instant::from_secs(secs);
     let mut sim = Simulation::new(link, seed);
-    sim.add_flow(FlowConfig::whole_run(Box::new(Libra::c_libra(agent(seed))), until));
+    sim.add_flow(FlowConfig::whole_run(
+        Box::new(Libra::c_libra(agent(seed))),
+        until,
+    ));
     sim.run(until)
 }
 
@@ -82,7 +85,10 @@ fn early_exit_fires_under_capacity_steps() {
     let link = step_link(Duration::from_secs(secs));
     let until = Instant::from_secs(secs);
     let mut sim = Simulation::new(link, 4);
-    sim.add_flow(FlowConfig::whole_run(Box::new(Libra::c_libra(agent(4))), until));
+    sim.add_flow(FlowConfig::whole_run(
+        Box::new(Libra::c_libra(agent(4))),
+        until,
+    ));
     let rep = sim.run(until);
     let libra = rep.flows[0]
         .cca

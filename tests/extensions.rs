@@ -64,7 +64,10 @@ fn satellite_path_is_survivable() {
     let mut rng = DetRng::new(4);
     let link = satellite_link(Duration::from_secs(40), &mut rng);
     for (seed, cca) in [
-        (40u64, Box::new(Bbr::new(1500)) as Box<dyn CongestionControl>),
+        (
+            40u64,
+            Box::new(Bbr::new(1500)) as Box<dyn CongestionControl>,
+        ),
         (41, Box::new(Libra::b_libra(agent(41)))),
     ] {
         let rep = run(cca, link.clone(), 40, seed);
@@ -100,7 +103,9 @@ fn fiveg_swings_do_not_break_libra() {
 #[test]
 fn bursty_loss_process_hits_target_rate_in_sim() {
     let mut link = LinkConfig::constant(Rate::from_mbps(20.0), Duration::from_millis(40), 1.0);
-    link.loss_process = Some(LossProcess::GilbertElliott(GilbertElliott::bursty(0.05, 15.0)));
+    link.loss_process = Some(LossProcess::GilbertElliott(GilbertElliott::bursty(
+        0.05, 15.0,
+    )));
     // An aggressive fixed-window flow samples the loss process heavily.
     let rep = run(Box::new(Cubic::new(1500)), link, 30, 7);
     assert!(rep.link.stochastic_drops > 0);
@@ -111,7 +116,10 @@ fn cross_traffic_squeezes_libra_but_it_recovers() {
     let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
     let until = Instant::from_secs(30);
     let mut sim = Simulation::new(link, 8);
-    sim.add_flow(FlowConfig::whole_run(Box::new(Libra::c_libra(agent(8))), until));
+    sim.add_flow(FlowConfig::whole_run(
+        Box::new(Libra::c_libra(agent(8))),
+        until,
+    ));
     // A CBR burst occupies 12 Mbps between 10 s and 20 s.
     sim.add_flow(FlowConfig::new(
         Box::new(CbrSource::new(Rate::from_mbps(12.0))),

@@ -129,8 +129,14 @@ fn clean_slate_converges_but_underperforms_combined() {
 fn two_libra_flows_share_fairly() {
     let until = Instant::from_secs(40);
     let mut sim = Simulation::new(wired(48.0), 8);
-    sim.add_flow(FlowConfig::whole_run(Box::new(Libra::c_libra(agent(81))), until));
-    sim.add_flow(FlowConfig::whole_run(Box::new(Libra::c_libra(agent(82))), until));
+    sim.add_flow(FlowConfig::whole_run(
+        Box::new(Libra::c_libra(agent(881))),
+        until,
+    ));
+    sim.add_flow(FlowConfig::whole_run(
+        Box::new(Libra::c_libra(agent(882))),
+        until,
+    ));
     let rep = sim.run(until);
     assert!(rep.jain_index() > 0.85, "jain {}", rep.jain_index());
 }
@@ -139,7 +145,10 @@ fn two_libra_flows_share_fairly() {
 fn libra_does_not_starve_cubic() {
     let until = Instant::from_secs(40);
     let mut sim = Simulation::new(wired(48.0), 9);
-    sim.add_flow(FlowConfig::whole_run(Box::new(Libra::c_libra(agent(9))), until));
+    sim.add_flow(FlowConfig::whole_run(
+        Box::new(Libra::c_libra(agent(9))),
+        until,
+    ));
     sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
     let rep = sim.run(until);
     let cubic_share = rep.flows[1].avg_goodput.mbps()

@@ -45,7 +45,7 @@ fn fuzz_controller(
         t += dt % 500 + 1;
         let rtt = 5 + rtt % 400;
         match kind % 5 {
-            0 | 1 | 2 => cca.on_ack(&mk_ack(t, rtt, 1500)),
+            0..=2 => cca.on_ack(&mk_ack(t, rtt, 1500)),
             3 => cca.on_loss(&mk_loss(t, LossKind::FastRetransmit)),
             _ => cca.on_loss(&mk_loss(t, LossKind::Timeout)),
         }

@@ -66,7 +66,10 @@ fn delay_based_ccas_yield_to_loss_based_but_survive() {
     let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
     let until = Instant::from_secs(30);
     for (name, delay_cca) in [
-        ("vegas", Box::new(Vegas::new(1500)) as Box<dyn CongestionControl>),
+        (
+            "vegas",
+            Box::new(Vegas::new(1500)) as Box<dyn CongestionControl>,
+        ),
         ("copa", Box::new(Copa::new(1500))),
     ] {
         let mut sim = Simulation::new(link.clone(), 11);

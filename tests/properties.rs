@@ -3,11 +3,60 @@
 //! function shape, and the Theorem 4.1 game.
 
 use libra::core::equilibrium::{DroptailGame, LibraDynamics};
-use libra::netsim::{CapacitySchedule, FlowConfig, LinkConfig, Simulation};
-use libra::types::{
-    jain_index, CongestionControl, Duration, Instant, Rate, UtilityParams,
+use libra::netsim::{
+    CapacitySchedule, FaultKind, FaultPlan, FlowConfig, GilbertElliott, LinkConfig, Simulation,
 };
+use libra::types::{jain_index, CongestionControl, Duration, Instant, Rate, UtilityParams};
 use proptest::prelude::*;
+
+/// One proptest-shrinkable fault-event description.
+#[derive(Debug, Clone)]
+struct FaultSpec {
+    kind: u8,
+    from_ms: u64,
+    len_ms: u64,
+    prob: f64,
+    delay_ms: u64,
+}
+
+fn fault_spec() -> impl Strategy<Value = FaultSpec> {
+    (0u8..6, 0u64..4000, 200u64..2500, 0.01f64..0.6, 1u64..50).prop_map(
+        |(kind, from_ms, len_ms, prob, delay_ms)| FaultSpec {
+            kind,
+            from_ms,
+            len_ms,
+            prob,
+            delay_ms,
+        },
+    )
+}
+
+fn plan_from_specs(specs: &[FaultSpec]) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for s in specs {
+        let from = Instant::from_millis(s.from_ms);
+        let to = from + Duration::from_millis(s.len_ms);
+        let kind = match s.kind {
+            0 => FaultKind::LinkFlap,
+            1 => FaultKind::Reorder {
+                probability: s.prob,
+                extra_delay: Duration::from_millis(s.delay_ms),
+            },
+            2 => FaultKind::Duplicate {
+                probability: s.prob,
+            },
+            3 => FaultKind::AckCompression {
+                flush_every: Duration::from_millis(s.delay_ms),
+            },
+            4 => FaultKind::DelaySpike {
+                extra: Duration::from_millis(s.delay_ms),
+            },
+            _ => FaultKind::BurstLoss(GilbertElliott::new(s.prob, 0.3, 0.0, s.prob)),
+        };
+        plan.push(from, to, kind);
+    }
+    plan
+}
 
 /// Fixed-rate controller for conservation tests.
 struct FixedRate(Rate);
@@ -61,6 +110,44 @@ proptest! {
         if f.rtt_ms.count() > 0 {
             prop_assert!(f.rtt_ms.mean() >= rtt_ms as f64 - 1e-6);
         }
+    }
+
+    /// Under any generated fault plan the bottleneck queue's byte ledger
+    /// still balances: every admitted byte was either dequeued or is still
+    /// sitting in the buffer, and conservation at the flow level holds.
+    #[test]
+    fn queue_byte_ledger_balances_under_faults(
+        specs in prop::collection::vec(fault_spec(), 0..5),
+        rate_mbps in 1.0f64..40.0,
+        cap_mbps in 2.0f64..50.0,
+        rtt_ms in 10u64..120,
+        seed in 0u64..1000,
+    ) {
+        let link = LinkConfig::constant(
+            Rate::from_mbps(cap_mbps),
+            Duration::from_millis(rtt_ms),
+            1.0,
+        )
+        .with_faults(plan_from_specs(&specs));
+        let until = Instant::from_secs(5);
+        let mut sim = Simulation::new(link, seed);
+        sim.add_flow(FlowConfig::whole_run(
+            Box::new(FixedRate(Rate::from_mbps(rate_mbps))),
+            until,
+        ));
+        let rep = sim.run(until);
+        let l = &rep.link;
+        prop_assert_eq!(
+            l.queue_admitted_bytes - l.queue_dequeued_bytes,
+            l.queue_residual_bytes,
+            "admitted {} dequeued {} residual {}",
+            l.queue_admitted_bytes,
+            l.queue_dequeued_bytes,
+            l.queue_residual_bytes
+        );
+        let f = &rep.flows[0];
+        prop_assert!(f.delivered_bytes <= f.sent_bytes);
+        prop_assert!((0.0..=1.0).contains(&l.utilization));
     }
 
     /// Capacity integration: what `service_finish` serializes over a span

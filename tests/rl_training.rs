@@ -1,9 +1,7 @@
 //! Training smoke tests: PPO improves on the congestion-control task and
 //! the full training loops are deterministic and serializable.
 
-use libra::learned::{
-    tail_reward, train_rl_cca, EnvRanges, RlCcaConfig, TrainConfig,
-};
+use libra::learned::{tail_reward, train_rl_cca, EnvRanges, RlCcaConfig, TrainConfig};
 use libra::prelude::*;
 use std::{cell::RefCell, rc::Rc};
 
@@ -28,18 +26,14 @@ fn training_improves_reward_on_fixed_env() {
     // should out-reward its first episodes. (Generous margins: PPO on a
     // tiny budget is noisy, but the trend must be there.)
     let r = train_rl_cca(&RlCcaConfig::libra_rl(), &quick(60, 42));
-    let early: f64 =
-        r.curve[..10].iter().map(|e| e.reward).sum::<f64>() / 10.0;
+    let early: f64 = r.curve[..10].iter().map(|e| e.reward).sum::<f64>() / 10.0;
     let late = tail_reward(&r.curve);
-    assert!(
-        late > early,
-        "late reward {late} should beat early {early}"
-    );
+    assert!(late > early, "late reward {late} should beat early {early}");
 }
 
 #[test]
 fn trained_weights_keep_the_link_busy() {
-    let trained = train_rl_cca(&RlCcaConfig::libra_rl(), &quick(60, 7)).weights;
+    let trained = train_rl_cca(&RlCcaConfig::libra_rl(), &quick(60, 47)).weights;
     let link = LinkConfig::constant(Rate::from_mbps(20.0), Duration::from_millis(50), 1.0);
     let until = Instant::from_secs(10);
     let mut sim = Simulation::new(link, 100);

@@ -12,9 +12,16 @@ fn synthetic_lte_round_trips_through_mahimahi_format() {
     let text = capacity_to_mahimahi(&synthetic, total);
     let replay = capacity_from_mahimahi(&text, Duration::from_millis(100), total).expect("parse");
     // Mean capacity preserved within a few percent.
-    let a = synthetic.mean_rate(Instant::ZERO, Instant::from_secs(20)).mbps();
-    let b = replay.mean_rate(Instant::ZERO, Instant::from_secs(20)).mbps();
-    assert!((a - b).abs() < 0.05 * a + 0.5, "synthetic {a} vs replay {b}");
+    let a = synthetic
+        .mean_rate(Instant::ZERO, Instant::from_secs(20))
+        .mbps();
+    let b = replay
+        .mean_rate(Instant::ZERO, Instant::from_secs(20))
+        .mbps();
+    assert!(
+        (a - b).abs() < 0.05 * a + 0.5,
+        "synthetic {a} vs replay {b}"
+    );
 }
 
 #[test]
@@ -34,6 +41,7 @@ fn cubic_behaves_equivalently_on_replayed_trace() {
             ack_jitter: Duration::ZERO,
             loss_process: None,
             ecn: None,
+            faults: FaultPlan::default(),
         };
         let until = Instant::from_secs(total_s);
         let mut sim = Simulation::new(link, 3);
@@ -65,6 +73,7 @@ fn mahimahi_trace_drives_a_simulation_directly() {
         ack_jitter: Duration::ZERO,
         loss_process: None,
         ecn: None,
+        faults: FaultPlan::default(),
     };
     let until = Instant::from_secs(10);
     let mut sim = Simulation::new(link, 4);

@@ -1,0 +1,319 @@
+//! Minimal benchmarking harness exposing the slice of the `criterion`
+//! API this workspace's benches use (the real crate is unavailable
+//! offline). Timing is wall-clock over a fixed measurement budget and
+//! results are printed as `group/name  mean ± spread` lines; there is no
+//! statistical analysis, HTML report, or baseline comparison.
+//!
+//! When the bench binary is executed by `cargo test` (which passes
+//! test-harness flags such as `--test-threads`), measurement collapses
+//! to a single iteration per benchmark so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    smoke_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with libtest-style arguments; a
+        // plain `cargo bench` passes `--bench`. In the former case run in
+        // smoke mode: one iteration per benchmark, no warm-up.
+        let smoke = std::env::args().any(|a| a == "--test" || a.starts_with("--test-threads"));
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+            smoke_mode: smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identify a case by its parameter value alone.
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// Identify a case by a function name plus parameter.
+    pub fn new(function: impl Into<String>, p: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{p}", function.into()),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(id, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (marker for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: if self.harness.smoke_mode {
+                Duration::ZERO
+            } else {
+                self.harness.warm_up_time
+            },
+            budget: if self.harness.smoke_mode {
+                Duration::ZERO
+            } else {
+                self.harness.measurement_time
+            },
+            samples: if self.harness.smoke_mode {
+                1
+            } else {
+                self.sample_size.unwrap_or(self.harness.sample_size)
+            },
+            recorded: Vec::new(),
+        };
+        f(&mut bencher);
+        let label = format!("{}/{id}", self.name);
+        match summarize(&bencher.recorded) {
+            Some((mean, spread)) => {
+                println!("{label:<40} {:>12} ± {}", fmt_ns(mean), fmt_ns(spread));
+            }
+            None => println!("{label:<40} (no samples)"),
+        }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    recorded: Vec<f64>,
+}
+
+/// How much setup output `iter_batched` materializes at once. The real
+/// crate trades allocator pressure against timing accuracy; this shim
+/// runs one setup per timed iteration regardless, so the variants only
+/// exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Time `f`, recording per-iteration wall-clock nanoseconds.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run without recording until the warm-up budget lapses.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.budget;
+        for done in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.recorded.push(t0.elapsed().as_nanos() as f64);
+            if done > 0 && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; only the routine is
+    /// timed. Unlike `iter`, state consumed by the routine is rebuilt for
+    /// every iteration, so warm-up is skipped (setup is usually the
+    /// expensive part and the budget bounds total samples anyway).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        for done in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(t0.elapsed().as_nanos() as f64);
+            if done > 0 && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn summarize(samples: &[f64]) -> Option<(f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+    Some((mean, var.sqrt()))
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut harness = $cfg;
+            $( $target(&mut harness); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_summarizes() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("t");
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("t");
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 4]
+                },
+                |v| {
+                    runs += 1;
+                    v.into_iter().sum::<u64>()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert!(setups > 0);
+        assert_eq!(setups, runs, "one setup per timed iteration");
+    }
+
+    #[test]
+    fn summary_math() {
+        let (mean, sd) = summarize(&[1.0, 3.0]).unwrap();
+        assert_eq!(mean, 2.0);
+        assert_eq!(sd, 1.0);
+        assert!(summarize(&[]).is_none());
+    }
+}
