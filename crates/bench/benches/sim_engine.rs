@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use libra_classic::Cubic;
-use libra_netsim::{CapacitySchedule, FlowConfig, LinkConfig, Simulation};
+use libra_netsim::{CapacitySchedule, FaultKind, FaultPlan, FlowConfig, LinkConfig, Simulation};
 use libra_types::{DetRng, Duration, Instant, Rate};
 use std::hint::black_box;
 
@@ -29,6 +29,53 @@ fn bench_simulation(c: &mut Criterion) {
                 sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
             }
             black_box(sim.run(until).jain_index())
+        })
+    });
+    // Long multi-flow run: the shape of the convergence / fairness
+    // experiments, and the heaviest single event loop in the suite.
+    // This is the headline number for hot-path work (capacity cursor,
+    // heap reuse, preallocated series).
+    group.bench_function("eight_cubic_flows_60s", |b| {
+        b.iter(|| {
+            let link = LinkConfig::constant(Rate::from_mbps(96.0), Duration::from_millis(40), 1.0);
+            let until = Instant::from_secs(60);
+            let mut sim = Simulation::new(link, 11);
+            for _ in 0..8 {
+                sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
+            }
+            black_box(sim.run(until).jain_index())
+        })
+    });
+    group.finish();
+}
+
+/// Empty-vs-populated `FaultPlan` pair: the empty case should show the
+/// fault engine costing nothing (the `faults_active` fast path skips it
+/// entirely); the populated case prices the per-ACK fate machinery.
+fn bench_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_plan");
+    group.sample_size(10);
+    let run = |faults: FaultPlan| {
+        let mut link = LinkConfig::constant(Rate::from_mbps(48.0), Duration::from_millis(40), 1.0);
+        link.faults = faults;
+        let until = Instant::from_secs(20);
+        let mut sim = Simulation::new(link, 13);
+        sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
+        sim.run(until).link.utilization
+    };
+    group.bench_function("empty_plan_20s", |b| {
+        b.iter(|| black_box(run(FaultPlan::none())))
+    });
+    group.bench_function("reorder_plan_20s", |b| {
+        b.iter(|| {
+            black_box(run(FaultPlan::none().with(
+                Instant::from_secs(2),
+                Instant::from_secs(18),
+                FaultKind::Reorder {
+                    probability: 0.02,
+                    extra_delay: Duration::from_millis(12),
+                },
+            )))
         })
     });
     group.finish();
@@ -66,6 +113,6 @@ fn bench_capacity(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simulation, bench_capacity
+    targets = bench_simulation, bench_faults, bench_capacity
 }
 criterion_main!(benches);

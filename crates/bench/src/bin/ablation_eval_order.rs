@@ -15,7 +15,7 @@ fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
     let trials = args.scaled(3, 1);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let mut table = Table::new(
         "Ablation: evaluation order (Sec. 4.1, Fig. 4)",
         &["scenario", "order", "utilization", "avg delay (ms)", "loss"],
@@ -28,7 +28,7 @@ fn main() {
             let (mut u, mut d, mut l) = (0.0, 0.0, 0.0);
             for k in 0..trials {
                 let weights = store.libra(LibraVariant::Cubic);
-                let mut agent = PpoAgent::from_weights(weights, store.rng());
+                let mut agent = PpoAgent::from_weights(weights, &mut store.agent_rng());
                 agent.set_eval(true);
                 let params = LibraParams {
                     eval_order: order,

@@ -18,7 +18,7 @@ use std::rc::Rc;
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
 
     // --- Satellite & 5G: the standard comparison set. ---
     for (name, link_of) in [
@@ -50,7 +50,7 @@ fn main() {
         ] {
             let until = Instant::from_secs(secs);
             let mut sim = Simulation::new(link_of(args.seed), args.seed);
-            sim.add_flow(FlowConfig::whole_run(cca.build(&mut store), until));
+            sim.add_flow(FlowConfig::whole_run(cca.build(&store), until));
             let rep = sim.run(until);
             table.row(vec![
                 cca.label(),
@@ -68,15 +68,15 @@ fn main() {
         &["cca", "utilization", "avg delay (µs)", "ecn echoes", "loss"],
     );
     let until = Instant::from_secs(args.scaled(10, 3));
-    type CcaFactory = Box<dyn Fn(&mut ModelStore) -> Box<dyn CongestionControl>>;
+    type CcaFactory = Box<dyn Fn(&ModelStore) -> Box<dyn CongestionControl>>;
     let candidates: Vec<(&str, CcaFactory)> = vec![
-        ("CUBIC", Box::new(|s: &mut ModelStore| Cca::Cubic.build(s))),
+        ("CUBIC", Box::new(|s: &ModelStore| Cca::Cubic.build(s))),
         ("DCTCP", Box::new(|_| Box::new(Dctcp::new(1500)))),
         (
             "D-Libra (DCTCP inside)",
-            Box::new(|s: &mut ModelStore| {
+            Box::new(|s: &ModelStore| {
                 let w = s.libra(LibraVariant::Cubic);
-                let mut agent = PpoAgent::from_weights(w, s.rng());
+                let mut agent = PpoAgent::from_weights(w, &mut s.agent_rng());
                 agent.set_eval(true);
                 Box::new(Libra::with_classic(
                     "D-Libra",
@@ -89,7 +89,7 @@ fn main() {
     ];
     for (label, build) in candidates {
         let mut sim = Simulation::new(datacenter_link(), args.seed);
-        let cca = build(&mut store);
+        let cca = build(&store);
         sim.add_flow(FlowConfig::whole_run(cca, until));
         let rep = sim.run(until);
         table.row(vec![

@@ -11,7 +11,7 @@ fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
     let repeats = args.scaled(3, 1);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = [
         Cca::Cubic,
         Cca::Bbr,
@@ -38,7 +38,7 @@ fn main() {
         for cca in ccas {
             let (m, _) = run_repeated(
                 cca,
-                &mut store,
+                &store,
                 |seed| scenario.link(seed),
                 secs,
                 args.seed * 1000,

@@ -8,7 +8,7 @@ use libra_types::Preference;
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(50, 15);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let scenario = step_scenario(secs);
     let ccas = [
         Cca::Proteus,
@@ -23,7 +23,7 @@ fn main() {
     );
     for cca in ccas {
         let link = scenario.link(args.seed);
-        let rep = run_single(cca, &mut store, link, secs, args.seed);
+        let rep = run_single(cca, &store, link, secs, args.seed);
         let f = &rep.flows[0];
         summary.row(vec![
             cca.label(),

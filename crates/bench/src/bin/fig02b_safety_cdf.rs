@@ -9,7 +9,7 @@ fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
     let repeats = args.scaled(40, 6);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let scenario = lte_tmobile(secs);
     let ccas = [
         Cca::Proteus,
@@ -28,7 +28,7 @@ fn main() {
             .map(|k| {
                 run_single_metrics(
                     cca,
-                    &mut store,
+                    &store,
                     scenario.link(args.seed + k),
                     secs,
                     args.seed + k,

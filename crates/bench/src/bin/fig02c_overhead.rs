@@ -33,7 +33,7 @@ fn memory_units(cca: Cca) -> f64 {
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(60, 10);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let scenario = lte_tmobile(secs);
     let ccas = [
         Cca::Cubic,
@@ -52,7 +52,7 @@ fn main() {
     let mut max_cpu = 0.0f64;
     let mut max_mem = 0.0f64;
     for cca in ccas {
-        let rep = run_single(cca, &mut store, scenario.link(args.seed), secs, args.seed);
+        let rep = run_single(cca, &store, scenario.link(args.seed), secs, args.seed);
         let cpu = rep.flows[0].compute_ns as f64 / 1e3 / rep.duration.as_secs_f64();
         let mem = memory_units(cca);
         max_cpu = max_cpu.max(cpu);

@@ -9,7 +9,7 @@ fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
     let repeats = args.scaled(2, 1);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = Cca::headline_set();
     for (half, scenarios) in [
         ("wired", fig7_wired(secs)),
@@ -28,7 +28,7 @@ fn main() {
             for scenario in &scenarios {
                 let (m, _) = run_repeated(
                     cca,
-                    &mut store,
+                    &store,
                     |seed| scenario.link(seed),
                     secs,
                     args.seed * 131,

@@ -8,7 +8,7 @@ use libra_types::{DetRng, Duration, Instant, Preference};
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(35, 10);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = [
         Cca::CLibra(Preference::Default),
         Cca::BLibra(Preference::Default),
@@ -27,7 +27,7 @@ fn main() {
         &["cca", "utilization", "avg delay (ms)"],
     );
     for cca in ccas {
-        let rep = run_single(cca, &mut store, link_for(args.seed), secs, args.seed);
+        let rep = run_single(cca, &store, link_for(args.seed), secs, args.seed);
         table.row(vec![
             cca.label(),
             format!("{:.3}", rep.link.utilization),

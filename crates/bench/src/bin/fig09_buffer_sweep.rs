@@ -1,14 +1,18 @@
 //! Fig. 9 — Buffer-size sweep (10 KB – 1 MB on 60 Mbps / 100 ms):
 //! utilization vs. average delay. CUBIC's delay explodes with buffer
 //! depth; Libra stays insensitive.
+//!
+//! All `(buffer, cca)` cells are independent runs fanned out over the
+//! sweep workers (`LIBRA_JOBS` to override the count); results come
+//! back in job order so the table is identical at any parallelism.
 
-use libra_bench::{buffer_sweep_link, run_single_metrics, BenchArgs, Cca, ModelStore, Table};
+use libra_bench::{buffer_sweep_link, run_sweep, BenchArgs, Cca, ModelStore, RunSpec, Table};
 use libra_types::{Bytes, Preference};
 
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = [
         Cca::Proteus,
         Cca::Bbr,
@@ -29,16 +33,24 @@ fn main() {
             "buffer", "Proteus", "BBR", "Copa", "CUBIC", "Orca", "C-Libra", "B-Libra",
         ],
     );
-    for &kb in buffers_kb {
+    let specs: Vec<RunSpec> = buffers_kb
+        .iter()
+        .flat_map(|&kb| {
+            ccas.iter().map(move |&cca| {
+                RunSpec::single(
+                    cca,
+                    buffer_sweep_link(Bytes::from_kb(kb)),
+                    secs,
+                    args.seed + kb,
+                )
+            })
+        })
+        .collect();
+    let results = run_sweep(&store, specs);
+    for (bi, &kb) in buffers_kb.iter().enumerate() {
         let mut row = vec![format!("{kb}KB")];
-        for cca in ccas {
-            let m = run_single_metrics(
-                cca,
-                &mut store,
-                buffer_sweep_link(Bytes::from_kb(kb)),
-                secs,
-                args.seed + kb,
-            );
+        for (ci, _) in ccas.iter().enumerate() {
+            let m = results[bi * ccas.len() + ci].headline();
             row.push(format!("{:.2}|{:.0}", m.utilization, m.avg_rtt_ms));
         }
         table.row(row);

@@ -1,14 +1,17 @@
 //! Fig. 10 — Stochastic-loss sweep (0–10 %): link utilization. B-Libra
 //! (loss-agnostic BBR inside) stays high; C-Libra recovers CUBIC's
 //! erroneous reductions through the evaluation stage.
+//!
+//! All `(loss, cca)` cells fan out over the sweep workers; results are
+//! merged in job order so the table is identical at any parallelism.
 
-use libra_bench::{loss_sweep_link, run_single_metrics, BenchArgs, Cca, ModelStore, Table};
+use libra_bench::{loss_sweep_link, run_sweep, BenchArgs, Cca, ModelStore, RunSpec, Table};
 use libra_types::Preference;
 
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = [
         Cca::Proteus,
         Cca::Bbr,
@@ -29,17 +32,27 @@ fn main() {
             "loss", "Proteus", "BBR", "Copa", "CUBIC", "Orca", "C-Libra", "B-Libra",
         ],
     );
-    for &p in losses {
+    let specs: Vec<RunSpec> = losses
+        .iter()
+        .flat_map(|&p| {
+            ccas.iter().map(move |&cca| {
+                RunSpec::single(
+                    cca,
+                    loss_sweep_link(p),
+                    secs,
+                    args.seed + (p * 100.0) as u64,
+                )
+            })
+        })
+        .collect();
+    let results = run_sweep(&store, specs);
+    for (li, &p) in losses.iter().enumerate() {
         let mut row = vec![format!("{:.0}%", p * 100.0)];
-        for cca in ccas {
-            let m = run_single_metrics(
-                cca,
-                &mut store,
-                loss_sweep_link(p),
-                secs,
-                args.seed + (p * 100.0) as u64,
-            );
-            row.push(format!("{:.3}", m.utilization));
+        for (ci, _) in ccas.iter().enumerate() {
+            row.push(format!(
+                "{:.3}",
+                results[li * ccas.len() + ci].headline().utilization
+            ));
         }
         table.row(row);
     }

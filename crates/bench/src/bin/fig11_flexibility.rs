@@ -12,7 +12,7 @@ fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
     let repeats = args.scaled(2, 1);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
 
     // (a)/(b): single flow across scenario families.
     let scenarios = fig1_set(secs);
@@ -35,7 +35,7 @@ fn main() {
                 for scenario in &set {
                     let (m, _) = run_repeated(
                         cca,
-                        &mut store,
+                        &store,
                         |seed| scenario.link(seed),
                         secs,
                         args.seed * 31,
@@ -66,14 +66,7 @@ fn main() {
             Cca::BLibra as fn(Preference) -> Cca,
         ] {
             let cca = mk(pref);
-            let rep = run_pair(
-                cca,
-                Cca::Cubic,
-                &mut store,
-                fairness_link(),
-                secs,
-                args.seed,
-            );
+            let rep = run_pair(cca, Cca::Cubic, &store, fairness_link(), secs, args.seed);
             let a = rep.flows[0].avg_goodput.mbps();
             let b = rep.flows[1].avg_goodput.mbps();
             let share = if a + b > 0.0 { a / (a + b) } else { 0.0 };

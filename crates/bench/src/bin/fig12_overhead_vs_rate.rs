@@ -9,7 +9,7 @@ use libra_types::{Duration, Preference, Rate};
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = [
         Cca::Cubic,
         Cca::Bbr,
@@ -37,7 +37,7 @@ fn main() {
         let mut row = vec![format!("{mbps:.0}Mbps")];
         for cca in ccas {
             let link = LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(40), 1.0);
-            let rep = run_single(cca, &mut store, link, secs, args.seed + mbps as u64);
+            let rep = run_single(cca, &store, link, secs, args.seed + mbps as u64);
             let cpu = rep.flows[0].compute_ns as f64 / 1e3 / rep.duration.as_secs_f64();
             row.push(format!("{cpu:.1}"));
         }

@@ -7,7 +7,7 @@ use libra_types::{jain_index, Preference};
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(50, 12);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = [
         Cca::Cubic,
         Cca::Bbr,
@@ -24,7 +24,7 @@ fn main() {
         &["cca", "flow1 share", "flow2 share", "jain index"],
     );
     for cca in ccas {
-        let rep = run_pair(cca, cca, &mut store, fairness_link(), secs, args.seed);
+        let rep = run_pair(cca, cca, &store, fairness_link(), secs, args.seed);
         let a = rep.flows[0].avg_goodput.mbps();
         let b = rep.flows[1].avg_goodput.mbps();
         let total = (a + b).max(1e-9);

@@ -2,16 +2,20 @@
 //! on a 48 Mbps / 100 ms / 1 BDP link. Reports the third flow's
 //! convergence time, post-convergence deviation and average throughput,
 //! plus the per-flow throughput series.
+//!
+//! One staggered run per CCA, fanned out over the sweep workers and
+//! merged in CCA order (identical output at any `LIBRA_JOBS`).
 
 use libra_bench::{
-    convergence_stats, fairness_link, run_staggered, series_csv, BenchArgs, Cca, ModelStore, Table,
+    convergence_stats, fairness_link, run_sweep, series_csv, BenchArgs, Cca, ModelStore, RunSpec,
+    Table,
 };
 use libra_types::{Duration, Preference};
 
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(50, 20);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = [
         Cca::Bbr,
         Cca::Cubic,
@@ -32,16 +36,21 @@ fn main() {
             "jain",
         ],
     );
-    for cca in ccas {
-        let rep = run_staggered(
-            cca,
-            &mut store,
-            fairness_link(),
-            3,
-            Duration::from_secs(5),
-            secs,
-            args.seed,
-        );
+    let specs: Vec<RunSpec> = ccas
+        .iter()
+        .map(|&cca| {
+            RunSpec::staggered(
+                cca,
+                fairness_link(),
+                3,
+                Duration::from_secs(5),
+                secs,
+                args.seed,
+            )
+        })
+        .collect();
+    let results = run_sweep(&store, specs);
+    for (cca, rep) in ccas.iter().zip(&results) {
         let third = &rep.flows[2];
         let stats = convergence_stats(&third.goodput_series, 10.0, 5.0);
         table.row(vec![
@@ -52,7 +61,7 @@ fn main() {
                 .unwrap_or_else(|| "-".to_string()),
             format!("{:.2}", stats.deviation_mbps),
             format!("{:.1}", stats.avg_mbps),
-            format!("{:.3}", rep.jain_index()),
+            format!("{:.3}", rep.jain),
         ]);
         // Fig. 15 panels: per-flow series.
         let series: Vec<(String, Vec<(f64, f64)>)> = rep

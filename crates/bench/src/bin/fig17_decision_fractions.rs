@@ -12,7 +12,7 @@ fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(40, 10);
     let trials = args.scaled(10, 2);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     for cca in [
         Cca::CLibra(Preference::Default),
         Cca::BLibra(Preference::Default),
@@ -30,7 +30,7 @@ fn main() {
                     "Cellular" => lte_tmobile(secs).link(args.seed + k),
                     _ => wired_link(48.0),
                 };
-                let rep = run_single(cca, &mut store, link, secs, args.seed + k);
+                let rep = run_single(cca, &store, link, secs, args.seed + k);
                 let libra = rep.flows[0]
                     .cca
                     .as_any()

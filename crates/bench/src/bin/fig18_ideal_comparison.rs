@@ -59,7 +59,7 @@ fn utility_series(flow: &FlowReport, params: &UtilityParams) -> Vec<(f64, f64)> 
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(50, 15);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let params = UtilityParams::default();
     let scenario = lte_tmobile(secs);
     let mut table = Table::new(
@@ -71,23 +71,17 @@ fn main() {
         ("C", Cca::CLibra(Preference::Default), Cca::Cubic),
         ("B", Cca::BLibra(Preference::Default), Cca::Bbr),
     ] {
-        let libra_rep = run_single(
-            libra_cca,
-            &mut store,
-            scenario.link(args.seed),
-            secs,
-            args.seed,
-        );
+        let libra_rep = run_single(libra_cca, &store, scenario.link(args.seed), secs, args.seed);
         let classic_rep = run_single(
             classic_cca,
-            &mut store,
+            &store,
             scenario.link(args.seed),
             secs,
             args.seed,
         );
         let cl_rep = run_single(
             Cca::CleanSlateLibra,
-            &mut store,
+            &store,
             scenario.link(args.seed),
             secs,
             args.seed,

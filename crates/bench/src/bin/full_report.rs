@@ -1,19 +1,24 @@
 //! A Pantheon-style report card: every CCA × every scenario family, one
 //! grand table (utilization | mean delay). Not a paper figure — the
 //! summary view a Pantheon run would give you.
+//!
+//! The full `cca × family × repeat` grid (hundreds of independent runs)
+//! fans out over the sweep workers; per-cell Welford accumulators are
+//! folded in job (seed) order, so the table is byte-identical to the
+//! sequential path for any `LIBRA_JOBS`.
 
-use libra_bench::{run_repeated, BenchArgs, Cca, ModelStore, Table};
+use libra_bench::{parallel_map, run_single_metrics, BenchArgs, Cca, ModelStore, Table};
 use libra_netsim::{
     fiveg_link, lte_link, satellite_link, step_link, wan_link, wired_link, LinkConfig, LteScenario,
     WanScenario,
 };
-use libra_types::{DetRng, Duration, Preference};
+use libra_types::{DetRng, Duration, Preference, Welford};
 
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
     let repeats = args.scaled(3, 1);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     type LinkFactory = Box<dyn Fn(u64) -> LinkConfig>;
     let families: Vec<(&str, LinkFactory)> = vec![
         ("wired-24", Box::new(|_| wired_link(24.0))),
@@ -89,11 +94,45 @@ fn main() {
         "Report card: utilization | mean delay (ms) per CCA × scenario",
         &hdr,
     );
+    // Train/load every model once before fanning out.
     for cca in ccas {
+        if cca.needs_model() {
+            drop(cca.build(&store));
+        }
+    }
+    // One job per (cca, family, repeat); links built eagerly on the
+    // coordinator because scenario closures are not Sync.
+    let mut jobs: Vec<(usize, usize, u64, LinkConfig)> = Vec::new();
+    for (ci, _) in ccas.iter().enumerate() {
+        for (fi, (_, link_of)) in families.iter().enumerate() {
+            for k in 0..repeats {
+                let seed = args.seed * 7 + k;
+                jobs.push((ci, fi, seed, link_of(seed)));
+            }
+        }
+    }
+    let results = parallel_map(jobs, |(ci, fi, seed, link)| {
+        (
+            ci,
+            fi,
+            run_single_metrics(ccas[ci], &store, link, secs, seed),
+        )
+    });
+    // Fold per-cell accumulators in job order (= seed order per cell).
+    let mut util = vec![vec![Welford::new(); families.len()]; ccas.len()];
+    let mut rtt = vec![vec![Welford::new(); families.len()]; ccas.len()];
+    for (ci, fi, m) in results {
+        util[ci][fi].update(m.utilization);
+        rtt[ci][fi].update(m.avg_rtt_ms);
+    }
+    for (ci, cca) in ccas.iter().enumerate() {
         let mut row = vec![cca.label()];
-        for (_, link_of) in &families {
-            let (m, _) = run_repeated(cca, &mut store, link_of, secs, args.seed * 7, repeats);
-            row.push(format!("{:.2}|{:.0}", m.utilization, m.avg_rtt_ms));
+        for fi in 0..families.len() {
+            row.push(format!(
+                "{:.2}|{:.0}",
+                util[ci][fi].mean(),
+                rtt[ci][fi].mean()
+            ));
         }
         table.row(row);
     }

@@ -1,0 +1,155 @@
+//! Performance smoke run: times a `full_report`-shaped sweep at 1 vs N
+//! workers plus two single-run event-loop workloads, and writes the
+//! numbers to `BENCH_netsim.json` in the current directory (the repo
+//! root when launched through `scripts/bench.sh`).
+//!
+//! Schema: `{"<bench>": {"wall_ms": .., "sim_secs_per_sec": ..}, ...}`
+//! plus a `"meta"` entry carrying the worker count and the sweep
+//! speedup. Classic CCAs only — no training — so the timings measure
+//! the simulator and the runner, not PPO.
+
+use libra_bench::{
+    parallel_map_with, run_single_metrics, worker_count, BenchArgs, Cca, ModelStore,
+};
+use libra_netsim::{lte_link, step_link, wired_link, LinkConfig, LteScenario};
+use libra_types::{DetRng, Duration};
+use std::fmt::Write as _;
+use std::time::Instant as WallClock;
+
+struct Bench {
+    name: &'static str,
+    wall_ms: f64,
+    sim_secs_per_sec: f64,
+}
+
+fn timed<F: FnMut()>(sim_secs: f64, mut f: F) -> (f64, f64) {
+    let start = WallClock::now();
+    f();
+    let wall = start.elapsed().as_secs_f64();
+    (wall * 1e3, if wall > 0.0 { sim_secs / wall } else { 0.0 })
+}
+
+fn grid(secs: u64, seed: u64, repeats: u64) -> Vec<(Cca, LinkConfig, u64)> {
+    let ccas = [
+        Cca::NewReno,
+        Cca::Cubic,
+        Cca::Bbr,
+        Cca::Vegas,
+        Cca::Westwood,
+        Cca::Illinois,
+        Cca::Copa,
+    ];
+    type LinkFactory = Box<dyn Fn(u64) -> LinkConfig>;
+    let families: Vec<LinkFactory> = vec![
+        Box::new(|_| wired_link(24.0)),
+        Box::new(|_| wired_link(96.0)),
+        Box::new(move |s| {
+            let mut rng = DetRng::new(s ^ 0xF00);
+            lte_link(LteScenario::Walking, Duration::from_secs(secs), &mut rng)
+        }),
+        Box::new(move |_| step_link(Duration::from_secs(secs))),
+    ];
+    let mut jobs = Vec::new();
+    for &cca in &ccas {
+        for link_of in &families {
+            for k in 0..repeats {
+                let s = seed * 7 + k;
+                jobs.push((cca, link_of(s), s));
+            }
+        }
+    }
+    jobs
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(10, 4);
+    let repeats = args.scaled(2, 1);
+    let store = ModelStore::ephemeral(args.seed);
+    let mut benches: Vec<Bench> = Vec::new();
+
+    // Single-run event loop: one flow and a heavy eight-flow run.
+    let (wall_ms, thr) = timed(secs as f64, || {
+        libra_bench::run_single_metrics(Cca::Cubic, &store, wired_link(24.0), secs, args.seed);
+    });
+    benches.push(Bench {
+        name: "single_run_cubic",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
+    let long_secs = args.scaled(60, 10);
+    let (wall_ms, thr) = timed(long_secs as f64, || {
+        libra_bench::run_staggered(
+            Cca::Cubic,
+            &store,
+            wired_link(96.0),
+            8,
+            Duration::from_secs(1),
+            long_secs,
+            args.seed,
+        );
+    });
+    benches.push(Bench {
+        name: "eight_flow_run_cubic",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
+
+    // full_report-shaped sweep, sequential vs parallel.
+    let jobs = grid(secs, args.seed, repeats);
+    let total_sim_secs = (jobs.len() as u64 * secs) as f64;
+    let run_grid = |workers: usize| {
+        parallel_map_with(grid(secs, args.seed, repeats), workers, |(cca, link, s)| {
+            run_single_metrics(cca, &store, link, secs, s)
+        })
+    };
+    let workers = worker_count().max(4);
+    eprintln!(
+        "perf_smoke: {} jobs x {secs}s sim, 1 vs {workers} workers",
+        jobs.len()
+    );
+    let (seq_ms, seq_thr) = timed(total_sim_secs, || {
+        run_grid(1);
+    });
+    benches.push(Bench {
+        name: "full_report_subset_1worker",
+        wall_ms: seq_ms,
+        sim_secs_per_sec: seq_thr,
+    });
+    let (par_ms, par_thr) = timed(total_sim_secs, || {
+        run_grid(workers);
+    });
+    benches.push(Bench {
+        name: "full_report_subset_parallel",
+        wall_ms: par_ms,
+        sim_secs_per_sec: par_thr,
+    });
+    let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 0.0 };
+
+    let mut json = String::from("{\n");
+    for b in &benches {
+        let _ = writeln!(
+            json,
+            "  \"{}\": {{\"wall_ms\": {:.1}, \"sim_secs_per_sec\": {:.1}}},",
+            b.name, b.wall_ms, b.sim_secs_per_sec
+        );
+    }
+    // Record the host's core count next to the speedup: on a 1-core
+    // host the sweep cannot beat sequential no matter the worker count,
+    // so a reader needs both numbers to interpret the ratio.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{\"workers\": {workers}, \"jobs\": {}, \"available_cpus\": {cpus}, \"full_report_speedup\": {speedup:.2}}}\n}}",
+        jobs.len()
+    );
+    let path = std::env::var("LIBRA_BENCH_OUT").unwrap_or_else(|_| "BENCH_netsim.json".into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[artifact] {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    print!("{json}");
+    eprintln!("perf_smoke: sweep speedup {speedup:.2}x at {workers} workers ({cpus} cpus)");
+}

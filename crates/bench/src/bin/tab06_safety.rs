@@ -11,7 +11,7 @@ fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 8);
     let trials = args.scaled(20, 4);
-    let mut store = ModelStore::new(args.seed);
+    let store = ModelStore::new(args.seed);
     let ccas = [
         ("#O", Cca::Orca),
         ("#C", Cca::CLibra(Preference::Default)),
@@ -46,13 +46,8 @@ fn main() {
         for (_, link_of) in &networks {
             let mut w = Welford::new();
             for k in 0..trials {
-                let m = run_single_metrics(
-                    cca,
-                    &mut store,
-                    link_of(args.seed + k),
-                    secs,
-                    args.seed + k,
-                );
+                let m =
+                    run_single_metrics(cca, &store, link_of(args.seed + k), secs, args.seed + k);
                 w.update(m.utilization);
             }
             per_net.push(w);

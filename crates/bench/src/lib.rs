@@ -5,6 +5,8 @@
 //! * [`models`] — trained-PPO-weight cache (`target/models/`).
 //! * [`scenarios`] — named workloads (wired, LTE, step, WAN, sweeps).
 //! * [`runner`] — single/pair/staggered runs and convergence statistics.
+//! * [`sweep`] — deterministic parallel fan-out of independent runs
+//!   (`LIBRA_JOBS` workers, results merged in job order).
 //! * [`output`] — aligned tables + CSV artifacts (`target/experiments/`).
 //!
 //! Each figure/table has a binary (`fig01_adaptability`, …,
@@ -17,6 +19,7 @@ pub mod output;
 pub mod registry;
 pub mod runner;
 pub mod scenarios;
+pub mod sweep;
 
 pub use models::ModelStore;
 pub use output::{f1, f3, pct, series_csv, write_artifact, Table};
@@ -26,6 +29,10 @@ pub use runner::{
     ConvergenceStats, RunMetrics,
 };
 pub use scenarios::*;
+pub use sweep::{
+    parallel_map, parallel_map_with, run_spec, run_sweep, run_sweep_with, worker_count,
+    FlowSummary, RunSpec, RunSummary, Workload,
+};
 
 /// Common CLI knobs for experiment binaries: `--quick` shrinks durations
 /// and repeats so a full sweep finishes in seconds (used by CI and the

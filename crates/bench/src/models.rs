@@ -9,7 +9,9 @@ use libra_core::{train_libra, LibraVariant};
 use libra_learned::{train_orca, train_rl_cca, EnvRanges, RlCcaConfig, TrainConfig};
 use libra_rl::PpoWeights;
 use libra_types::DetRng;
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Training effort for cached models. Enough to get competent (not
 /// perfect) policies in a few minutes per model on a laptop.
@@ -34,12 +36,21 @@ pub fn model_dir() -> PathBuf {
 }
 
 /// Loads/trains/caches PPO weights.
+///
+/// The store is shared read-mostly across sweep workers: every accessor
+/// takes `&self`, loaded/trained weights are memoized in an in-process
+/// cache behind a `Mutex`, and callers receive cheap clones to
+/// instantiate per-worker agents from. The mutex is held across a
+/// training run on a cold miss, which deliberately serializes duplicate
+/// training of the same key; training is a pure function of the
+/// [`TrainConfig`], so whichever thread trains first produces the same
+/// weights every other thread would have.
 pub struct ModelStore {
     seed: u64,
-    rng: DetRng,
     /// When true, never touch the filesystem (unit tests).
     ephemeral: bool,
     train: TrainConfig,
+    cache: Mutex<HashMap<String, Arc<PpoWeights>>>,
 }
 
 impl ModelStore {
@@ -47,9 +58,9 @@ impl ModelStore {
     pub fn new(seed: u64) -> Self {
         ModelStore {
             seed,
-            rng: DetRng::new(seed ^ 0x57_0E),
             ephemeral: false,
             train: default_train_config(seed),
+            cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -57,7 +68,6 @@ impl ModelStore {
     pub fn ephemeral(seed: u64) -> Self {
         ModelStore {
             seed,
-            rng: DetRng::new(seed ^ 0x57_0E),
             ephemeral: true,
             train: TrainConfig {
                 episodes: 2,
@@ -66,6 +76,7 @@ impl ModelStore {
                 seed,
                 update_every: 1,
             },
+            cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -75,9 +86,13 @@ impl ModelStore {
         self
     }
 
-    /// RNG stream for agent restoration.
-    pub fn rng(&mut self) -> &mut DetRng {
-        &mut self.rng
+    /// A fresh RNG stream for agent restoration, derived from the store
+    /// seed. Eval-mode agents never draw from it (deterministic mean
+    /// actions), so handing each caller an identical fresh stream keeps
+    /// restoration order-independent — a requirement for building CCAs
+    /// concurrently on sweep workers.
+    pub fn agent_rng(&self) -> DetRng {
+        DetRng::new(self.seed ^ 0x57_0E)
     }
 
     fn path(&self, key: &str) -> PathBuf {
@@ -85,7 +100,24 @@ impl ModelStore {
     }
 
     fn get_or_train(
-        &mut self,
+        &self,
+        key: &str,
+        train: impl FnOnce(&TrainConfig) -> PpoWeights,
+    ) -> PpoWeights {
+        // Lock held for the whole miss path: a second thread asking for
+        // the same key blocks until the first finishes training rather
+        // than training the same model twice.
+        let mut cache = self.cache.lock().expect("model cache poisoned");
+        if let Some(w) = cache.get(key) {
+            return (**w).clone();
+        }
+        let w = self.load_or_train(key, train);
+        cache.insert(key.to_string(), Arc::new(w.clone()));
+        w
+    }
+
+    fn load_or_train(
+        &self,
         key: &str,
         train: impl FnOnce(&TrainConfig) -> PpoWeights,
     ) -> PpoWeights {
@@ -121,7 +153,7 @@ impl ModelStore {
     }
 
     /// Libra's RL component, trained inside the given variant.
-    pub fn libra(&mut self, variant: LibraVariant) -> PpoWeights {
+    pub fn libra(&self, variant: LibraVariant) -> PpoWeights {
         let key = match variant {
             LibraVariant::Cubic => "libra-cubic",
             LibraVariant::Bbr => "libra-bbr",
@@ -131,19 +163,19 @@ impl ModelStore {
     }
 
     /// Orca's agent.
-    pub fn orca(&mut self) -> PpoWeights {
+    pub fn orca(&self) -> PpoWeights {
         self.get_or_train("orca", |cfg| train_orca(cfg).weights)
     }
 
     /// Aurora's agent.
-    pub fn aurora(&mut self) -> PpoWeights {
+    pub fn aurora(&self) -> PpoWeights {
         self.get_or_train("aurora", |cfg| {
             train_rl_cca(&RlCcaConfig::aurora(), cfg).weights
         })
     }
 
     /// Mod. RL's agent.
-    pub fn mod_rl(&mut self) -> PpoWeights {
+    pub fn mod_rl(&self) -> PpoWeights {
         self.get_or_train("mod-rl", |cfg| {
             train_rl_cca(&RlCcaConfig::mod_rl(), cfg).weights
         })
@@ -156,9 +188,37 @@ mod tests {
 
     #[test]
     fn ephemeral_store_trains_without_disk() {
-        let mut s = ModelStore::ephemeral(3);
+        let s = ModelStore::ephemeral(3);
         let w = s.aurora();
         assert_eq!(w.config.obs_dim, RlCcaConfig::aurora().ppo_config().obs_dim);
+    }
+
+    #[test]
+    fn store_memoizes_training() {
+        let s = ModelStore::ephemeral(4);
+        let a = s.aurora();
+        let b = s.aurora(); // second call must hit the in-process cache
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let s = ModelStore::ephemeral(5);
+        let first = s.aurora();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let w = s.aurora();
+                    assert_eq!(
+                        serde_json::to_string(&w).unwrap(),
+                        serde_json::to_string(&first).unwrap()
+                    );
+                });
+            }
+        });
     }
 
     #[test]

@@ -113,9 +113,14 @@ impl Cca {
 
     /// Instantiate the controller. Trained controllers pull weights from
     /// the model store (training on a cache miss) and run in eval mode.
-    pub fn build(self, store: &mut ModelStore) -> Box<dyn CongestionControl> {
-        let eval_agent = |w: libra_rl::PpoWeights, store: &mut ModelStore| {
-            let mut agent = PpoAgent::from_weights(w, store.rng());
+    ///
+    /// Takes `&ModelStore` so independent sweep workers can build their
+    /// own controller instances from one shared store concurrently. Note
+    /// the built controller itself is not `Send` (RL CCAs hold an
+    /// `Rc<RefCell<PpoAgent>>`) — build on the thread that will run it.
+    pub fn build(self, store: &ModelStore) -> Box<dyn CongestionControl> {
+        let eval_agent = |w: libra_rl::PpoWeights, store: &ModelStore| {
+            let mut agent = PpoAgent::from_weights(w, &mut store.agent_rng());
             agent.set_eval(true);
             Rc::new(RefCell::new(agent))
         };
@@ -179,10 +184,10 @@ mod tests {
 
     #[test]
     fn classic_builds_without_models() {
-        let mut store = ModelStore::ephemeral(1);
+        let store = ModelStore::ephemeral(1);
         for c in [Cca::Cubic, Cca::Bbr, Cca::Copa, Cca::Vivace, Cca::Remy] {
             assert!(!c.needs_model());
-            let b = c.build(&mut store);
+            let b = c.build(&store);
             assert!(!b.name().is_empty());
         }
     }

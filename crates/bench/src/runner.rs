@@ -13,7 +13,9 @@ pub struct RunMetrics {
     pub utilization: f64,
     /// Mean per-packet RTT in milliseconds.
     pub avg_rtt_ms: f64,
-    /// 95th-ish behaviour: max observed RTT (ms).
+    /// True 95th-percentile RTT in milliseconds (streaming P² estimate).
+    pub p95_rtt_ms: f64,
+    /// Maximum observed RTT (ms).
     pub max_rtt_ms: f64,
     /// Average goodput in Mbps.
     pub goodput_mbps: f64,
@@ -30,6 +32,7 @@ impl RunMetrics {
         RunMetrics {
             utilization: report.link.utilization,
             avg_rtt_ms: f.rtt_ms.mean(),
+            p95_rtt_ms: f.rtt_p95_ms,
             max_rtt_ms: f.rtt_ms.max(),
             goodput_mbps: f.avg_goodput.mbps(),
             loss: f.loss_fraction,
@@ -41,7 +44,7 @@ impl RunMetrics {
 /// Run one CCA alone on `link` for `secs`, seeded.
 pub fn run_single(
     cca: Cca,
-    store: &mut ModelStore,
+    store: &ModelStore,
     link: LinkConfig,
     secs: u64,
     seed: u64,
@@ -55,7 +58,7 @@ pub fn run_single(
 /// Run one CCA alone and summarize.
 pub fn run_single_metrics(
     cca: Cca,
-    store: &mut ModelStore,
+    store: &ModelStore,
     link: LinkConfig,
     secs: u64,
     seed: u64,
@@ -64,24 +67,36 @@ pub fn run_single_metrics(
 }
 
 /// Average metrics across `repeats` seeds (the paper averages 5 runs).
+///
+/// Trials fan out over the sweep workers; links are built eagerly on the
+/// calling thread (scenario builders are not `Sync`) and the Welford
+/// accumulators are folded in seed order, so results are byte-identical
+/// to a sequential loop for any worker count.
 pub fn run_repeated(
     cca: Cca,
-    store: &mut ModelStore,
+    store: &ModelStore,
     link_of: impl Fn(u64) -> LinkConfig,
     secs: u64,
     base_seed: u64,
     repeats: u64,
 ) -> (RunMetrics, Welford) {
+    let jobs: Vec<(u64, LinkConfig)> = (0..repeats)
+        .map(|k| (base_seed + k, link_of(base_seed + k)))
+        .collect();
+    let trials = crate::sweep::parallel_map(jobs, |(seed, link)| {
+        run_single_metrics(cca, store, link, secs, seed)
+    });
     let mut util = Welford::new();
     let mut rtt = Welford::new();
+    let mut p95rtt = Welford::new();
     let mut maxrtt = Welford::new();
     let mut goodput = Welford::new();
     let mut loss = Welford::new();
     let mut compute = Welford::new();
-    for k in 0..repeats {
-        let m = run_single_metrics(cca, store, link_of(base_seed + k), secs, base_seed + k);
+    for m in trials {
         util.update(m.utilization);
         rtt.update(m.avg_rtt_ms);
+        p95rtt.update(m.p95_rtt_ms);
         maxrtt.update(m.max_rtt_ms);
         goodput.update(m.goodput_mbps);
         loss.update(m.loss);
@@ -91,6 +106,7 @@ pub fn run_repeated(
         RunMetrics {
             utilization: util.mean(),
             avg_rtt_ms: rtt.mean(),
+            p95_rtt_ms: p95rtt.mean(),
             max_rtt_ms: maxrtt.mean(),
             goodput_mbps: goodput.mean(),
             loss: loss.mean(),
@@ -105,7 +121,7 @@ pub fn run_repeated(
 pub fn run_pair(
     under_test: Cca,
     competitor: Cca,
-    store: &mut ModelStore,
+    store: &ModelStore,
     link: LinkConfig,
     secs: u64,
     seed: u64,
@@ -121,7 +137,7 @@ pub fn run_pair(
 /// flow `i` starts at `i × stagger`.
 pub fn run_staggered(
     cca: Cca,
-    store: &mut ModelStore,
+    store: &ModelStore,
     link: LinkConfig,
     n: usize,
     stagger: Duration,
@@ -227,9 +243,9 @@ mod tests {
 
     #[test]
     fn single_run_cubic_fills_wired_link() {
-        let mut store = ModelStore::ephemeral(1);
+        let store = ModelStore::ephemeral(1);
         let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(30), 1.0);
-        let m = run_single_metrics(Cca::Cubic, &mut store, link, 15, 1);
+        let m = run_single_metrics(Cca::Cubic, &store, link, 15, 1);
         assert!(m.utilization > 0.8, "util {}", m.utilization);
         assert!(m.avg_rtt_ms >= 30.0);
         assert!(m.compute_us_per_s >= 0.0);
@@ -237,26 +253,18 @@ mod tests {
 
     #[test]
     fn pair_run_reports_two_flows() {
-        let mut store = ModelStore::ephemeral(2);
+        let store = ModelStore::ephemeral(2);
         let link = LinkConfig::constant(Rate::from_mbps(20.0), Duration::from_millis(40), 1.0);
-        let rep = run_pair(Cca::Cubic, Cca::Cubic, &mut store, link, 20, 3);
+        let rep = run_pair(Cca::Cubic, Cca::Cubic, &store, link, 20, 3);
         assert_eq!(rep.flows.len(), 2);
         assert!(rep.jain_index() > 0.6, "jain {}", rep.jain_index());
     }
 
     #[test]
     fn staggered_flows_start_in_order() {
-        let mut store = ModelStore::ephemeral(3);
+        let store = ModelStore::ephemeral(3);
         let link = LinkConfig::constant(Rate::from_mbps(20.0), Duration::from_millis(40), 1.0);
-        let rep = run_staggered(
-            Cca::Cubic,
-            &mut store,
-            link,
-            3,
-            Duration::from_secs(5),
-            20,
-            4,
-        );
+        let rep = run_staggered(Cca::Cubic, &store, link, 3, Duration::from_secs(5), 20, 4);
         assert!(rep.flows[0].delivered_bytes > rep.flows[2].delivered_bytes);
     }
 

@@ -1,0 +1,462 @@
+//! Deterministic parallel sweep runner.
+//!
+//! The paper's evaluation is hundreds of *independent* emulated runs
+//! (scenario × CCA × seed). Each run is a pure function of its
+//! [`RunSpec`] — the simulator is seed-deterministic and trained weights
+//! are a pure function of the training config — so runs can be farmed
+//! out to worker threads freely. Determinism under parallelism comes
+//! from two rules:
+//!
+//! 1. **Per-worker instantiation.** Controllers are built *on* the
+//!    worker that runs them (they are not `Send`: RL CCAs hold an
+//!    `Rc<RefCell<PpoAgent>>`), from weights shared read-only through
+//!    the [`ModelStore`]. Restoration uses a fresh derived RNG stream
+//!    per build ([`ModelStore::agent_rng`]), so build *order* cannot
+//!    leak into results.
+//! 2. **Index-ordered merge.** Workers pull jobs from a shared cursor
+//!    and post `(job index, result)` pairs through a channel; the
+//!    coordinator re-assembles results by index. Output is therefore
+//!    byte-identical to the sequential path for any worker count or
+//!    completion order.
+//!
+//! Worker count defaults to [`std::thread::available_parallelism`] and
+//! can be overridden with the `LIBRA_JOBS` environment variable.
+
+use crate::models::ModelStore;
+use crate::registry::Cca;
+use crate::runner::{self, RunMetrics};
+use libra_netsim::{LinkConfig, SimReport};
+use libra_types::Duration;
+use serde::{Serialize, Value};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Number of sweep workers: `LIBRA_JOBS` if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("LIBRA_JOBS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("ignoring invalid LIBRA_JOBS={v:?} (want a positive integer)"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `jobs` on [`worker_count`] scoped threads, returning
+/// results in job order (byte-identical to `jobs.into_iter().map(f)`).
+pub fn parallel_map<J, T, F>(jobs: Vec<J>, f: F) -> Vec<T>
+where
+    J: Send,
+    T: Send,
+    F: Fn(J) -> T + Sync,
+{
+    parallel_map_with(jobs, worker_count(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count (used by the
+/// determinism tests to compare 1 vs N workers).
+pub fn parallel_map_with<J, T, F>(jobs: Vec<J>, workers: usize, f: F) -> Vec<T>
+where
+    J: Send,
+    T: Send,
+    F: Fn(J) -> T + Sync,
+{
+    let n = jobs.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+    // Work-stealing-free job distribution: an atomic cursor hands each
+    // worker the next unclaimed index; results flow back through a
+    // channel tagged with their index and are merged in order.
+    let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let slots = &slots;
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let job = slots[idx]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                if tx.send((idx, f(job))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (idx, val) in rx {
+        out[idx] = Some(val);
+    }
+    out.into_iter()
+        .map(|v| v.expect("worker dropped a job result"))
+        .collect()
+}
+
+/// The flow layout of one run.
+#[derive(Debug, Clone, Copy)]
+pub enum Workload {
+    /// One flow alone on the link.
+    Single,
+    /// The CCA under test vs. a competitor (flow 0 = under test).
+    Pair {
+        /// The competing controller (flow 1).
+        competitor: Cca,
+    },
+    /// `flows` same-CCA flows, flow `i` starting at `i × stagger`.
+    Staggered {
+        /// Number of flows.
+        flows: usize,
+        /// Start offset between consecutive flows.
+        stagger: Duration,
+    },
+}
+
+/// One independent job of a sweep: everything needed to reproduce the
+/// run, self-contained and `Send`.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Display label carried into the summary (scenario / sweep point).
+    pub label: String,
+    /// Controller under test.
+    pub cca: Cca,
+    /// Flow layout.
+    pub workload: Workload,
+    /// The bottleneck link (built eagerly on the coordinator — scenario
+    /// builders are not `Sync`).
+    pub link: LinkConfig,
+    /// Simulated duration in seconds.
+    pub secs: u64,
+    /// Run seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A single-flow run.
+    pub fn single(cca: Cca, link: LinkConfig, secs: u64, seed: u64) -> Self {
+        RunSpec {
+            label: cca.label(),
+            cca,
+            workload: Workload::Single,
+            link,
+            secs,
+            seed,
+        }
+    }
+
+    /// A two-flow run against `competitor`.
+    pub fn pair(cca: Cca, competitor: Cca, link: LinkConfig, secs: u64, seed: u64) -> Self {
+        RunSpec {
+            label: format!("{} vs {}", cca.label(), competitor.label()),
+            cca,
+            workload: Workload::Pair { competitor },
+            link,
+            secs,
+            seed,
+        }
+    }
+
+    /// A staggered same-CCA convergence run.
+    pub fn staggered(
+        cca: Cca,
+        link: LinkConfig,
+        flows: usize,
+        stagger: Duration,
+        secs: u64,
+        seed: u64,
+    ) -> Self {
+        RunSpec {
+            label: cca.label(),
+            cca,
+            workload: Workload::Staggered { flows, stagger },
+            link,
+            secs,
+            seed,
+        }
+    }
+
+    /// Replace the display label (builder style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// Send-safe per-flow results (everything [`libra_netsim::FlowReport`]
+/// carries except the controller box).
+#[derive(Debug, Clone)]
+pub struct FlowSummary {
+    /// Controller name.
+    pub name: String,
+    /// Bytes handed to the network.
+    pub sent_bytes: u64,
+    /// Bytes acknowledged.
+    pub delivered_bytes: u64,
+    /// Packets acknowledged.
+    pub acked_packets: u64,
+    /// Packets declared lost.
+    pub lost_packets: u64,
+    /// Average goodput over the flow's lifetime (Mbps).
+    pub goodput_mbps: f64,
+    /// Mean per-packet RTT (ms).
+    pub rtt_mean_ms: f64,
+    /// Number of RTT samples behind the mean.
+    pub rtt_samples: u64,
+    /// Streaming P² 95th-percentile RTT (ms).
+    pub p95_rtt_ms: f64,
+    /// Maximum observed RTT (ms).
+    pub max_rtt_ms: f64,
+    /// Fraction of resolved packets that were lost.
+    pub loss_fraction: f64,
+    /// ECN congestion echoes received.
+    pub ecn_echoes: u64,
+    /// `(seconds, Mbps)` goodput series.
+    pub goodput_series: Vec<(f64, f64)>,
+    /// Sparse `(seconds, ms)` RTT series.
+    pub rtt_series: Vec<(f64, f64)>,
+    /// Wall-clock nanoseconds inside the controller. Excluded from
+    /// serialization: it measures host time, not simulated behaviour,
+    /// and would break byte-identity between repeated runs.
+    pub compute_ns: u64,
+}
+
+fn series_value(series: &[(f64, f64)]) -> Value {
+    Value::Array(
+        series
+            .iter()
+            .map(|&(a, b)| Value::Array(vec![Value::Float(a), Value::Float(b)]))
+            .collect(),
+    )
+}
+
+// Manual impl (not derived): skips `compute_ns`, which is host
+// wall-clock and would break byte-identity between identical runs.
+impl Serialize for FlowSummary {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), self.name.to_value()),
+            ("sent_bytes".into(), self.sent_bytes.to_value()),
+            ("delivered_bytes".into(), self.delivered_bytes.to_value()),
+            ("acked_packets".into(), self.acked_packets.to_value()),
+            ("lost_packets".into(), self.lost_packets.to_value()),
+            ("goodput_mbps".into(), self.goodput_mbps.to_value()),
+            ("rtt_mean_ms".into(), self.rtt_mean_ms.to_value()),
+            ("rtt_samples".into(), self.rtt_samples.to_value()),
+            ("p95_rtt_ms".into(), self.p95_rtt_ms.to_value()),
+            ("max_rtt_ms".into(), self.max_rtt_ms.to_value()),
+            ("loss_fraction".into(), self.loss_fraction.to_value()),
+            ("ecn_echoes".into(), self.ecn_echoes.to_value()),
+            ("goodput_series".into(), series_value(&self.goodput_series)),
+            ("rtt_series".into(), series_value(&self.rtt_series)),
+        ])
+    }
+}
+
+/// Send-safe summary of one finished run, serialized for the
+/// determinism tests and merged in job order by [`run_sweep`].
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The spec's display label.
+    pub label: String,
+    /// Simulated duration (seconds).
+    pub duration_s: f64,
+    /// Link utilization (delivered / capacity).
+    pub utilization: f64,
+    /// Time-averaged queue occupancy (bytes).
+    pub mean_queue_bytes: f64,
+    /// Packets dropped at the tail.
+    pub tail_drops: u64,
+    /// Packets dropped by the stochastic loss process.
+    pub stochastic_drops: u64,
+    /// Jain's fairness index over flow goodputs.
+    pub jain: f64,
+    /// Sample-weighted mean RTT across flows (ms).
+    pub mean_rtt_ms: f64,
+    /// Per-flow summaries in `add_flow` order.
+    pub flows: Vec<FlowSummary>,
+}
+
+impl Serialize for RunSummary {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("label".into(), self.label.to_value()),
+            ("duration_s".into(), self.duration_s.to_value()),
+            ("utilization".into(), self.utilization.to_value()),
+            ("mean_queue_bytes".into(), self.mean_queue_bytes.to_value()),
+            ("tail_drops".into(), self.tail_drops.to_value()),
+            ("stochastic_drops".into(), self.stochastic_drops.to_value()),
+            ("jain".into(), self.jain.to_value()),
+            ("mean_rtt_ms".into(), self.mean_rtt_ms.to_value()),
+            ("flows".into(), self.flows.to_value()),
+        ])
+    }
+}
+
+impl RunSummary {
+    /// Extract the Send-safe summary from a finished report.
+    pub fn from_report(label: &str, report: &SimReport) -> Self {
+        RunSummary {
+            label: label.to_string(),
+            duration_s: report.duration.as_secs_f64(),
+            utilization: report.link.utilization,
+            mean_queue_bytes: report.link.mean_queue_bytes,
+            tail_drops: report.link.tail_drops,
+            stochastic_drops: report.link.stochastic_drops,
+            jain: report.jain_index(),
+            mean_rtt_ms: report.mean_rtt_ms(),
+            flows: report
+                .flows
+                .iter()
+                .map(|f| FlowSummary {
+                    name: f.name.to_string(),
+                    sent_bytes: f.sent_bytes,
+                    delivered_bytes: f.delivered_bytes,
+                    acked_packets: f.acked_packets,
+                    lost_packets: f.lost_packets,
+                    goodput_mbps: f.avg_goodput.mbps(),
+                    rtt_mean_ms: f.rtt_ms.mean(),
+                    rtt_samples: f.rtt_ms.count(),
+                    p95_rtt_ms: f.rtt_p95_ms,
+                    max_rtt_ms: f.rtt_ms.max(),
+                    loss_fraction: f.loss_fraction,
+                    ecn_echoes: f.ecn_echoes,
+                    goodput_series: f.goodput_series.clone(),
+                    rtt_series: f.rtt_series.clone(),
+                    compute_ns: f.compute_ns,
+                })
+                .collect(),
+        }
+    }
+
+    /// The first flow's headline metrics (the single-flow figures).
+    pub fn headline(&self) -> RunMetrics {
+        let f = &self.flows[0];
+        RunMetrics {
+            utilization: self.utilization,
+            avg_rtt_ms: f.rtt_mean_ms,
+            p95_rtt_ms: f.p95_rtt_ms,
+            max_rtt_ms: f.max_rtt_ms,
+            goodput_mbps: f.goodput_mbps,
+            loss: f.loss_fraction,
+            compute_us_per_s: if self.duration_s > 0.0 {
+                f.compute_ns as f64 / 1e3 / self.duration_s
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Execute one spec on the calling thread.
+pub fn run_spec(store: &ModelStore, spec: &RunSpec) -> RunSummary {
+    let report = match spec.workload {
+        Workload::Single => {
+            runner::run_single(spec.cca, store, spec.link.clone(), spec.secs, spec.seed)
+        }
+        Workload::Pair { competitor } => runner::run_pair(
+            spec.cca,
+            competitor,
+            store,
+            spec.link.clone(),
+            spec.secs,
+            spec.seed,
+        ),
+        Workload::Staggered { flows, stagger } => runner::run_staggered(
+            spec.cca,
+            store,
+            spec.link.clone(),
+            flows,
+            stagger,
+            spec.secs,
+            spec.seed,
+        ),
+    };
+    RunSummary::from_report(&spec.label, &report)
+}
+
+/// Run every spec, fanned out over [`worker_count`] threads; results
+/// come back in spec order.
+pub fn run_sweep(store: &ModelStore, specs: Vec<RunSpec>) -> Vec<RunSummary> {
+    run_sweep_with(store, specs, worker_count())
+}
+
+/// [`run_sweep`] with an explicit worker count.
+pub fn run_sweep_with(store: &ModelStore, specs: Vec<RunSpec>, workers: usize) -> Vec<RunSummary> {
+    warm_models(store, &specs);
+    parallel_map_with(specs, workers, |spec| run_spec(store, &spec))
+}
+
+/// Train/load every model the sweep needs once, up front, so workers
+/// start from a warm cache instead of serializing on the training lock.
+fn warm_models(store: &ModelStore, specs: &[RunSpec]) {
+    let mut seen: HashSet<Cca> = HashSet::new();
+    for spec in specs {
+        let mut ccas = vec![spec.cca];
+        if let Workload::Pair { competitor } = spec.workload {
+            ccas.push(competitor);
+        }
+        for cca in ccas {
+            if cca.needs_model() && seen.insert(cca) {
+                drop(cca.build(store)); // populates the weight cache
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_types::Rate;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let seq: Vec<u64> = jobs.iter().map(|&j| j * j).collect();
+        for workers in [1, 2, 3, 8, 64, 200] {
+            let par = parallel_map_with(jobs.clone(), workers, |j| j * j);
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map_with(empty, 8, |j: u64| j).is_empty());
+        assert_eq!(parallel_map_with(vec![7u64], 8, |j| j + 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn sweep_runs_specs_in_order() {
+        let store = ModelStore::ephemeral(1);
+        let link = || LinkConfig::constant(Rate::from_mbps(12.0), Duration::from_millis(40), 1.0);
+        let specs: Vec<RunSpec> = (0..4)
+            .map(|k| RunSpec::single(Cca::Cubic, link(), 5, 10 + k))
+            .collect();
+        let out = run_sweep_with(&store, specs, 2);
+        assert_eq!(out.len(), 4);
+        for s in &out {
+            assert_eq!(s.flows.len(), 1);
+            assert!(s.flows[0].delivered_bytes > 0);
+        }
+    }
+}

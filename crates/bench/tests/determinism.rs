@@ -1,0 +1,104 @@
+//! Determinism regression tests for the parallel sweep runner and the
+//! simulator hot path.
+//!
+//! Two invariants are pinned here:
+//!
+//! 1. A sweep's serialized results are **byte-identical** for any worker
+//!    count (the whole point of the index-ordered merge + per-worker
+//!    controller instantiation design in `libra_bench::sweep`).
+//! 2. A fixed-seed single `Simulation::run` produces an exact, pinned
+//!    digest — so hot-path "optimizations" that change behaviour
+//!    (capacity cursor, fault fast path, preallocation) fail loudly
+//!    instead of silently skewing every figure.
+
+use libra_bench::{run_single, run_sweep_with, Cca, ModelStore, RunSpec, RunSummary};
+use libra_netsim::LinkConfig;
+use libra_types::{Duration, Preference, Rate};
+
+fn wired(mbps: f64) -> LinkConfig {
+    LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(40), 1.0)
+}
+
+/// A small but representative sweep: single / pair / staggered
+/// workloads, classic and model-backed CCAs, distinct seeds.
+fn mixed_specs() -> Vec<RunSpec> {
+    vec![
+        RunSpec::single(Cca::Cubic, wired(24.0), 5, 11),
+        RunSpec::single(Cca::Bbr, wired(24.0), 5, 12),
+        RunSpec::single(Cca::Aurora, wired(12.0), 5, 13),
+        RunSpec::single(Cca::CLibra(Preference::Default), wired(24.0), 5, 14),
+        RunSpec::pair(Cca::Bbr, Cca::Cubic, wired(48.0), 5, 15),
+        RunSpec::staggered(Cca::Cubic, wired(48.0), 3, Duration::from_secs(1), 6, 16),
+    ]
+}
+
+fn sweep_json(store: &ModelStore, specs: Vec<RunSpec>, workers: usize) -> String {
+    let results: Vec<RunSummary> = run_sweep_with(store, specs, workers);
+    serde_json::to_string(&results).expect("serialize sweep results")
+}
+
+/// 64-bit FNV-1a over a string — a stable, dependency-free digest.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Invariant 1: the serialized sweep output is byte-identical for any
+/// worker count, including model-backed CCAs restored on the workers.
+#[test]
+fn sweep_is_byte_identical_across_worker_counts() {
+    let store = ModelStore::ephemeral(7);
+    let sequential = sweep_json(&store, mixed_specs(), 1);
+    for workers in [2, 3, 8] {
+        let parallel = sweep_json(&store, mixed_specs(), workers);
+        assert_eq!(
+            sequential, parallel,
+            "sweep output diverged at workers={workers}"
+        );
+    }
+}
+
+/// A freshly trained store (new cache, same seed/config) must reproduce
+/// the same results: weights are a pure function of the training
+/// config, and agent restoration draws from a fresh derived RNG stream.
+#[test]
+fn fresh_store_reproduces_model_backed_runs() {
+    let specs = || {
+        vec![
+            RunSpec::single(Cca::Aurora, wired(12.0), 5, 21),
+            RunSpec::pair(Cca::Aurora, Cca::Cubic, wired(24.0), 5, 22),
+        ]
+    };
+    let a = sweep_json(&ModelStore::ephemeral(3), specs(), 2);
+    let b = sweep_json(&ModelStore::ephemeral(3), specs(), 4);
+    assert_eq!(a, b, "retraining from scratch changed the results");
+}
+
+/// Invariant 2: a pinned digest of one fixed-seed run. If this test
+/// fails and you did not *intend* to change simulator behaviour, the
+/// change is a bug; if the behaviour change is deliberate, update the
+/// pinned values and say so in the commit message.
+#[test]
+fn single_run_digest_is_pinned() {
+    let store = ModelStore::ephemeral(1);
+    let report = run_single(Cca::Cubic, &store, wired(24.0), 10, 42);
+    let flow = &report.flows[0];
+    // Integer-exact event-loop outcomes.
+    assert_eq!(flow.sent_bytes, 30_133_500, "sent_bytes drifted");
+    assert_eq!(flow.delivered_bytes, 29_592_000, "delivered_bytes drifted");
+    assert_eq!(flow.acked_packets, 19_728, "acked_packets drifted");
+    assert_eq!(flow.lost_packets, 213, "lost_packets drifted");
+    assert_eq!(report.link.tail_drops, 213, "tail_drops drifted");
+    // Full-report digest over the serialized summary (floats included).
+    let json =
+        serde_json::to_string(&RunSummary::from_report("digest", &report)).expect("serialize");
+    assert_eq!(
+        fnv1a(&json),
+        0xe6f8_f8a9_380c_af46,
+        "run digest drifted (json hash changed)"
+    );
+}

@@ -120,17 +120,49 @@ impl CapacitySchedule {
         }
     }
 
+    /// Index of the segment in force at `t`, starting the search at a
+    /// cached `hint` index. Simulated time only moves forward, so the hot
+    /// service loop advances linearly (amortized O(1)) instead of
+    /// re-binary-searching per packet; a hint from the future (never the
+    /// case in the service loop) falls back to the full search.
+    fn segment_index_from(&self, hint: usize, t: Instant) -> usize {
+        let mut idx = hint.min(self.segments.len() - 1);
+        if self.segments[idx].0 > t {
+            return self.segment_index(t);
+        }
+        while idx + 1 < self.segments.len() && self.segments[idx + 1].0 <= t {
+            idx += 1;
+        }
+        idx
+    }
+
     /// When does a transmission of `bytes`, starting at `start`, finish?
     ///
     /// Integrates the capacity forward from `start` until the required
     /// bits have been serialized. Returns [`Instant::FAR_FUTURE`] if the
     /// schedule can never deliver them (zero capacity to the end).
     pub fn service_finish(&self, start: Instant, bytes: u64) -> Instant {
+        self.service_finish_inner(self.segment_index(start), start, bytes)
+    }
+
+    /// [`service_finish`](Self::service_finish) with a mutable segment
+    /// cursor: `cursor` is the last segment index the caller saw and is
+    /// updated to the segment in force at `start`. The simulation's
+    /// service loop calls this with monotonically nondecreasing `start`
+    /// times, so the lookup is amortized O(1). Results are bit-identical
+    /// to the cursor-free path.
+    pub fn service_finish_hinted(&self, cursor: &mut usize, start: Instant, bytes: u64) -> Instant {
+        let idx = self.segment_index_from(*cursor, start);
+        *cursor = idx;
+        self.service_finish_inner(idx, start, bytes)
+    }
+
+    fn service_finish_inner(&self, start_idx: usize, start: Instant, bytes: u64) -> Instant {
         let mut remaining_bits = bytes as f64 * 8.0;
         if remaining_bits <= 0.0 {
             return start;
         }
-        let mut idx = self.segment_index(start);
+        let mut idx = start_idx;
         let mut t = start;
         loop {
             let rate = self.segments[idx].1;
@@ -347,6 +379,31 @@ mod tests {
         // Empty overlay is a no-op.
         let c2 = CapacitySchedule::constant(mbps(10.0)).with_outages(&[]);
         assert_eq!(c2.rate_at(Instant::ZERO), mbps(10.0));
+    }
+
+    #[test]
+    fn hinted_service_finish_matches_search() {
+        let c = CapacitySchedule::step(
+            &[mbps(5.0), mbps(0.0), mbps(20.0), mbps(2.0)],
+            Duration::from_millis(700),
+            Duration::from_secs(30),
+        );
+        let mut cursor = 0usize;
+        // Monotone forward sweep: the cursor path must be bit-identical to
+        // the binary-search path at every step.
+        for i in 0..2000u64 {
+            let t = Instant::from_millis(i * 14);
+            let bytes = 1500 + (i % 7) * 300;
+            let expect = c.service_finish(t, bytes);
+            let got = c.service_finish_hinted(&mut cursor, t, bytes);
+            assert_eq!(got, expect, "mismatch at t={t}");
+        }
+        // A stale (future) cursor still answers correctly for earlier times.
+        let mut late = c.segments().len() - 1;
+        assert_eq!(
+            c.service_finish_hinted(&mut late, Instant::from_millis(10), 1500),
+            c.service_finish(Instant::from_millis(10), 1500)
+        );
     }
 
     #[test]

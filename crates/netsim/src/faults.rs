@@ -191,7 +191,7 @@ pub(crate) struct AckFate {
 }
 
 impl AckFate {
-    const CLEAN: AckFate = AckFate {
+    pub(crate) const CLEAN: AckFate = AckFate {
         dropped: false,
         extra_delay: Duration::ZERO,
         duplicate_after: None,

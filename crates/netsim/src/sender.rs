@@ -23,8 +23,8 @@
 
 use crate::packet::{AckPacket, FlowId, Packet};
 use libra_types::{
-    AckEvent, CongestionControl, Duration, Instant, LossEvent, LossKind, MiTracker, Rate,
-    SendEvent, Welford,
+    AckEvent, CongestionControl, Duration, Instant, LossEvent, LossKind, MiTracker, P2Quantile,
+    Rate, SendEvent, Welford,
 };
 use std::collections::BTreeMap;
 
@@ -57,11 +57,19 @@ pub struct BinSeries {
     bins: Vec<f64>,
 }
 
+/// Upper bound on preallocated series entries — a guard against a
+/// pathological stop time (e.g. `Instant::FAR_FUTURE` at a 100 ms bin).
+/// Runs longer than the hint simply fall back to amortized growth.
+const MAX_SERIES_PREALLOC: usize = 16_384;
+
 impl BinSeries {
-    fn new(bin: Duration) -> Self {
+    /// A series with capacity reserved for `horizon` of simulated time,
+    /// so the per-ACK `add` path never reallocates during a run.
+    fn with_horizon(bin: Duration, horizon: Duration) -> Self {
+        let hint = (horizon.nanos() / bin.nanos().max(1) + 1).min(MAX_SERIES_PREALLOC as u64);
         BinSeries {
             bin,
-            bins: Vec::new(),
+            bins: Vec::with_capacity(hint as usize),
         }
     }
 
@@ -159,6 +167,8 @@ pub struct FlowSender {
     pub lost_bytes: u64,
     /// RTT sample statistics (milliseconds).
     pub rtt_stats: Welford,
+    /// Streaming P² estimate of the 95th-percentile RTT (milliseconds).
+    pub rtt_p95: P2Quantile,
     /// Delivered bytes per time bin.
     pub goodput_bins: BinSeries,
     /// Sparse `(seconds, ms)` RTT series for plotting.
@@ -212,8 +222,9 @@ impl FlowSender {
             lost_packets: 0,
             lost_bytes: 0,
             rtt_stats: Welford::new(),
-            goodput_bins: BinSeries::new(metrics_bin),
-            rtt_series: Vec::new(),
+            rtt_p95: P2Quantile::new(0.95),
+            goodput_bins: BinSeries::with_horizon(metrics_bin, stop.saturating_since(start)),
+            rtt_series: Vec::with_capacity(256),
             ecn_echoes: 0,
             compute_ns: 0,
             measure_compute: true,
@@ -425,6 +436,7 @@ impl FlowSender {
         let rtt = now.saturating_since(meta.sent_at);
         self.update_rtt(rtt);
         self.rtt_stats.update(rtt.as_millis_f64());
+        self.rtt_p95.update(rtt.as_millis_f64());
         self.goodput_bins.add(now, meta.bytes as f64);
         // Keep the plotted RTT series sparse: one point per ~20 samples.
         if self.acked_packets % 20 == 1 {
@@ -726,7 +738,7 @@ mod tests {
 
     #[test]
     fn bin_series_mbps() {
-        let mut b = BinSeries::new(Duration::from_millis(100));
+        let mut b = BinSeries::with_horizon(Duration::from_millis(100), Duration::from_secs(1));
         b.add(Instant::from_millis(50), 125_000.0); // 125 kB in first bin
         let pts = b.points_as_mbps();
         assert_eq!(pts.len(), 1);

@@ -183,6 +183,9 @@ pub struct FlowReport {
     pub goodput_series: Vec<(f64, f64)>,
     /// Sparse `(seconds, ms)` RTT series.
     pub rtt_series: Vec<(f64, f64)>,
+    /// Streaming P² estimate of the 95th-percentile RTT in milliseconds
+    /// (0 when no RTT samples were observed).
+    pub rtt_p95_ms: f64,
     /// ECN congestion echoes received.
     pub ecn_echoes: u64,
     /// Wall-clock nanoseconds spent inside the controller.
@@ -231,10 +234,22 @@ pub struct SimReport {
 }
 
 impl SimReport {
-    /// Jain's fairness index over flow goodputs.
+    /// Jain's fairness index over flow goodputs (allocation-free; same
+    /// formula and edge cases as [`libra_types::jain_index`]).
     pub fn jain_index(&self) -> f64 {
-        let xs: Vec<f64> = self.flows.iter().map(|f| f.avg_goodput.mbps()).collect();
-        libra_types::jain_index(&xs)
+        if self.flows.is_empty() {
+            return 1.0;
+        }
+        let (mut sum, mut sumsq) = (0.0_f64, 0.0_f64);
+        for f in &self.flows {
+            let x = f.avg_goodput.mbps();
+            sum += x;
+            sumsq += x * x;
+        }
+        if sumsq <= 0.0 {
+            return 1.0;
+        }
+        sum * sum / (self.flows.len() as f64 * sumsq)
     }
 
     /// Mean RTT across flows, weighted by sample counts.
@@ -270,7 +285,14 @@ pub struct Simulation {
     loss_rng: DetRng,
     jitter_rng: DetRng,
     faults: FaultEngine,
+    /// False when the fault plan is empty — lets the per-packet ACK path
+    /// skip the fault engine entirely.
+    faults_active: bool,
     flap_windows: Vec<(Instant, Instant)>,
+    /// Cached capacity-segment index for the service loop. Service starts
+    /// are monotone in time, so the segment advances amortized-O(1)
+    /// instead of re-binary-searching the schedule per packet.
+    cap_cursor: usize,
     // Flows.
     flows: Vec<FlowSender>,
     // Metrics.
@@ -286,9 +308,12 @@ impl Simulation {
     pub fn new(link: LinkConfig, seed: u64) -> Self {
         let mut root = DetRng::new(seed);
         let flap_windows = link.faults.outage_windows();
+        let faults_active = !link.faults.is_empty();
         Simulation {
             now: Instant::ZERO,
-            events: BinaryHeap::new(),
+            // Outstanding events scale with flows × window, not duration;
+            // a few KiB of headroom removes regrowth from the hot loop.
+            events: BinaryHeap::with_capacity(4096),
             eseq: 0,
             // Link-flap faults become zero-capacity windows on the schedule:
             // packets in service wait the outage out like a trace blackout.
@@ -305,7 +330,9 @@ impl Simulation {
             loss_rng: root.fork("link-loss"),
             jitter_rng: root.fork("ack-jitter"),
             faults: FaultEngine::new(&link.faults, root.fork("faults")),
+            faults_active,
             flap_windows,
+            cap_cursor: 0,
             flows: Vec::new(),
             delivered_link_bytes: 0,
             stochastic_drops: 0,
@@ -473,7 +500,9 @@ impl Simulation {
     fn start_service(&mut self) {
         debug_assert!(!self.busy);
         if let Some(packet) = self.queue.dequeue(self.now.nanos()) {
-            let finish = self.capacity.service_finish(self.now, packet.bytes);
+            let finish =
+                self.capacity
+                    .service_finish_hinted(&mut self.cap_cursor, self.now, packet.bytes);
             self.busy = true;
             self.in_service = Some(packet);
             if finish != Instant::FAR_FUTURE {
@@ -501,8 +530,14 @@ impl Simulation {
             };
             let ack_at = self.now + self.one_way_delay * 2 + jitter;
             // Active fault windows may drop the packet (burst loss), shift
-            // the ACK (reorder / delay spike / compression), or duplicate it.
-            let (fate, ack_at) = self.faults.ack_fate(self.now, ack_at);
+            // the ACK (reorder / delay spike / compression), or duplicate
+            // it. With an empty plan, skip the engine entirely — this is
+            // per-packet work.
+            let (fate, ack_at) = if self.faults_active {
+                self.faults.ack_fate(self.now, ack_at)
+            } else {
+                (crate::faults::AckFate::CLEAN, ack_at)
+            };
             if !fate.dropped {
                 self.delivered_link_bytes += packet.bytes;
                 let ack = AckPacket {
@@ -570,6 +605,7 @@ impl Simulation {
                     loss_fraction: f.loss_fraction(),
                     goodput_series: f.goodput_bins.points_as_mbps(),
                     rtt_series: f.rtt_series,
+                    rtt_p95_ms: f.rtt_p95.get(),
                     ecn_echoes: f.ecn_echoes,
                     compute_ns: f.compute_ns,
                     cca: f.cca,

@@ -24,7 +24,7 @@ pub mod utility;
 pub use cca::CongestionControl;
 pub use events::{AckEvent, LossEvent, LossKind, SendEvent};
 pub use rng::DetRng;
-pub use stats::{jain_index, Ewma, MiStats, MiTracker, Welford};
+pub use stats::{jain_index, Ewma, MiStats, MiTracker, P2Quantile, Welford};
 pub use time::{Duration, Instant};
 pub use units::{Bytes, Rate};
 pub use utility::{Preference, UtilityParams};

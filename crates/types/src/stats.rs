@@ -133,6 +133,10 @@ impl MiTracker {
 
     /// Close the MI at `end` and reset the tracker for the next interval.
     /// `min_rtt` is the connection-lifetime minimum RTT.
+    ///
+    /// The reset happens in place: the RTT-sample buffer keeps its
+    /// allocation so closing an MI (which happens once per RTT per flow)
+    /// never touches the allocator.
     pub fn close(&mut self, end: Instant, min_rtt: Duration) -> MiStats {
         let dur = end.saturating_since(self.start);
         let avg_rtt = if self.acks > 0 {
@@ -166,7 +170,15 @@ impl MiTracker {
             rtt_gradient: slope(&self.rtt_samples),
             loss_rate,
         };
-        *self = MiTracker::new(end);
+        self.start = end;
+        self.sent_bytes = 0;
+        self.acked_bytes = 0;
+        self.lost_bytes = 0;
+        self.acks = 0;
+        self.rtt_sum_ns = 0;
+        self.mi_min_rtt = Duration::MAX;
+        self.mi_max_rtt = Duration::ZERO;
+        self.rtt_samples.clear();
         stats
     }
 
@@ -314,6 +326,140 @@ impl Welford {
     }
 }
 
+/// Streaming quantile estimation with the P² algorithm (Jain & Chlamtac,
+/// CACM 1985): five markers track the quantile in O(1) memory and O(1)
+/// per-sample time, with parabolic interpolation between marker heights.
+///
+/// Used for per-flow p95 RTT so experiment runs never have to buffer the
+/// full RTT sample stream.
+#[derive(Debug, Clone, Copy)]
+pub struct P2Quantile {
+    /// Target quantile in (0, 1), e.g. 0.95.
+    q: f64,
+    /// Samples seen so far.
+    n: u64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-sample increments of the desired positions.
+    increments: [f64; 5],
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `q` (clamped to (0, 1)).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(1e-6, 1.0 - 1e-6);
+        P2Quantile {
+            q,
+            n: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+        }
+    }
+
+    /// A p95 estimator — the paper's tail-latency statistic.
+    pub fn p95() -> Self {
+        P2Quantile::new(0.95)
+    }
+
+    /// Samples seen so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Fold in one sample.
+    pub fn update(&mut self, x: f64) {
+        if self.n < 5 {
+            // Bootstrap: collect the first five samples sorted.
+            let i = self.n as usize;
+            self.heights[i] = x;
+            self.n += 1;
+            if self.n == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            }
+            return;
+        }
+        self.n += 1;
+        // Find the cell containing x and update the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
+                self.positions[i] += s;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved by `s`.
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + s / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + s) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - s) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabolic prediction is non-monotone.
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate (exact for fewer than five samples;
+    /// zero with no samples).
+    pub fn get(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        if self.n < 5 {
+            // Exact small-sample quantile by nearest rank.
+            let mut v: Vec<f64> = self.heights[..self.n as usize].to_vec();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let rank = ((self.q * self.n as f64).ceil() as usize).clamp(1, v.len());
+            return v[rank - 1];
+        }
+        self.heights[2]
+    }
+}
+
 /// Jain's fairness index: `(Σx)² / (n·Σx²)`, in `(0, 1]`; 1 is perfectly
 /// fair. Returns 1.0 for empty or all-zero input (nothing to be unfair
 /// about).
@@ -445,6 +591,53 @@ mod tests {
         assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
         assert_eq!(jain_index(&[]), 1.0);
         assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn p2_small_sample_exact() {
+        let mut p = P2Quantile::p95();
+        assert_eq!(p.get(), 0.0);
+        p.update(10.0);
+        assert_eq!(p.get(), 10.0);
+        p.update(20.0);
+        p.update(5.0);
+        // Nearest-rank p95 of {5, 10, 20} is the 3rd value.
+        assert_eq!(p.get(), 20.0);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_p95() {
+        // Deterministic LCG samples over [0, 1000).
+        let mut state = 12345u64;
+        let mut p = P2Quantile::p95();
+        for _ in 0..50_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 1000.0;
+            p.update(x);
+        }
+        let est = p.get();
+        assert!((est - 950.0).abs() < 15.0, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn p2_tracks_median_of_ramp() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10_001 {
+            p.update(i as f64);
+        }
+        assert!((p.get() - 5000.0).abs() < 100.0, "median {}", p.get());
+    }
+
+    #[test]
+    fn p2_monotone_bounds() {
+        let mut p = P2Quantile::p95();
+        for i in 0..1000 {
+            p.update((i % 97) as f64);
+        }
+        let est = p.get();
+        assert!((0.0..=96.0).contains(&est), "estimate {est} out of range");
     }
 
     #[test]

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Performance smoke for the simulator and the parallel sweep runner:
+#
+#   scripts/bench.sh           # criterion smoke + BENCH_netsim.json
+#   scripts/bench.sh --quick   # same, with shorter simulated runs
+#   scripts/bench.sh --full    # full criterion measurement first
+#
+# Step 1 runs the criterion benches (smoke mode: one iteration per
+# benchmark, so regressions that panic or hang are caught cheaply).
+# Step 2 runs `perf_smoke`, which times a full_report-shaped sweep at
+# 1 vs N workers plus two single-run event-loop workloads and writes
+# `BENCH_netsim.json` at the repo root (bench name -> wall-clock ms and
+# simulated-seconds/sec throughput; `meta` carries the worker count,
+# host CPU count, and sweep speedup). All steps are offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+  FULL=1
+  shift
+fi
+
+if [[ "$FULL" == "1" ]]; then
+  echo "==> criterion benches (full measurement)"
+  cargo bench --workspace --offline
+else
+  echo "==> criterion benches (smoke mode: one iteration each)"
+  cargo bench --workspace --offline -- --test
+fi
+
+echo "==> perf_smoke (timed sweep subset -> BENCH_netsim.json)"
+cargo run --release --offline -p libra-bench --bin perf_smoke -- "$@"
+
+echo "bench: done (see BENCH_netsim.json)"

@@ -19,4 +19,10 @@ cargo build --release --offline
 echo "==> cargo test (workspace)"
 cargo test --workspace --offline -q
 
+echo "==> cargo bench --no-run (bench targets compile)"
+cargo bench --workspace --offline --no-run
+
+echo "==> perf smoke (criterion smoke + BENCH_netsim.json)"
+scripts/bench.sh --quick
+
 echo "ci: all green"
