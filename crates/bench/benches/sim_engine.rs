@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use libra_classic::Cubic;
-use libra_netsim::{CapacitySchedule, FaultKind, FaultPlan, FlowConfig, LinkConfig, Simulation};
+use libra_netsim::{
+    CapacitySchedule, FaultKind, FaultPlan, FlowConfig, LinkConfig, SimConfig, Simulation,
+};
 use libra_types::{DetRng, Duration, Instant, Rate};
 use std::hint::black_box;
 
@@ -81,6 +83,31 @@ fn bench_faults(c: &mut Criterion) {
     group.finish();
 }
 
+/// Disabled-vs-enabled tracing pair over an identical run. The disabled
+/// case prices the `Tracer::emit_with` no-op path sprinkled through the
+/// transport hot loop — it must stay within noise of a build without
+/// tracing at all (the acceptance bar is <3 % vs the pinned
+/// `BENCH_netsim.json` numbers). The enabled case prices event
+/// construction + ring-buffer recording.
+fn bench_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracing");
+    group.sample_size(10);
+    let run = |cfg: SimConfig| {
+        let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+        let until = Instant::from_secs(10);
+        let mut sim = Simulation::with_config(link, 7, cfg);
+        sim.add_flow(FlowConfig::whole_run(Box::new(Cubic::new(1500)), until));
+        sim.run(until).link.utilization
+    };
+    group.bench_function("cubic_10s_disabled", |b| {
+        b.iter(|| black_box(run(SimConfig::default())))
+    });
+    group.bench_function("cubic_10s_enabled", |b| {
+        b.iter(|| black_box(run(SimConfig::traced())))
+    });
+    group.finish();
+}
+
 fn bench_capacity(c: &mut Criterion) {
     let mut group = c.benchmark_group("capacity_schedule");
     let mut rng = DetRng::new(3);
@@ -113,6 +140,6 @@ fn bench_capacity(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simulation, bench_faults, bench_capacity
+    targets = bench_simulation, bench_faults, bench_tracing, bench_capacity
 }
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! folded in job (seed) order, so the table is byte-identical to the
 //! sequential path for any `LIBRA_JOBS`.
 
-use libra_bench::{parallel_map, run_single_metrics, BenchArgs, Cca, ModelStore, Table};
+use libra_bench::{parallel_map, run_single_metrics, BenchArgs, Cca, ModelStore, RunSpec, Table};
 use libra_netsim::{
     fiveg_link, lte_link, satellite_link, step_link, wan_link, wired_link, LinkConfig, LteScenario,
     WanScenario,
@@ -137,4 +137,24 @@ fn main() {
         table.row(row);
     }
     table.emit("full_report");
+
+    // Decision-trace appendix: one traced C-Libra pair run, summarized
+    // as cycle-stage occupancy (see the `trace_summary` binary for the
+    // full timeline/JSONL view).
+    let trace_secs = args.scaled(30, 5);
+    let spec = RunSpec::pair(
+        Cca::CLibra(Preference::Default),
+        Cca::CLibra(Preference::Default),
+        wired_link(24.0),
+        trace_secs,
+        args.seed,
+    )
+    .with_trace();
+    let summary = libra_bench::run_spec(&store, &spec);
+    if let Err(e) = libra_bench::validate_finite(&summary.trace) {
+        eprintln!("full_report: non-finite value in trace: {e}");
+        std::process::exit(1);
+    }
+    libra_bench::stage_occupancy_table(&summary.trace, &[0, 1], trace_secs * 1_000_000_000)
+        .emit("full_report_trace_occupancy");
 }

@@ -11,7 +11,7 @@
 use libra_bench::{
     parallel_map_with, run_single_metrics, worker_count, BenchArgs, Cca, ModelStore,
 };
-use libra_netsim::{lte_link, step_link, wired_link, LinkConfig, LteScenario};
+use libra_netsim::{lte_link, step_link, wired_link, LinkConfig, LteScenario, SimConfig};
 use libra_types::{DetRng, Duration};
 use std::fmt::Write as _;
 use std::time::Instant as WallClock;
@@ -91,6 +91,23 @@ fn main() {
     });
     benches.push(Bench {
         name: "eight_flow_run_cubic",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
+    // Same single-flow run with structured tracing enabled: the delta
+    // vs `single_run_cubic` prices event recording end-to-end.
+    let (wall_ms, thr) = timed(secs as f64, || {
+        libra_bench::run_single_cfg(
+            Cca::Cubic,
+            &store,
+            wired_link(24.0),
+            secs,
+            args.seed,
+            SimConfig::traced(),
+        );
+    });
+    benches.push(Bench {
+        name: "single_run_cubic_traced",
         wall_ms,
         sim_secs_per_sec: thr,
     });

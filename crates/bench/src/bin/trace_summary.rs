@@ -1,0 +1,48 @@
+//! Decision-trace report: run two C-Libra flows with structured tracing
+//! enabled, validate that every recorded value is finite (the −∞-utility
+//! regression this layer exists to catch), export the merged stream as
+//! JSONL, and render per-flow decision timelines plus the cycle-stage
+//! occupancy breakdown.
+//!
+//! Exits non-zero if any event carries a NaN/±∞ — `scripts/ci.sh` runs
+//! the `--quick` variant as a fixed-seed smoke test.
+
+use libra_bench::{
+    decision_timeline, stage_occupancy_table, trace_to_jsonl, validate_finite, write_artifact,
+    BenchArgs, Cca, ModelStore, RunSpec,
+};
+use libra_netsim::LinkConfig;
+use libra_types::{Duration, Preference, Rate};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.scaled(30, 5);
+    let store = ModelStore::new(args.seed);
+
+    let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+    let cca = Cca::CLibra(Preference::Default);
+    let spec = RunSpec::pair(cca, cca, link, secs, args.seed)
+        .with_trace()
+        .with_label("C-Libra vs C-Libra (traced)");
+    let summary = libra_bench::run_spec(&store, &spec);
+
+    if let Err(e) = validate_finite(&summary.trace) {
+        eprintln!("trace_summary: non-finite value in trace: {e}");
+        std::process::exit(1);
+    }
+
+    write_artifact("trace_summary.jsonl", &trace_to_jsonl(&summary.trace));
+    println!(
+        "{}: {} events ({} dropped), {}s simulated",
+        spec.label,
+        summary.trace.len(),
+        summary.trace_dropped,
+        secs
+    );
+
+    let until_ns = secs * 1_000_000_000;
+    for flow in [0u32, 1u32] {
+        decision_timeline(&summary.trace, flow).emit(&format!("trace_summary_flow{flow}"));
+    }
+    stage_occupancy_table(&summary.trace, &[0, 1], until_ns).emit("trace_summary_occupancy");
+}

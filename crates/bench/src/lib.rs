@@ -20,18 +20,23 @@ pub mod registry;
 pub mod runner;
 pub mod scenarios;
 pub mod sweep;
+pub mod tracing;
 
 pub use models::ModelStore;
 pub use output::{f1, f3, pct, series_csv, write_artifact, Table};
 pub use registry::Cca;
 pub use runner::{
-    convergence_stats, run_pair, run_repeated, run_single, run_single_metrics, run_staggered,
-    ConvergenceStats, RunMetrics,
+    convergence_stats, run_pair, run_pair_cfg, run_repeated, run_single, run_single_cfg,
+    run_single_metrics, run_staggered, run_staggered_cfg, ConvergenceStats, RunMetrics,
 };
 pub use scenarios::*;
 pub use sweep::{
     parallel_map, parallel_map_with, run_spec, run_sweep, run_sweep_with, worker_count,
     FlowSummary, RunSpec, RunSummary, Workload,
+};
+pub use tracing::{
+    decision_timeline, merged_trace, stage_occupancy, stage_occupancy_table, trace_to_jsonl,
+    validate_finite, ALL_STAGES,
 };
 
 /// Common CLI knobs for experiment binaries: `--quick` shrinks durations

@@ -3,7 +3,7 @@
 
 use crate::models::ModelStore;
 use crate::registry::Cca;
-use libra_netsim::{FlowConfig, LinkConfig, SimReport, Simulation};
+use libra_netsim::{FlowConfig, LinkConfig, SimConfig, SimReport, Simulation};
 use libra_types::{Duration, Instant, Welford};
 
 /// The headline metrics of one single-flow run.
@@ -49,8 +49,20 @@ pub fn run_single(
     secs: u64,
     seed: u64,
 ) -> SimReport {
+    run_single_cfg(cca, store, link, secs, seed, SimConfig::default())
+}
+
+/// [`run_single`] with explicit simulation knobs (structured tracing).
+pub fn run_single_cfg(
+    cca: Cca,
+    store: &ModelStore,
+    link: LinkConfig,
+    secs: u64,
+    seed: u64,
+    cfg: SimConfig,
+) -> SimReport {
     let until = Instant::from_secs(secs);
-    let mut sim = Simulation::new(link, seed);
+    let mut sim = Simulation::with_config(link, seed, cfg);
     sim.add_flow(FlowConfig::whole_run(cca.build(store), until));
     sim.run(until)
 }
@@ -126,8 +138,29 @@ pub fn run_pair(
     secs: u64,
     seed: u64,
 ) -> SimReport {
+    run_pair_cfg(
+        under_test,
+        competitor,
+        store,
+        link,
+        secs,
+        seed,
+        SimConfig::default(),
+    )
+}
+
+/// [`run_pair`] with explicit simulation knobs (structured tracing).
+pub fn run_pair_cfg(
+    under_test: Cca,
+    competitor: Cca,
+    store: &ModelStore,
+    link: LinkConfig,
+    secs: u64,
+    seed: u64,
+    cfg: SimConfig,
+) -> SimReport {
     let until = Instant::from_secs(secs);
-    let mut sim = Simulation::new(link, seed);
+    let mut sim = Simulation::with_config(link, seed, cfg);
     sim.add_flow(FlowConfig::whole_run(under_test.build(store), until));
     sim.add_flow(FlowConfig::whole_run(competitor.build(store), until));
     sim.run(until)
@@ -144,8 +177,32 @@ pub fn run_staggered(
     secs: u64,
     seed: u64,
 ) -> SimReport {
+    run_staggered_cfg(
+        cca,
+        store,
+        link,
+        n,
+        stagger,
+        secs,
+        seed,
+        SimConfig::default(),
+    )
+}
+
+/// [`run_staggered`] with explicit simulation knobs (structured tracing).
+#[allow(clippy::too_many_arguments)]
+pub fn run_staggered_cfg(
+    cca: Cca,
+    store: &ModelStore,
+    link: LinkConfig,
+    n: usize,
+    stagger: Duration,
+    secs: u64,
+    seed: u64,
+    cfg: SimConfig,
+) -> SimReport {
     let until = Instant::from_secs(secs);
-    let mut sim = Simulation::new(link, seed);
+    let mut sim = Simulation::with_config(link, seed, cfg);
     for i in 0..n {
         let start = Instant::ZERO + stagger * i as u64;
         sim.add_flow(FlowConfig::new(cca.build(store), start, until));

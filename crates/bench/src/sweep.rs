@@ -25,8 +25,8 @@
 use crate::models::ModelStore;
 use crate::registry::Cca;
 use crate::runner::{self, RunMetrics};
-use libra_netsim::{LinkConfig, SimReport};
-use libra_types::Duration;
+use libra_netsim::{LinkConfig, SimConfig, SimReport};
+use libra_types::{Duration, TraceEvent};
 use serde::{Serialize, Value};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -144,6 +144,9 @@ pub struct RunSpec {
     pub secs: u64,
     /// Run seed.
     pub seed: u64,
+    /// Record structured trace events (off by default; see
+    /// [`RunSpec::with_trace`]).
+    pub trace: bool,
 }
 
 impl RunSpec {
@@ -156,6 +159,7 @@ impl RunSpec {
             link,
             secs,
             seed,
+            trace: false,
         }
     }
 
@@ -168,6 +172,7 @@ impl RunSpec {
             link,
             secs,
             seed,
+            trace: false,
         }
     }
 
@@ -187,12 +192,20 @@ impl RunSpec {
             link,
             secs,
             seed,
+            trace: false,
         }
     }
 
     /// Replace the display label (builder style).
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Enable structured trace recording for this run (builder style).
+    /// The merged, time-ordered stream lands in [`RunSummary::trace`].
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -289,6 +302,12 @@ pub struct RunSummary {
     pub mean_rtt_ms: f64,
     /// Per-flow summaries in `add_flow` order.
     pub flows: Vec<FlowSummary>,
+    /// Merged, time-ordered trace stream (empty unless the spec set
+    /// [`RunSpec::with_trace`]). Excluded from serialization so traced
+    /// and untraced runs of the same spec digest identically.
+    pub trace: Vec<TraceEvent>,
+    /// Events evicted from the per-flow ring buffers before harvest.
+    pub trace_dropped: u64,
 }
 
 impl Serialize for RunSummary {
@@ -340,6 +359,8 @@ impl RunSummary {
                     compute_ns: f.compute_ns,
                 })
                 .collect(),
+            trace: crate::tracing::merged_trace(report),
+            trace_dropped: report.flows.iter().map(|f| f.trace_dropped).sum(),
         }
     }
 
@@ -364,19 +385,29 @@ impl RunSummary {
 
 /// Execute one spec on the calling thread.
 pub fn run_spec(store: &ModelStore, spec: &RunSpec) -> RunSummary {
+    let cfg = SimConfig {
+        trace: spec.trace,
+        ..SimConfig::default()
+    };
     let report = match spec.workload {
-        Workload::Single => {
-            runner::run_single(spec.cca, store, spec.link.clone(), spec.secs, spec.seed)
-        }
-        Workload::Pair { competitor } => runner::run_pair(
+        Workload::Single => runner::run_single_cfg(
+            spec.cca,
+            store,
+            spec.link.clone(),
+            spec.secs,
+            spec.seed,
+            cfg,
+        ),
+        Workload::Pair { competitor } => runner::run_pair_cfg(
             spec.cca,
             competitor,
             store,
             spec.link.clone(),
             spec.secs,
             spec.seed,
+            cfg,
         ),
-        Workload::Staggered { flows, stagger } => runner::run_staggered(
+        Workload::Staggered { flows, stagger } => runner::run_staggered_cfg(
             spec.cca,
             store,
             spec.link.clone(),
@@ -384,6 +415,7 @@ pub fn run_spec(store: &ModelStore, spec: &RunSpec) -> RunSummary {
             stagger,
             spec.secs,
             spec.seed,
+            cfg,
         ),
     };
     RunSummary::from_report(&spec.label, &report)

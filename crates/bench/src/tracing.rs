@@ -1,0 +1,289 @@
+//! Structured-trace post-processing for experiment binaries.
+//!
+//! The simulator records per-flow and link-level [`TraceEvent`] streams
+//! (see `libra_types::trace`); this module turns them into artifacts:
+//!
+//! * [`merged_trace`] — one deterministic, time-ordered stream per run,
+//!   merged with a stable `(timestamp, source, emit order)` key so the
+//!   output is byte-identical for any sweep worker count.
+//! * [`trace_to_jsonl`] — one JSON object per line, the exchange format
+//!   written under `target/experiments/`.
+//! * [`validate_finite`] — walks each event's serialized value tree and
+//!   reports any NaN/±∞ *before* JSON encoding nulls it away (the
+//!   vendored `serde_json` writes non-finite floats as `null`, so text
+//!   inspection alone cannot catch them).
+//! * [`decision_timeline`] / [`stage_occupancy`] — the human-readable
+//!   summaries behind the `trace_summary` binary.
+
+use crate::output::Table;
+use libra_netsim::SimReport;
+use libra_types::{CandidateKind, TraceEvent, TraceStage};
+use serde::{Serialize, Value};
+
+/// Merge a report's link-level and per-flow trace streams into one
+/// time-ordered stream. The sort key is `(at_ns, source, emit order)`
+/// with the link as source 0 and flows following in `add_flow` order, so
+/// the merge is fully deterministic — two events at the same nanosecond
+/// order by source, then by emit order within the source.
+pub fn merged_trace(report: &SimReport) -> Vec<TraceEvent> {
+    let mut tagged: Vec<(u64, usize, usize, &TraceEvent)> = Vec::new();
+    for (i, ev) in report.link_trace.iter().enumerate() {
+        tagged.push((ev.at_ns(), 0, i, ev));
+    }
+    for (fi, flow) in report.flows.iter().enumerate() {
+        for (i, ev) in flow.trace.iter().enumerate() {
+            tagged.push((ev.at_ns(), fi + 1, i, ev));
+        }
+    }
+    tagged.sort_by_key(|&(at, src, seq, _)| (at, src, seq));
+    tagged.into_iter().map(|(_, _, _, ev)| ev.clone()).collect()
+}
+
+/// Serialize events as JSON Lines: one externally-tagged object per
+/// event, in stream order, trailing newline included (empty string for
+/// an empty stream).
+pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        // The event taxonomy is a closed set of plain scalar fields;
+        // serialization cannot fail.
+        let line = serde_json::to_string(ev).expect("serialize trace event");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Verify every float in every event is finite. Returns `Err` with the
+/// offending event index and field path otherwise. This must walk the
+/// [`Value`] tree rather than the JSONL text: the JSON encoder writes
+/// non-finite floats as `null`, which would mask exactly the corruption
+/// this check exists to catch.
+pub fn validate_finite(events: &[TraceEvent]) -> Result<(), String> {
+    for (i, ev) in events.iter().enumerate() {
+        if let Some(path) = non_finite_path(&ev.to_value(), String::new()) {
+            return Err(format!(
+                "event {i} has a non-finite value at `{path}`: {ev:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn non_finite_path(v: &Value, path: String) -> Option<String> {
+    match v {
+        Value::Float(f) if !f.is_finite() => Some(path),
+        Value::Array(items) => items
+            .iter()
+            .enumerate()
+            .find_map(|(i, x)| non_finite_path(x, format!("{path}[{i}]"))),
+        Value::Object(fields) => fields
+            .iter()
+            .find_map(|(k, x)| non_finite_path(x, format!("{path}.{k}"))),
+        _ => None,
+    }
+}
+
+fn fmt_utility(u: Option<f64>) -> String {
+    match u {
+        Some(u) => format!("{u:.3}"),
+        None => "-".into(),
+    }
+}
+
+/// The per-flow decision timeline: one row per cycle decision, showing
+/// when it was taken, which candidate won at what rate, whether
+/// evaluation exited early, and every utility that informed it
+/// (`-` marks missing feedback — an ACK-starved stage, never −∞).
+pub fn decision_timeline(events: &[TraceEvent], flow: u32) -> Table {
+    let mut t = Table::new(
+        &format!("flow {flow} decision timeline"),
+        &[
+            "t_s",
+            "winner",
+            "rate_mbps",
+            "early",
+            "u_explore",
+            "u(x_prev)",
+            "u(x_cl)",
+            "u(x_rl)",
+        ],
+    );
+    for ev in events {
+        let TraceEvent::CycleDecision {
+            flow: f,
+            at_ns,
+            candidates,
+            u_prev,
+            winner,
+            rate_mbps,
+            early_exit,
+        } = ev
+        else {
+            continue;
+        };
+        if *f != flow {
+            continue;
+        }
+        let by_kind = |kind: CandidateKind| {
+            candidates
+                .iter()
+                .find(|c| c.kind == kind)
+                .and_then(|c| c.utility)
+        };
+        t.row(vec![
+            format!("{:.2}", *at_ns as f64 / 1e9),
+            winner.label().to_string(),
+            format!("{rate_mbps:.2}"),
+            if *early_exit { "yes" } else { "no" }.to_string(),
+            fmt_utility(*u_prev),
+            fmt_utility(by_kind(CandidateKind::Prev)),
+            fmt_utility(by_kind(CandidateKind::Classic)),
+            fmt_utility(by_kind(CandidateKind::Learned)),
+        ]);
+    }
+    t
+}
+
+/// Every stage of the occupancy breakdown, in display order.
+pub const ALL_STAGES: [TraceStage; 5] = [
+    TraceStage::Startup,
+    TraceStage::Explore,
+    TraceStage::Eval,
+    TraceStage::Exploit,
+    TraceStage::Degraded,
+];
+
+/// Seconds a flow spent in each cycle stage, reconstructed from its
+/// `StageEnter` events: each stage owns the interval up to the next
+/// transition (the last one runs to `until_ns`). Stages never entered
+/// report 0.
+pub fn stage_occupancy(events: &[TraceEvent], flow: u32, until_ns: u64) -> Vec<(TraceStage, f64)> {
+    let entries: Vec<(u64, TraceStage)> = events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::StageEnter {
+                flow: f,
+                at_ns,
+                stage,
+            } if f == flow => Some((at_ns, stage)),
+            _ => None,
+        })
+        .collect();
+    let mut secs = [0.0f64; ALL_STAGES.len()];
+    for (i, &(at, stage)) in entries.iter().enumerate() {
+        let end = entries.get(i + 1).map_or(until_ns.max(at), |&(t, _)| t);
+        if let Some(idx) = ALL_STAGES.iter().position(|&s| s == stage) {
+            secs[idx] += end.saturating_sub(at) as f64 / 1e9;
+        }
+    }
+    ALL_STAGES.into_iter().zip(secs).collect()
+}
+
+/// Render per-flow stage occupancy as a table: seconds and share of the
+/// traced interval per stage, one row per flow.
+pub fn stage_occupancy_table(events: &[TraceEvent], flows: &[u32], until_ns: u64) -> Table {
+    let mut header = vec!["flow".to_string()];
+    header.extend(ALL_STAGES.iter().map(|s| s.label().to_string()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("cycle-stage occupancy (seconds | share)", &hdr);
+    for &flow in flows {
+        let occ = stage_occupancy(events, flow, until_ns);
+        let total: f64 = occ.iter().map(|&(_, s)| s).sum();
+        let mut row = vec![flow.to_string()];
+        for (_, s) in occ {
+            let share = if total > 0.0 { s / total } else { 0.0 };
+            row.push(format!("{s:.1}|{:.0}%", share * 100.0));
+        }
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_types::TraceStage;
+
+    fn stage(flow: u32, at_ns: u64, stage: TraceStage) -> TraceEvent {
+        TraceEvent::StageEnter { flow, at_ns, stage }
+    }
+
+    #[test]
+    fn occupancy_attributes_intervals_to_stages() {
+        let events = vec![
+            stage(0, 0, TraceStage::Startup),
+            stage(0, 1_000_000_000, TraceStage::Explore),
+            stage(0, 3_000_000_000, TraceStage::Eval),
+            stage(1, 0, TraceStage::Startup), // other flow: ignored
+        ];
+        let occ = stage_occupancy(&events, 0, 4_000_000_000);
+        let get = |s: TraceStage| {
+            occ.iter()
+                .find(|&&(st, _)| st == s)
+                .map(|&(_, v)| v)
+                .unwrap_or(f64::NAN)
+        };
+        assert!((get(TraceStage::Startup) - 1.0).abs() < 1e-9);
+        assert!((get(TraceStage::Explore) - 2.0).abs() < 1e-9);
+        assert!((get(TraceStage::Eval) - 1.0).abs() < 1e-9);
+        assert_eq!(get(TraceStage::Degraded), 0.0);
+    }
+
+    #[test]
+    fn validate_finite_flags_nan_and_infinity() {
+        let good = TraceEvent::CycleDecision {
+            flow: 0,
+            at_ns: 1,
+            candidates: vec![],
+            u_prev: Some(0.5),
+            winner: libra_types::CandidateKind::Prev,
+            rate_mbps: 10.0,
+            early_exit: false,
+        };
+        assert!(validate_finite(&[good]).is_ok());
+        let bad = TraceEvent::CycleDecision {
+            flow: 0,
+            at_ns: 1,
+            candidates: vec![],
+            u_prev: Some(f64::NEG_INFINITY),
+            winner: libra_types::CandidateKind::Prev,
+            rate_mbps: 10.0,
+            early_exit: false,
+        };
+        let err = validate_finite(&[bad]).expect_err("must flag -inf");
+        assert!(err.contains("u_prev"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let events = vec![
+            stage(0, 1, TraceStage::Explore),
+            stage(0, 2, TraceStage::Eval),
+        ];
+        let jsonl = trace_to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.ends_with('\n'));
+        assert!(jsonl.lines().all(|l| l.starts_with('{')));
+        assert_eq!(trace_to_jsonl(&[]), "");
+    }
+
+    #[test]
+    fn timeline_skips_other_flows() {
+        let ev = TraceEvent::CycleDecision {
+            flow: 3,
+            at_ns: 2_000_000_000,
+            candidates: vec![],
+            u_prev: None,
+            winner: libra_types::CandidateKind::Classic,
+            rate_mbps: 12.0,
+            early_exit: true,
+        };
+        // "12.00" only appears in the data row, never in the header.
+        let t = decision_timeline(std::slice::from_ref(&ev), 3);
+        assert!(t.render().contains("12.00"));
+        let other = decision_timeline(&[ev], 0);
+        // Header + separator only, no data rows.
+        assert!(!other.render().contains("12.00"));
+    }
+}

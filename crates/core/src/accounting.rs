@@ -30,8 +30,10 @@ impl Candidate {
 pub struct CycleRecord {
     /// When the cycle's decision was taken.
     pub at: Instant,
-    /// Utility measured for `x_prev` (exploration-stage behaviour).
-    pub u_prev: f64,
+    /// Utility measured for `x_prev` during exploration (`None` when the
+    /// exploration stage was ACK-starved and produced no feedback — an
+    /// ACK-starved stage must not masquerade as a −∞ measurement).
+    pub u_prev: Option<f64>,
     /// Utility measured for `x_cl` (`None` if feedback was missing or no
     /// classic CCA is configured — Clean-Slate Libra).
     pub u_classic: Option<f64>,
@@ -46,16 +48,18 @@ pub struct CycleRecord {
 }
 
 impl CycleRecord {
-    /// The best utility observed in this cycle (for Fig. 18's series).
-    pub fn best_utility(&self) -> f64 {
-        let mut best = self.u_prev;
-        if let Some(u) = self.u_classic {
-            best = best.max(u);
-        }
-        if let Some(u) = self.u_learned {
-            best = best.max(u);
-        }
-        best
+    /// The best *finite* utility observed in this cycle (for Fig. 18's
+    /// series). `None` when every candidate's measurement is missing or
+    /// non-finite — a fully starved cycle has no best utility, rather
+    /// than a −∞ one that would poison downstream normalization.
+    pub fn best_utility(&self) -> Option<f64> {
+        [self.u_prev, self.u_classic, self.u_learned]
+            .into_iter()
+            .flatten()
+            .filter(|u| u.is_finite())
+            .fold(None, |best: Option<f64>, u| {
+                Some(best.map_or(u, |b| b.max(u)))
+            })
     }
 }
 
@@ -107,26 +111,29 @@ impl CycleLog {
     }
 
     /// `(seconds, best utility)` series, normalized to `[0, 1]` over the
-    /// log — Fig. 18's y-axis.
+    /// log — Fig. 18's y-axis. Cycles with no finite utility measurement
+    /// (e.g. every stage ACK-starved during a link blackout) are skipped,
+    /// so the series is always finite: an all-starved log yields an empty
+    /// series instead of NaN points.
     pub fn normalized_utility_series(&self) -> Vec<(f64, f64)> {
-        if self.records.is_empty() {
+        let pts: Vec<(f64, f64)> = self
+            .records
+            .iter()
+            .filter_map(|r| r.best_utility().map(|u| (r.at.as_secs_f64(), u)))
+            .collect();
+        let (Some(lo), Some(hi)) = (
+            pts.iter()
+                .map(|&(_, u)| u)
+                .fold(None, |m: Option<f64>, u| Some(m.map_or(u, |v| v.min(u)))),
+            pts.iter()
+                .map(|&(_, u)| u)
+                .fold(None, |m: Option<f64>, u| Some(m.map_or(u, |v| v.max(u)))),
+        ) else {
             return Vec::new();
-        }
-        let lo = self
-            .records
-            .iter()
-            .map(|r| r.best_utility())
-            .fold(f64::INFINITY, f64::min);
-        let hi = self
-            .records
-            .iter()
-            .map(|r| r.best_utility())
-            .fold(f64::NEG_INFINITY, f64::max);
+        };
+        debug_assert!(lo.is_finite() && hi.is_finite());
         let span = (hi - lo).max(1e-9);
-        self.records
-            .iter()
-            .map(|r| (r.at.as_secs_f64(), (r.best_utility() - lo) / span))
-            .collect()
+        pts.into_iter().map(|(t, u)| (t, (u - lo) / span)).collect()
     }
 
     /// How often exploration exited early via the divergence threshold.
@@ -145,7 +152,7 @@ mod tests {
     fn rec(winner: Candidate, at_s: u64) -> CycleRecord {
         CycleRecord {
             at: Instant::from_secs(at_s),
-            u_prev: 1.0,
+            u_prev: Some(1.0),
             u_classic: Some(2.0),
             u_learned: Some(0.5),
             winner,
@@ -170,13 +177,33 @@ mod tests {
     #[test]
     fn best_utility_takes_max() {
         let r = rec(Candidate::Classic, 1);
-        assert_eq!(r.best_utility(), 2.0);
+        assert_eq!(r.best_utility(), Some(2.0));
         let r2 = CycleRecord {
             u_classic: None,
             u_learned: None,
             ..r
         };
-        assert_eq!(r2.best_utility(), 1.0);
+        assert_eq!(r2.best_utility(), Some(1.0));
+    }
+
+    #[test]
+    fn best_utility_ignores_missing_and_non_finite() {
+        // A fully starved cycle has no best utility at all.
+        let starved = CycleRecord {
+            u_prev: None,
+            u_classic: None,
+            u_learned: None,
+            ..rec(Candidate::Prev, 1)
+        };
+        assert_eq!(starved.best_utility(), None);
+        // Non-finite measurements never win (or poison) the max.
+        let poisoned = CycleRecord {
+            u_prev: Some(f64::NEG_INFINITY),
+            u_classic: Some(0.25),
+            u_learned: Some(f64::NAN),
+            ..rec(Candidate::Classic, 2)
+        };
+        assert_eq!(poisoned.best_utility(), Some(0.25));
     }
 
     #[test]
@@ -187,7 +214,7 @@ mod tests {
             .enumerate()
         {
             let mut r = rec(*w, i as u64);
-            r.u_prev = i as f64 * 3.0;
+            r.u_prev = Some(i as f64 * 3.0);
             log.push(r);
         }
         let s = log.normalized_utility_series();
@@ -195,6 +222,27 @@ mod tests {
         for (_, u) in &s {
             assert!((0.0..=1.0).contains(u));
         }
+    }
+
+    #[test]
+    fn all_starved_log_yields_finite_empty_series() {
+        // Regression: a log where every cycle was ACK-starved used to
+        // normalize −∞ against −∞ and emit NaN points.
+        let mut log = CycleLog::new();
+        for i in 0..4 {
+            log.push(CycleRecord {
+                u_prev: None,
+                u_classic: None,
+                u_learned: None,
+                ..rec(Candidate::Prev, i)
+            });
+        }
+        assert!(log.normalized_utility_series().is_empty());
+        // A single starved cycle between measured ones is skipped, not NaN.
+        log.push(rec(Candidate::Classic, 5));
+        let s = log.normalized_utility_series();
+        assert_eq!(s.len(), 1);
+        assert!(s.iter().all(|&(t, u)| t.is_finite() && u.is_finite()));
     }
 
     #[test]

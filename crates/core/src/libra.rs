@@ -32,9 +32,10 @@ use crate::params::LibraParams;
 use libra_classic::{Bbr, Cubic};
 use libra_learned::{RlCca, RlCcaConfig};
 use libra_rl::{PpoAgent, PpoConfig};
+use libra_types::trace::{CandidateKind, CandidateSample, GuardrailStep, TraceEvent, TraceStage};
 use libra_types::{
     cca::rate_based_cwnd, AckEvent, CongestionControl, Duration, Instant, LossEvent, MiStats, Rate,
-    SendEvent,
+    SendEvent, Tracer,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -57,6 +58,15 @@ fn denoise_gradient(g: f64) -> f64 {
         0.0
     } else {
         g
+    }
+}
+
+/// The trace-level mirror of [`Candidate`].
+fn trace_kind(c: Candidate) -> CandidateKind {
+    match c {
+        Candidate::Prev => CandidateKind::Prev,
+        Candidate::Classic => CandidateKind::Classic,
+        Candidate::Learned => CandidateKind::Learned,
     }
 }
 
@@ -135,6 +145,11 @@ pub struct Libra {
     /// Utilities measured for `ordered` candidates via exploitation-stage
     /// feedback.
     measured: Vec<Option<f64>>,
+    /// Whether each candidate's evaluation MI actually put data on the
+    /// wire. Exploitation feedback for a candidate whose EI sent nothing
+    /// (blackout, pacer stall) describes *other* traffic and is rejected,
+    /// keeping the tick→index mapping honest.
+    eval_sent: Vec<bool>,
     u_prev: Option<f64>,
     explore_agg: ExploreAgg,
     log: CycleLog,
@@ -145,6 +160,9 @@ pub struct Libra {
     /// `rl.invalid_actions()` as of the previous observation, so each MI
     /// feeds only the delta to the guardrail.
     rl_invalid_seen: u64,
+    /// Structured decision tracing; disabled (one branch per emit site)
+    /// unless the host attaches a sink.
+    tracer: Tracer,
 }
 
 impl Libra {
@@ -187,6 +205,7 @@ impl Libra {
             x_prev: Rate::from_mbps(2.0),
             ordered: Vec::new(),
             measured: Vec::new(),
+            eval_sent: Vec::new(),
             u_prev: None,
             explore_agg: ExploreAgg::default(),
             log: CycleLog::new(),
@@ -195,6 +214,7 @@ impl Libra {
             cycles: 0,
             guardrail: Guardrail::new(params.guardrail),
             rl_invalid_seen: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -216,6 +236,7 @@ impl Libra {
             x_prev: Rate::from_mbps(2.0),
             ordered: Vec::new(),
             measured: Vec::new(),
+            eval_sent: Vec::new(),
             u_prev: None,
             explore_agg: ExploreAgg::default(),
             log: CycleLog::new(),
@@ -224,6 +245,7 @@ impl Libra {
             cycles: 0,
             guardrail: Guardrail::new(params.guardrail),
             rl_invalid_seen: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -322,6 +344,7 @@ impl Libra {
         self.explore_agg.clear();
         self.ordered.clear();
         self.measured.clear();
+        self.eval_sent.clear();
         self.u_prev = None;
         let srtt = self.effective_srtt();
         if let Some(c) = &mut self.classic {
@@ -332,10 +355,38 @@ impl Libra {
             ticks_left: self.params.explore_ticks(),
             early_exit: false,
         };
+        // While degraded the cycle machinery idles (the classic arm has
+        // control), so the stage timeline stays in `Degraded` even though
+        // the stage field is reset for the eventual re-probe.
+        if !self.guardrail.is_degraded() {
+            self.emit_stage(TraceStage::Explore);
+        }
+    }
+
+    fn emit_stage(&self, stage: TraceStage) {
+        self.tracer.emit_with(|| TraceEvent::StageEnter {
+            flow: self.tracer.flow(),
+            at_ns: self.now.nanos(),
+            stage,
+        });
+    }
+
+    fn emit_guardrail(&self, step: GuardrailStep) {
+        self.tracer.emit_with(|| TraceEvent::Guardrail {
+            flow: self.tracer.flow(),
+            at_ns: self.now.nanos(),
+            step,
+        });
     }
 
     fn enter_eval(&mut self, early_exit: bool) {
-        self.u_prev = self.explore_agg.utility(&self.params.utility);
+        // A non-finite aggregate (degenerate inputs) is treated as
+        // missing feedback, never stored: a starved or broken exploration
+        // must not masquerade as a −∞ measurement.
+        self.u_prev = self
+            .explore_agg
+            .utility(&self.params.utility)
+            .filter(|u| u.is_finite());
         let x_rl = self.rl.current_rate();
         let mut cands = vec![(Candidate::Learned, x_rl)];
         if self.classic.is_some() {
@@ -349,11 +400,13 @@ impl Libra {
             cands.reverse();
         }
         self.measured = vec![None; cands.len()];
+        self.eval_sent = vec![false; cands.len()];
         self.ordered = cands;
         self.stage = Stage::Eval {
             index: 0,
             early_exit,
         };
+        self.emit_stage(TraceStage::Eval);
     }
 
     fn decide(&mut self, early_exit: bool) {
@@ -381,18 +434,44 @@ impl Libra {
                 }
             }
         }
-        self.guardrail.on_cycle(self.now, u_learned, u_classic);
         self.log.push(CycleRecord {
             at: self.now,
-            u_prev: self.u_prev.unwrap_or(f64::NEG_INFINITY),
+            u_prev: self.u_prev,
             u_classic,
             u_learned,
             winner,
             rate_mbps: rate.mbps(),
             early_exit,
         });
+        self.tracer.emit_with(|| TraceEvent::CycleDecision {
+            flow: self.tracer.flow(),
+            at_ns: self.now.nanos(),
+            candidates: self
+                .ordered
+                .iter()
+                .zip(&self.measured)
+                .map(|(&(cand, r), &utility)| CandidateSample {
+                    kind: trace_kind(cand),
+                    rate_mbps: r.mbps(),
+                    utility,
+                })
+                .collect(),
+            u_prev: self.u_prev,
+            winner: trace_kind(winner),
+            rate_mbps: rate.mbps(),
+            early_exit,
+        });
+        let trips_before = self.guardrail.trips();
+        self.guardrail.on_cycle(self.now, u_learned, u_classic);
+        if self.guardrail.trips() > trips_before {
+            self.emit_guardrail(GuardrailStep::Trip);
+            self.emit_stage(TraceStage::Degraded);
+        }
         self.x_prev = rate.max(Rate::from_kbps(80.0));
         self.cycles += 1;
+        // When the cycle just tripped the guardrail, degraded mode takes
+        // over on the next MI; begin_cycle still resets the machinery so
+        // the re-probe resumes cleanly.
         self.begin_cycle();
     }
 
@@ -450,11 +529,18 @@ impl CongestionControl for Libra {
                 self.x_prev = self.classic_rate();
             }
             if self.guardrail.tick_degraded(self.now) {
+                self.emit_guardrail(GuardrailStep::Reprobe);
                 let bound = self.params.guardrail.weight_norm_bound;
+                let restores_before = self.rl.agent().borrow().weight_restores();
                 self.rl.agent().borrow_mut().validate_or_restore(bound);
+                if self.rl.agent().borrow().weight_restores() > restores_before {
+                    self.emit_guardrail(GuardrailStep::Restore);
+                }
                 // Discard rejections accrued before the bench.
                 self.rl_invalid_seen = self.rl.invalid_actions();
                 self.begin_cycle();
+            } else {
+                self.emit_guardrail(GuardrailStep::DegradedTick);
             }
             return;
         }
@@ -485,8 +571,20 @@ impl CongestionControl for Libra {
                     let invalid = self.rl.invalid_actions();
                     let delta = invalid - self.rl_invalid_seen;
                     self.rl_invalid_seen = invalid;
+                    if delta > 0 {
+                        self.tracer.emit_with(|| TraceEvent::RlInvalidActions {
+                            flow: self.tracer.flow(),
+                            at_ns: self.now.nanos(),
+                            count: delta,
+                        });
+                    }
+                    let trips_before = self.guardrail.trips();
                     self.guardrail.on_invalid_actions(self.now, delta);
                     if self.guardrail.is_degraded() {
+                        if self.guardrail.trips() > trips_before {
+                            self.emit_guardrail(GuardrailStep::Trip);
+                            self.emit_stage(TraceStage::Degraded);
+                        }
                         return;
                     }
                 } // else: skip the RL action, keep x_rl (Sec. 3).
@@ -504,7 +602,15 @@ impl CongestionControl for Libra {
             }
             Stage::Eval { index, early_exit } => {
                 // This MI applied `ordered[index]`; its feedback arrives
-                // during the exploitation stage.
+                // during the exploitation stage. The index advances
+                // exactly once per evaluation MI — also for a starved
+                // one, to keep the positional tick→index mapping — but a
+                // candidate whose EI put nothing on the wire is flagged
+                // so the late feedback slot is rejected rather than
+                // credited with another interval's traffic.
+                if index < self.eval_sent.len() {
+                    self.eval_sent[index] = mi.sent_bytes > 0;
+                }
                 if index + 1 < self.ordered.len() {
                     self.stage = Stage::Eval {
                         index: index + 1,
@@ -515,19 +621,25 @@ impl CongestionControl for Libra {
                         tick: 0,
                         early_exit,
                     };
+                    self.emit_stage(TraceStage::Exploit);
                 }
             }
             Stage::Exploit { tick, early_exit } => {
                 // Exploitation MIs 0..n carry the candidates' feedback
-                // (their ACKs arrive one RTT after the EIs).
+                // (their ACKs arrive one RTT after the EIs). Feedback is
+                // accepted only when the candidate's own EI sent data;
+                // a non-finite utility is missing feedback, not a value.
                 let idx = tick as usize;
-                if idx < self.ordered.len() && !mi.is_ack_starved() {
+                if idx < self.ordered.len() && self.eval_sent[idx] && !mi.is_ack_starved() {
                     let x = self.ordered[idx].1.mbps();
-                    self.measured[idx] = Some(self.params.utility.evaluate(
+                    let u = self.params.utility.evaluate(
                         x,
                         denoise_gradient(mi.rtt_gradient),
                         mi.loss_rate,
-                    ));
+                    );
+                    if u.is_finite() {
+                        self.measured[idx] = Some(u);
+                    }
                 }
                 let next = tick + 1;
                 if next >= self.params.exploit_ticks().max(self.ordered.len() as u32) {
@@ -594,6 +706,12 @@ impl CongestionControl for Libra {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        // Anchor the stage timeline: the controller starts in startup.
+        self.emit_stage(TraceStage::Startup);
     }
 }
 
@@ -731,13 +849,16 @@ mod tests {
         assert!(
             rec.winner == Candidate::Prev
                 || rec.rate_mbps <= lo.mbps() + 1e-9
-                || rec.best_utility() > 0.0
+                || rec.best_utility().is_some_and(|u| u > 0.0)
         );
+        // best_utility is a real measurement here, never a −∞ fabrication.
+        assert!(rec.best_utility().expect("measured cycle").is_finite());
         // The lossy candidate cannot have won with utility below x_prev's.
         if let (Some(ucl), Some(url)) = (rec.u_classic, rec.u_learned) {
-            let max_u = ucl.max(url).max(rec.u_prev);
+            let u_prev = rec.u_prev.expect("exploration had feedback");
+            let max_u = ucl.max(url).max(u_prev);
             let won_u = match rec.winner {
-                Candidate::Prev => rec.u_prev,
+                Candidate::Prev => u_prev,
                 Candidate::Classic => ucl,
                 Candidate::Learned => url,
             };
@@ -762,6 +883,97 @@ mod tests {
         let rec = l.log().records()[0];
         assert_eq!(rec.winner, Candidate::Prev);
         assert!(l.base_rate().abs_diff(x_prev) < Rate::from_kbps(1.0));
+    }
+
+    #[test]
+    fn starved_eval_mi_rejects_misattributed_feedback() {
+        let mut l = Libra::c_libra(agent(30));
+        into_cycle(&mut l);
+        // Explore (2 ticks).
+        l.on_mi(&mi(100, 125, 5.0, 50, 0.0));
+        l.on_mi(&mi(125, 150, 5.0, 50, 0.0));
+        let first = l.ordered[0].0;
+        let second = l.ordered[1].0;
+        // Candidate 0's evaluation MI puts nothing on the wire (blackout
+        // or pacer stall); candidate 1's is normal. The index still
+        // advances, keeping the positional mapping.
+        l.on_mi(&MiStats::empty(Instant::from_millis(175)));
+        l.on_mi(&mi(175, 200, l.ordered[1].1.mbps(), 50, 0.0));
+        // Both exploitation MIs carry ACKs (from other in-flight data).
+        // Tick 0 must NOT be credited to the candidate that never sent.
+        l.on_mi(&mi(200, 225, 5.0, 50, 0.0));
+        l.on_mi(&mi(225, 250, 5.0, 50, 0.0));
+        assert_eq!(l.cycles(), 1);
+        let rec = l.log().records()[0];
+        let u_of = |c: Candidate| match c {
+            Candidate::Classic => rec.u_classic,
+            Candidate::Learned => rec.u_learned,
+            Candidate::Prev => rec.u_prev,
+        };
+        assert_eq!(u_of(first), None, "dead EI must yield no feedback");
+        assert!(u_of(second).is_some(), "live EI keeps its feedback slot");
+    }
+
+    #[test]
+    fn guardrail_sequence_traced_in_exact_order() {
+        // Same scenario as `reprobe_restores_snapshot_and_recovers`, but
+        // asserted through the trace: the exact event order must be
+        // trip → degraded ticks → re-probe → restore.
+        let a = agent(31);
+        a.borrow_mut().snapshot_good();
+        a.borrow_mut().map_actor_params(|_| f64::NAN);
+        let mut l = Libra::c_libra(Rc::clone(&a));
+        let (tracer, recorder) = Tracer::ring(4096, 0);
+        l.attach_tracer(tracer);
+        into_cycle(&mut l);
+        let mut t = 100;
+        for _ in 0..40 {
+            l.on_mi(&mi(t, t + 25, 5.0, 50, 0.0));
+            t += 25;
+        }
+        assert_eq!(l.guardrail_trips(), 1);
+        assert!(!l.is_degraded(), "restored weights keep the arm healthy");
+        let steps: Vec<GuardrailStep> = recorder
+            .borrow()
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::Guardrail { step, .. } => Some(*step),
+                _ => None,
+            })
+            .collect();
+        let ticks = steps
+            .iter()
+            .filter(|&&s| s == GuardrailStep::DegradedTick)
+            .count();
+        assert!(ticks >= 1, "backoff must be observable tick by tick");
+        let mut expected = vec![GuardrailStep::Trip];
+        expected.extend(std::iter::repeat_n(GuardrailStep::DegradedTick, ticks));
+        expected.push(GuardrailStep::Reprobe);
+        expected.push(GuardrailStep::Restore);
+        assert_eq!(steps, expected, "exact transition order");
+        // The stage timeline mirrors it: Degraded entered at the trip,
+        // Explore re-entered after the restore.
+        let stages: Vec<TraceStage> = recorder
+            .borrow()
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::StageEnter { stage, .. } => Some(*stage),
+                _ => None,
+            })
+            .collect();
+        let deg = stages
+            .iter()
+            .position(|&s| s == TraceStage::Degraded)
+            .expect("degraded stage traced");
+        assert!(
+            stages[deg + 1..].contains(&TraceStage::Explore),
+            "cycle resumes after restore: {stages:?}"
+        );
+        // The NaN policy's rejections are themselves on the timeline.
+        assert!(recorder
+            .borrow()
+            .events()
+            .any(|e| matches!(e, TraceEvent::RlInvalidActions { count, .. } if *count > 0)));
     }
 
     #[test]

@@ -66,6 +66,20 @@ pub enum FaultKind {
     BurstLoss(GilbertElliott),
 }
 
+impl FaultKind {
+    /// Stable lowercase label used in trace events and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LinkFlap => "link-flap",
+            FaultKind::Reorder { .. } => "reorder",
+            FaultKind::Duplicate { .. } => "duplicate",
+            FaultKind::AckCompression { .. } => "ack-compression",
+            FaultKind::DelaySpike { .. } => "delay-spike",
+            FaultKind::BurstLoss(_) => "burst-loss",
+        }
+    }
+}
+
 /// A fault active on `[from, to)`.
 #[derive(Debug, Clone)]
 pub struct FaultEvent {

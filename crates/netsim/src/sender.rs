@@ -24,7 +24,7 @@
 use crate::packet::{AckPacket, FlowId, Packet};
 use libra_types::{
     AckEvent, CongestionControl, Duration, Instant, LossEvent, LossKind, MiTracker, P2Quantile,
-    Rate, SendEvent, Welford,
+    Rate, SendEvent, TraceEvent, Tracer, Welford,
 };
 use std::collections::BTreeMap;
 
@@ -179,6 +179,10 @@ pub struct FlowSender {
     pub compute_ns: u64,
     /// Whether to measure controller compute time (tiny overhead).
     pub measure_compute: bool,
+    /// Structured-trace handle for transport-level events (RTOs,
+    /// fast-retransmits, MI closes). Disabled by default; the simulation
+    /// installs a live tracer when tracing is enabled.
+    pub tracer: Tracer,
 }
 
 impl FlowSender {
@@ -228,6 +232,7 @@ impl FlowSender {
             ecn_echoes: 0,
             compute_ns: 0,
             measure_compute: true,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -499,6 +504,13 @@ impl FlowSender {
             self.time_cca(|cca| cca.on_loss(&ev));
             losses.push(ev);
         }
+        if !losses.is_empty() {
+            self.tracer.emit_with(|| TraceEvent::FastRetransmit {
+                flow: self.id.0,
+                at_ns: now.nanos(),
+                packets: losses.len() as u64,
+            });
+        }
         losses
     }
 
@@ -531,6 +543,11 @@ impl FlowSender {
         };
         self.tracker.on_loss(&ev);
         self.time_cca(|cca| cca.on_loss(&ev));
+        self.tracer.emit_with(|| TraceEvent::Rto {
+            flow: self.id.0,
+            at_ns: now.nanos(),
+            packets: n,
+        });
         true
     }
 
@@ -539,6 +556,15 @@ impl FlowSender {
     pub fn on_mi_tick(&mut self, now: Instant) -> Instant {
         let min_rtt = self.min_rtt();
         let stats = self.tracker.close(now, min_rtt);
+        // The MI close precedes whatever decision the controller takes on
+        // it, so the trace reads cause-then-effect.
+        self.tracer.emit_with(|| TraceEvent::MiClose {
+            flow: self.id.0,
+            at_ns: now.nanos(),
+            acked_bytes: stats.acked_bytes,
+            lost_bytes: stats.lost_bytes,
+            ack_starved: stats.is_ack_starved(),
+        });
         self.time_cca(|cca| cca.on_mi(&stats));
         let srtt = self.srtt();
         let d = self.cca.mi_duration(srtt).max(Duration::from_millis(1));

@@ -21,9 +21,14 @@ use crate::loss::LossProcess;
 use crate::packet::{AckPacket, FlowId, Packet};
 use crate::queue::{DroptailQueue, EcnConfig, Enqueue};
 use crate::sender::FlowSender;
-use libra_types::{Bytes, CongestionControl, DetRng, Duration, Instant, Rate, Welford};
+use libra_types::{
+    Bytes, CongestionControl, DetRng, Duration, Instant, Rate, RingRecorder, TraceEvent, TraceSink,
+    Tracer, Welford, LINK_FLOW,
+};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Bottleneck-link configuration.
 #[derive(Debug, Clone)]
@@ -85,6 +90,37 @@ impl LinkConfig {
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
         self
+    }
+}
+
+/// Simulation-level knobs that are not properties of the link.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Record structured trace events (cycle decisions, guardrail moves,
+    /// RTOs, MI closes, fault windows). Off by default: the disabled path
+    /// is a single branch per emit site and never constructs an event.
+    pub trace: bool,
+    /// Per-flow ring-recorder capacity; the oldest events are evicted
+    /// (and counted) beyond this.
+    pub trace_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            trace: false,
+            trace_capacity: 65_536,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Tracing enabled at the default capacity.
+    pub fn traced() -> Self {
+        SimConfig {
+            trace: true,
+            ..SimConfig::default()
+        }
     }
 }
 
@@ -190,6 +226,11 @@ pub struct FlowReport {
     pub ecn_echoes: u64,
     /// Wall-clock nanoseconds spent inside the controller.
     pub compute_ns: u64,
+    /// Structured trace events for this flow, in emit order (empty when
+    /// tracing is disabled).
+    pub trace: Vec<TraceEvent>,
+    /// Events evicted from the flow's ring recorder (0 = complete stream).
+    pub trace_dropped: u64,
     /// The controller itself, returned for post-run inspection.
     pub cca: Box<dyn CongestionControl>,
 }
@@ -231,6 +272,9 @@ pub struct SimReport {
     pub link: LinkReport,
     /// Per-fault-type activation counters (all zero without a fault plan).
     pub faults: FaultReport,
+    /// Link-level trace events (scheduled fault windows), tagged
+    /// [`LINK_FLOW`]; empty when tracing is disabled.
+    pub link_trace: Vec<TraceEvent>,
 }
 
 impl SimReport {
@@ -295,6 +339,12 @@ pub struct Simulation {
     cap_cursor: usize,
     // Flows.
     flows: Vec<FlowSender>,
+    // Tracing.
+    cfg: SimConfig,
+    /// One recorder per flow when tracing is on (index-aligned with
+    /// `flows`); empty when tracing is off.
+    recorders: Vec<Rc<RefCell<RingRecorder>>>,
+    link_recorder: Option<Rc<RefCell<RingRecorder>>>,
     // Metrics.
     delivered_link_bytes: u64,
     stochastic_drops: u64,
@@ -306,9 +356,34 @@ pub struct Simulation {
 impl Simulation {
     /// Create a simulation over `link`, seeded for determinism.
     pub fn new(link: LinkConfig, seed: u64) -> Self {
+        Simulation::with_config(link, seed, SimConfig::default())
+    }
+
+    /// Like [`Simulation::new`], with explicit simulation-level knobs.
+    pub fn with_config(link: LinkConfig, seed: u64, cfg: SimConfig) -> Self {
         let mut root = DetRng::new(seed);
         let flap_windows = link.faults.outage_windows();
         let faults_active = !link.faults.is_empty();
+        // Scheduled fault windows are known up front; record them once at
+        // construction so the timeline shows what the link will do without
+        // any per-packet tracing cost.
+        let link_recorder = if cfg.trace && faults_active {
+            let rec = Rc::new(RefCell::new(RingRecorder::new(cfg.trace_capacity)));
+            {
+                let mut r = rec.borrow_mut();
+                for ev in &link.faults.events {
+                    r.emit(TraceEvent::FaultWindow {
+                        flow: LINK_FLOW,
+                        at_ns: ev.from.nanos(),
+                        until_ns: ev.to.nanos(),
+                        fault: ev.kind.label().to_string(),
+                    });
+                }
+            }
+            Some(rec)
+        } else {
+            None
+        };
         Simulation {
             now: Instant::ZERO,
             // Outstanding events scale with flows × window, not duration;
@@ -334,6 +409,9 @@ impl Simulation {
             flap_windows,
             cap_cursor: 0,
             flows: Vec::new(),
+            cfg,
+            recorders: Vec::new(),
+            link_recorder,
             delivered_link_bytes: 0,
             stochastic_drops: 0,
             queue_samples: Welford::new(),
@@ -361,6 +439,15 @@ impl Simulation {
             self.metrics_bin,
         );
         sender.measure_compute = cfg.measure_compute;
+        if self.cfg.trace {
+            let (tracer, rec) = Tracer::ring(self.cfg.trace_capacity, id.0);
+            // The controller and the transport share the flow's recorder,
+            // so cycle decisions interleave with RTOs/MI closes in emit
+            // order.
+            sender.cca.attach_tracer(tracer.clone());
+            sender.tracer = tracer;
+            self.recorders.push(rec);
+        }
         self.schedule(cfg.start, Event::FlowStart(id));
         self.schedule(cfg.stop, Event::FlowStop(id));
         // MI clock starts one init-RTT after the flow starts.
@@ -586,11 +673,21 @@ impl Simulation {
             .iter()
             .filter(|&&(from, _)| from < until)
             .count() as u64;
+        let recorders = self.recorders;
         let flows = self
             .flows
             .into_iter()
-            .map(|f| {
+            .enumerate()
+            .map(|(i, f)| {
                 let span = f.stop.min(until).saturating_since(f.start);
+                let (trace, trace_dropped) = match recorders.get(i) {
+                    Some(rec) => {
+                        let mut rec = rec.borrow_mut();
+                        let dropped = rec.dropped();
+                        (rec.drain(), dropped)
+                    }
+                    None => (Vec::new(), 0),
+                };
                 FlowReport {
                     id: f.id,
                     name: f.cca.name(),
@@ -608,15 +705,22 @@ impl Simulation {
                     rtt_p95_ms: f.rtt_p95.get(),
                     ecn_echoes: f.ecn_echoes,
                     compute_ns: f.compute_ns,
+                    trace,
+                    trace_dropped,
                     cca: f.cca,
                 }
             })
             .collect();
+        let link_trace = match self.link_recorder {
+            Some(rec) => rec.borrow_mut().drain(),
+            None => Vec::new(),
+        };
         SimReport {
             duration: until.saturating_since(Instant::ZERO),
             flows,
             link,
             faults: fault_report,
+            link_trace,
         }
     }
 }
@@ -987,6 +1091,43 @@ mod fault_tests {
             .map(|&(_, v)| v)
             .sum();
         assert!(post > 0.0, "no traffic after the flap");
+    }
+
+    #[test]
+    fn traced_run_records_transport_and_link_events() {
+        let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0)
+            .with_faults(kitchen_sink_plan());
+        let until = Instant::from_secs(18);
+        let mut sim = Simulation::with_config(link, 11, SimConfig::traced());
+        sim.add_flow(FlowConfig::whole_run(Box::new(Fixed(100_000)), until));
+        let rep = sim.run(until);
+        let trace = &rep.flows[0].trace;
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::MiClose { .. })),
+            "no MI closes traced"
+        );
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::FastRetransmit { .. })),
+            "no fast-retransmits traced despite drops"
+        );
+        assert_eq!(rep.flows[0].trace_dropped, 0);
+        // Emit order is time order for a single flow.
+        assert!(trace.windows(2).all(|w| w[0].at_ns() <= w[1].at_ns()));
+        // One link-level window per scheduled fault, tagged LINK_FLOW.
+        assert_eq!(rep.link_trace.len(), kitchen_sink_plan().events.len());
+        assert!(rep.link_trace.iter().all(|e| e.flow() == LINK_FLOW));
+        // The default config records nothing.
+        let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0)
+            .with_faults(kitchen_sink_plan());
+        let mut sim = Simulation::new(link, 11);
+        sim.add_flow(FlowConfig::whole_run(Box::new(Fixed(100_000)), until));
+        let rep = sim.run(until);
+        assert!(rep.flows[0].trace.is_empty());
+        assert!(rep.link_trace.is_empty());
     }
 
     #[test]

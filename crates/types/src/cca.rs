@@ -97,6 +97,11 @@ pub trait CongestionControl {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Attach a structured-trace handle. Controllers that narrate their
+    /// decisions (Libra's cycle/guardrail events) override this; the
+    /// default ignores the tracer, so plain schemes stay trace-free.
+    fn attach_tracer(&mut self, _tracer: crate::trace::Tracer) {}
 }
 
 /// A sensible in-flight cap for rate-based schemes: rate × 2·sRTT, floored

@@ -11,13 +11,16 @@
 //! * monitor-interval [`stats`] aggregation and general statistics helpers,
 //! * the Libra/Vivace-style [`utility`] function of Eq. 1 of the paper and
 //!   the application-preference profiles built on it,
-//! * a seeded, forkable deterministic [`rng`].
+//! * a seeded, forkable deterministic [`rng`],
+//! * structured decision [`trace`] events, sinks and the [`trace::Tracer`]
+//!   handle threaded through controllers and the simulator.
 
 pub mod cca;
 pub mod events;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod units;
 pub mod utility;
 
@@ -26,5 +29,9 @@ pub use events::{AckEvent, LossEvent, LossKind, SendEvent};
 pub use rng::DetRng;
 pub use stats::{jain_index, Ewma, MiStats, MiTracker, P2Quantile, Welford};
 pub use time::{Duration, Instant};
+pub use trace::{
+    CandidateKind, CandidateSample, GuardrailStep, NoopSink, RingRecorder, TraceEvent, TraceSink,
+    TraceStage, Tracer, LINK_FLOW,
+};
 pub use units::{Bytes, Rate};
 pub use utility::{Preference, UtilityParams};

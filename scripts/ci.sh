@@ -25,4 +25,7 @@ cargo bench --workspace --offline --no-run
 echo "==> perf smoke (criterion smoke + BENCH_netsim.json)"
 scripts/bench.sh --quick
 
+echo "==> trace smoke (fixed-seed 5s traced run; exits non-zero on NaN/-inf)"
+cargo run --release --offline -p libra-bench --bin trace_summary -- --quick > /dev/null
+
 echo "ci: all green"

@@ -60,8 +60,8 @@ pub mod prelude {
     pub use libra_learned::{Orca, Pcc, Remy, RlCca, RlCcaConfig, Sprout};
     pub use libra_netsim::{
         lte_link, step_link, wan_link, wired_link, CapacitySchedule, FaultKind, FaultPlan,
-        FaultReport, FlowConfig, GilbertElliott, LinkConfig, LteScenario, SimReport, Simulation,
-        WanScenario,
+        FaultReport, FlowConfig, GilbertElliott, LinkConfig, LteScenario, SimConfig, SimReport,
+        Simulation, WanScenario,
     };
     pub use libra_rl::{PpoAgent, PpoConfig};
     pub use libra_types::{

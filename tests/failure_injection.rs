@@ -76,6 +76,39 @@ fn libra_recovers_from_blackout() {
     }
 }
 
+/// Regression: a mid-run blackout leaves whole cycles with no measured
+/// utility (ACK-starved eval MIs). Those records used to report −∞ as
+/// their "best" utility, which poisoned the min/max normalization of the
+/// whole series into NaN. Starved records must simply be skipped.
+#[test]
+fn blackout_does_not_poison_normalized_utility_series() {
+    let plan = FaultPlan::none().flap_train(
+        Instant::from_secs(5),
+        Duration::from_secs(3),
+        Duration::from_secs(4),
+        2,
+    );
+    let link = LinkConfig::constant(Rate::from_mbps(20.0), Duration::from_millis(20), 1.0)
+        .with_faults(plan);
+    let rep = run(Box::new(Libra::c_libra(agent(40))), link, 25, 40);
+    let libra = rep.flows[0]
+        .cca
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Libra>())
+        .expect("downcast");
+    assert!(!libra.log().is_empty(), "no cycles completed");
+    let series = libra.log().normalized_utility_series();
+    for &(t, u) in &series {
+        assert!(
+            t.is_finite() && u.is_finite(),
+            "non-finite point ({t}, {u})"
+        );
+        assert!((0.0..=1.0).contains(&u), "u {u} outside [0, 1]");
+    }
+    // The healthy stretches still produced measurable cycles.
+    assert!(!series.is_empty(), "all records starved");
+}
+
 #[test]
 fn bbr_survives_blackout() {
     let rep = run(Box::new(Bbr::new(1500)), blackout_link(), 20, 3);

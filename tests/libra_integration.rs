@@ -58,7 +58,9 @@ fn cycle_log_records_decisions() {
     assert!((p + r + c - 1.0).abs() < 1e-9, "fractions sum to 1");
     // Every record's winner has the max measured utility.
     for rec in libra.log().records() {
-        let mut best = rec.u_prev;
+        // `u_prev` is `None` when the exploit stage got no feedback;
+        // any measured candidate then beats it.
+        let mut best = rec.u_prev.unwrap_or(f64::NEG_INFINITY);
         let mut who = Candidate::Prev;
         if let Some(u) = rec.u_classic {
             if u > best {
