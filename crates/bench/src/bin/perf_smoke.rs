@@ -11,10 +11,11 @@
 use libra_bench::{
     parallel_map_with, run_single_metrics, worker_count, BenchArgs, Cca, ModelStore,
 };
-use libra_netsim::{lte_link, step_link, wired_link, LinkConfig, LteScenario, SimConfig};
+use libra_netsim::{
+    host_clock, lte_link, step_link, wired_link, LinkConfig, LteScenario, SimConfig,
+};
 use libra_types::{DetRng, Duration};
 use std::fmt::Write as _;
-use std::time::Instant as WallClock;
 
 struct Bench {
     name: &'static str,
@@ -23,9 +24,9 @@ struct Bench {
 }
 
 fn timed<F: FnMut()>(sim_secs: f64, mut f: F) -> (f64, f64) {
-    let start = WallClock::now();
+    let start = host_clock::stamp();
     f();
-    let wall = start.elapsed().as_secs_f64();
+    let wall = start.elapsed_secs_f64();
     (wall * 1e3, if wall > 0.0 { sim_secs / wall } else { 0.0 })
 }
 

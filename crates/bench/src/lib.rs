@@ -1,3 +1,8 @@
+// Production code must justify every potential panic site: unwraps are
+// banned outside tests (audited sites use `expect` with an invariant
+// message or handle the `None`/`Err` branch).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! `libra-bench`: the experiment harness behind every table and figure of
 //! the paper's evaluation.
 //!

@@ -9,7 +9,7 @@ use libra_core::{train_libra, LibraVariant};
 use libra_learned::{train_orca, train_rl_cca, EnvRanges, RlCcaConfig, TrainConfig};
 use libra_rl::PpoWeights;
 use libra_types::DetRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -50,7 +50,7 @@ pub struct ModelStore {
     /// When true, never touch the filesystem (unit tests).
     ephemeral: bool,
     train: TrainConfig,
-    cache: Mutex<HashMap<String, Arc<PpoWeights>>>,
+    cache: Mutex<BTreeMap<String, Arc<PpoWeights>>>,
 }
 
 impl ModelStore {
@@ -60,7 +60,7 @@ impl ModelStore {
             seed,
             ephemeral: false,
             train: default_train_config(seed),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -76,7 +76,7 @@ impl ModelStore {
                 seed,
                 update_every: 1,
             },
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
         }
     }
 

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Every congestion controller in the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Cca {
     /// TCP NewReno.
     NewReno,

@@ -28,7 +28,7 @@ use crate::runner::{self, RunMetrics};
 use libra_netsim::{LinkConfig, SimConfig, SimReport};
 use libra_types::{Duration, TraceEvent};
 use serde::{Serialize, Value};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
@@ -436,7 +436,7 @@ pub fn run_sweep_with(store: &ModelStore, specs: Vec<RunSpec>, workers: usize) -
 /// Train/load every model the sweep needs once, up front, so workers
 /// start from a warm cache instead of serializing on the training lock.
 fn warm_models(store: &ModelStore, specs: &[RunSpec]) {
-    let mut seen: HashSet<Cca> = HashSet::new();
+    let mut seen: BTreeSet<Cca> = BTreeSet::new();
     for spec in specs {
         let mut ccas = vec![spec.cca];
         if let Workload::Pair { competitor } = spec.workload {

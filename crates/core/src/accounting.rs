@@ -77,8 +77,43 @@ impl CycleLog {
 
     /// Append a record.
     pub fn push(&mut self, r: CycleRecord) {
+        self.check_record(&r);
         self.records.push(r);
     }
+
+    /// MI-accounting consistency (`checked-invariants` feature): cycle
+    /// timestamps must be monotone nondecreasing, the applied rate must
+    /// be finite and positive, and any utility that *is* reported must
+    /// not be NaN (a starved stage reports `None`, never NaN).
+    #[cfg(feature = "checked-invariants")]
+    fn check_record(&self, r: &CycleRecord) {
+        if let Some(last) = self.records.last() {
+            assert!(
+                r.at >= last.at,
+                "cycle log time went backwards: {} < {}",
+                r.at.as_secs_f64(),
+                last.at.as_secs_f64()
+            );
+        }
+        assert!(
+            r.rate_mbps.is_finite() && r.rate_mbps > 0.0,
+            "cycle record carries non-finite or non-positive rate: {}",
+            r.rate_mbps
+        );
+        for (label, u) in [
+            ("u_prev", r.u_prev),
+            ("u_classic", r.u_classic),
+            ("u_learned", r.u_learned),
+        ] {
+            if let Some(u) = u {
+                assert!(!u.is_nan(), "cycle record {label} is NaN");
+            }
+        }
+    }
+
+    #[cfg(not(feature = "checked-invariants"))]
+    #[inline(always)]
+    fn check_record(&self, _r: &CycleRecord) {}
 
     /// All records.
     pub fn records(&self) -> &[CycleRecord] {
@@ -243,6 +278,25 @@ mod tests {
         let s = log.normalized_utility_series();
         assert_eq!(s.len(), 1);
         assert!(s.iter().all(|&(t, u)| t.is_finite() && u.is_finite()));
+    }
+
+    #[cfg(feature = "checked-invariants")]
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn checked_mode_rejects_nan_rate() {
+        let mut log = CycleLog::new();
+        let mut r = rec(Candidate::Prev, 1);
+        r.rate_mbps = f64::NAN;
+        log.push(r);
+    }
+
+    #[cfg(feature = "checked-invariants")]
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn checked_mode_rejects_time_reversal() {
+        let mut log = CycleLog::new();
+        log.push(rec(Candidate::Prev, 5));
+        log.push(rec(Candidate::Prev, 3));
     }
 
     #[test]

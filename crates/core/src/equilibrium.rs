@@ -157,6 +157,9 @@ impl LibraDynamics {
         }
         // Congestion: all senders compare the same factors; the utility
         // of the post-adjustment operating point decides.
+        if rates.is_empty() {
+            return;
+        }
         let candidates = [self.eta, self.theta, 1.0];
         let mut best = 1.0;
         let mut best_u = f64::NEG_INFINITY;

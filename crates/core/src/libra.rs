@@ -340,6 +340,28 @@ impl Libra {
         }
     }
 
+    /// Rate-finiteness invariant (`checked-invariants` feature): after
+    /// every ACK both the base rate and the stage-applied rate must be
+    /// finite and positive. A NaN or infinite rate here would silently
+    /// poison utility comparisons for the rest of the cycle.
+    #[cfg(feature = "checked-invariants")]
+    fn check_rate_sanity(&self) {
+        let base = self.x_prev.mbps();
+        assert!(
+            base.is_finite() && base > 0.0,
+            "libra base rate x_prev non-finite or non-positive after ACK: {base}"
+        );
+        let applied = self.applied_rate().mbps();
+        assert!(
+            applied.is_finite() && applied >= 0.0,
+            "libra applied rate non-finite or negative after ACK: {applied}"
+        );
+    }
+
+    #[cfg(not(feature = "checked-invariants"))]
+    #[inline(always)]
+    fn check_rate_sanity(&self) {}
+
     fn begin_cycle(&mut self) {
         self.explore_agg.clear();
         self.ordered.clear();
@@ -505,6 +527,7 @@ impl CongestionControl for Libra {
         // The RL component's per-ACK bookkeeping is cheap (EWMAs only);
         // its expensive inference runs per-MI during exploration.
         self.rl.on_ack(ev);
+        self.check_rate_sanity();
     }
 
     fn on_loss(&mut self, ev: &LossEvent) {

@@ -1,0 +1,153 @@
+// Production code must justify every potential panic site: unwraps are
+// banned outside tests (audited sites use `expect` with an invariant
+// message or handle the `None`/`Err` branch).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+//! `libra-lint`: project-specific determinism & invariant static
+//! analysis for the Libra workspace.
+//!
+//! Everything this repo produces — cycle decisions, sweep artifacts,
+//! the pinned run digest — rests on the simulator being a pure function
+//! of `(configuration, seed)` and on float telemetry staying finite.
+//! `cargo`/`clippy` cannot express those rules, so this crate encodes
+//! them as a deny-list over the workspace's own sources:
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `host-clock` | no wall-clock reads outside `netsim::host_clock` |
+//! | `unordered-map` | no `HashMap`/`HashSet` in `netsim`/`bench` |
+//! | `unwrap-audit` | `deny(clippy::unwrap_used)` in every crate root; no bare `unwrap`/`panic!` in non-test code |
+//! | `float-guard` | utility-adjacent float math carries finite-guard evidence |
+//! | `thread-discipline` | threads only in `bench/src/sweep.rs` |
+//! | `entropy` | no ambient randomness (`thread_rng`, `RandomState`, …) |
+//!
+//! The scanner is hand-rolled (no external deps — the registry is
+//! offline): [`source::SourceFile`] blanks comments/strings, masks
+//! `#[cfg(test)]` regions and tracks `fn` bodies; each [`rules::Rule`]
+//! pattern-matches the blanked text. Audited exceptions use
+//! `// lint: allow(<name>)` on or above the flagged line. The `libra-lint`
+//! binary walks `crates/*/src` and `src/`, prints findings and exits
+//! non-zero on any — `scripts/ci.sh` runs it as a gate.
+
+pub mod rules;
+pub mod source;
+
+pub use rules::{all_rules, Finding, Rule, Severity};
+pub use source::SourceFile;
+
+use std::path::{Path, PathBuf};
+
+/// The source roots the lint covers, relative to the workspace root:
+/// every workspace crate's `src/` plus the root facade. `vendor/` is
+/// excluded by construction (vendored stand-ins for external crates are
+/// not held to the repo's invariants).
+pub fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    // Report repo-relative paths.
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .map(|p| {
+            p.strip_prefix(root)
+                .map(Path::to_path_buf)
+                .unwrap_or_else(|_| p.clone())
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run every rule over one file.
+pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for rule in all_rules() {
+        rule.check(file, &mut out);
+    }
+    out
+}
+
+/// Run every rule over the whole workspace at `root`; findings come
+/// back sorted by `(path, line, rule)` so output is deterministic.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in source_files(root)? {
+        let file = SourceFile::load(root, &rel)?;
+        findings.extend(lint_file(&file));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Locate the workspace root: walk up from `start` to the first
+/// directory holding both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("crates/lint has a workspace root two levels up")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn source_roots_cover_all_crates_and_skip_vendor() {
+        let files = source_files(&repo_root()).expect("walk");
+        let has = |frag: &str| files.iter().any(|p| p.to_string_lossy().contains(frag));
+        assert!(has("crates/netsim/src/sim.rs"));
+        assert!(has("crates/core/src/libra.rs"));
+        assert!(has("crates/bench/src/bin/perf_smoke.rs"));
+        assert!(has("src/lib.rs"));
+        assert!(!has("vendor/"), "vendored stand-ins must not be linted");
+        assert!(!has("tests/fixtures"), "lint fixtures must not be linted");
+    }
+
+    #[test]
+    fn find_workspace_root_walks_up() {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&here).expect("root");
+        assert_eq!(root, repo_root());
+    }
+}

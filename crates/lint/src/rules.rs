@@ -1,0 +1,469 @@
+//! The repo's determinism and numeric-safety invariants, as machine
+//! checks.
+//!
+//! Every rule is a [`Rule`] implementation with a stable id, a severity
+//! and per-file findings; `all_rules()` is the registry the binary and
+//! the fixture self-tests both run. The escape hatch for an audited
+//! exception is a `// lint: allow(<name>)` comment on (or directly
+//! above) the flagged line — see DESIGN.md's "Static analysis & checked
+//! invariants" section for the rule table and each rule's rationale.
+
+use crate::source::SourceFile;
+use std::fmt;
+use std::path::PathBuf;
+
+/// How a finding gates CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint gate.
+    Deny,
+    /// Reported but never fails the gate.
+    Warn,
+}
+
+/// One rule violation at a specific source line.
+#[derive(Debug)]
+pub struct Finding {
+    /// The violated rule's id.
+    pub rule: &'static str,
+    /// Gate behaviour.
+    pub severity: Severity,
+    /// Repo-relative file.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and how to fix (or waive) it.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message,
+            self.excerpt
+        )
+    }
+}
+
+/// A single invariant check over one source file.
+pub trait Rule {
+    /// Stable identifier (used in reports and the DESIGN.md table).
+    fn id(&self) -> &'static str;
+    /// Gate behaviour of this rule's findings.
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
+    /// One-line rationale.
+    fn description(&self) -> &'static str;
+    /// Append findings for `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// The full registry, in id order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(HostClock),
+        Box::new(UnorderedMap),
+        Box::new(UnwrapAudit),
+        Box::new(FloatGuard),
+        Box::new(ThreadDiscipline),
+        Box::new(Entropy),
+    ]
+}
+
+/// Shared helper: flag every code line containing any of `patterns`,
+/// honouring the test mask and the `allow_name` annotation.
+#[allow(clippy::too_many_arguments)]
+fn flag_patterns(
+    rule: &dyn Rule,
+    file: &SourceFile,
+    patterns: &[&str],
+    include_tests: bool,
+    allow_name: &str,
+    message: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (idx, code) in file.code.iter().enumerate() {
+        if !include_tests && file.is_test[idx] {
+            continue;
+        }
+        if !patterns.iter().any(|p| code.contains(p)) {
+            continue;
+        }
+        if file.allowed(idx, allow_name) {
+            continue;
+        }
+        out.push(Finding {
+            rule: rule.id(),
+            severity: rule.severity(),
+            path: file.path.clone(),
+            line: idx + 1,
+            message: message.to_string(),
+            excerpt: file.lines[idx].trim().to_string(),
+        });
+    }
+}
+
+/// `host-clock`: wall-clock reads (`std::time::Instant`, `SystemTime`)
+/// make runs depend on the host instead of `(configuration, seed)`.
+/// The single audited access point is `netsim::host_clock`, which
+/// carries the `lint: allow(host_clock)` waiver.
+pub struct HostClock;
+
+impl Rule for HostClock {
+    fn id(&self) -> &'static str {
+        "host-clock"
+    }
+    fn description(&self) -> &'static str {
+        "wall-clock reads outside the audited netsim::host_clock module"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        flag_patterns(
+            self,
+            file,
+            &[
+                "std::time::Instant",
+                "std::time::SystemTime",
+                "SystemTime::now",
+                "Instant::now(",
+            ],
+            true, // host clocks are nondeterministic in tests too
+            "host_clock",
+            "host wall-clock read; route it through netsim::host_clock (the one \
+             audited site) or waive with `// lint: allow(host_clock)`",
+            out,
+        );
+    }
+}
+
+/// `unordered-map`: `HashMap`/`HashSet` iteration order is unspecified;
+/// in the crates that serialize results or merge worker output
+/// (`netsim`, `bench`) a stray iteration silently breaks byte-identical
+/// reports. Require `BTreeMap`/`BTreeSet` (or an audited waiver).
+pub struct UnorderedMap;
+
+impl Rule for UnorderedMap {
+    fn id(&self) -> &'static str {
+        "unordered-map"
+    }
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet in netsim or bench; use BTreeMap/BTreeSet"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.krate != "netsim" && file.krate != "bench" {
+            return;
+        }
+        flag_patterns(
+            self,
+            file,
+            &["HashMap", "HashSet", "hash_map::", "hash_set::"],
+            true, // test assertions over unordered iteration flake too
+            "unordered_map",
+            "unordered collection in an output-producing crate; use \
+             BTreeMap/BTreeSet so iteration order is deterministic, or waive \
+             an iteration-free use with `// lint: allow(unordered_map)`",
+            out,
+        );
+    }
+}
+
+/// `unwrap-audit`: every crate root must carry
+/// `#![cfg_attr(not(test), deny(clippy::unwrap_used))]`, and because
+/// that attribute does not reach `src/bin/*` targets (separate
+/// compilation units), bare `.unwrap()` and `panic!`-family macros in
+/// non-test code are flagged here directly. Audited panic sites use
+/// `expect` with an invariant message instead.
+pub struct UnwrapAudit;
+
+impl Rule for UnwrapAudit {
+    fn id(&self) -> &'static str {
+        "unwrap-audit"
+    }
+    fn description(&self) -> &'static str {
+        "unwrap/panic in non-test code, or a crate root missing the deny attribute"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.is_lib_root()
+            && !file
+                .code
+                .iter()
+                .any(|l| l.contains("deny(clippy::unwrap_used)"))
+        {
+            out.push(Finding {
+                rule: self.id(),
+                severity: self.severity(),
+                path: file.path.clone(),
+                line: 1,
+                message: "crate root lacks #![cfg_attr(not(test), \
+                          deny(clippy::unwrap_used))]"
+                    .to_string(),
+                excerpt: file.lines.first().cloned().unwrap_or_default(),
+            });
+        }
+        flag_patterns(
+            self,
+            file,
+            &[".unwrap()"],
+            false,
+            "unwrap",
+            "bare unwrap in non-test code; handle the branch or use `expect` \
+             with an invariant message",
+            out,
+        );
+        flag_patterns(
+            self,
+            file,
+            &["panic!(", "unreachable!(", "todo!(", "unimplemented!("],
+            false,
+            "panic",
+            "panic-family macro in non-test code; return an error or waive an \
+             audited invariant with `// lint: allow(panic)`",
+            out,
+        );
+    }
+}
+
+/// `float-guard`: in the files that feed candidate arbitration (the
+/// utility function and its consumers), unguarded `powf`/`ln`/division
+/// is exactly how the −∞-utility bug of PR 3 entered. Any such
+/// operation must sit in a function that also carries finite-guard
+/// evidence (a finiteness check, an emptiness/zero check, or clamping).
+pub struct FloatGuard;
+
+/// Files in the utility-adjacent blast radius.
+const FLOAT_GUARD_SCOPE: &[&str] = &[
+    "crates/types/src/utility.rs",
+    "crates/types/src/stats.rs",
+    "crates/core/src/accounting.rs",
+    "crates/core/src/libra.rs",
+    "crates/core/src/guardrail.rs",
+    "crates/core/src/equilibrium.rs",
+];
+
+/// Evidence that the enclosing function thought about degenerate
+/// inputs: finiteness checks, zero/emptiness guards, clamps.
+const GUARD_EVIDENCE: &[&str] = &[
+    "is_finite",
+    "is_nan",
+    "is_empty",
+    "clamp",
+    "assert",
+    "== 0",
+    "!= 0",
+    "<= 0",
+    "> 0",
+    "< 2",
+    ".max",
+    ".min",
+    "saturating",
+];
+
+const TRANSCENDENTAL: &[&str] = &[".powf(", ".ln(", ".log2(", ".log10(", ".exp(", ".sqrt("];
+
+impl FloatGuard {
+    fn fn_has_guard(&self, file: &SourceFile, line: usize) -> bool {
+        let Some((start, end)) = file.enclosing_fn(line) else {
+            return false; // consts/statics: demand a line waiver
+        };
+        file.code[start..=end]
+            .iter()
+            .any(|l| GUARD_EVIDENCE.iter().any(|g| l.contains(g)))
+    }
+
+    /// A `/` division whose divisor is not a numeric literal (literal
+    /// divisors cannot be zero by accident).
+    fn risky_division(code: &str) -> bool {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(" / ") {
+            let after = &code[from + rel + 3..];
+            let divisor = after.trim_start();
+            let literal = divisor
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit() || c == '.');
+            if !literal {
+                return true;
+            }
+            from += rel + 3;
+        }
+        false
+    }
+}
+
+impl Rule for FloatGuard {
+    fn id(&self) -> &'static str {
+        "float-guard"
+    }
+    fn description(&self) -> &'static str {
+        "unguarded float math in utility-adjacent files"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let path = file.path.to_string_lossy();
+        if !FLOAT_GUARD_SCOPE.iter().any(|s| path.ends_with(s)) {
+            return;
+        }
+        for (idx, code) in file.code.iter().enumerate() {
+            if file.is_test[idx] {
+                continue;
+            }
+            let hit = TRANSCENDENTAL.iter().any(|p| code.contains(p)) || Self::risky_division(code);
+            if !hit || file.allowed(idx, "unchecked_float") {
+                continue;
+            }
+            if self.fn_has_guard(file, idx) {
+                continue;
+            }
+            out.push(Finding {
+                rule: self.id(),
+                severity: self.severity(),
+                path: file.path.clone(),
+                line: idx + 1,
+                message: "float operation with no finite-guard evidence \
+                          (is_finite/is_nan/zero-or-empty check/clamp) in the \
+                          enclosing function; add a guard or waive with \
+                          `// lint: allow(unchecked_float)`"
+                    .to_string(),
+                excerpt: file.lines[idx].trim().to_string(),
+            });
+        }
+    }
+}
+
+/// `thread-discipline`: all parallelism lives in `bench/src/sweep.rs`
+/// (the deterministic index-ordered runner). Threads anywhere else are
+/// an ordering hazard for merged output.
+pub struct ThreadDiscipline;
+
+impl Rule for ThreadDiscipline {
+    fn id(&self) -> &'static str {
+        "thread-discipline"
+    }
+    fn description(&self) -> &'static str {
+        "thread creation outside bench/src/sweep.rs"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.path.to_string_lossy().ends_with("bench/src/sweep.rs") {
+            return;
+        }
+        flag_patterns(
+            self,
+            file,
+            &[
+                "thread::spawn",
+                "thread::scope",
+                "thread::Builder",
+                ".spawn(",
+            ],
+            false, // tests may exercise thread-safety directly
+            "threads",
+            "thread creation outside the deterministic sweep runner \
+             (bench/src/sweep.rs); route the work through run_sweep/\
+             parallel_map or waive with `// lint: allow(threads)`",
+            out,
+        );
+    }
+}
+
+/// `entropy`: ambient randomness (`thread_rng`, `RandomState`,
+/// `getrandom`) breaks the `(configuration, seed)` purity of every run.
+/// All randomness must come from the forkable seeded `DetRng`.
+pub struct Entropy;
+
+impl Rule for Entropy {
+    fn id(&self) -> &'static str {
+        "entropy"
+    }
+    fn description(&self) -> &'static str {
+        "ambient (non-seeded) randomness"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        flag_patterns(
+            self,
+            file,
+            &[
+                "thread_rng",
+                "from_entropy",
+                "RandomState",
+                "getrandom",
+                "rand::random",
+            ],
+            true,
+            "entropy",
+            "ambient randomness; derive a stream from the seeded DetRng \
+             (fork a label) so the run stays a pure function of its seed",
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn findings(path: &str, text: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(Path::new(path), text);
+        let mut out = Vec::new();
+        for rule in all_rules() {
+            rule.check(&f, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut ids: Vec<&str> = all_rules().iter().map(|r| r.id()).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn annotated_host_clock_passes() {
+        let hits = findings(
+            "crates/netsim/src/demo.rs",
+            "// lint: allow(host_clock)\nlet t = std::time::Instant::now();\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unordered_map_scoped_to_netsim_and_bench() {
+        let in_scope = findings(
+            "crates/bench/src/demo.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(in_scope.len(), 1);
+        assert_eq!(in_scope[0].rule, "unordered-map");
+        let out_of_scope = findings(
+            "crates/classic/src/demo.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert!(out_of_scope.is_empty());
+    }
+
+    #[test]
+    fn test_code_unwrap_is_exempt() {
+        let hits = findings(
+            "crates/bench/src/bin/demo.rs",
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x().unwrap(); }\n}\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn division_by_literal_is_not_risky() {
+        assert!(!FloatGuard::risky_division("let x = y / 2.0;"));
+        assert!(FloatGuard::risky_division("let x = y / n;"));
+        assert!(!FloatGuard::risky_division("let x = y /= 2;"));
+    }
+}

@@ -1,0 +1,493 @@
+//! The source model the rules run against: one Rust file, loaded once,
+//! preprocessed into the views every rule needs.
+//!
+//! The views are deliberately cheap and syntax-light — a full parse is
+//! neither available (the registry is offline, so no `syn`) nor needed:
+//! every invariant the workspace enforces is expressible as "pattern X
+//! appears in *code* (not comments/strings), outside test regions,
+//! without annotation Y nearby".
+//!
+//! * [`SourceFile::code`] — the file with comments and string/char
+//!   literal *contents* blanked to spaces (same length per line), so
+//!   `"https://…"` or a pattern named in a doc comment never trips a
+//!   rule.
+//! * [`SourceFile::is_test`] — a per-line mask covering `#[cfg(test)]`
+//!   items and `#[test]` functions (brace-tracked over the blanked
+//!   text).
+//! * Function spans — innermost `fn` bodies, so a rule can demand "a
+//!   finite-guard somewhere in the enclosing function".
+//! * Annotations — the escape hatch: `// lint: allow(rule-name)` on the
+//!   flagged line or the line above, or `// lint: allow-file(rule-name)`
+//!   anywhere for a whole-file waiver (reserved for dedicated modules
+//!   like `netsim::host_clock`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One source file, preprocessed for rule matching.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path (e.g. `crates/netsim/src/sim.rs`).
+    pub path: PathBuf,
+    /// The owning crate's short name (`netsim`, `bench`, …; the root
+    /// facade `src/` is `libra`).
+    pub krate: String,
+    /// Raw lines, as on disk.
+    pub lines: Vec<String>,
+    /// Lines with comments and string/char-literal contents blanked.
+    pub code: Vec<String>,
+    /// Per-line: inside a `#[cfg(test)]` item or `#[test]` function.
+    pub is_test: Vec<bool>,
+    file_allows: BTreeSet<String>,
+    line_allows: BTreeMap<usize, BTreeSet<String>>,
+    /// `(first_line, last_line)` of each `fn` body, in source order.
+    fn_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Load from disk; `path` must be repo-relative for reporting.
+    pub fn load(root: &Path, rel: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::from_source(rel, &text))
+    }
+
+    /// Build from in-memory source (fixtures and unit tests).
+    pub fn from_source(rel: &Path, text: &str) -> SourceFile {
+        let krate = crate_of(rel);
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let code = blank_noncode(text);
+        debug_assert_eq!(lines.len(), code.len());
+        let is_test = test_mask(&code);
+        let (file_allows, line_allows) = parse_annotations(&lines);
+        let fn_spans = fn_spans(&code);
+        SourceFile {
+            path: rel.to_path_buf(),
+            krate,
+            lines,
+            code,
+            is_test,
+            file_allows,
+            line_allows,
+            fn_spans,
+        }
+    }
+
+    /// True when `name` is waived at `line` (file-level, same line, or
+    /// the line directly above).
+    pub fn allowed(&self, line: usize, name: &str) -> bool {
+        if self.file_allows.contains(name) {
+            return true;
+        }
+        let hit = |l: usize| self.line_allows.get(&l).is_some_and(|s| s.contains(name));
+        hit(line) || (line > 0 && hit(line - 1))
+    }
+
+    /// The innermost `fn` body containing `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<(usize, usize)> {
+        self.fn_spans
+            .iter()
+            .filter(|&&(s, e)| s <= line && line <= e)
+            .max_by_key(|&&(s, _)| s)
+            .copied()
+    }
+
+    /// True when the file is a crate's library root (`src/lib.rs`).
+    pub fn is_lib_root(&self) -> bool {
+        self.path.ends_with(Path::new("src/lib.rs"))
+    }
+
+    /// True when the file is a standalone binary target (`src/bin/*.rs`
+    /// or `src/main.rs`) — these are separate compilation targets that a
+    /// `#![deny]` in the crate's `lib.rs` does *not* cover.
+    pub fn is_bin_target(&self) -> bool {
+        let s = self.path.to_string_lossy();
+        s.contains("/src/bin/") || s.ends_with("/src/main.rs")
+    }
+}
+
+/// The crate short-name a repo-relative path belongs to.
+fn crate_of(rel: &Path) -> String {
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    match parts.next().as_deref() {
+        Some("crates") => parts.next().map_or_else(String::new, |s| s.into_owned()),
+        Some("src") => "libra".to_string(),
+        _ => String::new(),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Lex {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Blank comments and the contents of string/char literals to spaces,
+/// preserving line structure, so rules only ever match real code.
+fn blank_noncode(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut line = String::new();
+    let mut state = Lex::Normal;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            if state == Lex::LineComment {
+                state = Lex::Normal;
+            }
+            out.push(std::mem::take(&mut line));
+            i += 1;
+            continue;
+        }
+        match state {
+            Lex::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = Lex::LineComment;
+                    line.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = Lex::BlockComment(1);
+                    line.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = Lex::Str;
+                    line.push('"');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string r"…" / r#"…"#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            line.push(' ');
+                        }
+                        state = Lex::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    line.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: 'x' / '\n' are literals,
+                    // 'a in `&'a T` is not.
+                    let is_char =
+                        next == Some('\\') || (next.is_some() && chars.get(i + 2) == Some(&'\''));
+                    if is_char {
+                        state = Lex::Char;
+                        line.push('\'');
+                    } else {
+                        line.push(' ');
+                    }
+                }
+                _ => line.push(c),
+            },
+            Lex::LineComment => line.push(' '),
+            Lex::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        Lex::Normal
+                    } else {
+                        Lex::BlockComment(depth - 1)
+                    };
+                    line.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = Lex::BlockComment(depth + 1);
+                    line.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                line.push(' ');
+            }
+            Lex::Str => match c {
+                '\\' => {
+                    if next == Some('\n') {
+                        // Line-continuation escape: keep line structure.
+                        line.push(' ');
+                        out.push(std::mem::take(&mut line));
+                        i += 2;
+                        continue;
+                    }
+                    line.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = Lex::Normal;
+                    line.push('"');
+                }
+                _ => line.push(' '),
+            },
+            Lex::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes as usize {
+                            line.push(' ');
+                        }
+                        state = Lex::Normal;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                line.push(' ');
+            }
+            Lex::Char => match c {
+                '\\' => {
+                    line.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '\'' => {
+                    state = Lex::Normal;
+                    line.push('\'');
+                }
+                _ => line.push(' '),
+            },
+        }
+        i += 1;
+    }
+    if !text.is_empty() && !text.ends_with('\n') {
+        out.push(line);
+    }
+    out
+}
+
+/// Mark lines inside `#[cfg(test)]` items and `#[test]` functions.
+fn test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut depth: i32 = 0;
+    // Depths at which an open test region's body starts.
+    let mut regions: Vec<i32> = Vec::new();
+    let mut pending = false;
+    for (idx, line) in code.iter().enumerate() {
+        if line.contains("#[cfg(test)]") || line.contains("#[test]") {
+            pending = true;
+        }
+        mask[idx] = pending || !regions.is_empty();
+        let mut saw_brace = false;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    saw_brace = true;
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        // `#[cfg(test)] use foo;` — attribute on a braceless item.
+        if pending && !saw_brace && line.trim_end().ends_with(';') {
+            pending = false;
+        }
+    }
+    mask
+}
+
+/// Parse `lint: allow(...)` / `lint: allow-file(...)` escape hatches
+/// from the raw lines (they live in comments).
+fn parse_annotations(lines: &[String]) -> (BTreeSet<String>, BTreeMap<usize, BTreeSet<String>>) {
+    let mut file = BTreeSet::new();
+    let mut per_line: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    for (idx, line) in lines.iter().enumerate() {
+        for (marker, file_scope) in [("lint: allow-file(", true), ("lint: allow(", false)] {
+            let Some(pos) = line.find(marker) else {
+                continue;
+            };
+            let rest = &line[pos + marker.len()..];
+            let Some(end) = rest.find(')') else { continue };
+            for name in rest[..end].split(',') {
+                let name = name.trim().to_string();
+                if name.is_empty() {
+                    continue;
+                }
+                if file_scope {
+                    file.insert(name);
+                } else {
+                    per_line.entry(idx).or_default().insert(name);
+                }
+            }
+        }
+    }
+    (file, per_line)
+}
+
+/// Locate `fn` bodies by brace tracking over the blanked text.
+fn fn_spans(code: &[String]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut depth: i32 = 0;
+    // (start_line, body_depth) of fns whose body is currently open.
+    let mut open: Vec<(usize, i32)> = Vec::new();
+    // A `fn` header seen, body brace not yet reached.
+    let mut header: Option<usize> = None;
+    for (idx, line) in code.iter().enumerate() {
+        if header.is_none() && find_fn_token(line).is_some() {
+            header = Some(idx);
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(start) = header.take() {
+                        open.push((start, depth));
+                    }
+                }
+                '}' => {
+                    if let Some(&(start, d)) = open.last() {
+                        if d == depth {
+                            open.pop();
+                            spans.push((start, idx));
+                        }
+                    }
+                    depth -= 1;
+                }
+                ';' if header.is_some() => {
+                    // Trait method signature — no body.
+                    header = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    spans.sort_unstable();
+    spans
+}
+
+/// The byte offset of a standalone `fn` keyword on `line`, if any.
+fn find_fn_token(line: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find("fn ") {
+        let pos = from + rel;
+        let prev_ok =
+            pos == 0 || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
+        if prev_ok {
+            return Some(pos);
+        }
+        from = pos + 3;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(path: &str, text: &str) -> SourceFile {
+        SourceFile::from_source(Path::new(path), text)
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = sf(
+            "crates/demo/src/a.rs",
+            "let x = \"std::time::Instant\"; // std::time::Instant\nlet y = 1; /* HashMap */ let z = 2;\n",
+        );
+        assert!(!f.code[0].contains("std::time"));
+        assert!(f.code[0].contains("let x ="));
+        assert!(!f.code[1].contains("HashMap"));
+        assert!(f.code[1].contains("let z = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let f = sf(
+            "crates/demo/src/a.rs",
+            "fn f<'a>(x: &'a str) -> char { 'x' }\nlet still_code = 1;\n",
+        );
+        assert!(f.code[1].contains("still_code"));
+        assert!(!f.code[0].contains('x') || !f.code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = sf(
+            "crates/demo/src/a.rs",
+            "let p = r#\"thread_rng inside\"#; after();\n",
+        );
+        assert!(!f.code[0].contains("thread_rng"));
+        assert!(f.code[0].contains("after();"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let f = sf(
+            "crates/demo/src/a.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { body(); }\n}\nfn prod2() {}\n",
+        );
+        assert!(!f.is_test[0]);
+        assert!(f.is_test[2] && f.is_test[4] && f.is_test[5]);
+        assert!(!f.is_test[6]);
+    }
+
+    #[test]
+    fn annotations_apply_to_next_line_and_file() {
+        let f = sf(
+            "crates/demo/src/a.rs",
+            "// lint: allow(host_clock)\nlet t = now();\nlet u = later();\n",
+        );
+        assert!(f.allowed(1, "host_clock"));
+        assert!(!f.allowed(2, "host_clock"));
+        let g = sf(
+            "crates/demo/src/a.rs",
+            "// lint: allow-file(host_clock)\nfn f() {}\nfn g() {}\n",
+        );
+        assert!(g.allowed(2, "host_clock"));
+    }
+
+    #[test]
+    fn enclosing_fn_finds_innermost_body() {
+        let f = sf(
+            "crates/demo/src/a.rs",
+            "fn outer() {\n    helper();\n    fn inner() {\n        body();\n    }\n}\n",
+        );
+        let (s, _) = f.enclosing_fn(3).expect("inner span");
+        assert_eq!(s, 2);
+        let (s, e) = f.enclosing_fn(1).expect("outer span");
+        assert_eq!((s, e), (0, 5));
+    }
+
+    #[test]
+    fn crate_names_resolve() {
+        assert_eq!(crate_of(Path::new("crates/netsim/src/sim.rs")), "netsim");
+        assert_eq!(crate_of(Path::new("src/lib.rs")), "libra");
+    }
+
+    #[test]
+    fn bin_targets_are_recognized() {
+        let f = sf("crates/bench/src/bin/fig01.rs", "fn main() {}\n");
+        assert!(f.is_bin_target());
+        let g = sf("crates/bench/src/lib.rs", "\n");
+        assert!(g.is_lib_root() && !g.is_bin_target());
+    }
+}

@@ -1,0 +1,8 @@
+//! lint-fixture: crates/rl/src/demo.rs
+//! Expect: `entropy` — ambient randomness breaks (configuration, seed)
+//! purity.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}

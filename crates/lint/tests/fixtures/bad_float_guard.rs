@@ -1,0 +1,7 @@
+//! lint-fixture: crates/types/src/utility.rs
+//! Expect: `float-guard` — powf and a variable divisor with no
+//! finite-guard evidence anywhere in the enclosing function.
+
+pub fn throughput_term(x: f64, alpha: f64, scale: f64) -> f64 {
+    x.powf(alpha) / scale
+}

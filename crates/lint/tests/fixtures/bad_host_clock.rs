@@ -1,0 +1,7 @@
+//! lint-fixture: crates/bench/src/demo.rs
+//! Expect: `host-clock` — wall-clock read with no waiver.
+
+pub fn measure() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,4 @@
+//! lint-fixture: crates/demo/src/lib.rs
+//! Expect: `unwrap-audit` — crate root without the unwrap deny header.
+
+pub fn noop() {}

@@ -1,0 +1,8 @@
+//! lint-fixture: crates/netsim/src/demo.rs
+//! Expect: `thread-discipline` — thread creation outside the
+//! deterministic sweep runner.
+
+pub fn run() {
+    let h = std::thread::spawn(|| 42);
+    drop(h);
+}

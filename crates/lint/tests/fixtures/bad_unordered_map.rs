@@ -1,0 +1,12 @@
+//! lint-fixture: crates/bench/src/demo.rs
+//! Expect: `unordered-map` — HashMap in an output-producing crate.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, u64> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

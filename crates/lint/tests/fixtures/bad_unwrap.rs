@@ -1,0 +1,7 @@
+//! lint-fixture: crates/bench/src/bin/demo.rs
+//! Expect: `unwrap-audit` — bare unwrap in non-test binary code (the
+//! crate root's deny attribute does not reach bin targets).
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().unwrap()
+}

@@ -1,0 +1,8 @@
+//! lint-fixture: crates/rl/src/demo.rs
+//! Clean: randomness drawn from the seeded, forkable DetRng stream.
+
+use libra_types::DetRng;
+
+pub fn jitter(rng: &mut DetRng) -> f64 {
+    rng.next_f64()
+}

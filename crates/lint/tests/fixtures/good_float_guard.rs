@@ -1,0 +1,9 @@
+//! lint-fixture: crates/types/src/utility.rs
+//! Clean: the enclosing function carries finite-guard evidence.
+
+pub fn throughput_term(x: f64, alpha: f64, scale: f64) -> f64 {
+    if !x.is_finite() || scale <= 0.0 {
+        return 0.0;
+    }
+    x.powf(alpha) / scale
+}

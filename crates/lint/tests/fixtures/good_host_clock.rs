@@ -1,0 +1,8 @@
+//! lint-fixture: crates/bench/src/demo.rs
+//! Clean: the wall-clock read carries an audited waiver.
+
+pub fn measure() -> u128 {
+    // lint: allow(host_clock)
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+//! lint-fixture: crates/bench/src/sweep.rs
+//! Clean: bench/src/sweep.rs is the one sanctioned home for threads
+//! (the deterministic index-ordered runner).
+
+pub fn run() {
+    let h = std::thread::spawn(|| 42);
+    drop(h);
+}

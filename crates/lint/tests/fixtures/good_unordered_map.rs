@@ -1,0 +1,12 @@
+//! lint-fixture: crates/bench/src/demo.rs
+//! Clean: ordered collection, deterministic iteration.
+
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> BTreeMap<u32, u64> {
+    let mut m = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

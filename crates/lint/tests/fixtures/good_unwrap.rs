@@ -1,0 +1,16 @@
+//! lint-fixture: crates/demo/src/lib.rs
+//! Clean: deny header present; the audited panic site uses `expect`
+//! with an invariant message; test unwraps are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("caller passes a validated numeral")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(super::parse("4"), "4".parse::<u64>().unwrap());
+    }
+}

@@ -39,6 +39,7 @@
 pub mod capacity;
 pub mod cross_traffic;
 pub mod faults;
+pub mod host_clock;
 pub mod loss;
 pub mod mahimahi;
 pub mod packet;

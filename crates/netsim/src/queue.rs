@@ -65,10 +65,36 @@ impl DroptailQueue {
 
     fn advance_clock(&mut self, now_ns: u64) {
         debug_assert!(now_ns >= self.last_change_ns, "queue clock went backwards");
+        #[cfg(feature = "checked-invariants")]
+        assert!(now_ns >= self.last_change_ns, "queue clock went backwards");
         let span = now_ns.saturating_sub(self.last_change_ns);
         self.occupancy_integral += span as u128 * self.occupied as u128;
         self.last_change_ns = now_ns;
     }
+
+    /// Byte-conservation invariant (`checked-invariants` feature): the
+    /// counter ledger must balance — every admitted byte is either
+    /// dequeued or still resident — and the occupancy counter must agree
+    /// with the packets actually queued. Runs after every mutation; the
+    /// O(len) resident sum is acceptable because the feature is a
+    /// test/CI mode, never a bench mode.
+    #[cfg(feature = "checked-invariants")]
+    fn check_conservation(&self) {
+        assert_eq!(
+            self.admitted_bytes,
+            self.dequeued_bytes + self.occupied,
+            "droptail queue leaked bytes (admitted != dequeued + resident)"
+        );
+        let resident: u64 = self.packets.iter().map(|p| p.bytes).sum();
+        assert_eq!(
+            resident, self.occupied,
+            "droptail occupancy counter drifted from resident packets"
+        );
+    }
+
+    #[cfg(not(feature = "checked-invariants"))]
+    #[inline(always)]
+    fn check_conservation(&self) {}
 
     /// Try to admit `packet` at time `now_ns`; applies the ECN mark when
     /// a policy is given and the standing queue exceeds its threshold.
@@ -82,6 +108,7 @@ impl DroptailQueue {
         if self.occupied + packet.bytes > self.capacity.get() {
             self.drops += 1;
             self.dropped_bytes += packet.bytes;
+            self.check_conservation();
             return Enqueue::Dropped;
         }
         if let Some(cfg) = ecn {
@@ -94,6 +121,7 @@ impl DroptailQueue {
         self.admitted += 1;
         self.admitted_bytes += packet.bytes;
         self.packets.push_back(packet);
+        self.check_conservation();
         Enqueue::Accepted
     }
 
@@ -108,6 +136,7 @@ impl DroptailQueue {
         let p = self.packets.pop_front()?;
         self.occupied -= p.bytes;
         self.dequeued_bytes += p.bytes;
+        self.check_conservation();
         Some(p)
     }
 
@@ -215,6 +244,16 @@ mod tests {
             q.occupied_bytes(),
             "enqueued - dequeued must equal in-flight"
         );
+    }
+
+    #[cfg(feature = "checked-invariants")]
+    #[test]
+    #[should_panic(expected = "leaked bytes")]
+    fn checked_mode_catches_ledger_drift() {
+        let mut q = DroptailQueue::new(Bytes::new(10_000));
+        q.enqueue(pkt(0, 1, 1500), 0);
+        q.admitted_bytes += 1; // corrupt the ledger
+        q.dequeue(1);
     }
 
     #[test]

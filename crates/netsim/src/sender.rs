@@ -299,9 +299,9 @@ impl FlowSender {
 
     fn time_cca<R>(&mut self, f: impl FnOnce(&mut dyn CongestionControl) -> R) -> R {
         if self.measure_compute {
-            let t0 = std::time::Instant::now();
+            let t0 = crate::host_clock::stamp();
             let r = f(self.cca.as_mut());
-            self.compute_ns += t0.elapsed().as_nanos() as u64;
+            self.compute_ns += t0.elapsed_ns();
             r
         } else {
             f(self.cca.as_mut())
@@ -470,9 +470,36 @@ impl FlowSender {
             self.ecn_echoes += 1;
             self.time_cca(|cca| cca.on_ecn(&ev));
         }
+        self.check_controller_sanity();
 
         self.detect_reorder_losses(now)
     }
+
+    /// `checked-invariants`: after every ACK-path controller callback
+    /// the CCA must report a positive window and a finite, non-negative
+    /// pacing rate — the guardrail-layer contract promoted to a hard
+    /// assert so a regression fails loudly in tests instead of
+    /// poisoning pacing arithmetic downstream.
+    #[cfg(feature = "checked-invariants")]
+    fn check_controller_sanity(&self) {
+        let cwnd = self.cca.cwnd_bytes();
+        assert!(
+            cwnd > 0,
+            "{}: zero congestion window after controller callback",
+            self.cca.name()
+        );
+        if let Some(rate) = self.cca.pacing_rate() {
+            assert!(
+                rate.bps().is_finite() && rate.bps() >= 0.0,
+                "{}: non-finite pacing rate after controller callback",
+                self.cca.name()
+            );
+        }
+    }
+
+    #[cfg(not(feature = "checked-invariants"))]
+    #[inline(always)]
+    fn check_controller_sanity(&self) {}
 
     /// Fast-retransmit emulation: outstanding packets more than
     /// [`REORDER_WINDOW`] below the highest ACKed sequence are lost.

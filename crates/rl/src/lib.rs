@@ -1,3 +1,8 @@
+// Production code must justify every potential panic site: unwraps are
+// banned outside tests (audited sites use `expect` with an invariant
+// message or handle the `None`/`Err` branch).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! `libra-rl`: Proximal Policy Optimization over the `libra-nn` substrate.
 //!
 //! This crate provides the reinforcement-learning machinery of the paper's

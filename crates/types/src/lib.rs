@@ -1,3 +1,8 @@
+// Production code must justify every potential panic site: unwraps are
+// banned outside tests (audited sites use `expect` with an invariant
+// message or handle the `None`/`Err` branch).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! Core vocabulary types shared by every crate in the Libra workspace.
 //!
 //! This crate deliberately has no knowledge of the simulator or of any

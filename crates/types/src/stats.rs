@@ -431,6 +431,10 @@ impl P2Quantile {
     fn parabolic(&self, i: usize, s: f64) -> f64 {
         let p = &self.positions;
         let h = &self.heights;
+        // Marker positions are strictly increasing (adjust() only moves a
+        // marker when it is more than one step from its neighbour), so
+        // every denominator below is non-zero.
+        debug_assert!(p[i - 1] < p[i] && p[i] < p[i + 1], "P2 markers collided");
         h[i] + s / (p[i + 1] - p[i - 1])
             * ((p[i] - p[i - 1] + s) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
                 + (p[i + 1] - p[i] - s) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
@@ -439,6 +443,12 @@ impl P2Quantile {
     /// Linear fallback when the parabolic prediction is non-monotone.
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = (i as f64 + s) as usize;
+        // Same invariant as parabolic(): neighbouring markers never share
+        // a position when a move is attempted.
+        debug_assert!(
+            self.positions[j] != self.positions[i],
+            "P2 markers collided"
+        );
         self.heights[i]
             + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }

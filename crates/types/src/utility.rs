@@ -106,7 +106,7 @@ impl UtilityParams {
 
 /// Application preference profiles (Sec. 5.2): scaling α trades toward
 /// throughput, scaling β toward latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Preference {
     /// The paper's default weights.
     Default,

@@ -13,11 +13,18 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> libra-lint (determinism & invariant source gate)"
+cargo run -p libra-lint --release --offline
+
 echo "==> cargo build --release"
 cargo build --release --offline
 
 echo "==> cargo test (workspace)"
 cargo test --workspace --offline -q
+
+echo "==> cargo test (netsim+core, runtime invariant asserts armed)"
+cargo test --offline -q -p libra-netsim -p libra-core \
+    --features libra-netsim/checked-invariants,libra-core/checked-invariants
 
 echo "==> cargo bench --no-run (bench targets compile)"
 cargo bench --workspace --offline --no-run
