@@ -9,7 +9,8 @@
 //! the simulator and the runner, not PPO.
 
 use libra_bench::{
-    parallel_map_with, run_single_metrics, worker_count, BenchArgs, Cca, ModelStore,
+    parallel_map_with, run_single_metrics, run_sweep_supervised_with, run_sweep_with, worker_count,
+    BenchArgs, Cca, ModelStore, RunSpec, SweepPolicy,
 };
 use libra_netsim::{
     host_clock, lte_link, step_link, wired_link, LinkConfig, LteScenario, SimConfig,
@@ -144,6 +145,37 @@ fn main() {
     });
     let speedup = if par_ms > 0.0 { seq_ms / par_ms } else { 0.0 };
 
+    // Supervised vs bare sweep on an identical spec list: prices panic
+    // isolation, the claim engine, and armed watchdog budgets on the
+    // clean path (no faults fire). The pair must stay within noise of
+    // each other — supervision is meant to be free when nothing breaks.
+    let sup_specs: Vec<RunSpec> = [Cca::Cubic, Cca::Bbr, Cca::Copa]
+        .iter()
+        .flat_map(|&cca| {
+            (0..repeats.max(2))
+                .map(move |k| RunSpec::single(cca, wired_link(24.0), secs, args.seed * 11 + k))
+        })
+        .collect();
+    let sup_sim_secs = (sup_specs.len() as u64 * secs) as f64;
+    let (bare_ms, bare_thr) = timed(sup_sim_secs, || {
+        run_sweep_with(&store, sup_specs.clone(), workers);
+    });
+    benches.push(Bench {
+        name: "sweep_pair_bare",
+        wall_ms: bare_ms,
+        sim_secs_per_sec: bare_thr,
+    });
+    let policy = SweepPolicy::default();
+    let (sup_ms, sup_thr) = timed(sup_sim_secs, || {
+        run_sweep_supervised_with(&store, sup_specs.clone(), workers, &policy, None, None);
+    });
+    benches.push(Bench {
+        name: "sweep_pair_supervised",
+        wall_ms: sup_ms,
+        sim_secs_per_sec: sup_thr,
+    });
+    let supervised_overhead = if bare_ms > 0.0 { sup_ms / bare_ms } else { 0.0 };
+
     let mut json = String::from("{\n");
     for b in &benches {
         let _ = writeln!(
@@ -160,7 +192,7 @@ fn main() {
         .unwrap_or(1);
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"workers\": {workers}, \"jobs\": {}, \"available_cpus\": {cpus}, \"full_report_speedup\": {speedup:.2}}}\n}}",
+        "  \"meta\": {{\"workers\": {workers}, \"jobs\": {}, \"available_cpus\": {cpus}, \"full_report_speedup\": {speedup:.2}, \"supervised_overhead\": {supervised_overhead:.2}}}\n}}",
         jobs.len()
     );
     let path = std::env::var("LIBRA_BENCH_OUT").unwrap_or_else(|_| "BENCH_netsim.json".into());
@@ -170,4 +202,5 @@ fn main() {
     }
     print!("{json}");
     eprintln!("perf_smoke: sweep speedup {speedup:.2}x at {workers} workers ({cpus} cpus)");
+    eprintln!("perf_smoke: supervised/bare sweep wall ratio {supervised_overhead:.2}x");
 }

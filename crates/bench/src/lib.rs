@@ -12,6 +12,10 @@
 //! * [`runner`] — single/pair/staggered runs and convergence statistics.
 //! * [`sweep`] — deterministic parallel fan-out of independent runs
 //!   (`LIBRA_JOBS` workers, results merged in job order).
+//! * [`supervisor`] — panic isolation, per-job budgets, bounded retries
+//!   with deterministic backoff, and `Result`-shaped merged slots.
+//! * [`journal`] — append-only JSONL checkpoint journal behind
+//!   `--resume` (one flushed line per completed job).
 //! * [`output`] — aligned tables + CSV artifacts (`target/experiments/`).
 //!
 //! Each figure/table has a binary (`fig01_adaptability`, …,
@@ -19,14 +23,17 @@
 //! the corresponding rows/series; see DESIGN.md's experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
 
+pub mod journal;
 pub mod models;
 pub mod output;
 pub mod registry;
 pub mod runner;
 pub mod scenarios;
+pub mod supervisor;
 pub mod sweep;
 pub mod tracing;
 
+pub use journal::{fnv1a, journal_dir, spec_digest, Journal, JournalEntry};
 pub use models::ModelStore;
 pub use output::{f1, f3, pct, series_csv, write_artifact, Table};
 pub use registry::Cca;
@@ -35,9 +42,13 @@ pub use runner::{
     run_single_metrics, run_staggered, run_staggered_cfg, ConvergenceStats, RunMetrics,
 };
 pub use scenarios::*;
+pub use supervisor::{
+    merged_slots_json, run_sweep_supervised, run_sweep_supervised_with, slot_from_value,
+    slot_to_value, FaultyScenario, SlotResult, SweepPolicy, SweepReport,
+};
 pub use sweep::{
-    parallel_map, parallel_map_with, run_spec, run_sweep, run_sweep_with, worker_count,
-    FlowSummary, RunSpec, RunSummary, Workload,
+    parallel_map, parallel_map_with, run_spec, run_spec_budgeted, run_sweep, run_sweep_with,
+    worker_count, FlowSummary, RunSpec, RunSummary, Workload,
 };
 pub use tracing::{
     decision_timeline, merged_trace, stage_occupancy, stage_occupancy_table, trace_to_jsonl,
@@ -46,13 +57,17 @@ pub use tracing::{
 
 /// Common CLI knobs for experiment binaries: `--quick` shrinks durations
 /// and repeats so a full sweep finishes in seconds (used by CI and the
-/// test suite); `--seed N` changes the master seed.
+/// test suite); `--seed N` changes the master seed; `--resume` restores
+/// completed jobs from the binary's journal under
+/// `target/experiments/journal/` instead of re-running them.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchArgs {
     /// Reduced-effort mode.
     pub quick: bool,
     /// Master seed.
     pub seed: u64,
+    /// Resume from the binary's sweep journal.
+    pub resume: bool,
 }
 
 impl BenchArgs {
@@ -61,11 +76,13 @@ impl BenchArgs {
         let mut args = BenchArgs {
             quick: false,
             seed: 1,
+            resume: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => args.quick = true,
+                "--resume" => args.resume = true,
                 "--seed" => {
                     args.seed = it
                         .next()

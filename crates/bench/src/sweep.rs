@@ -26,11 +26,11 @@ use crate::models::ModelStore;
 use crate::registry::Cca;
 use crate::runner::{self, RunMetrics};
 use libra_netsim::{LinkConfig, SimConfig, SimReport};
-use libra_types::{Duration, TraceEvent};
-use serde::{Serialize, Value};
+use libra_types::{Duration, JobError, JobFailure, TraceEvent};
+use serde::{get_field, DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::mpsc;
 
 /// Number of sweep workers: `LIBRA_JOBS` if set to a positive integer,
 /// otherwise the machine's available parallelism.
@@ -46,11 +46,140 @@ pub fn worker_count() -> usize {
         .unwrap_or(1)
 }
 
+/// What one guarded job execution produced.
+///
+/// `Die` models a worker death mid-claim (the chaos hook's
+/// `kill_worker_on`): the thread exits without posting a result, and the
+/// claim engine must notice the orphaned claim instead of silently
+/// dropping the job from the merge.
+pub(crate) enum JobVerdict<T> {
+    /// The job ran to a verdict: a value or a typed failure.
+    Done(Result<T, JobFailure>),
+    /// The worker must die without posting anything for this claim.
+    Die,
+}
+
+/// Run `f` on one claimed job under `catch_unwind`. A panic that escapes
+/// `f` (one the supervisor's own per-attempt guard did not translate)
+/// is classified into a typed [`JobFailure`] here, so no job outcome
+/// can poison the sweep. `None` means the worker must die.
+fn run_guarded<J, T, F>(f: &F, idx: usize, job: J) -> Option<Result<T, JobFailure>>
+where
+    F: Fn(usize, J) -> JobVerdict<T>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, job))) {
+        Ok(JobVerdict::Done(res)) => Some(res),
+        Ok(JobVerdict::Die) => None,
+        Err(payload) => Some(Err(JobFailure {
+            error: crate::supervisor::classify_payload(payload.as_ref()),
+            attempts: 1,
+        })),
+    }
+}
+
+fn lost_failure(idx: usize) -> JobFailure {
+    JobFailure {
+        error: JobError::Lost {
+            message: format!("worker died twice while holding job {idx}"),
+        },
+        attempts: 2,
+    }
+}
+
+/// The claim engine under every sweep: an atomic cursor hands each
+/// worker the next unclaimed index; results flow back through a channel
+/// tagged with their index and are merged in order. Jobs stay resident
+/// in the shared slot vector (workers run on a clone), so a claim
+/// orphaned by a dying worker is re-enqueued on the coordinator after
+/// the scope joins — and journaled as a typed [`JobError::Lost`] failure
+/// if it dies there too, never silently dropped. `on_complete` fires on
+/// the coordinator as each result lands (in completion order, not job
+/// order), which is where the journal flushes.
+pub(crate) fn claim_map<J, T, F, C>(
+    jobs: Vec<J>,
+    workers: usize,
+    f: F,
+    mut on_complete: C,
+) -> Vec<Result<T, JobFailure>>
+where
+    J: Send + Sync + Clone,
+    T: Send,
+    F: Fn(usize, J) -> JobVerdict<T> + Sync,
+    C: FnMut(usize, &Result<T, JobFailure>),
+{
+    let n = jobs.len();
+    let workers = workers.max(1).min(n.max(1));
+    let mut out: Vec<Option<Result<T, JobFailure>>> = (0..n).map(|_| None).collect();
+    if workers <= 1 || n <= 1 {
+        // Sequential path: same claim semantics (death → one immediate
+        // re-run → typed Lost failure), so outcomes are byte-identical
+        // to the threaded path for any worker count.
+        for (idx, job) in jobs.iter().enumerate() {
+            let res = match run_guarded(&f, idx, job.clone()) {
+                Some(res) => res,
+                None => match run_guarded(&f, idx, job.clone()) {
+                    Some(res) => res,
+                    None => Err(lost_failure(idx)),
+                },
+            };
+            on_complete(idx, &res);
+            out[idx] = Some(res);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, JobFailure>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let jobs = &jobs;
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    match run_guarded(f, idx, jobs[idx].clone()) {
+                        Some(res) => {
+                            if tx.send((idx, res)).is_err() {
+                                break;
+                            }
+                        }
+                        None => break, // worker dies without posting
+                    }
+                });
+            }
+            drop(tx);
+            // Drain inside the scope so completions are journaled the
+            // moment they land, not after the slowest worker finishes.
+            for (idx, res) in rx {
+                on_complete(idx, &res);
+                out[idx] = Some(res);
+            }
+        });
+        // Any still-empty slot was claimed by a worker that died. The
+        // job is still resident: re-enqueue it on the coordinator.
+        for idx in 0..n {
+            if out[idx].is_none() {
+                let res = match run_guarded(&f, idx, jobs[idx].clone()) {
+                    Some(res) => res,
+                    None => Err(lost_failure(idx)),
+                };
+                on_complete(idx, &res);
+                out[idx] = Some(res);
+            }
+        }
+    }
+    out.into_iter()
+        .map(|s| s.expect("claim engine fills every slot"))
+        .collect()
+}
+
 /// Map `f` over `jobs` on [`worker_count`] scoped threads, returning
 /// results in job order (byte-identical to `jobs.into_iter().map(f)`).
 pub fn parallel_map<J, T, F>(jobs: Vec<J>, f: F) -> Vec<T>
 where
-    J: Send,
+    J: Send + Sync + Clone,
     T: Send,
     F: Fn(J) -> T + Sync,
 {
@@ -61,51 +190,26 @@ where
 /// determinism tests to compare 1 vs N workers).
 pub fn parallel_map_with<J, T, F>(jobs: Vec<J>, workers: usize, f: F) -> Vec<T>
 where
-    J: Send,
+    J: Send + Sync + Clone,
     T: Send,
     F: Fn(J) -> T + Sync,
 {
-    let n = jobs.len();
-    let workers = workers.max(1).min(n.max(1));
-    if workers <= 1 || n <= 1 {
-        return jobs.into_iter().map(f).collect();
-    }
-    // Work-stealing-free job distribution: an atomic cursor hands each
-    // worker the next unclaimed index; results flow back through a
-    // channel tagged with their index and are merged in order.
-    let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, T)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let slots = &slots;
-            let cursor = &cursor;
-            let f = &f;
-            scope.spawn(move || loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let job = slots[idx]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("job claimed twice");
-                if tx.send((idx, f(job))).is_err() {
-                    break;
-                }
-            });
-        }
-    });
-    drop(tx);
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (idx, val) in rx {
-        out[idx] = Some(val);
-    }
-    out.into_iter()
-        .map(|v| v.expect("worker dropped a job result"))
-        .collect()
+    claim_map(
+        jobs,
+        workers,
+        |_, job| JobVerdict::Done(Ok(f(job))),
+        |_, _| (),
+    )
+    .into_iter()
+    .map(|slot| match slot {
+        Ok(val) => val,
+        // The bare map has no failure channel: a panicking job is
+        // isolated by the engine, then re-raised here on the
+        // coordinator instead of aborting the process from a worker.
+        // lint: allow(panic)
+        Err(fail) => panic!("parallel job failed: {fail}"),
+    })
+    .collect()
 }
 
 /// The flow layout of one run.
@@ -280,6 +384,48 @@ impl Serialize for FlowSummary {
     }
 }
 
+fn series_from_value(v: &Value) -> Result<Vec<(f64, f64)>, DeError> {
+    let Value::Array(items) = v else {
+        return Err(DeError::new("expected a series array"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let Value::Array(pair) = item else {
+                return Err(DeError::new("expected a [t, v] pair"));
+            };
+            if pair.len() != 2 {
+                return Err(DeError::new("expected a [t, v] pair"));
+            }
+            Ok((f64::from_value(&pair[0])?, f64::from_value(&pair[1])?))
+        })
+        .collect()
+}
+
+// Mirror of the manual Serialize impl, used to restore journaled slots.
+// `compute_ns` was never serialized (host wall-clock) and restores as 0.
+impl Deserialize for FlowSummary {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(FlowSummary {
+            name: Deserialize::from_value(get_field(v, "name")?)?,
+            sent_bytes: Deserialize::from_value(get_field(v, "sent_bytes")?)?,
+            delivered_bytes: Deserialize::from_value(get_field(v, "delivered_bytes")?)?,
+            acked_packets: Deserialize::from_value(get_field(v, "acked_packets")?)?,
+            lost_packets: Deserialize::from_value(get_field(v, "lost_packets")?)?,
+            goodput_mbps: Deserialize::from_value(get_field(v, "goodput_mbps")?)?,
+            rtt_mean_ms: Deserialize::from_value(get_field(v, "rtt_mean_ms")?)?,
+            rtt_samples: Deserialize::from_value(get_field(v, "rtt_samples")?)?,
+            p95_rtt_ms: Deserialize::from_value(get_field(v, "p95_rtt_ms")?)?,
+            max_rtt_ms: Deserialize::from_value(get_field(v, "max_rtt_ms")?)?,
+            loss_fraction: Deserialize::from_value(get_field(v, "loss_fraction")?)?,
+            ecn_echoes: Deserialize::from_value(get_field(v, "ecn_echoes")?)?,
+            goodput_series: series_from_value(get_field(v, "goodput_series")?)?,
+            rtt_series: series_from_value(get_field(v, "rtt_series")?)?,
+            compute_ns: 0,
+        })
+    }
+}
+
 /// Send-safe summary of one finished run, serialized for the
 /// determinism tests and merged in job order by [`run_sweep`].
 #[derive(Debug, Clone)]
@@ -323,6 +469,27 @@ impl Serialize for RunSummary {
             ("mean_rtt_ms".into(), self.mean_rtt_ms.to_value()),
             ("flows".into(), self.flows.to_value()),
         ])
+    }
+}
+
+// Mirror of the manual Serialize impl. The trace stream is not
+// serialized, so a journal-restored summary carries an empty one; the
+// serialized forms still match byte-for-byte.
+impl Deserialize for RunSummary {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(RunSummary {
+            label: Deserialize::from_value(get_field(v, "label")?)?,
+            duration_s: Deserialize::from_value(get_field(v, "duration_s")?)?,
+            utilization: Deserialize::from_value(get_field(v, "utilization")?)?,
+            mean_queue_bytes: Deserialize::from_value(get_field(v, "mean_queue_bytes")?)?,
+            tail_drops: Deserialize::from_value(get_field(v, "tail_drops")?)?,
+            stochastic_drops: Deserialize::from_value(get_field(v, "stochastic_drops")?)?,
+            jain: Deserialize::from_value(get_field(v, "jain")?)?,
+            mean_rtt_ms: Deserialize::from_value(get_field(v, "mean_rtt_ms")?)?,
+            flows: Deserialize::from_value(get_field(v, "flows")?)?,
+            trace: Vec::new(),
+            trace_dropped: 0,
+        })
     }
 }
 
@@ -385,8 +552,21 @@ impl RunSummary {
 
 /// Execute one spec on the calling thread.
 pub fn run_spec(store: &ModelStore, spec: &RunSpec) -> RunSummary {
+    run_spec_budgeted(store, spec, libra_netsim::SimBudget::default())
+}
+
+/// [`run_spec`] with watchdog budgets armed: a tripped budget aborts
+/// the run by panicking with the [`libra_netsim::BudgetTrip`] as
+/// payload, which the supervisor's per-attempt guard classifies into a
+/// typed [`JobFailure`].
+pub fn run_spec_budgeted(
+    store: &ModelStore,
+    spec: &RunSpec,
+    budget: libra_netsim::SimBudget,
+) -> RunSummary {
     let cfg = SimConfig {
         trace: spec.trace,
+        budget,
         ..SimConfig::default()
     };
     let report = match spec.workload {
@@ -435,7 +615,10 @@ pub fn run_sweep_with(store: &ModelStore, specs: Vec<RunSpec>, workers: usize) -
 
 /// Train/load every model the sweep needs once, up front, so workers
 /// start from a warm cache instead of serializing on the training lock.
-fn warm_models(store: &ModelStore, specs: &[RunSpec]) {
+/// The supervisor also calls this *before* arming any fault injection:
+/// training happens under the store's lock, and a panic while holding
+/// it would poison every subsequent job.
+pub(crate) fn warm_models(store: &ModelStore, specs: &[RunSpec]) {
     let mut seen: BTreeSet<Cca> = BTreeSet::new();
     for spec in specs {
         let mut ccas = vec![spec.cca];
@@ -475,6 +658,86 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn claim_map_isolates_panics_into_typed_slots() {
+        crate::supervisor::silence_supervised_panics();
+        let jobs: Vec<u64> = (0..8).collect();
+        for workers in [1, 4] {
+            let out = claim_map(
+                jobs.clone(),
+                workers,
+                |_, j| {
+                    if j == 3 {
+                        std::panic::panic_any(format!("chaos: job {j} exploded"));
+                    }
+                    JobVerdict::Done(Ok(j * 2))
+                },
+                |_, _| (),
+            );
+            assert_eq!(out.len(), 8);
+            for (j, slot) in out.iter().enumerate() {
+                if j == 3 {
+                    let fail = slot.as_ref().expect_err("job 3 should fail");
+                    assert!(matches!(fail.error, JobError::Panic { .. }), "{fail:?}");
+                } else {
+                    assert_eq!(*slot.as_ref().expect("other jobs fine"), j as u64 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn claim_map_reenqueues_a_died_claim() {
+        use std::sync::atomic::AtomicBool;
+        for workers in [1, 4] {
+            let die_once = AtomicBool::new(true);
+            let out = claim_map(
+                (0..6u64).collect(),
+                workers,
+                |idx, j| {
+                    if idx == 2 && die_once.swap(false, Ordering::SeqCst) {
+                        return JobVerdict::Die;
+                    }
+                    JobVerdict::Done(Ok(j + 1))
+                },
+                |_, _| (),
+            );
+            let vals: Vec<u64> = out
+                .into_iter()
+                .map(|s| s.expect("re-enqueued claim completes"))
+                .collect();
+            assert_eq!(vals, vec![1, 2, 3, 4, 5, 6], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn claim_map_journals_a_twice_died_claim_as_lost() {
+        for workers in [1, 4] {
+            let mut completions: Vec<usize> = Vec::new();
+            let out = claim_map(
+                (0..4u64).collect(),
+                workers,
+                |idx, j| {
+                    if idx == 1 {
+                        return JobVerdict::Die; // dies on every claim
+                    }
+                    JobVerdict::Done(Ok(j))
+                },
+                |idx, _| completions.push(idx),
+            );
+            let fail = out[1].as_ref().expect_err("twice-died claim is lost");
+            assert!(matches!(fail.error, JobError::Lost { .. }), "{fail:?}");
+            assert_eq!(fail.attempts, 2);
+            completions.sort_unstable();
+            assert_eq!(
+                completions,
+                vec![0, 1, 2, 3],
+                "every job reaches on_complete"
+            );
+            assert!(out.iter().enumerate().all(|(i, s)| i == 1 || s.is_ok()));
+        }
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Supervised-sweep acceptance tests: chaos, lost jobs, and
+//! checkpoint-resume.
+//!
+//! 1. **Chaos self-test** — deterministic faults (panic, wall-deadline
+//!    trip, livelock trip) injected on chosen job indices; the sweep
+//!    must complete with every job either succeeded-after-retry or
+//!    journaled as a typed failure, and the successful slots must be
+//!    byte-identical to a clean run's, at 1 and N workers.
+//! 2. **Lost-job regression** — a worker killed mid-claim must not
+//!    silently drop its job from the merge: the claim is re-enqueued
+//!    and the campaign output matches the clean run exactly.
+//! 3. **Resume equivalence** — a journaled sweep interrupted at an
+//!    arbitrary byte offset (job boundaries and mid-line truncations
+//!    alike) and resumed at a different worker count must produce
+//!    merged output byte-identical to the uninterrupted sweep.
+
+use libra_bench::{
+    journal_dir, merged_slots_json, run_sweep_supervised_with, Cca, FaultyScenario, Journal,
+    ModelStore, RunSpec, SweepPolicy, SweepReport,
+};
+use libra_netsim::LinkConfig;
+use libra_types::{DetRng, Duration, Rate};
+use std::path::PathBuf;
+
+fn wired(mbps: f64) -> LinkConfig {
+    LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(40), 1.0)
+}
+
+/// Classic-CCA specs only (no training) so the tests stay fast.
+fn quick_specs(n: u64) -> Vec<RunSpec> {
+    (0..n)
+        .map(|k| {
+            let cca = if k % 2 == 0 { Cca::Cubic } else { Cca::Bbr };
+            RunSpec::single(cca, wired(12.0 + (k % 3) as f64 * 12.0), 2, 500 + k)
+        })
+        .collect()
+}
+
+/// Millisecond-scale backoff so retry-heavy tests don't sleep for real.
+fn fast_policy() -> SweepPolicy {
+    SweepPolicy {
+        backoff_base_ms: 1,
+        backoff_cap_ms: 3,
+        ..SweepPolicy::default()
+    }
+}
+
+fn slot_json(report: &SweepReport, idx: usize) -> String {
+    serde_json::to_string(&libra_bench::slot_to_value(&report.slots[idx])).expect("slot json")
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    journal_dir().join(format!("itest_{name}_{}.jsonl", std::process::id()))
+}
+
+/// Chaos acceptance: injected panics, deadline trips, and livelock
+/// trips on 4 of 6 jobs. Three converge inside the retry budget, one
+/// panics past it. Every job must land as a typed slot, the journal
+/// must carry one entry per job with the right status, and successful
+/// slots must match the clean run byte-for-byte at 1 and 4 workers.
+#[test]
+fn chaos_sweep_completes_with_typed_failures_and_clean_digests() {
+    let store = ModelStore::ephemeral(3);
+    let specs = quick_specs(6);
+    let policy = fast_policy();
+    let clean = run_sweep_supervised_with(&store, specs.clone(), 2, &policy, None, None);
+    assert_eq!(clean.failures(), 0, "clean run must not fail");
+
+    for workers in [1, 4] {
+        // panic ×1 and both budget-trip kinds recover inside the
+        // 3-attempt budget; job 4's panic outlives it.
+        let chaos = FaultyScenario::none()
+            .panic_on(0, 1)
+            .deadline_on(2, 2)
+            .sim_budget_on(3, 1)
+            .panic_on(4, 99);
+        let path = tmp_journal(&format!("chaos_w{workers}"));
+        let mut journal = Journal::fresh(&path).expect("fresh journal");
+        let report = run_sweep_supervised_with(
+            &store,
+            specs.clone(),
+            workers,
+            &policy,
+            Some(&chaos),
+            Some(&mut journal),
+        );
+
+        // Every slot is terminal: succeeded (possibly after retries) or
+        // a typed failure.
+        assert_eq!(report.slots.len(), specs.len());
+        assert_eq!(report.failures(), 1, "only job 4 exhausts its retries");
+        assert!(report.slots[4].is_err());
+        assert_eq!(report.attempts[0], 2, "one injected panic, then success");
+        assert_eq!(report.attempts[2], 3, "two injected deadline trips");
+        assert_eq!(report.attempts[3], 2, "one injected livelock trip");
+        assert_eq!(
+            report.attempts[4], 3,
+            "permanent failure uses the full budget"
+        );
+        match &report.slots[4] {
+            Err(failure) => {
+                assert_eq!(failure.error.kind(), "panic");
+                assert_eq!(failure.attempts, 3);
+            }
+            Ok(_) => unreachable!("job 4 cannot succeed"),
+        }
+
+        // The journal holds one entry per job, statuses matching slots.
+        assert_eq!(journal.len(), specs.len());
+        for (idx, entry) in journal.entries() {
+            let idx = *idx as usize;
+            match &report.slots[idx] {
+                Ok(_) => assert_eq!(entry.status, "ok", "job {idx}"),
+                Err(f) => assert_eq!(entry.status, f.error.kind(), "job {idx}"),
+            }
+        }
+
+        // Successful slots are byte-identical to the clean run: faults
+        // and retries must not perturb surviving results.
+        for idx in [0, 1, 2, 3, 5] {
+            assert!(report.slots[idx].is_ok(), "job {idx} should converge");
+            assert_eq!(
+                slot_json(&report, idx),
+                slot_json(&clean, idx),
+                "slot {idx} diverged from the clean run at workers={workers}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Lost-job regression: a worker killed while holding a claim must not
+/// drop the job — the coordinator re-enqueues it and the merged output
+/// matches the clean run exactly.
+#[test]
+fn killed_worker_claim_is_reenqueued_not_dropped() {
+    let store = ModelStore::ephemeral(5);
+    let specs = quick_specs(5);
+    let policy = fast_policy();
+    let clean = run_sweep_supervised_with(&store, specs.clone(), 3, &policy, None, None);
+    let chaos = FaultyScenario::none().kill_worker_on(2);
+    let report = run_sweep_supervised_with(&store, specs.clone(), 3, &policy, Some(&chaos), None);
+    assert_eq!(report.failures(), 0, "the re-enqueued claim must succeed");
+    assert_eq!(
+        merged_slots_json(&report),
+        merged_slots_json(&clean),
+        "a mid-claim worker death must not change the campaign output"
+    );
+}
+
+/// Resume equivalence, property-style: truncate the journal of a
+/// completed sweep at pseudo-random byte offsets (hitting both job
+/// boundaries and mid-line corruption), resume at a different worker
+/// count, and require the merged output byte-identical to the
+/// uninterrupted sweep every time.
+#[test]
+fn resume_from_any_truncation_is_byte_identical() {
+    let store = ModelStore::ephemeral(9);
+    let specs = quick_specs(4);
+    let policy = fast_policy();
+
+    // Uninterrupted, journaled reference run.
+    let gold_path = tmp_journal("resume_gold");
+    let mut gold_journal = Journal::fresh(&gold_path).expect("fresh journal");
+    let gold = run_sweep_supervised_with(
+        &store,
+        specs.clone(),
+        2,
+        &policy,
+        None,
+        Some(&mut gold_journal),
+    );
+    let gold_json = merged_slots_json(&gold);
+    let journal_bytes = std::fs::read(&gold_path).expect("read journal");
+    assert!(!journal_bytes.is_empty());
+
+    // 8 deterministic pseudo-random cut points plus the two extremes:
+    // an empty journal (resume from nothing) and the intact journal
+    // (resume with everything done).
+    let mut rng = DetRng::new(0xC0FFEE).fork("resume-proptest");
+    let mut cuts: Vec<usize> = (0..8)
+        .map(|_| rng.uniform_u64(0, journal_bytes.len() as u64 + 1) as usize)
+        .collect();
+    cuts.push(0);
+    cuts.push(journal_bytes.len());
+
+    for (case, cut) in cuts.into_iter().enumerate() {
+        let path = tmp_journal(&format!("resume_case{case}"));
+        std::fs::write(&path, &journal_bytes[..cut]).expect("write truncated journal");
+        let mut journal = Journal::resume(&path).expect("resume journal");
+        let restored_available = journal.len();
+        let workers = 1 + case % 3;
+        let report = run_sweep_supervised_with(
+            &store,
+            specs.clone(),
+            workers,
+            &policy,
+            None,
+            Some(&mut journal),
+        );
+        assert_eq!(
+            merged_slots_json(&report),
+            gold_json,
+            "resume diverged (cut at byte {cut}/{}, workers={workers})",
+            journal_bytes.len()
+        );
+        let restored = report.restored.iter().filter(|&&r| r).count();
+        assert_eq!(
+            restored, restored_available,
+            "every intact journal entry should be restored (cut at {cut})"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_file(&gold_path);
+}

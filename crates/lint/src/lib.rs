@@ -20,6 +20,7 @@
 //! | `float-guard` | utility-adjacent float math carries finite-guard evidence |
 //! | `thread-discipline` | threads only in `bench/src/sweep.rs` |
 //! | `entropy` | no ambient randomness (`thread_rng`, `RandomState`, …) |
+//! | `bounded-retry` | retry/backoff loops carry an explicit attempt bound |
 //!
 //! The scanner is hand-rolled (no external deps — the registry is
 //! offline): [`source::SourceFile`] blanks comments/strings, masks

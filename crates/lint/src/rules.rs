@@ -75,6 +75,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(FloatGuard),
         Box::new(ThreadDiscipline),
         Box::new(Entropy),
+        Box::new(BoundedRetry),
     ]
 }
 
@@ -403,6 +404,120 @@ impl Rule for Entropy {
     }
 }
 
+/// `bounded-retry`: an unbounded loop (`loop { … }` / `while true`)
+/// whose body retries work — backoff sleeps, retry counters — can spin
+/// forever the moment the retried condition stops clearing; that is
+/// exactly the livelock the sweep watchdogs exist to kill. Retry loops
+/// must iterate over an explicit attempt range
+/// (`for attempt in 1..=max_attempts`) or carry bound evidence in the
+/// loop body (an attempt/limit comparison, a remaining-budget or
+/// deadline check). Audited exceptions waive with
+/// `// lint: allow(bounded-retry)` on or above the loop header.
+pub struct BoundedRetry;
+
+/// Body patterns that mark a loop as a retry/backoff loop.
+const RETRY_IDIOMS: &[&str] = &["retry", "retries", "backoff", "try_again", "sleep("];
+
+/// Evidence that the loop bounds its attempts (or its wall time).
+const RETRY_BOUND_EVIDENCE: &[&str] = &[
+    "max_attempts",
+    "max_retries",
+    "max_tries",
+    "attempt >",
+    "attempts >",
+    "attempt <",
+    "attempts <",
+    "attempt ==",
+    "attempts ==",
+    "remaining",
+    "budget",
+    "deadline",
+];
+
+impl BoundedRetry {
+    /// `(header_line, last_line)` of every `loop { … }` / `while true`
+    /// body, by brace tracking over the blanked text (`for`/conditional
+    /// `while` loops are bounded by their header and not tracked).
+    fn loop_spans(code: &[String]) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut depth: i32 = 0;
+        // (header_line, body_depth) of loops whose body is open.
+        let mut open: Vec<(usize, i32)> = Vec::new();
+        let mut header: Option<usize> = None;
+        for (idx, line) in code.iter().enumerate() {
+            if header.is_none() && (line.contains("loop {") || line.contains("while true")) {
+                header = Some(idx);
+            }
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if let Some(start) = header.take() {
+                            open.push((start, depth));
+                        }
+                    }
+                    '}' => {
+                        if let Some(&(start, d)) = open.last() {
+                            if d == depth {
+                                open.pop();
+                                spans.push((start, idx));
+                            }
+                        }
+                        depth -= 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        spans.sort_unstable();
+        spans
+    }
+}
+
+impl Rule for BoundedRetry {
+    fn id(&self) -> &'static str {
+        "bounded-retry"
+    }
+    fn description(&self) -> &'static str {
+        "unbounded retry/backoff loop without an explicit attempt bound"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for (start, end) in Self::loop_spans(&file.code) {
+            if file.is_test[start] {
+                continue;
+            }
+            let body = &file.code[start..=end];
+            let retries = body
+                .iter()
+                .any(|l| RETRY_IDIOMS.iter().any(|p| l.contains(p)));
+            if !retries {
+                continue;
+            }
+            let bounded = body
+                .iter()
+                .any(|l| RETRY_BOUND_EVIDENCE.iter().any(|p| l.contains(p)));
+            if bounded
+                || file.allowed(start, "bounded-retry")
+                || file.allowed(start, "bounded_retry")
+            {
+                continue;
+            }
+            out.push(Finding {
+                rule: self.id(),
+                severity: self.severity(),
+                path: file.path.clone(),
+                line: start + 1,
+                message: "unbounded retry loop; iterate an explicit attempt range \
+                          (`for attempt in 1..=max_attempts`), compare a counter \
+                          against a limit inside the body, or waive an audited \
+                          exception with `// lint: allow(bounded-retry)`"
+                    .to_string(),
+                excerpt: file.lines[start].trim().to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,7 +539,7 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 6);
+        assert_eq!(n, 7);
     }
 
     #[test]
@@ -458,6 +573,36 @@ mod tests {
             "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x().unwrap(); }\n}\n",
         );
         assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn bounded_retry_needs_idiom_and_missing_bound() {
+        // Unbounded loop with a backoff idiom and no bound: flagged.
+        let hits = findings(
+            "crates/bench/src/demo.rs",
+            "fn f() {\n    loop {\n        backoff_sleep();\n    }\n}\n",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "bounded-retry");
+        assert_eq!(hits[0].line, 2);
+        // Same loop with a counter-vs-limit comparison: clean.
+        let bounded = findings(
+            "crates/bench/src/demo.rs",
+            "fn f(max_attempts: u32) {\n    let mut a = 0;\n    loop {\n        a += 1;\n        if a >= max_attempts { break; }\n        backoff_sleep();\n    }\n}\n",
+        );
+        assert!(bounded.is_empty(), "{bounded:?}");
+        // No retry idiom in the body: not a retry loop, clean.
+        let plain = findings(
+            "crates/bench/src/demo.rs",
+            "fn f() {\n    loop {\n        if done() { break; }\n        step();\n    }\n}\n",
+        );
+        assert!(plain.is_empty(), "{plain:?}");
+        // Waiver on the header line above: clean.
+        let waived = findings(
+            "crates/bench/src/demo.rs",
+            "fn f() {\n    // lint: allow(bounded-retry)\n    loop {\n        backoff_sleep();\n    }\n}\n",
+        );
+        assert!(waived.is_empty(), "{waived:?}");
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! lint-fixture: crates/bench/src/demo.rs
+//! Expect: `bounded-retry` — an unbounded loop that retries with
+//! backoff and never bounds its attempts.
+
+pub fn poll_until_up() {
+    loop {
+        if try_once() {
+            return;
+        }
+        backoff_pause();
+    }
+}
+
+fn try_once() -> bool {
+    false
+}
+
+fn backoff_pause() {}

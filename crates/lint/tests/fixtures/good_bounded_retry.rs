@@ -1,0 +1,41 @@
+//! lint-fixture: crates/bench/src/demo.rs
+//! Expect: clean — retry loops either iterate an explicit attempt
+//! range, compare a counter against a limit, or carry an audited
+//! waiver.
+
+pub fn range_bounded(max_attempts: u32) -> bool {
+    for attempt in 1..=max_attempts {
+        if try_once(attempt) {
+            return true;
+        }
+        backoff_pause();
+    }
+    false
+}
+
+pub fn counter_bounded(max_attempts: u32) {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        if attempts >= max_attempts || try_once(attempts) {
+            return;
+        }
+        backoff_pause();
+    }
+}
+
+pub fn audited_poll() {
+    // lint: allow(bounded-retry) — bounded by the harness-level timeout
+    loop {
+        if try_once(0) {
+            return;
+        }
+        backoff_pause();
+    }
+}
+
+fn try_once(_attempt: u32) -> bool {
+    true
+}
+
+fn backoff_pause() {}

@@ -20,6 +20,7 @@ const BAD: &[(&str, &str)] = &[
     ("bad_float_guard.rs", "float-guard"),
     ("bad_threads.rs", "thread-discipline"),
     ("bad_entropy.rs", "entropy"),
+    ("bad_bounded_retry.rs", "bounded-retry"),
 ];
 
 const GOOD: &[&str] = &[
@@ -29,6 +30,7 @@ const GOOD: &[&str] = &[
     "good_float_guard.rs",
     "good_threads.rs",
     "good_entropy.rs",
+    "good_bounded_retry.rs",
 ];
 
 fn fixtures_dir() -> PathBuf {

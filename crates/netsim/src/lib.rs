@@ -56,7 +56,10 @@ pub use mahimahi::{capacity_from_mahimahi, capacity_to_mahimahi, TraceError};
 pub use packet::{AckPacket, FlowId, Packet};
 pub use queue::{DroptailQueue, EcnConfig, Enqueue};
 pub use sender::{BinSeries, EmitResult, FlowSender};
-pub use sim::{FlowConfig, FlowReport, LinkConfig, LinkReport, SimConfig, SimReport, Simulation};
+pub use sim::{
+    BudgetKind, BudgetTrip, FlowConfig, FlowReport, LinkConfig, LinkReport, SimBudget, SimConfig,
+    SimReport, Simulation,
+};
 pub use trace::{
     datacenter_link, fiveg_link, lte_link, lte_trace, satellite_link, step_link, wan_link,
     wired_link, LteScenario, WanScenario,

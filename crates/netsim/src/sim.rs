@@ -103,6 +103,9 @@ pub struct SimConfig {
     /// Per-flow ring-recorder capacity; the oldest events are evicted
     /// (and counted) beyond this.
     pub trace_capacity: usize,
+    /// Livelock/event-storm watchdog budgets. Inactive by default: the
+    /// default hot loop carries a single boolean branch per pop.
+    pub budget: SimBudget,
 }
 
 impl Default for SimConfig {
@@ -110,6 +113,7 @@ impl Default for SimConfig {
         SimConfig {
             trace: false,
             trace_capacity: 65_536,
+            budget: SimBudget::default(),
         }
     }
 }
@@ -121,6 +125,117 @@ impl SimConfig {
             trace: true,
             ..SimConfig::default()
         }
+    }
+
+    /// Watchdogs armed at the [`SimBudget::standard`] limits.
+    pub fn supervised() -> Self {
+        SimConfig {
+            budget: SimBudget::standard(),
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Watchdog budgets for one simulation run. Every limit is optional and
+/// `None` by default, so an unsupervised run pays one branch per event
+/// pop and can never trip. A healthy run at the paper's scales sits
+/// orders of magnitude under the [`SimBudget::standard`] limits; a
+/// livelocked or event-storming controller hits them in bounded time
+/// instead of spinning forever.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Maximum events dispatched inside any one sim-second.
+    pub max_events_per_sim_sec: Option<u64>,
+    /// Maximum outstanding events in the heap at any point.
+    pub max_heap_events: Option<usize>,
+    /// Maximum consecutive pops that do not advance the sim clock.
+    pub max_zero_progress_pops: Option<u64>,
+    /// Wall-clock budget for the whole run, in milliseconds. Reads go
+    /// through the audited [`crate::host_clock`] waiver and are checked
+    /// every few thousand pops, so enforcement granularity is coarse.
+    pub wall_limit_ms: Option<u64>,
+}
+
+impl SimBudget {
+    /// Generous production limits: far above anything a sane run needs
+    /// (a saturated 100 Mbps link generates ~5 × 10⁴ events per
+    /// sim-second; these trip at 5 × 10⁷), tight enough to bound a
+    /// runaway controller. No wall limit — that is a per-job decision.
+    pub fn standard() -> Self {
+        SimBudget {
+            max_events_per_sim_sec: Some(50_000_000),
+            max_heap_events: Some(8_000_000),
+            max_zero_progress_pops: Some(5_000_000),
+            wall_limit_ms: None,
+        }
+    }
+
+    /// Attach a wall-clock limit (builder style).
+    pub fn with_wall_limit_ms(mut self, ms: u64) -> Self {
+        self.wall_limit_ms = Some(ms);
+        self
+    }
+
+    /// Whether any limit is armed.
+    pub fn is_active(&self) -> bool {
+        self.max_events_per_sim_sec.is_some()
+            || self.max_heap_events.is_some()
+            || self.max_zero_progress_pops.is_some()
+            || self.wall_limit_ms.is_some()
+    }
+}
+
+/// Which watchdog budget a run exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Too many events dispatched inside one sim-second.
+    EventStorm,
+    /// The event heap outgrew its cap.
+    HeapGrowth,
+    /// Too many consecutive pops without the sim clock advancing.
+    Livelock,
+    /// The run exceeded its wall-clock budget.
+    WallDeadline,
+}
+
+impl BudgetKind {
+    /// Stable lower-case label for diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BudgetKind::EventStorm => "event-storm",
+            BudgetKind::HeapGrowth => "heap-growth",
+            BudgetKind::Livelock => "livelock",
+            BudgetKind::WallDeadline => "wall-deadline",
+        }
+    }
+}
+
+/// Diagnostic record of a tripped watchdog, returned by
+/// [`Simulation::try_run`] (and carried as the panic payload by
+/// [`Simulation::run`] so supervisors can downcast it). All fields
+/// except a [`BudgetKind::WallDeadline`]'s timing are deterministic
+/// functions of `(configuration, seed)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetTrip {
+    /// Which budget tripped.
+    pub kind: BudgetKind,
+    /// Sim time of the trip, in nanoseconds.
+    pub at_ns: u64,
+    /// The configured limit that was exceeded.
+    pub limit: u64,
+    /// Human-readable description (deterministic: no host readings).
+    pub detail: String,
+}
+
+impl std::fmt::Display for BudgetTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sim budget trip [{}] at t={:.3}s: {}",
+            self.kind.label(),
+            self.at_ns as f64 / 1e9,
+            self.detail
+        )
     }
 }
 
@@ -470,11 +585,35 @@ impl Simulation {
     }
 
     /// Run until `until`; consumes the simulation and returns the report.
-    pub fn run(mut self, until: Instant) -> SimReport {
+    ///
+    /// If a [`SimBudget`] watchdog trips, panics via
+    /// `std::panic::panic_any` with the [`BudgetTrip`] as payload so a
+    /// supervising `catch_unwind` can downcast and classify it. Callers
+    /// that want the trip as a value use [`Simulation::try_run`].
+    pub fn run(self, until: Instant) -> SimReport {
+        match self.try_run(until) {
+            Ok(report) => report,
+            Err(trip) => std::panic::panic_any(trip),
+        }
+    }
+
+    /// Like [`Simulation::run`], but a tripped watchdog budget aborts
+    /// the run and comes back as `Err(BudgetTrip)` instead of a panic.
+    pub fn try_run(mut self, until: Instant) -> Result<SimReport, BudgetTrip> {
         self.schedule(
             Instant::ZERO + Duration::from_millis(25),
             Event::QueueSample,
         );
+        let budget = self.cfg.budget.clone();
+        let budget_active = budget.is_active();
+        // Watchdog state: consecutive same-timestamp pops, events inside
+        // the current sim-second, total pops (wall-check cadence), and
+        // the wall stamp (taken only when a wall limit is armed).
+        let mut zero_progress: u64 = 0;
+        let mut window_sec: u64 = u64::MAX;
+        let mut window_events: u64 = 0;
+        let mut pops: u64 = 0;
+        let wall_start = budget.wall_limit_ms.map(|_| crate::host_clock::stamp());
         while let Some(Reverse(entry)) = self.events.pop() {
             if entry.at > until {
                 break;
@@ -485,11 +624,103 @@ impl Simulation {
             // would silently corrupt every downstream time integral.
             #[cfg(feature = "checked-invariants")]
             assert!(entry.at >= self.now, "event time went backwards");
+            if budget_active {
+                if let Some(trip) = self.check_budget(
+                    &budget,
+                    entry.at,
+                    &mut zero_progress,
+                    &mut window_sec,
+                    &mut window_events,
+                    &mut pops,
+                    wall_start.as_ref(),
+                ) {
+                    return Err(trip);
+                }
+            }
             self.now = entry.at;
             self.dispatch(entry.event, until);
         }
         self.now = until;
-        self.finalize(until)
+        Ok(self.finalize(until))
+    }
+
+    /// One watchdog tick: update counters for the event about to be
+    /// dispatched at `at` and return a trip if any armed limit is
+    /// exceeded. Kept out of line so the unsupervised hot loop stays a
+    /// single branch.
+    #[allow(clippy::too_many_arguments)]
+    fn check_budget(
+        &self,
+        budget: &SimBudget,
+        at: Instant,
+        zero_progress: &mut u64,
+        window_sec: &mut u64,
+        window_events: &mut u64,
+        pops: &mut u64,
+        wall_start: Option<&crate::host_clock::HostStamp>,
+    ) -> Option<BudgetTrip> {
+        *pops += 1;
+        if at == self.now {
+            *zero_progress += 1;
+        } else {
+            *zero_progress = 0;
+        }
+        if let Some(limit) = budget.max_zero_progress_pops {
+            if *zero_progress > limit {
+                return Some(BudgetTrip {
+                    kind: BudgetKind::Livelock,
+                    at_ns: at.nanos(),
+                    limit,
+                    detail: format!(
+                        "{} consecutive events without the sim clock advancing (limit {limit})",
+                        *zero_progress
+                    ),
+                });
+            }
+        }
+        if let Some(limit) = budget.max_events_per_sim_sec {
+            let sec = at.nanos() / 1_000_000_000;
+            if sec != *window_sec {
+                *window_sec = sec;
+                *window_events = 0;
+            }
+            *window_events += 1;
+            if *window_events > limit {
+                return Some(BudgetTrip {
+                    kind: BudgetKind::EventStorm,
+                    at_ns: at.nanos(),
+                    limit,
+                    detail: format!("more than {limit} events inside sim-second {sec}"),
+                });
+            }
+        }
+        if let Some(limit) = budget.max_heap_events {
+            if self.events.len() > limit {
+                return Some(BudgetTrip {
+                    kind: BudgetKind::HeapGrowth,
+                    at_ns: at.nanos(),
+                    limit: limit as u64,
+                    detail: format!(
+                        "{} outstanding events in the heap (limit {limit})",
+                        self.events.len()
+                    ),
+                });
+            }
+        }
+        if let (Some(limit_ms), Some(start)) = (budget.wall_limit_ms, wall_start) {
+            // Wall reads are comparatively expensive and nondeterministic;
+            // amortize them over 4096 pops (plus the very first, so a zero
+            // budget trips immediately).
+            if *pops & 0xFFF == 1 && start.elapsed_ms() > limit_ms as f64 {
+                return Some(BudgetTrip {
+                    kind: BudgetKind::WallDeadline,
+                    at_ns: at.nanos(),
+                    limit: limit_ms,
+                    detail: format!("exceeded wall budget of {limit_ms} ms"),
+                });
+            }
+        }
+        None
     }
 
     fn dispatch(&mut self, event: Event, until: Instant) {
@@ -1187,5 +1418,160 @@ mod robustness_tests {
         // Virtually everything was tail-dropped, the link stayed sane.
         assert!(rep.link.utilization <= 1.0);
         assert!(rep.link.tail_drops > 0);
+    }
+
+    /// Unwrap the `Err` side (`SimReport` has no `Debug`, so
+    /// `expect_err` is unavailable).
+    fn trip_of(result: Result<SimReport, BudgetTrip>, what: &str) -> BudgetTrip {
+        match result {
+            Ok(_) => panic!("{what}: expected a budget trip"),
+            Err(trip) => trip,
+        }
+    }
+
+    fn budget_run(budget: SimBudget) -> Result<SimReport, BudgetTrip> {
+        let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0);
+        let until = Instant::from_secs(5);
+        let cfg = SimConfig {
+            budget,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::with_config(link, 1, cfg);
+        sim.add_flow(FlowConfig::whole_run(Box::new(Absurd), until));
+        sim.try_run(until)
+    }
+
+    #[test]
+    fn inactive_budget_never_trips() {
+        assert!(!SimBudget::default().is_active());
+        let rep = match budget_run(SimBudget::default()) {
+            Ok(rep) => rep,
+            Err(trip) => panic!("no budget armed, yet tripped: {trip}"),
+        };
+        assert!(rep.link.utilization <= 1.0);
+    }
+
+    /// Well-behaved fixed-rate controller for the sane-run checks.
+    struct Steady(Rate);
+    impl CongestionControl for Steady {
+        fn name(&self) -> &'static str {
+            "steady"
+        }
+        fn on_ack(&mut self, _: &AckEvent) {}
+        fn on_loss(&mut self, _: &LossEvent) {}
+        fn cwnd_bytes(&self) -> u64 {
+            u64::MAX / 2
+        }
+        fn pacing_rate(&self) -> Option<Rate> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn standard_budget_passes_a_sane_run() {
+        let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0);
+        let until = Instant::from_secs(5);
+        let mut sim = Simulation::with_config(link, 1, SimConfig::supervised());
+        sim.add_flow(FlowConfig::whole_run(
+            Box::new(Steady(Rate::from_mbps(8.0))),
+            until,
+        ));
+        let rep = match sim.try_run(until) {
+            Ok(rep) => rep,
+            Err(trip) => panic!("sane run tripped the standard budget: {trip}"),
+        };
+        assert!(rep.link.utilization > 0.5);
+    }
+
+    #[test]
+    fn event_storm_budget_trips_on_absurd_sender() {
+        let budget = SimBudget {
+            max_events_per_sim_sec: Some(1_000),
+            ..SimBudget::default()
+        };
+        let trip = trip_of(budget_run(budget), "storm");
+        assert_eq!(trip.kind, BudgetKind::EventStorm);
+        assert_eq!(trip.limit, 1_000);
+        assert!(trip.detail.contains("1000 events"), "{}", trip.detail);
+        // Deterministic: same config, same trip.
+        let again = trip_of(
+            budget_run(SimBudget {
+                max_events_per_sim_sec: Some(1_000),
+                ..SimBudget::default()
+            }),
+            "storm rerun",
+        );
+        assert_eq!(again, trip);
+    }
+
+    #[test]
+    fn heap_budget_trips_when_events_pile_up() {
+        let budget = SimBudget {
+            max_heap_events: Some(16),
+            ..SimBudget::default()
+        };
+        let trip = trip_of(budget_run(budget), "heap growth");
+        assert_eq!(trip.kind, BudgetKind::HeapGrowth);
+        assert_eq!(trip.limit, 16);
+    }
+
+    #[test]
+    fn zero_progress_budget_trips_on_same_timestamp_churn() {
+        // Twenty flows all starting at t = 0 give twenty consecutive
+        // pops that never advance the sim clock.
+        let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0);
+        let until = Instant::from_secs(5);
+        let cfg = SimConfig {
+            budget: SimBudget {
+                max_zero_progress_pops: Some(8),
+                ..SimBudget::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::with_config(link, 1, cfg);
+        for _ in 0..20 {
+            sim.add_flow(FlowConfig::whole_run(
+                Box::new(Steady(Rate::from_mbps(0.1))),
+                until,
+            ));
+        }
+        let trip = trip_of(sim.try_run(until), "livelock");
+        assert_eq!(trip.kind, BudgetKind::Livelock);
+        assert_eq!(trip.limit, 8);
+        assert_eq!(trip.at_ns, 0);
+    }
+
+    #[test]
+    fn zero_wall_budget_trips_immediately() {
+        let budget = SimBudget::default().with_wall_limit_ms(0);
+        let trip = trip_of(budget_run(budget), "zero wall budget");
+        assert_eq!(trip.kind, BudgetKind::WallDeadline);
+        assert_eq!(trip.limit, 0);
+    }
+
+    #[test]
+    fn run_panics_with_downcastable_trip() {
+        let result = std::panic::catch_unwind(|| {
+            let link = LinkConfig::constant(Rate::from_mbps(10.0), Duration::from_millis(40), 1.0);
+            let until = Instant::from_secs(5);
+            let cfg = SimConfig {
+                budget: SimBudget {
+                    max_events_per_sim_sec: Some(1_000),
+                    ..SimBudget::default()
+                },
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::with_config(link, 1, cfg);
+            sim.add_flow(FlowConfig::whole_run(Box::new(Absurd), until));
+            sim.run(until)
+        });
+        let payload = match result {
+            Ok(_) => panic!("run should panic on a tripped budget"),
+            Err(payload) => payload,
+        };
+        let trip = payload
+            .downcast_ref::<BudgetTrip>()
+            .expect("payload should be a BudgetTrip");
+        assert_eq!(trip.kind, BudgetKind::EventStorm);
     }
 }

@@ -1,0 +1,122 @@
+//! Structured failure taxonomy for supervised job execution.
+//!
+//! A sweep campaign treats each run as a job that may fail without
+//! poisoning its siblings: a panicking controller, a simulator that
+//! trips a livelock budget, a job that blows its wall-clock deadline,
+//! or a worker thread that dies after claiming a job. Every such
+//! outcome is recorded as a [`JobFailure`] so partial campaigns are
+//! first-class values rather than aborted processes.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a job did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobError {
+    /// The job panicked; carries the panic payload rendered to text.
+    Panic {
+        /// Display form of the panic payload.
+        message: String,
+    },
+    /// The job exceeded its wall-clock budget.
+    Deadline {
+        /// The wall budget that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The simulator tripped a livelock/event-storm budget.
+    SimBudget {
+        /// Deterministic description of the tripped budget.
+        diagnostic: String,
+    },
+    /// The worker that claimed the job died before posting a result.
+    Lost {
+        /// What the supervisor knows about the loss.
+        message: String,
+    },
+}
+
+impl JobError {
+    /// Stable machine-readable tag for journals and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Panic { .. } => "panic",
+            JobError::Deadline { .. } => "deadline",
+            JobError::SimBudget { .. } => "sim_budget",
+            JobError::Lost { .. } => "lost",
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panic { message } => write!(f, "panic: {message}"),
+            JobError::Deadline { limit_ms } => {
+                write!(f, "deadline: exceeded wall budget of {limit_ms} ms")
+            }
+            JobError::SimBudget { diagnostic } => write!(f, "sim budget: {diagnostic}"),
+            JobError::Lost { message } => write!(f, "lost: {message}"),
+        }
+    }
+}
+
+/// Terminal record of a failed job: the last error observed plus how
+/// many attempts were made before giving up.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobFailure {
+    /// The error from the final attempt.
+    pub error: JobError,
+    /// Total attempts made (≥ 1).
+    pub attempts: u64,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {} attempt(s)", self.error, self.attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        let cases = [
+            (
+                JobError::Panic {
+                    message: "x".into(),
+                },
+                "panic",
+            ),
+            (JobError::Deadline { limit_ms: 5 }, "deadline"),
+            (
+                JobError::SimBudget {
+                    diagnostic: "y".into(),
+                },
+                "sim_budget",
+            ),
+            (
+                JobError::Lost {
+                    message: "z".into(),
+                },
+                "lost",
+            ),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn round_trips_through_serde() {
+        let failure = JobFailure {
+            error: JobError::SimBudget {
+                diagnostic: "event storm: 1000 events inside sim-second 3".into(),
+            },
+            attempts: 2,
+        };
+        let v = failure.to_value();
+        let back = JobFailure::from_value(&v).expect("round trip");
+        assert_eq!(back, failure);
+    }
+}

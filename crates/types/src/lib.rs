@@ -17,11 +17,13 @@
 //! * the Libra/Vivace-style [`utility`] function of Eq. 1 of the paper and
 //!   the application-preference profiles built on it,
 //! * a seeded, forkable deterministic [`rng`],
+//! * the [`job`] failure taxonomy used by supervised sweep execution,
 //! * structured decision [`trace`] events, sinks and the [`trace::Tracer`]
 //!   handle threaded through controllers and the simulator.
 
 pub mod cca;
 pub mod events;
+pub mod job;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -31,6 +33,7 @@ pub mod utility;
 
 pub use cca::CongestionControl;
 pub use events::{AckEvent, LossEvent, LossKind, SendEvent};
+pub use job::{JobError, JobFailure};
 pub use rng::DetRng;
 pub use stats::{jain_index, Ewma, MiStats, MiTracker, P2Quantile, Welford};
 pub use time::{Duration, Instant};

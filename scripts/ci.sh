@@ -22,6 +22,9 @@ cargo build --release --offline
 echo "==> cargo test (workspace)"
 cargo test --workspace --offline -q
 
+echo "==> chaos self-test (supervised sweep under injected faults)"
+cargo test --release --offline -q -p libra-bench --test supervisor
+
 echo "==> cargo test (netsim+core, runtime invariant asserts armed)"
 cargo test --offline -q -p libra-netsim -p libra-core \
     --features libra-netsim/checked-invariants,libra-core/checked-invariants

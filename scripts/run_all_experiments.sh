@@ -5,6 +5,11 @@
 #   scripts/run_all_experiments.sh           # full (tens of minutes cold;
 #                                            # trained models are cached)
 #   scripts/run_all_experiments.sh --quick   # reduced sweep (~2 min)
+#   scripts/run_all_experiments.sh --resume  # restore completed jobs from
+#                                            # the sweep journals under
+#                                            # target/experiments/journal/
+#                                            # (interrupted campaigns pick
+#                                            # up where they stopped)
 #
 # Stdout tables are also written to target/experiments/*.csv.
 set -euo pipefail

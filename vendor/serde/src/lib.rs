@@ -210,6 +210,21 @@ impl Serialize for &str {
     }
 }
 
+// Identity impls: a `Value` is already the data model, so it serializes
+// to (and deserializes from) itself. Lets callers embed pre-built trees
+// in derived structs and parse JSON into a `Value` for inspection.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
