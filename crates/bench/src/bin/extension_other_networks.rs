@@ -6,12 +6,12 @@
 //! network-specific classic CCA (here DCTCP). This binary runs those
 //! three scenarios.
 
-use libra_bench::{BenchArgs, Cca, ModelStore, Table};
+use libra_bench::{datacenter_spec, fiveg_spec, satellite_spec, BenchArgs, Cca, ModelStore, Table};
 use libra_classic::Dctcp;
 use libra_core::{Libra, LibraParams, LibraVariant};
-use libra_netsim::{datacenter_link, fiveg_link, satellite_link, FlowConfig, Simulation};
+use libra_netsim::{FlowConfig, Simulation};
 use libra_rl::PpoAgent;
-use libra_types::{CongestionControl, DetRng, Duration, Instant, Preference};
+use libra_types::{CongestionControl, Instant, Preference};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -21,22 +21,8 @@ fn main() {
     let store = ModelStore::new(args.seed);
 
     // --- Satellite & 5G: the standard comparison set. ---
-    for (name, link_of) in [
-        (
-            "satellite",
-            Box::new(move |seed: u64| {
-                let mut rng = DetRng::new(seed ^ 0x5A7);
-                satellite_link(Duration::from_secs(secs), &mut rng)
-            }) as Box<dyn Fn(u64) -> libra_netsim::LinkConfig>,
-        ),
-        (
-            "5G",
-            Box::new(move |seed: u64| {
-                let mut rng = DetRng::new(seed ^ 0x5E5);
-                fiveg_link(Duration::from_secs(secs), &mut rng)
-            }),
-        ),
-    ] {
+    for spec in [satellite_spec(secs), fiveg_spec(secs)] {
+        let name = spec.name.clone();
         let mut table = Table::new(
             &format!("Sec. 7 extension ({name})"),
             &["cca", "utilization", "avg delay (ms)", "loss"],
@@ -49,7 +35,7 @@ fn main() {
             Cca::BLibra(Preference::Default),
         ] {
             let until = Instant::from_secs(secs);
-            let mut sim = Simulation::new(link_of(args.seed), args.seed);
+            let mut sim = Simulation::new(spec.link(args.seed), args.seed);
             sim.add_flow(FlowConfig::whole_run(cca.build(&store), until));
             let rep = sim.run(until);
             table.row(vec![
@@ -87,8 +73,9 @@ fn main() {
             }),
         ),
     ];
+    let dc = datacenter_spec(args.scaled(10, 3));
     for (label, build) in candidates {
-        let mut sim = Simulation::new(datacenter_link(), args.seed);
+        let mut sim = Simulation::new(dc.link(args.seed), args.seed);
         let cca = build(&store);
         sim.add_flow(FlowConfig::whole_run(cca, until));
         let rep = sim.run(until);

@@ -2,9 +2,8 @@
 //! and Libra stay cheap; pure learned CCAs pay per-MI inference that
 //! grows with the ACK/MI rate.
 
-use libra_bench::{run_single, BenchArgs, Cca, ModelStore, Table};
-use libra_netsim::LinkConfig;
-use libra_types::{Duration, Preference, Rate};
+use libra_bench::{run_single, BenchArgs, Cca, ModelStore, ScenarioSpec, Table};
+use libra_types::Preference;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -36,7 +35,7 @@ fn main() {
     for &mbps in rates {
         let mut row = vec![format!("{mbps:.0}Mbps")];
         for cca in ccas {
-            let link = LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(40), 1.0);
+            let link = ScenarioSpec::eval_wired(mbps).link(args.seed);
             let rep = run_single(cca, &store, link, secs, args.seed + mbps as u64);
             let cpu = rep.flows[0].compute_ns as f64 / 1e3 / rep.duration.as_secs_f64();
             row.push(format!("{cpu:.1}"));

@@ -13,7 +13,7 @@ use libra_bench::{
     BenchArgs, Cca, ModelStore, RunSpec, SweepPolicy,
 };
 use libra_netsim::{
-    host_clock, lte_link, step_link, wired_link, LinkConfig, LteScenario, SimConfig,
+    host_clock, lte_link, step_link, wired_link, LinkConfig, LteScenario, QueueConfig, SimConfig,
 };
 use libra_types::{DetRng, Duration};
 use std::fmt::Write as _;
@@ -110,6 +110,39 @@ fn main() {
     });
     benches.push(Bench {
         name: "single_run_cubic_traced",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
+    // The identical run under CoDel and PIE: the delta vs
+    // `single_run_cubic` prices the AQM control laws. Droptail keeps its
+    // zero-cost fast path (the discipline dispatch is a static enum
+    // match), so `single_run_cubic` itself is the hot-path pin; these two
+    // bound the overhead the scenario zoo's AQM variants add.
+    let (wall_ms, thr) = timed(secs as f64, || {
+        libra_bench::run_single_metrics(
+            Cca::Cubic,
+            &store,
+            wired_link(24.0).with_queue(QueueConfig::codel_default()),
+            secs,
+            args.seed,
+        );
+    });
+    benches.push(Bench {
+        name: "single_run_cubic_codel",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
+    let (wall_ms, thr) = timed(secs as f64, || {
+        libra_bench::run_single_metrics(
+            Cca::Cubic,
+            &store,
+            wired_link(24.0).with_queue(QueueConfig::pie_default()),
+            secs,
+            args.seed,
+        );
+    });
+    benches.push(Bench {
+        name: "single_run_cubic_pie",
         wall_ms,
         sim_secs_per_sec: thr,
     });

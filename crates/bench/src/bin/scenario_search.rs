@@ -1,0 +1,164 @@
+//! Adversarial scenario search driver: mutate zoo scenarios toward
+//! low-utility / unfair / guardrail-tripping runs, report the worst
+//! finds, and (with `--pin`) freeze threshold-crossing candidates as
+//! regression specs under `tests/pinned/`.
+//!
+//! Deterministic end to end: the model store is ephemeral (seeded
+//! training, no disk), mutations and run seeds derive from `--seed`, and
+//! evaluations go through the supervised sweep engine with one journal
+//! per round, so `--resume` after an interruption reproduces the
+//! uninterrupted outcome byte for byte. `--selftest` re-runs the same
+//! search at two worker counts and fails if the ranking differs.
+
+use libra_bench::{
+    objective_of, pin_failures, search, worker_count, write_pin, Cca, ModelStore, SearchConfig,
+    Table,
+};
+use libra_types::Preference;
+use std::path::PathBuf;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    resume: bool,
+    selftest: bool,
+    pin: bool,
+    workers: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        seed: 1,
+        resume: false,
+        selftest: false,
+        pin: false,
+        workers: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--resume" => args.resume = true,
+            "--selftest" => args.selftest = true,
+            "--pin" => args.pin = true,
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .map(Some)
+                    .expect("--workers needs an integer");
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+    args
+}
+
+fn pin_dir() -> PathBuf {
+    std::env::var("LIBRA_PIN_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("tests/pinned"))
+}
+
+fn main() {
+    let args = parse_args();
+    let store = ModelStore::ephemeral(args.seed);
+    let mut cfg = SearchConfig {
+        seed: args.seed,
+        rounds: if args.quick { 1 } else { 3 },
+        population: if args.quick { 3 } else { 8 },
+        secs: if args.quick { 3 } else { 10 },
+        workers: args.workers.unwrap_or_else(worker_count),
+        journal_tag: Some("scenario_search".into()),
+        resume: args.resume,
+        under_test: Cca::CLibra(Preference::Default),
+        parents: vec![Cca::Cubic, Cca::Bbr],
+    };
+
+    if args.selftest {
+        // The ranking must be a pure function of the config: the same
+        // search at 1 and N workers has to produce the same top-k.
+        cfg.journal_tag = None;
+        cfg.workers = 1;
+        let a = search(&store, &cfg);
+        cfg.workers = worker_count().max(2);
+        let b = search(&store, &cfg);
+        let (ta, tb) = (a.top_k(5), b.top_k(5));
+        if ta != tb {
+            eprintln!("scenario_search selftest FAILED: {ta:?} != {tb:?}");
+            std::process::exit(1);
+        }
+        println!(
+            "scenario_search selftest OK: top-{} identical at 1 and {} workers",
+            ta.len(),
+            cfg.workers
+        );
+        return;
+    }
+
+    let outcome = search(&store, &cfg);
+
+    let mut table = Table::new(
+        "Adversarial scenario search (worst for Libra first)",
+        &[
+            "candidate",
+            "parent",
+            "score",
+            "libra Mbps",
+            "best parent Mbps",
+            "jain",
+            "trips",
+            "objective",
+        ],
+    );
+    for c in outcome.evaluated.iter().take(12) {
+        let multi = c.jain < 1.0 || c.spec.name.contains("fleet") || c.spec.name.contains("churn");
+        table.row(vec![
+            c.spec.name.clone(),
+            c.parent.clone(),
+            format!("{:.3}", c.score),
+            format!("{:.2}", c.libra_goodput),
+            if c.parent_goodput > 0.0 {
+                format!("{:.2}", c.parent_goodput)
+            } else {
+                "—".into()
+            },
+            if multi {
+                format!("{:.3}", c.jain)
+            } else {
+                "—".into()
+            },
+            if c.guardrail_trips > 0 {
+                format!("{}", c.guardrail_trips)
+            } else {
+                "—".into()
+            },
+            objective_of(c).map_or("—".into(), |o| o.label().to_string()),
+        ]);
+    }
+    table.emit("scenario_search");
+
+    let failures = outcome.failures();
+    println!(
+        "search evaluated {} candidates, {} crossed a pin threshold",
+        outcome.evaluated.len(),
+        failures.len()
+    );
+
+    if args.pin {
+        let dir = pin_dir();
+        let pins = pin_failures(&outcome, &dir, 6).expect("pin directory must be writable");
+        for mut pin in pins {
+            pin.store_seed = args.seed;
+            let path = write_pin(&pin, &dir).expect("pin file must be writable");
+            println!("pinned {} -> {}", pin.name, path.display());
+        }
+    }
+}

@@ -2,13 +2,13 @@
 //! and loss at similar throughput, and helps (but does not fix)
 //! fairness — the observation that motivates the combined framework.
 
-use libra_bench::{BenchArgs, ModelStore, Table};
+use libra_bench::{BenchArgs, ModelStore, ScenarioSpec, Table};
 use libra_learned::{
     train_rl_cca, EnvRanges, RewardSource, RewardSpec, RlCca, RlCcaConfig, TrainConfig,
 };
-use libra_netsim::{FlowConfig, LinkConfig, Simulation};
+use libra_netsim::{FlowConfig, Simulation};
 use libra_rl::PpoAgent;
-use libra_types::{Duration, Instant, Rate};
+use libra_types::Instant;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -54,7 +54,7 @@ fn main() {
         let m = tail.len() as f64;
         // Fairness: two trained flows share a 100 Mbps link.
         let until = Instant::from_secs(args.scaled(30, 8));
-        let link = LinkConfig::constant(Rate::from_mbps(100.0), Duration::from_millis(100), 1.0);
+        let link = ScenarioSpec::shared_constant(100.0).link(args.seed);
         let mut sim = Simulation::new(link, args.seed);
         for _ in 0..2 {
             let mut rng = libra_types::DetRng::new(args.seed + 77);

@@ -9,17 +9,16 @@
 
 use libra_bench::{
     decision_timeline, stage_occupancy_table, trace_to_jsonl, validate_finite, write_artifact,
-    BenchArgs, Cca, ModelStore, RunSpec,
+    BenchArgs, Cca, ModelStore, RunSpec, ScenarioSpec,
 };
-use libra_netsim::LinkConfig;
-use libra_types::{Duration, Preference, Rate};
+use libra_types::Preference;
 
 fn main() {
     let args = BenchArgs::parse();
     let secs = args.scaled(30, 5);
     let store = ModelStore::new(args.seed);
 
-    let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+    let link = ScenarioSpec::eval_wired(24.0).link(args.seed);
     let cca = Cca::CLibra(Preference::Default);
     let spec = RunSpec::pair(cca, cca, link, secs, args.seed)
         .with_trace()

@@ -9,6 +9,10 @@
 //! * [`registry`] — one factory per CCA in the comparison.
 //! * [`models`] — trained-PPO-weight cache (`target/models/`).
 //! * [`scenarios`] — named workloads (wired, LTE, step, WAN, sweeps).
+//! * [`spec`] — the declarative, serde-round-trippable scenario corpus
+//!   (the zoo) behind `scenario_registry` and the adversarial search.
+//! * [`search`] — adversarial scenario search: seeded mutation of corpus
+//!   specs toward low-utility / unfair / guardrail-tripping runs.
 //! * [`runner`] — single/pair/staggered runs and convergence statistics.
 //! * [`sweep`] — deterministic parallel fan-out of independent runs
 //!   (`LIBRA_JOBS` workers, results merged in job order).
@@ -29,6 +33,8 @@ pub mod output;
 pub mod registry;
 pub mod runner;
 pub mod scenarios;
+pub mod search;
+pub mod spec;
 pub mod supervisor;
 pub mod sweep;
 pub mod tracing;
@@ -42,6 +48,15 @@ pub use runner::{
     run_single_metrics, run_staggered, run_staggered_cfg, ConvergenceStats, RunMetrics,
 };
 pub use scenarios::*;
+pub use search::{
+    evaluate_candidate, load_pins, objective_of, pin_failures, search, write_pin, Candidate,
+    Objective, PinnedRegression, SearchConfig, SearchOutcome,
+};
+pub use spec::{
+    cca_from_name, datacenter_spec, fig1_specs, fig7_cellular_specs, fig7_wired_specs, fiveg_spec,
+    lte_tmobile_spec, satellite_spec, step_spec, wan_specs, zoo_corpus, LinkSpec, LteKind,
+    QueueSpec, ScenarioSpec, WorkloadSpec,
+};
 pub use supervisor::{
     merged_slots_json, run_sweep_supervised, run_sweep_supervised_with, slot_from_value,
     slot_to_value, FaultyScenario, SlotResult, SweepPolicy, SweepReport,

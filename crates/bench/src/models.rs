@@ -80,6 +80,12 @@ impl ModelStore {
         }
     }
 
+    /// The master seed the store was keyed with (recorded by pinned
+    /// regressions so a replay can rebuild the identical store).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Override training effort (used by fast smoke binaries).
     pub fn with_train_config(mut self, cfg: TrainConfig) -> Self {
         self.train = cfg;

@@ -210,6 +210,58 @@ pub fn run_staggered_cfg(
     sim.run(until)
 }
 
+/// Run a heterogeneous competing fleet: flow 0 is `under_test`, flows
+/// 1.. run `members` (one flow each), all for the whole experiment.
+pub fn run_fleet_cfg(
+    under_test: Cca,
+    members: &[Cca],
+    store: &ModelStore,
+    link: LinkConfig,
+    secs: u64,
+    seed: u64,
+    cfg: SimConfig,
+) -> SimReport {
+    let until = Instant::from_secs(secs);
+    let mut sim = Simulation::with_config(link, seed, cfg);
+    sim.add_flow(FlowConfig::whole_run(under_test.build(store), until));
+    for &member in members {
+        sim.add_flow(FlowConfig::whole_run(member.build(store), until));
+    }
+    sim.run(until)
+}
+
+/// Run flow churn: `elephant` occupies the link for the whole experiment
+/// while `mice` short-lived `mouse`-CCA flows arrive deterministically —
+/// mouse `i` is alive on `[(i+1)·period, (i+1)·period + mouse_secs]`,
+/// clamped to the run. Mice whose start would fall past the end of the
+/// run are not added.
+#[allow(clippy::too_many_arguments)]
+pub fn run_churn_cfg(
+    elephant: Cca,
+    mouse: Cca,
+    mice: usize,
+    mouse_secs: u64,
+    period: Duration,
+    store: &ModelStore,
+    link: LinkConfig,
+    secs: u64,
+    seed: u64,
+    cfg: SimConfig,
+) -> SimReport {
+    let until = Instant::from_secs(secs);
+    let mut sim = Simulation::with_config(link, seed, cfg);
+    sim.add_flow(FlowConfig::whole_run(elephant.build(store), until));
+    for i in 0..mice {
+        let start = Instant::ZERO + period * (i as u64 + 1);
+        if start >= until {
+            break;
+        }
+        let stop = (start + Duration::from_secs(mouse_secs)).min(until);
+        sim.add_flow(FlowConfig::new(mouse.build(store), start, stop));
+    }
+    sim.run(until)
+}
+
 /// Convergence statistics of the last staggered flow (Tab. 5): time from
 /// entry until its rate stays within ±25 % of its final mean for
 /// `stable_window` seconds; plus the post-convergence mean and deviation.
@@ -323,6 +375,57 @@ mod tests {
         let link = LinkConfig::constant(Rate::from_mbps(20.0), Duration::from_millis(40), 1.0);
         let rep = run_staggered(Cca::Cubic, &store, link, 3, Duration::from_secs(5), 20, 4);
         assert!(rep.flows[0].delivered_bytes > rep.flows[2].delivered_bytes);
+    }
+
+    #[test]
+    fn fleet_run_reports_all_flows() {
+        let store = ModelStore::ephemeral(4);
+        let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+        let rep = run_fleet_cfg(
+            Cca::Cubic,
+            &[Cca::Bbr, Cca::NewReno],
+            &store,
+            link,
+            15,
+            5,
+            SimConfig::default(),
+        );
+        assert_eq!(rep.flows.len(), 3);
+        for f in &rep.flows {
+            assert!(f.delivered_bytes > 0, "{} starved entirely", f.name);
+        }
+    }
+
+    #[test]
+    fn churn_mice_arrive_and_depart() {
+        let store = ModelStore::ephemeral(5);
+        let link = LinkConfig::constant(Rate::from_mbps(24.0), Duration::from_millis(40), 1.0);
+        let rep = run_churn_cfg(
+            Cca::Cubic,
+            Cca::Cubic,
+            3,
+            3,
+            Duration::from_secs(4),
+            &store,
+            link,
+            20,
+            6,
+            SimConfig::default(),
+        );
+        assert_eq!(rep.flows.len(), 4);
+        // Every mouse moved bytes, but far fewer than the elephant.
+        for f in &rep.flows[1..] {
+            assert!(f.delivered_bytes > 0);
+            assert!(f.delivered_bytes < rep.flows[0].delivered_bytes);
+        }
+        // Mouse 2 (starts at 12 s) is silent before its arrival.
+        let early: f64 = rep.flows[3]
+            .goodput_series
+            .iter()
+            .filter(|(t, _)| *t < 11.5)
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(early, 0.0);
     }
 
     #[test]

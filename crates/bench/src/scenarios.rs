@@ -1,88 +1,75 @@
 //! Named experiment scenarios shared by the figure/table binaries.
+//!
+//! Every scenario here is a thin view over the declarative corpus in
+//! [`crate::spec`]: the link recipes (rates, LTE traces and their salts,
+//! step patterns, WAN paths) are defined exactly once as
+//! [`ScenarioSpec`]s, and this module just wraps them in the
+//! seed-to-link closure shape the figure binaries consume.
 
-use libra_netsim::{
-    lte_link, step_link, wan_link, wired_link, LinkConfig, LteScenario, WanScenario,
-};
-use libra_types::{Bytes, DetRng, Duration, Rate};
+use crate::spec::{self, ScenarioSpec};
+use libra_netsim::{LinkConfig, WanScenario};
+use libra_types::{Bytes, Duration, Rate};
 
 /// A named link-builder: scenarios are functions of a seed so repeated
 /// trials see fresh (but reproducible) trace randomness.
 pub struct Scenario {
     /// Display name.
     pub name: String,
-    builder: Box<dyn Fn(u64) -> LinkConfig>,
+    spec: ScenarioSpec,
 }
 
 impl Scenario {
     /// Build a link for trial `seed`.
     pub fn link(&self, seed: u64) -> LinkConfig {
-        (self.builder)(seed)
+        self.spec.link(seed)
     }
 
-    fn new(name: impl Into<String>, builder: impl Fn(u64) -> LinkConfig + 'static) -> Self {
+    /// The underlying corpus spec.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    fn from_spec(spec: ScenarioSpec) -> Self {
         Scenario {
-            name: name.into(),
-            builder: Box::new(builder),
+            name: spec.name.clone(),
+            spec,
         }
     }
 }
 
 /// The Fig. 1 set: three wired (24/48/96) + three LTE scenarios.
 pub fn fig1_set(secs: u64) -> Vec<Scenario> {
-    let mut v = Vec::new();
-    for mbps in [24.0, 48.0, 96.0] {
-        v.push(Scenario::new(format!("Wired-{mbps:.0}"), move |_| {
-            wired_link(mbps)
-        }));
-    }
-    for (i, s) in LteScenario::ALL.iter().enumerate() {
-        let s = *s;
-        v.push(Scenario::new(s.label(), move |seed| {
-            let mut rng = DetRng::new(seed ^ (0x17E + i as u64));
-            lte_link(s, Duration::from_secs(secs), &mut rng)
-        }));
-    }
-    v
+    spec::fig1_specs(secs)
+        .into_iter()
+        .map(Scenario::from_spec)
+        .collect()
 }
 
 /// The Fig. 7 set: four wired (12/24/48/96) + four cellular traces.
-pub fn fig7_wired(_secs: u64) -> Vec<Scenario> {
-    [12.0, 24.0, 48.0, 96.0]
+pub fn fig7_wired(secs: u64) -> Vec<Scenario> {
+    spec::fig7_wired_specs(secs)
         .into_iter()
-        .map(|mbps| Scenario::new(format!("Wired-{mbps:.0}"), move |_| wired_link(mbps)))
+        .map(Scenario::from_spec)
         .collect()
 }
 
 /// Fig. 7's cellular half: the three LTE scenarios plus a fourth
 /// (driving re-sampled) matching the paper's four traces.
 pub fn fig7_cellular(secs: u64) -> Vec<Scenario> {
-    let mut v: Vec<Scenario> = LteScenario::ALL
-        .iter()
-        .map(|&s| {
-            Scenario::new(s.label(), move |seed| {
-                let mut rng = DetRng::new(seed ^ 0xCE11);
-                lte_link(s, Duration::from_secs(secs), &mut rng)
-            })
-        })
-        .collect();
-    v.push(Scenario::new("LTE-driving-2", move |seed| {
-        let mut rng = DetRng::new(seed ^ 0xCE12);
-        lte_link(LteScenario::Driving, Duration::from_secs(secs), &mut rng)
-    }));
-    v
+    spec::fig7_cellular_specs(secs)
+        .into_iter()
+        .map(Scenario::from_spec)
+        .collect()
 }
 
 /// Fig. 2a's step scenario.
 pub fn step_scenario(secs: u64) -> Scenario {
-    Scenario::new("Step", move |_| step_link(Duration::from_secs(secs)))
+    Scenario::from_spec(spec::step_spec(secs))
 }
 
 /// A single-LTE scenario used by the safety CDF (Fig. 2b).
 pub fn lte_tmobile(secs: u64) -> Scenario {
-    Scenario::new("LTE-TMobile", move |seed| {
-        let mut rng = DetRng::new(seed ^ 0x7110);
-        lte_link(LteScenario::Walking, Duration::from_secs(secs), &mut rng)
-    })
+    Scenario::from_spec(spec::lte_tmobile_spec(secs))
 }
 
 /// Fig. 9's buffer sweep base link: 60 Mbps, 100 ms RTT, explicit buffer.
@@ -95,42 +82,23 @@ pub fn buffer_sweep_link(buffer: Bytes) -> LinkConfig {
 
 /// Fig. 10's stochastic-loss link: 48 Mbps, 100 ms RTT, 1 BDP buffer.
 pub fn loss_sweep_link(loss: f64) -> LinkConfig {
-    let mut link = LinkConfig::constant(Rate::from_mbps(48.0), Duration::from_millis(100), 1.0);
+    let mut link = ScenarioSpec::shared_constant(48.0).link(0);
     link.stochastic_loss = loss;
     link
 }
 
 /// Fairness/convergence link (Sec. 5.3): 48 Mbps, 100 ms, 1 BDP.
 pub fn fairness_link() -> LinkConfig {
-    LinkConfig::constant(Rate::from_mbps(48.0), Duration::from_millis(100), 1.0)
+    ScenarioSpec::shared_constant(48.0).link(0)
 }
 
 /// Fig. 16's WAN scenarios.
 pub fn wan_scenarios(secs: u64) -> Vec<(WanScenario, Scenario)> {
-    vec![
-        (
-            WanScenario::InterContinental,
-            Scenario::new("inter-continental", move |seed| {
-                let mut rng = DetRng::new(seed ^ 0x3A11);
-                wan_link(
-                    WanScenario::InterContinental,
-                    Duration::from_secs(secs),
-                    &mut rng,
-                )
-            }),
-        ),
-        (
-            WanScenario::IntraContinental,
-            Scenario::new("intra-continental", move |seed| {
-                let mut rng = DetRng::new(seed ^ 0x3A12);
-                wan_link(
-                    WanScenario::IntraContinental,
-                    Duration::from_secs(secs),
-                    &mut rng,
-                )
-            }),
-        ),
-    ]
+    spec::wan_specs(secs)
+        .into_iter()
+        .zip([WanScenario::InterContinental, WanScenario::IntraContinental])
+        .map(|(s, kind)| (kind, Scenario::from_spec(s)))
+        .collect()
 }
 
 #[cfg(test)]

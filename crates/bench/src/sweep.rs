@@ -213,7 +213,7 @@ where
 }
 
 /// The flow layout of one run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum Workload {
     /// One flow alone on the link.
     Single,
@@ -228,6 +228,25 @@ pub enum Workload {
         flows: usize,
         /// Start offset between consecutive flows.
         stagger: Duration,
+    },
+    /// A heterogeneous competing fleet: flow 0 is the CCA under test,
+    /// flows 1.. run `members` (e.g. Libra vs BBR+CUBIC+Copa).
+    Fleet {
+        /// The competing controllers, one flow each.
+        members: Vec<Cca>,
+    },
+    /// Flow churn: the CCA under test runs as a whole-run elephant while
+    /// `mice` short-lived `mouse`-CCA flows arrive and depart (mouse `i`
+    /// alive on `[(i+1)·period, (i+1)·period + mouse_secs]`).
+    Churn {
+        /// The controller the short flows run.
+        mouse: Cca,
+        /// Number of short-lived flows.
+        mice: usize,
+        /// Lifetime of each mouse in seconds.
+        mouse_secs: u64,
+        /// Inter-arrival spacing between consecutive mice.
+        period: Duration,
     },
 }
 
@@ -293,6 +312,51 @@ impl RunSpec {
             label: cca.label(),
             cca,
             workload: Workload::Staggered { flows, stagger },
+            link,
+            secs,
+            seed,
+            trace: false,
+        }
+    }
+
+    /// A heterogeneous-fleet run: the CCA under test against one flow per
+    /// member.
+    pub fn fleet(cca: Cca, members: Vec<Cca>, link: LinkConfig, secs: u64, seed: u64) -> Self {
+        let label = format!("{} vs fleet[{}]", cca.label(), members.len());
+        RunSpec {
+            label,
+            cca,
+            workload: Workload::Fleet { members },
+            link,
+            secs,
+            seed,
+            trace: false,
+        }
+    }
+
+    /// A churn run: the CCA under test as the elephant, with `mice`
+    /// short-lived `mouse` flows arriving every `period`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn churn(
+        cca: Cca,
+        mouse: Cca,
+        mice: usize,
+        mouse_secs: u64,
+        period: Duration,
+        link: LinkConfig,
+        secs: u64,
+        seed: u64,
+    ) -> Self {
+        let label = format!("{} vs {} mice", cca.label(), mice);
+        RunSpec {
+            label,
+            cca,
+            workload: Workload::Churn {
+                mouse,
+                mice,
+                mouse_secs,
+                period,
+            },
             link,
             secs,
             seed,
@@ -446,6 +510,15 @@ pub struct RunSummary {
     pub jain: f64,
     /// Sample-weighted mean RTT across flows (ms).
     pub mean_rtt_ms: f64,
+    /// Guardrail trips observed across flows. Counted from the trace
+    /// stream, so it is only non-zero for traced runs; unlike the stream
+    /// itself it IS serialized (it is a scalar verdict, not host-sized
+    /// event data), letting journal restores keep search objectives
+    /// byte-identical. Omitted from the JSON when zero, so untraced
+    /// runs — including the pinned droptail digest — serialize exactly
+    /// as they did before the field existed; a run's trip count is
+    /// deterministic, so the field's presence is too.
+    pub guardrail_trips: u64,
     /// Per-flow summaries in `add_flow` order.
     pub flows: Vec<FlowSummary>,
     /// Merged, time-ordered trace stream (empty unless the spec set
@@ -458,7 +531,7 @@ pub struct RunSummary {
 
 impl Serialize for RunSummary {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("label".into(), self.label.to_value()),
             ("duration_s".into(), self.duration_s.to_value()),
             ("utilization".into(), self.utilization.to_value()),
@@ -467,8 +540,12 @@ impl Serialize for RunSummary {
             ("stochastic_drops".into(), self.stochastic_drops.to_value()),
             ("jain".into(), self.jain.to_value()),
             ("mean_rtt_ms".into(), self.mean_rtt_ms.to_value()),
-            ("flows".into(), self.flows.to_value()),
-        ])
+        ];
+        if self.guardrail_trips != 0 {
+            fields.push(("guardrail_trips".into(), self.guardrail_trips.to_value()));
+        }
+        fields.push(("flows".into(), self.flows.to_value()));
+        Value::Object(fields)
     }
 }
 
@@ -486,6 +563,10 @@ impl Deserialize for RunSummary {
             stochastic_drops: Deserialize::from_value(get_field(v, "stochastic_drops")?)?,
             jain: Deserialize::from_value(get_field(v, "jain")?)?,
             mean_rtt_ms: Deserialize::from_value(get_field(v, "mean_rtt_ms")?)?,
+            guardrail_trips: match get_field(v, "guardrail_trips") {
+                Ok(val) => Deserialize::from_value(val)?,
+                Err(_) => 0,
+            },
             flows: Deserialize::from_value(get_field(v, "flows")?)?,
             trace: Vec::new(),
             trace_dropped: 0,
@@ -505,6 +586,18 @@ impl RunSummary {
             stochastic_drops: report.link.stochastic_drops,
             jain: report.jain_index(),
             mean_rtt_ms: report.mean_rtt_ms(),
+            guardrail_trips: crate::tracing::merged_trace(report)
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        libra_types::TraceEvent::Guardrail {
+                            step: libra_types::GuardrailStep::Trip,
+                            ..
+                        }
+                    )
+                })
+                .count() as u64,
             flows: report
                 .flows
                 .iter()
@@ -569,7 +662,7 @@ pub fn run_spec_budgeted(
         budget,
         ..SimConfig::default()
     };
-    let report = match spec.workload {
+    let report = match &spec.workload {
         Workload::Single => runner::run_single_cfg(
             spec.cca,
             store,
@@ -580,7 +673,7 @@ pub fn run_spec_budgeted(
         ),
         Workload::Pair { competitor } => runner::run_pair_cfg(
             spec.cca,
-            competitor,
+            *competitor,
             store,
             spec.link.clone(),
             spec.secs,
@@ -591,8 +684,34 @@ pub fn run_spec_budgeted(
             spec.cca,
             store,
             spec.link.clone(),
-            flows,
-            stagger,
+            *flows,
+            *stagger,
+            spec.secs,
+            spec.seed,
+            cfg,
+        ),
+        Workload::Fleet { members } => runner::run_fleet_cfg(
+            spec.cca,
+            members,
+            store,
+            spec.link.clone(),
+            spec.secs,
+            spec.seed,
+            cfg,
+        ),
+        Workload::Churn {
+            mouse,
+            mice,
+            mouse_secs,
+            period,
+        } => runner::run_churn_cfg(
+            spec.cca,
+            *mouse,
+            *mice,
+            *mouse_secs,
+            *period,
+            store,
+            spec.link.clone(),
             spec.secs,
             spec.seed,
             cfg,
@@ -622,8 +741,11 @@ pub(crate) fn warm_models(store: &ModelStore, specs: &[RunSpec]) {
     let mut seen: BTreeSet<Cca> = BTreeSet::new();
     for spec in specs {
         let mut ccas = vec![spec.cca];
-        if let Workload::Pair { competitor } = spec.workload {
-            ccas.push(competitor);
+        match &spec.workload {
+            Workload::Pair { competitor } => ccas.push(*competitor),
+            Workload::Fleet { members } => ccas.extend(members.iter().copied()),
+            Workload::Churn { mouse, .. } => ccas.push(*mouse),
+            Workload::Single | Workload::Staggered { .. } => {}
         }
         for cca in ccas {
             if cca.needs_model() && seen.insert(cca) {

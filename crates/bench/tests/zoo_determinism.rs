@@ -1,0 +1,89 @@
+//! Zoo-sweep determinism: the full scenario corpus, run through the
+//! supervised engine, must produce byte-identical merged output at any
+//! worker count, and a `--resume` from a truncated journal must land on
+//! the same bytes as the uninterrupted campaign. This is the contract
+//! the adversarial search leans on — a search interrupted mid-round and
+//! resumed has to rediscover exactly the same failures.
+
+use libra_bench::{
+    journal_dir, merged_slots_json, run_sweep_supervised_with, zoo_corpus, Cca, Journal,
+    ModelStore, RunSpec, SweepPolicy,
+};
+use std::path::PathBuf;
+
+fn tmp_journal(name: &str) -> PathBuf {
+    journal_dir().join(format!("itest_zoo_{name}_{}.jsonl", std::process::id()))
+}
+
+/// Every corpus entry as a short classic-CCA job (no training, so the
+/// test stays seconds-scale while still touching every link family,
+/// queue discipline, and workload shape in the zoo).
+fn zoo_jobs() -> Vec<RunSpec> {
+    zoo_corpus(2)
+        .iter()
+        .enumerate()
+        .map(|(k, spec)| spec.to_run_spec(Cca::Cubic, 900 + k as u64))
+        .collect()
+}
+
+#[test]
+fn zoo_sweep_is_byte_identical_across_worker_counts() {
+    let store = ModelStore::ephemeral(4);
+    let policy = SweepPolicy::default();
+    let one = run_sweep_supervised_with(&store, zoo_jobs(), 1, &policy, None, None);
+    assert_eq!(one.failures(), 0, "the zoo must run clean");
+    let json_one = merged_slots_json(&one);
+    for workers in [2, 4] {
+        let many = run_sweep_supervised_with(&store, zoo_jobs(), workers, &policy, None, None);
+        assert_eq!(
+            merged_slots_json(&many),
+            json_one,
+            "zoo sweep diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn zoo_sweep_resumes_byte_identical_from_truncated_journal() {
+    let store = ModelStore::ephemeral(4);
+    let policy = SweepPolicy::default();
+
+    let gold_path = tmp_journal("gold");
+    let mut gold_journal = Journal::fresh(&gold_path).expect("fresh journal");
+    let gold = run_sweep_supervised_with(
+        &store,
+        zoo_jobs(),
+        2,
+        &policy,
+        None,
+        Some(&mut gold_journal),
+    );
+    let gold_json = merged_slots_json(&gold);
+    let bytes = std::fs::read(&gold_path).expect("read journal");
+    assert!(!bytes.is_empty());
+
+    // Cut the journal mid-campaign (~40% in, landing wherever that byte
+    // offset falls — job boundary or mid-line) and resume at a different
+    // worker count.
+    let cut = bytes.len() * 2 / 5;
+    let path = tmp_journal("truncated");
+    std::fs::write(&path, &bytes[..cut]).expect("write truncated journal");
+    let mut journal = Journal::resume(&path).expect("resume journal");
+    let restored_available = journal.len();
+    let resumed =
+        run_sweep_supervised_with(&store, zoo_jobs(), 3, &policy, None, Some(&mut journal));
+    assert_eq!(
+        merged_slots_json(&resumed),
+        gold_json,
+        "resumed zoo sweep diverged from the uninterrupted run"
+    );
+    let restored = resumed.restored.iter().filter(|&&r| r).count();
+    assert_eq!(
+        restored, restored_available,
+        "every intact journal entry should be restored"
+    );
+
+    for p in [gold_path, path] {
+        let _ = std::fs::remove_file(p);
+    }
+}

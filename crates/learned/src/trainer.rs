@@ -65,6 +65,7 @@ impl EnvRanges {
             loss_process: None,
             ecn: None,
             faults: FaultPlan::default(),
+            queue: libra_netsim::QueueConfig::Droptail,
         }
     }
 }

@@ -36,6 +36,7 @@
 //! assert!(report.link.utilization > 0.7);
 //! ```
 
+pub mod aqm;
 pub mod capacity;
 pub mod cross_traffic;
 pub mod faults;
@@ -48,6 +49,9 @@ pub mod sender;
 pub mod sim;
 pub mod trace;
 
+pub use aqm::{
+    AnyQueue, CodelQueue, PieQueue, QueueConfig, QueueCounters, QueueDiscipline, TokenBucketQueue,
+};
 pub use capacity::CapacitySchedule;
 pub use cross_traffic::{CbrSource, OnOffSource};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultReport};
@@ -61,6 +65,6 @@ pub use sim::{
     SimReport, Simulation,
 };
 pub use trace::{
-    datacenter_link, fiveg_link, lte_link, lte_trace, satellite_link, step_link, wan_link,
-    wired_link, LteScenario, WanScenario,
+    datacenter_link, fiveg_link, leo_link, lte_link, lte_trace, satellite_link, step_link,
+    wan_link, wired_link, LteScenario, WanScenario,
 };

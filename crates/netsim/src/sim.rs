@@ -15,11 +15,12 @@
 //! uncongested reverse path. Stochastic loss is applied at link egress so
 //! a lost packet still consumed queue space and capacity.
 
+use crate::aqm::{AnyQueue, QueueConfig, QueueDiscipline};
 use crate::capacity::CapacitySchedule;
 use crate::faults::{FaultEngine, FaultPlan, FaultReport};
 use crate::loss::LossProcess;
 use crate::packet::{AckPacket, FlowId, Packet};
-use crate::queue::{DroptailQueue, EcnConfig, Enqueue};
+use crate::queue::{EcnConfig, Enqueue};
 use crate::sender::FlowSender;
 use libra_types::{
     Bytes, CongestionControl, DetRng, Duration, Instant, Rate, RingRecorder, TraceEvent, TraceSink,
@@ -52,6 +53,9 @@ pub struct LinkConfig {
     /// Scheduled fault injection (flaps, reordering, duplication, ACK
     /// compression, delay spikes, burst loss). Empty by default.
     pub faults: FaultPlan,
+    /// Queue discipline at the bottleneck buffer (droptail by default;
+    /// CoDel/PIE/token-bucket for the scenario zoo).
+    pub queue: QueueConfig,
 }
 
 impl LinkConfig {
@@ -69,6 +73,7 @@ impl LinkConfig {
             loss_process: None,
             ecn: None,
             faults: FaultPlan::default(),
+            queue: QueueConfig::Droptail,
         }
     }
 
@@ -83,12 +88,19 @@ impl LinkConfig {
             loss_process: None,
             ecn: None,
             faults: FaultPlan::default(),
+            queue: QueueConfig::Droptail,
         }
     }
 
     /// Attach a fault plan (builder style).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Swap the bottleneck queue discipline (builder style).
+    pub fn with_queue(mut self, queue: QueueConfig) -> Self {
+        self.queue = queue;
         self
     }
 }
@@ -363,16 +375,20 @@ pub struct LinkReport {
     pub mean_queue_bytes: f64,
     /// Queue-occupancy samples (bytes) at the sampling cadence.
     pub queue_samples: Welford,
-    /// Packets dropped at the tail.
+    /// Packets dropped by the queue discipline (tail, AQM early, and AQM
+    /// head drops together).
     pub tail_drops: u64,
     /// Packets dropped by the stochastic loss process.
     pub stochastic_drops: u64,
-    /// Bytes offered to (admitted into) the droptail queue.
+    /// Bytes offered to (admitted into) the bottleneck queue.
     pub queue_admitted_bytes: u64,
-    /// Bytes tail-dropped at the queue.
+    /// Bytes refused at enqueue (tail drop, PIE early drop, policer).
     pub queue_dropped_bytes: u64,
     /// Bytes dequeued into the link.
     pub queue_dequeued_bytes: u64,
+    /// Bytes admitted and later shed from the head by an AQM control law
+    /// (CoDel). Always zero for droptail.
+    pub queue_aqm_dropped_bytes: u64,
     /// Bytes still sitting in the queue when the run ended.
     pub queue_residual_bytes: u64,
 }
@@ -434,7 +450,7 @@ pub struct Simulation {
     eseq: u64,
     // Link state.
     capacity: CapacitySchedule,
-    queue: DroptailQueue,
+    queue: AnyQueue,
     busy: bool,
     in_service: Option<Packet>,
     one_way_delay: Duration,
@@ -499,6 +515,13 @@ impl Simulation {
         } else {
             None
         };
+        // Forked in a fixed order; the first three streams predate the AQM
+        // layer, so droptail runs replay byte-identically. The AQM stream
+        // only feeds PIE's early-drop coin flips.
+        let loss_rng = root.fork("link-loss");
+        let jitter_rng = root.fork("ack-jitter");
+        let faults_rng = root.fork("faults");
+        let aqm_rng = root.fork("aqm");
         Simulation {
             now: Instant::ZERO,
             // Outstanding events scale with flows × window, not duration;
@@ -508,7 +531,7 @@ impl Simulation {
             // Link-flap faults become zero-capacity windows on the schedule:
             // packets in service wait the outage out like a trace blackout.
             capacity: link.capacity.with_outages(&flap_windows),
-            queue: DroptailQueue::new(link.buffer),
+            queue: AnyQueue::build(link.queue, link.buffer, aqm_rng),
             busy: false,
             in_service: None,
             one_way_delay: link.one_way_delay,
@@ -517,9 +540,9 @@ impl Simulation {
                 .unwrap_or_else(|| LossProcess::bernoulli(link.stochastic_loss)),
             ecn: link.ecn,
             ack_jitter: link.ack_jitter,
-            loss_rng: root.fork("link-loss"),
-            jitter_rng: root.fork("ack-jitter"),
-            faults: FaultEngine::new(&link.faults, root.fork("faults")),
+            loss_rng,
+            jitter_rng,
+            faults: FaultEngine::new(&link.faults, faults_rng),
             faults_active,
             flap_windows,
             cap_cursor: 0,
@@ -886,6 +909,7 @@ impl Simulation {
     fn finalize(mut self, until: Instant) -> SimReport {
         let capacity_bytes = self.capacity.capacity_bytes(Instant::ZERO, until);
         let mean_queue = self.queue.mean_occupancy(until.nanos());
+        let counters = self.queue.counters();
         let link = LinkReport {
             capacity_bytes,
             delivered_bytes: self.delivered_link_bytes,
@@ -896,11 +920,12 @@ impl Simulation {
             },
             mean_queue_bytes: mean_queue,
             queue_samples: self.queue_samples,
-            tail_drops: self.queue.drops,
+            tail_drops: counters.drops,
             stochastic_drops: self.stochastic_drops,
-            queue_admitted_bytes: self.queue.admitted_bytes,
-            queue_dropped_bytes: self.queue.dropped_bytes,
-            queue_dequeued_bytes: self.queue.dequeued_bytes,
+            queue_admitted_bytes: counters.admitted_bytes,
+            queue_dropped_bytes: counters.dropped_bytes,
+            queue_dequeued_bytes: counters.dequeued_bytes,
+            queue_aqm_dropped_bytes: counters.aqm_dropped_bytes,
             queue_residual_bytes: self.queue.occupied_bytes(),
         };
         let mut fault_report = self.faults.report;
@@ -1127,6 +1152,7 @@ mod tests {
             loss_process: None,
             ecn: None,
             faults: FaultPlan::default(),
+            queue: QueueConfig::Droptail,
         };
         let until = Instant::from_secs(20);
         let mut sim = Simulation::new(link, 6);

@@ -12,6 +12,7 @@
 //! * **WAN** — inter-/intra-continental Internet profiles: long RTTs,
 //!   stochastic loss, ACK jitter and shallow policer-style buffers.
 
+use crate::aqm::QueueConfig;
 use crate::capacity::CapacitySchedule;
 use crate::faults::FaultPlan;
 use crate::loss::{GilbertElliott, LossProcess};
@@ -118,6 +119,7 @@ pub fn lte_link(scenario: LteScenario, total: Duration, rng: &mut DetRng) -> Lin
         loss_process: None,
         ecn: None,
         faults: FaultPlan::default(),
+        queue: QueueConfig::Droptail,
     }
 }
 
@@ -142,6 +144,7 @@ pub fn step_link(total: Duration) -> LinkConfig {
         loss_process: None,
         ecn: None,
         faults: FaultPlan::default(),
+        queue: QueueConfig::Droptail,
     }
 }
 
@@ -190,6 +193,7 @@ pub fn wan_link(scenario: WanScenario, total: Duration, rng: &mut DetRng) -> Lin
                 loss_process: None,
                 ecn: None,
                 faults: FaultPlan::default(),
+                queue: QueueConfig::Droptail,
             }
         }
         WanScenario::IntraContinental => {
@@ -208,6 +212,7 @@ pub fn wan_link(scenario: WanScenario, total: Duration, rng: &mut DetRng) -> Lin
                 loss_process: None,
                 ecn: None,
                 faults: FaultPlan::default(),
+                queue: QueueConfig::Droptail,
             }
         }
     }
@@ -356,6 +361,7 @@ pub fn satellite_link(total: Duration, rng: &mut DetRng) -> LinkConfig {
         ))),
         ecn: None,
         faults: FaultPlan::default(),
+        queue: QueueConfig::Droptail,
     }
 }
 
@@ -391,6 +397,53 @@ pub fn fiveg_link(total: Duration, rng: &mut DetRng) -> LinkConfig {
         loss_process: None,
         ecn: None,
         faults: FaultPlan::default(),
+        queue: QueueConfig::Droptail,
+    }
+}
+
+/// LEO-constellation path (Starlink-style): low RTT for a satellite hop
+/// (~25 ms one-way) but periodic **handover capacity cliffs** — every
+/// `handover_period` the serving satellite changes, capacity collapses to
+/// near zero for `outage`, then resumes at a freshly drawn level around
+/// `mean_mbps`. Between handovers the rate wobbles mildly. The cliff
+/// cadence is the defining hazard: a controller that has converged on the
+/// pre-handover rate faces an instant, deep capacity drop.
+pub fn leo_link(
+    mean_mbps: f64,
+    handover_period: Duration,
+    outage: Duration,
+    total: Duration,
+    rng: &mut DetRng,
+) -> LinkConfig {
+    let mut segments = Vec::new();
+    let mut t = Instant::ZERO;
+    let wobble_step = Duration::from_millis(500);
+    while t.nanos() < total.nanos() {
+        // One serving-satellite dwell: a fresh beam capacity, mild wobble.
+        let beam = mean_mbps * (1.0 + rng.uniform_range(-0.35, 0.35));
+        let dwell_end = (t + handover_period).nanos().min(total.nanos());
+        while t.nanos() < dwell_end {
+            let f = 1.0 + rng.uniform_range(-0.08, 0.08);
+            segments.push((t, Rate::from_mbps((beam * f).max(1.0))));
+            t += wobble_step;
+        }
+        // Handover: the cliff — near-zero capacity for the outage window.
+        t = Instant::from_nanos(dwell_end);
+        if t.nanos() < total.nanos() && !outage.is_zero() {
+            segments.push((t, Rate::from_mbps(0.1)));
+            t += outage;
+        }
+    }
+    LinkConfig {
+        capacity: CapacitySchedule::from_segments(segments),
+        one_way_delay: Duration::from_millis(25),
+        buffer: Bytes::bdp(Rate::from_mbps(mean_mbps), Duration::from_millis(100)),
+        stochastic_loss: 0.0,
+        ack_jitter: Duration::from_millis(1),
+        loss_process: None,
+        ecn: None,
+        faults: FaultPlan::default(),
+        queue: QueueConfig::Droptail,
     }
 }
 
@@ -408,6 +461,7 @@ pub fn datacenter_link() -> LinkConfig {
             threshold: Bytes::new(20 * 1500),
         }),
         faults: FaultPlan::default(),
+        queue: QueueConfig::Droptail,
     }
 }
 
@@ -434,6 +488,45 @@ mod other_network_tests {
         let hi = rates.iter().cloned().fold(f64::MIN, f64::max);
         let lo = rates.iter().cloned().fold(f64::MAX, f64::min);
         assert!(hi > 3.0 * lo, "hi {hi} lo {lo}");
+    }
+
+    #[test]
+    fn leo_has_periodic_cliffs() {
+        let mut rng = DetRng::new(3);
+        let l = leo_link(
+            40.0,
+            Duration::from_secs(15),
+            Duration::from_millis(300),
+            Duration::from_secs(60),
+            &mut rng,
+        );
+        // Cliffs land right after each 15 s handover boundary.
+        let during = l
+            .capacity
+            .rate_at(Instant::from_millis(15_000 + 100))
+            .mbps();
+        assert!(during < 1.0, "handover outage missing: {during} Mbps");
+        let after = l.capacity.rate_at(Instant::from_millis(16_000)).mbps();
+        assert!(after > 5.0, "capacity never recovered: {after} Mbps");
+        assert_eq!(l.one_way_delay, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn leo_is_deterministic() {
+        let build = || {
+            leo_link(
+                40.0,
+                Duration::from_secs(15),
+                Duration::from_millis(300),
+                Duration::from_secs(60),
+                &mut DetRng::new(7),
+            )
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.capacity.segments().len(), b.capacity.segments().len());
+        for (x, y) in a.capacity.segments().iter().zip(b.capacity.segments()) {
+            assert_eq!(x, y);
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn main() {
             loss_process: None,
             ecn: None,
             faults: FaultPlan::default(),
+            queue: libra::netsim::QueueConfig::Droptail,
         }
     };
 

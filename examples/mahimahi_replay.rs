@@ -54,6 +54,7 @@ fn main() {
             loss_process: None,
             ecn: None,
             faults: FaultPlan::default(),
+            queue: libra::netsim::QueueConfig::Droptail,
         };
         let until = Instant::from_secs(secs);
         let mut sim = Simulation::new(link, 77);

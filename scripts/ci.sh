@@ -29,6 +29,15 @@ echo "==> cargo test (netsim+core, runtime invariant asserts armed)"
 cargo test --offline -q -p libra-netsim -p libra-core \
     --features libra-netsim/checked-invariants,libra-core/checked-invariants
 
+echo "==> queue-ledger properties under checked-invariants (all disciplines)"
+cargo test --offline -q -p libra --test properties --features checked-invariants
+
+echo "==> scenario corpus validation (unique names, serde round-trip, determinism)"
+cargo run --release --offline -p libra-bench --bin scenario_registry -- --check
+
+echo "==> adversarial search smoke (fixed seed, 1 vs N workers byte-identical)"
+cargo run --release --offline -p libra-bench --bin scenario_search -- --quick --seed 5 --selftest
+
 echo "==> cargo bench --no-run (bench targets compile)"
 cargo bench --workspace --offline --no-run
 

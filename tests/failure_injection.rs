@@ -29,6 +29,7 @@ fn blackout_link() -> LinkConfig {
         loss_process: None,
         ecn: None,
         faults: FaultPlan::default(),
+        queue: libra::netsim::QueueConfig::Droptail,
     }
 }
 

@@ -4,9 +4,10 @@
 
 use libra::core::equilibrium::{DroptailGame, LibraDynamics};
 use libra::netsim::{
-    CapacitySchedule, FaultKind, FaultPlan, FlowConfig, GilbertElliott, LinkConfig, Simulation,
+    CapacitySchedule, FaultKind, FaultPlan, FlowConfig, GilbertElliott, LinkConfig, QueueConfig,
+    Simulation,
 };
-use libra::types::{jain_index, CongestionControl, Duration, Instant, Rate, UtilityParams};
+use libra::types::{jain_index, Bytes, CongestionControl, Duration, Instant, Rate, UtilityParams};
 use proptest::prelude::*;
 
 /// One proptest-shrinkable fault-event description.
@@ -112,22 +113,39 @@ proptest! {
         }
     }
 
-    /// Under any generated fault plan the bottleneck queue's byte ledger
-    /// still balances: every admitted byte was either dequeued or is still
-    /// sitting in the buffer, and conservation at the flow level holds.
+    /// Under any generated fault plan AND any queue discipline the
+    /// bottleneck's byte ledger still balances. One conservation identity
+    /// covers every discipline: every admitted byte was dequeued, head-
+    /// dropped by the AQM control law (CoDel), or is still resident.
+    /// Pre-admission refusals (droptail tail drop, PIE early drop,
+    /// non-conforming policer arrivals) never enter the ledger. The same
+    /// identity is asserted after every queue mutation when the
+    /// `checked-invariants` feature is armed (ci.sh runs both).
     #[test]
     fn queue_byte_ledger_balances_under_faults(
         specs in prop::collection::vec(fault_spec(), 0..5),
         rate_mbps in 1.0f64..40.0,
         cap_mbps in 2.0f64..50.0,
         rtt_ms in 10u64..120,
+        queue_kind in 0u8..4,
         seed in 0u64..1000,
     ) {
+        let queue = match queue_kind {
+            0 => QueueConfig::Droptail,
+            1 => QueueConfig::codel_default(),
+            2 => QueueConfig::pie_default(),
+            // A policer biting below the line rate, small burst credit.
+            _ => QueueConfig::TokenBucket {
+                rate: Rate::from_mbps(cap_mbps * 0.7),
+                burst: Bytes::from_kb(30),
+            },
+        };
         let link = LinkConfig::constant(
             Rate::from_mbps(cap_mbps),
             Duration::from_millis(rtt_ms),
             1.0,
         )
+        .with_queue(queue)
         .with_faults(plan_from_specs(&specs));
         let until = Instant::from_secs(5);
         let mut sim = Simulation::new(link, seed);
@@ -138,13 +156,18 @@ proptest! {
         let rep = sim.run(until);
         let l = &rep.link;
         prop_assert_eq!(
-            l.queue_admitted_bytes - l.queue_dequeued_bytes,
+            l.queue_admitted_bytes - l.queue_dequeued_bytes - l.queue_aqm_dropped_bytes,
             l.queue_residual_bytes,
-            "admitted {} dequeued {} residual {}",
+            "admitted {} dequeued {} aqm-dropped {} residual {}",
             l.queue_admitted_bytes,
             l.queue_dequeued_bytes,
+            l.queue_aqm_dropped_bytes,
             l.queue_residual_bytes
         );
+        // Only CoDel drops post-admission.
+        if !matches!(queue, QueueConfig::Codel { .. }) {
+            prop_assert_eq!(l.queue_aqm_dropped_bytes, 0);
+        }
         let f = &rep.flows[0];
         prop_assert!(f.delivered_bytes <= f.sent_bytes);
         prop_assert!((0.0..=1.0).contains(&l.utilization));

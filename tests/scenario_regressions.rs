@@ -1,0 +1,47 @@
+//! Pinned adversarial regressions: every spec under `tests/pinned/` was
+//! discovered by `scenario_search` as a scenario where Libra crosses a
+//! failure threshold (guardrail trips, unfairness, or goodput materially
+//! below the best parent CCA). Each pin freezes the full scenario plus
+//! the seeds, so these tests rebuild the identical model store and run,
+//! and fail if the failure stops reproducing — at which point the pin
+//! should be refreshed (the behaviour changed), not deleted silently.
+
+use libra_bench::{load_pins, PinnedRegression, SearchConfig};
+use std::path::Path;
+
+fn pins() -> Vec<PinnedRegression> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/pinned");
+    load_pins(&dir).expect("tests/pinned must be readable")
+}
+
+#[test]
+fn pinned_corpus_is_present_and_valid() {
+    let pins = pins();
+    assert!(
+        pins.len() >= 3,
+        "expected at least 3 pinned regressions, found {}",
+        pins.len()
+    );
+    for pin in &pins {
+        pin.spec
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: invalid spec: {e}", pin.name));
+    }
+    // The set must stay diverse: at least two distinct objectives.
+    let mut objectives: Vec<_> = pins.iter().map(|p| p.objective).collect();
+    objectives.sort_by_key(|o| o.label());
+    objectives.dedup();
+    assert!(objectives.len() >= 2, "pin set lost objective diversity");
+}
+
+#[test]
+fn pinned_regressions_still_reproduce() {
+    // Replay every pin with the default search comparison set (the one
+    // that discovered them). The replay config's search knobs are unused
+    // — only `under_test` and `parents` matter here.
+    let cfg = SearchConfig::smoke(0, 0, 0, 0, 1);
+    for pin in pins() {
+        pin.replay(&cfg)
+            .unwrap_or_else(|e| panic!("pinned regression no longer reproduces: {e}"));
+    }
+}

@@ -42,6 +42,7 @@ fn cubic_behaves_equivalently_on_replayed_trace() {
             loss_process: None,
             ecn: None,
             faults: FaultPlan::default(),
+            queue: libra::netsim::QueueConfig::Droptail,
         };
         let until = Instant::from_secs(total_s);
         let mut sim = Simulation::new(link, 3);
@@ -74,6 +75,7 @@ fn mahimahi_trace_drives_a_simulation_directly() {
         loss_process: None,
         ecn: None,
         faults: FaultPlan::default(),
+        queue: libra::netsim::QueueConfig::Droptail,
     };
     let until = Instant::from_secs(10);
     let mut sim = Simulation::new(link, 4);
