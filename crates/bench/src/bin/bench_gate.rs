@@ -1,0 +1,161 @@
+//! Machine-local perf regression gate over `BENCH_netsim.json`.
+//!
+//! `perf_smoke` writes wall-clock throughput numbers that are only
+//! comparable on the same machine, so the gate is **self-priming**: the
+//! first run copies the current numbers to a baseline file (default
+//! `dev/bench/baseline.json`, gitignored — it describes *this* host,
+//! not the repo), and later runs fail when any gated entry's
+//! `sim_secs_per_sec` drops more than the threshold below that
+//! baseline. When the current run is *faster*, the baseline ratchets up
+//! so slow regressions cannot hide behind an old slow baseline.
+//!
+//! The committed trajectory lives next to the baseline: `dev/bench/`
+//! keeps one dated snapshot per perf-relevant PR (see its README), so
+//! the history of the engine's throughput is reviewable even though
+//! absolute numbers differ across hosts.
+//!
+//! Usage: `bench_gate [--threshold PCT] [--reset]`
+//!   env: `LIBRA_BENCH_OUT` (current numbers, default BENCH_netsim.json)
+//!        `LIBRA_BENCH_BASELINE` (default dev/bench/baseline.json)
+
+use serde::Value;
+
+/// Entries the gate enforces. Sweep-shaped entries (`full_report_*`,
+/// `sweep_pair_*`) are excluded: their wall time is dominated by worker
+/// scheduling on loaded CI hosts, and `meta` already carries their
+/// ratios for human review.
+const GATED: &[&str] = &[
+    "single_run_cubic",
+    "eight_flow_run_cubic",
+    "thousand_flow",
+    "incast_fanin_256",
+    "single_run_cubic_traced",
+    "single_run_cubic_codel",
+    "single_run_cubic_pie",
+];
+
+fn throughputs(v: &Value) -> Vec<(String, f64)> {
+    let Value::Object(fields) = v else {
+        return Vec::new();
+    };
+    fields
+        .iter()
+        .filter(|(name, _)| name != "meta")
+        .filter_map(|(name, entry)| {
+            entry
+                .get("sim_secs_per_sec")
+                .and_then(|t| match t {
+                    Value::Float(f) => Some(*f),
+                    Value::Int(i) => Some(*i as f64),
+                    Value::UInt(u) => Some(*u as f64),
+                    _ => None,
+                })
+                .map(|t| (name.clone(), t))
+        })
+        .collect()
+}
+
+fn load(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: Value = serde_json::from_str(&text).ok()?;
+    Some(throughputs(&value))
+}
+
+fn main() {
+    let mut threshold_pct = 15.0_f64;
+    let mut reset = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--reset" => reset = true,
+            "--threshold" => {
+                threshold_pct = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threshold needs a percentage");
+            }
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+    }
+
+    let current_path =
+        std::env::var("LIBRA_BENCH_OUT").unwrap_or_else(|_| "BENCH_netsim.json".into());
+    let baseline_path =
+        std::env::var("LIBRA_BENCH_BASELINE").unwrap_or_else(|_| "dev/bench/baseline.json".into());
+
+    let Some(current) = load(&current_path) else {
+        eprintln!("bench_gate: cannot read {current_path}; run scripts/bench.sh first");
+        std::process::exit(1);
+    };
+
+    let prime = |reason: &str| {
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::copy(&current_path, &baseline_path) {
+            Ok(_) => println!("bench_gate: {reason}; baseline primed at {baseline_path}"),
+            Err(e) => {
+                eprintln!("bench_gate: could not write {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    if reset {
+        prime("--reset");
+        return;
+    }
+    let Some(baseline) = load(&baseline_path) else {
+        prime("no baseline for this machine");
+        return;
+    };
+
+    let floor = 1.0 - threshold_pct / 100.0;
+    let mut regressions = Vec::new();
+    let mut improved = false;
+    for name in GATED {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) else {
+            // Entry added since the baseline was primed: adopt it.
+            improved = true;
+            continue;
+        };
+        let Some((_, now)) = current.iter().find(|(n, _)| n == name) else {
+            regressions.push(format!(
+                "{name}: present in baseline but missing from current run"
+            ));
+            continue;
+        };
+        if *base <= 0.0 {
+            continue;
+        }
+        let ratio = now / base;
+        if ratio < floor {
+            regressions.push(format!(
+                "{name}: {now:.1} sim-secs/sec is {:.0}% below baseline {base:.1}",
+                (1.0 - ratio) * 100.0
+            ));
+        } else if ratio > 1.0 {
+            improved = true;
+        }
+        println!("bench_gate: {name}: {now:.1} vs baseline {base:.1} ({ratio:.2}x)");
+    }
+
+    if !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!("bench_gate: REGRESSION {r}");
+        }
+        eprintln!(
+            "bench_gate: {} entr{} regressed >{threshold_pct:.0}% (baseline {baseline_path}; \
+             re-prime with --reset if intentional)",
+            regressions.len(),
+            if regressions.len() == 1 { "y" } else { "ies" },
+        );
+        std::process::exit(1);
+    }
+    if improved {
+        // Ratchet: adopt the faster run (and any new entries) so future
+        // regressions are judged against the best this host has shown.
+        prime("current run is faster");
+    }
+    println!("bench_gate: OK (threshold {threshold_pct:.0}%)");
+}

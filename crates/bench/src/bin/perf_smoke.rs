@@ -96,6 +96,79 @@ fn main() {
         wall_ms,
         sim_secs_per_sec: thr,
     });
+    // Thousand-flow engine: 1000 cubic flows sharing one bottleneck,
+    // starts spread over the first 10 s. The headline scale target for
+    // the timer-wheel core + slab pool (floor: 25 sim-secs/sec).
+    let tf_secs = args.scaled(20, 8);
+    let (wall_ms, thr) = timed(tf_secs as f64, || {
+        libra_bench::run_staggered(
+            Cca::Cubic,
+            &store,
+            wired_link(96.0),
+            1000,
+            Duration::from_millis(10),
+            tf_secs,
+            args.seed,
+        );
+    });
+    benches.push(Bench {
+        name: "thousand_flow",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
+    // Incast fan-in: 256 synchronized flows into a fast short-RTT
+    // bottleneck (the zoo's `zoo-incast-fanin-256` shape) — dense
+    // same-instant event ties and deep queue occupancy.
+    let incast_secs = args.scaled(10, 4);
+    let (wall_ms, thr) = timed(incast_secs as f64, || {
+        libra_bench::run_staggered(
+            Cca::Cubic,
+            &store,
+            LinkConfig::constant(
+                libra_types::Rate::from_mbps(1000.0),
+                Duration::from_millis(2),
+                4.0,
+            ),
+            256,
+            Duration::ZERO,
+            incast_secs,
+            args.seed,
+        );
+    });
+    benches.push(Bench {
+        name: "incast_fanin_256",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
+    // The same fan-in sharded 8 ways over the supervised worker pool:
+    // 8 independent 32-flow bottlenecks, index-ordered merge. Total
+    // simulated time is secs × shards.
+    let incast_plan = libra_bench::ShardPlan::fan_in(
+        "incast-sharded",
+        Cca::Cubic,
+        &libra_bench::ScenarioSpec::new(
+            "incast-shard",
+            libra_bench::LinkSpec::Constant {
+                mbps: 1000.0,
+                rtt_ms: 2,
+                bdp_mult: 4.0,
+                loss: 0.0,
+            },
+            incast_secs,
+        ),
+        256,
+        8,
+        args.seed,
+    );
+    let shard_policy = SweepPolicy::default();
+    let (wall_ms, thr) = timed((incast_secs * 8) as f64, || {
+        libra_bench::run_sharded_with(&store, &incast_plan, worker_count().max(4), &shard_policy);
+    });
+    benches.push(Bench {
+        name: "incast_sharded_8x32",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
     // Same single-flow run with structured tracing enabled: the delta
     // vs `single_run_cubic` prices event recording end-to-end.
     let (wall_ms, thr) = timed(secs as f64, || {

@@ -34,6 +34,7 @@ pub mod registry;
 pub mod runner;
 pub mod scenarios;
 pub mod search;
+pub mod shard;
 pub mod spec;
 pub mod supervisor;
 pub mod sweep;
@@ -52,6 +53,7 @@ pub use search::{
     evaluate_candidate, load_pins, objective_of, pin_failures, search, write_pin, Candidate,
     Objective, PinnedRegression, SearchConfig, SearchOutcome,
 };
+pub use shard::{run_sharded_with, shard_seed, ShardPlan, ShardedReport};
 pub use spec::{
     cca_from_name, datacenter_spec, fig1_specs, fig7_cellular_specs, fig7_wired_specs, fiveg_spec,
     lte_tmobile_spec, satellite_spec, step_spec, wan_specs, zoo_corpus, LinkSpec, LteKind,

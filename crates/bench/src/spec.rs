@@ -836,6 +836,62 @@ pub fn zoo_corpus(secs: u64) -> Vec<ScenarioSpec> {
         }),
     );
 
+    // Thousand-flow-engine scale shapes. Synchronized fan-in into a
+    // fast short-RTT link (the classic incast microburst), a
+    // shallow-buffer many-to-one storage rack (buffer « aggregate
+    // inject rate, so collapse pressure is structural), and a
+    // fairness-at-N ladder up to 1000 flows on one shared link.
+    v.push(
+        ScenarioSpec::new(
+            "zoo-incast-fanin-256",
+            LinkSpec::Constant {
+                mbps: 1000.0,
+                rtt_ms: 2,
+                bdp_mult: 4.0,
+                loss: 0.0,
+            },
+            secs,
+        )
+        .with_workload(WorkloadSpec::Staggered {
+            flows: 256,
+            stagger_secs: 0,
+        }),
+    );
+    v.push(
+        ScenarioSpec::new(
+            "zoo-manytoone-storage-64",
+            LinkSpec::Constant {
+                mbps: 400.0,
+                rtt_ms: 2,
+                bdp_mult: 0.5,
+                loss: 0.0,
+            },
+            secs,
+        )
+        .with_workload(WorkloadSpec::Staggered {
+            flows: 64,
+            stagger_secs: 0,
+        }),
+    );
+    for n in [64usize, 256, 1000] {
+        v.push(
+            ScenarioSpec::new(
+                format!("zoo-fairness-n{n}"),
+                LinkSpec::Constant {
+                    mbps: 96.0,
+                    rtt_ms: 40,
+                    bdp_mult: 1.0,
+                    loss: 0.0,
+                },
+                secs,
+            )
+            .with_workload(WorkloadSpec::Staggered {
+                flows: n,
+                stagger_secs: 0,
+            }),
+        );
+    }
+
     for s in &mut v {
         s.secs = s.secs.min(secs.max(1));
     }

@@ -367,24 +367,21 @@ pub fn run_sweep_supervised_with(
         }
     }
 
-    // Fan out only the jobs the journal did not cover.
-    let pending: Vec<(usize, RunSpec)> = specs
-        .iter()
-        .enumerate()
-        .filter(|(idx, _)| slots[*idx].is_none())
-        .map(|(idx, spec)| (idx, spec.clone()))
-        .collect();
-    let pending_idx: Vec<usize> = pending.iter().map(|(idx, _)| *idx).collect();
+    // Fan out only the jobs the journal did not cover. Jobs are bare
+    // spec indices: workers borrow the resident `RunSpec` in place, so
+    // a retry or re-enqueue never deep-clones a trace-carrying link.
+    let pending: Vec<usize> = (0..n).filter(|&idx| slots[idx].is_none()).collect();
+    let pending_idx = pending.clone();
     let specs_ref = &specs;
     let digests_ref = &digests;
     let results = claim_map(
         pending,
         workers,
-        |_, (idx, spec)| {
+        |_, &idx: &usize| {
             if chaos.is_some_and(|c| c.claims_kill(idx)) {
                 return JobVerdict::Die;
             }
-            let (slot, used) = run_one(store, &spec, idx, policy, chaos);
+            let (slot, used) = run_one(store, &specs_ref[idx], idx, policy, chaos);
             JobVerdict::Done(match slot {
                 Ok(summary) => Ok((summary, used)),
                 Err(failure) => Err(failure),

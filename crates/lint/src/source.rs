@@ -384,7 +384,7 @@ fn fn_spans(code: &[String]) -> Vec<(usize, usize)> {
 }
 
 /// The byte offset of a standalone `fn` keyword on `line`, if any.
-fn find_fn_token(line: &str) -> Option<usize> {
+pub(crate) fn find_fn_token(line: &str) -> Option<usize> {
     let bytes = line.as_bytes();
     let mut from = 0;
     while let Some(rel) = line[from..].find("fn ") {

@@ -1,0 +1,13 @@
+//! lint-fixture: crates/netsim/src/demo.rs
+//! Expect: `no-per-packet-alloc` — heap allocation inside a per-packet
+//! hot function (the event loop enters `on_ack_packet` once per ACK).
+
+pub struct Demo;
+
+impl Demo {
+    pub fn on_ack_packet(&mut self) -> Vec<u64> {
+        let mut losses = Vec::new();
+        losses.push(1);
+        losses
+    }
+}

@@ -21,6 +21,7 @@ const BAD: &[(&str, &str)] = &[
     ("bad_threads.rs", "thread-discipline"),
     ("bad_entropy.rs", "entropy"),
     ("bad_bounded_retry.rs", "bounded-retry"),
+    ("bad_per_packet_alloc.rs", "no-per-packet-alloc"),
 ];
 
 const GOOD: &[&str] = &[
@@ -31,6 +32,7 @@ const GOOD: &[&str] = &[
     "good_threads.rs",
     "good_entropy.rs",
     "good_bounded_retry.rs",
+    "good_per_packet_alloc.rs",
 ];
 
 fn fixtures_dir() -> PathBuf {

@@ -26,6 +26,7 @@
 //! functions of `(config, seed)`.
 
 use crate::packet::Packet;
+use crate::pool::{PacketHandle, PacketPool};
 use crate::queue::{DroptailQueue, EcnConfig, Enqueue};
 use libra_types::{Bytes, DetRng, Duration, Rate};
 use std::collections::VecDeque;
@@ -119,11 +120,20 @@ pub struct QueueCounters {
 /// module all implement it; the simulator dispatches statically through
 /// [`AnyQueue`] so the droptail hot path stays a single match arm.
 pub trait QueueDiscipline {
-    /// Try to admit `packet` at `now_ns`, CE-marking per `ecn`.
-    fn enqueue_with_ecn(&mut self, packet: Packet, now_ns: u64, ecn: Option<EcnConfig>) -> Enqueue;
+    /// Try to admit `packet` at `now_ns`, CE-marking per `ecn`. An
+    /// accepted packet moves into `pool`; a refused one never touches
+    /// the slab.
+    fn enqueue_with_ecn(
+        &mut self,
+        packet: Packet,
+        pool: &mut PacketPool,
+        now_ns: u64,
+        ecn: Option<EcnConfig>,
+    ) -> Enqueue;
     /// Remove the next packet to serve at `now_ns` (applying any
-    /// head-drop control law first).
-    fn dequeue(&mut self, now_ns: u64) -> Option<Packet>;
+    /// head-drop control law first). The returned handle stays live in
+    /// the pool until the caller releases it.
+    fn dequeue(&mut self, pool: &mut PacketPool, now_ns: u64) -> Option<PacketHandle>;
     /// Bytes currently resident.
     fn occupied_bytes(&self) -> u64;
     /// Packets currently resident.
@@ -140,12 +150,18 @@ pub trait QueueDiscipline {
 
 impl QueueDiscipline for DroptailQueue {
     #[inline]
-    fn enqueue_with_ecn(&mut self, packet: Packet, now_ns: u64, ecn: Option<EcnConfig>) -> Enqueue {
-        DroptailQueue::enqueue_with_ecn(self, packet, now_ns, ecn)
+    fn enqueue_with_ecn(
+        &mut self,
+        packet: Packet,
+        pool: &mut PacketPool,
+        now_ns: u64,
+        ecn: Option<EcnConfig>,
+    ) -> Enqueue {
+        DroptailQueue::enqueue_with_ecn(self, packet, pool, now_ns, ecn)
     }
     #[inline]
-    fn dequeue(&mut self, now_ns: u64) -> Option<Packet> {
-        DroptailQueue::dequeue(self, now_ns)
+    fn dequeue(&mut self, pool: &mut PacketPool, now_ns: u64) -> Option<PacketHandle> {
+        DroptailQueue::dequeue(self, pool, now_ns)
     }
     #[inline]
     fn occupied_bytes(&self) -> u64 {
@@ -286,7 +302,7 @@ fn codel_next_interval(interval_ns: u64, count: u64) -> u64 {
 #[derive(Debug)]
 pub struct CodelQueue {
     ledger: Ledger,
-    packets: VecDeque<(Packet, u64)>,
+    packets: VecDeque<(PacketHandle, u64)>,
     target_ns: u64,
     interval_ns: u64,
     /// When the head sojourn first exceeded target (`None` while below).
@@ -312,23 +328,32 @@ impl CodelQueue {
             dropping: false,
         }
     }
+}
 
-    fn resident(&self) -> u64 {
-        self.packets.iter().map(|(p, _)| p.bytes).sum()
-    }
+/// Byte sum of the handles resident in an AQM's deque. Only ever called
+/// by the `checked-invariants` conservation check; the unchecked build
+/// constructs (and discards) the closure without running it.
+fn resident_sum<T>(
+    packets: &VecDeque<T>,
+    pool: &PacketPool,
+    h: impl Fn(&T) -> PacketHandle,
+) -> u64 {
+    packets.iter().map(|t| pool.get(h(t)).bytes).sum()
 }
 
 impl QueueDiscipline for CodelQueue {
     fn enqueue_with_ecn(
         &mut self,
         mut packet: Packet,
+        pool: &mut PacketPool,
         now_ns: u64,
         ecn: Option<EcnConfig>,
     ) -> Enqueue {
         self.ledger.advance_clock(now_ns);
         if self.ledger.would_overflow(packet.bytes) {
             self.ledger.refuse(packet.bytes);
-            self.ledger.check(|| self.resident());
+            self.ledger
+                .check(|| resident_sum(&self.packets, pool, |t| t.0));
             return Enqueue::Dropped;
         }
         maybe_mark(
@@ -338,15 +363,16 @@ impl QueueDiscipline for CodelQueue {
             &mut self.ledger.stats.ecn_marks,
         );
         self.ledger.admit(packet.bytes);
-        self.packets.push_back((packet, now_ns));
-        self.ledger.check(|| self.resident());
+        self.packets.push_back((pool.alloc(packet), now_ns));
+        self.ledger
+            .check(|| resident_sum(&self.packets, pool, |t| t.0));
         Enqueue::Accepted
     }
 
-    fn dequeue(&mut self, now_ns: u64) -> Option<Packet> {
+    fn dequeue(&mut self, pool: &mut PacketPool, now_ns: u64) -> Option<PacketHandle> {
         self.ledger.advance_clock(now_ns);
         loop {
-            let (pkt, enq_ns) = match self.packets.pop_front() {
+            let (h, enq_ns) = match self.packets.pop_front() {
                 Some(head) => head,
                 None => {
                     self.dropping = false;
@@ -354,40 +380,46 @@ impl QueueDiscipline for CodelQueue {
                     return None;
                 }
             };
+            let bytes = pool.get(h).bytes;
             let sojourn = now_ns.saturating_sub(enq_ns);
-            let remaining = self.ledger.occupied - pkt.bytes;
+            let remaining = self.ledger.occupied - bytes;
             // Below target (or the backlog is under one MTU): the standing
             // queue is fine — reset the control law and deliver.
             if sojourn < self.target_ns || remaining < 1500 {
                 self.first_above_ns = None;
                 self.dropping = false;
-                self.ledger.dequeue(pkt.bytes);
-                self.ledger.check(|| self.resident());
-                return Some(pkt);
+                self.ledger.dequeue(bytes);
+                self.ledger
+                    .check(|| resident_sum(&self.packets, pool, |t| t.0));
+                return Some(h);
             }
             if self.dropping {
                 if now_ns >= self.drop_next_ns {
                     self.count += 1;
                     self.drop_next_ns += codel_next_interval(self.interval_ns, self.count);
-                    self.ledger.head_drop(pkt.bytes);
+                    self.ledger.head_drop(bytes);
+                    pool.release(h);
                     continue;
                 }
-                self.ledger.dequeue(pkt.bytes);
-                self.ledger.check(|| self.resident());
-                return Some(pkt);
+                self.ledger.dequeue(bytes);
+                self.ledger
+                    .check(|| resident_sum(&self.packets, pool, |t| t.0));
+                return Some(h);
             }
             match self.first_above_ns {
                 None => {
                     // First sighting above target: arm the interval timer.
                     self.first_above_ns = Some(now_ns + self.interval_ns);
-                    self.ledger.dequeue(pkt.bytes);
-                    self.ledger.check(|| self.resident());
-                    return Some(pkt);
+                    self.ledger.dequeue(bytes);
+                    self.ledger
+                        .check(|| resident_sum(&self.packets, pool, |t| t.0));
+                    return Some(h);
                 }
                 Some(first_above) if now_ns < first_above => {
-                    self.ledger.dequeue(pkt.bytes);
-                    self.ledger.check(|| self.resident());
-                    return Some(pkt);
+                    self.ledger.dequeue(bytes);
+                    self.ledger
+                        .check(|| resident_sum(&self.packets, pool, |t| t.0));
+                    return Some(h);
                 }
                 Some(_) => {
                     // Sojourn stayed above target for a full interval:
@@ -403,7 +435,8 @@ impl QueueDiscipline for CodelQueue {
                         1
                     };
                     self.drop_next_ns = now_ns + codel_next_interval(self.interval_ns, self.count);
-                    self.ledger.head_drop(pkt.bytes);
+                    self.ledger.head_drop(bytes);
+                    pool.release(h);
                 }
             }
         }
@@ -430,7 +463,7 @@ impl QueueDiscipline for CodelQueue {
 #[derive(Debug)]
 pub struct PieQueue {
     ledger: Ledger,
-    packets: VecDeque<(Packet, u64)>,
+    packets: VecDeque<(PacketHandle, u64)>,
     target_ns: u64,
     update_ns: u64,
     next_update_ns: u64,
@@ -453,10 +486,6 @@ impl PieQueue {
             qdelay_old_ns: 0,
             rng,
         }
-    }
-
-    fn resident(&self) -> u64 {
-        self.packets.iter().map(|(p, _)| p.bytes).sum()
     }
 
     /// Run any due drop-probability updates (RFC 8033 §4.2 with the
@@ -497,6 +526,7 @@ impl QueueDiscipline for PieQueue {
     fn enqueue_with_ecn(
         &mut self,
         mut packet: Packet,
+        pool: &mut PacketPool,
         now_ns: u64,
         ecn: Option<EcnConfig>,
     ) -> Enqueue {
@@ -504,7 +534,8 @@ impl QueueDiscipline for PieQueue {
         self.maybe_update(now_ns);
         if self.ledger.would_overflow(packet.bytes) {
             self.ledger.refuse(packet.bytes);
-            self.ledger.check(|| self.resident());
+            self.ledger
+                .check(|| resident_sum(&self.packets, pool, |t| t.0));
             return Enqueue::Dropped;
         }
         // Early drop, with RFC 8033 burst protection: never drop while
@@ -514,7 +545,8 @@ impl QueueDiscipline for PieQueue {
             && self.rng.chance(self.drop_prob)
         {
             self.ledger.refuse(packet.bytes);
-            self.ledger.check(|| self.resident());
+            self.ledger
+                .check(|| resident_sum(&self.packets, pool, |t| t.0));
             return Enqueue::Dropped;
         }
         maybe_mark(
@@ -524,18 +556,20 @@ impl QueueDiscipline for PieQueue {
             &mut self.ledger.stats.ecn_marks,
         );
         self.ledger.admit(packet.bytes);
-        self.packets.push_back((packet, now_ns));
-        self.ledger.check(|| self.resident());
+        self.packets.push_back((pool.alloc(packet), now_ns));
+        self.ledger
+            .check(|| resident_sum(&self.packets, pool, |t| t.0));
         Enqueue::Accepted
     }
 
-    fn dequeue(&mut self, now_ns: u64) -> Option<Packet> {
+    fn dequeue(&mut self, pool: &mut PacketPool, now_ns: u64) -> Option<PacketHandle> {
         self.ledger.advance_clock(now_ns);
         self.maybe_update(now_ns);
-        let (pkt, _) = self.packets.pop_front()?;
-        self.ledger.dequeue(pkt.bytes);
-        self.ledger.check(|| self.resident());
-        Some(pkt)
+        let (h, _) = self.packets.pop_front()?;
+        self.ledger.dequeue(pool.get(h).bytes);
+        self.ledger
+            .check(|| resident_sum(&self.packets, pool, |t| t.0));
+        Some(h)
     }
 
     fn occupied_bytes(&self) -> u64 {
@@ -558,7 +592,7 @@ impl QueueDiscipline for PieQueue {
 #[derive(Debug)]
 pub struct TokenBucketQueue {
     ledger: Ledger,
-    packets: VecDeque<Packet>,
+    packets: VecDeque<PacketHandle>,
     bytes_per_sec: f64,
     burst: f64,
     tokens: f64,
@@ -580,10 +614,6 @@ impl TokenBucketQueue {
         }
     }
 
-    fn resident(&self) -> u64 {
-        self.packets.iter().map(|p| p.bytes).sum()
-    }
-
     fn refill(&mut self, now_ns: u64) {
         let span_ns = now_ns.saturating_sub(self.last_refill_ns);
         self.last_refill_ns = now_ns;
@@ -595,6 +625,7 @@ impl QueueDiscipline for TokenBucketQueue {
     fn enqueue_with_ecn(
         &mut self,
         mut packet: Packet,
+        pool: &mut PacketPool,
         now_ns: u64,
         ecn: Option<EcnConfig>,
     ) -> Enqueue {
@@ -602,7 +633,8 @@ impl QueueDiscipline for TokenBucketQueue {
         self.refill(now_ns);
         if self.ledger.would_overflow(packet.bytes) || self.tokens < packet.bytes as f64 {
             self.ledger.refuse(packet.bytes);
-            self.ledger.check(|| self.resident());
+            self.ledger
+                .check(|| resident_sum(&self.packets, pool, |&h| h));
             return Enqueue::Dropped;
         }
         self.tokens -= packet.bytes as f64;
@@ -613,17 +645,19 @@ impl QueueDiscipline for TokenBucketQueue {
             &mut self.ledger.stats.ecn_marks,
         );
         self.ledger.admit(packet.bytes);
-        self.packets.push_back(packet);
-        self.ledger.check(|| self.resident());
+        self.packets.push_back(pool.alloc(packet));
+        self.ledger
+            .check(|| resident_sum(&self.packets, pool, |&h| h));
         Enqueue::Accepted
     }
 
-    fn dequeue(&mut self, now_ns: u64) -> Option<Packet> {
+    fn dequeue(&mut self, pool: &mut PacketPool, now_ns: u64) -> Option<PacketHandle> {
         self.ledger.advance_clock(now_ns);
-        let pkt = self.packets.pop_front()?;
-        self.ledger.dequeue(pkt.bytes);
-        self.ledger.check(|| self.resident());
-        Some(pkt)
+        let h = self.packets.pop_front()?;
+        self.ledger.dequeue(pool.get(h).bytes);
+        self.ledger
+            .check(|| resident_sum(&self.packets, pool, |&h| h));
+        Some(h)
     }
 
     fn occupied_bytes(&self) -> u64 {
@@ -690,12 +724,18 @@ macro_rules! dispatch {
 
 impl QueueDiscipline for AnyQueue {
     #[inline]
-    fn enqueue_with_ecn(&mut self, packet: Packet, now_ns: u64, ecn: Option<EcnConfig>) -> Enqueue {
-        dispatch!(self, q => q.enqueue_with_ecn(packet, now_ns, ecn))
+    fn enqueue_with_ecn(
+        &mut self,
+        packet: Packet,
+        pool: &mut PacketPool,
+        now_ns: u64,
+        ecn: Option<EcnConfig>,
+    ) -> Enqueue {
+        dispatch!(self, q => q.enqueue_with_ecn(packet, pool, now_ns, ecn))
     }
     #[inline]
-    fn dequeue(&mut self, now_ns: u64) -> Option<Packet> {
-        dispatch!(self, q => q.dequeue(now_ns))
+    fn dequeue(&mut self, pool: &mut PacketPool, now_ns: u64) -> Option<PacketHandle> {
+        dispatch!(self, q => q.dequeue(pool, now_ns))
     }
     #[inline]
     fn occupied_bytes(&self) -> u64 {
@@ -745,6 +785,7 @@ mod tests {
 
     #[test]
     fn codel_drops_from_head_under_standing_queue() {
+        let mut pool = PacketPool::with_capacity(256);
         let mut q = CodelQueue::new(
             Bytes::new(1_000_000),
             Duration::from_millis(5),
@@ -754,11 +795,15 @@ mod tests {
         // (slower than needed to clear sojourn), so head delay grows far
         // beyond target and stays there.
         for s in 0..200 {
-            assert_eq!(q.enqueue_with_ecn(pkt(s, 1500), 0, None), Enqueue::Accepted);
+            assert_eq!(
+                q.enqueue_with_ecn(pkt(s, 1500), &mut pool, 0, None),
+                Enqueue::Accepted
+            );
         }
         let mut delivered = 0u64;
         for i in 0..150u64 {
-            if q.dequeue((i + 1) * 10 * MS).is_some() {
+            if let Some(h) = q.dequeue(&mut pool, (i + 1) * 10 * MS) {
+                pool.release(h);
                 delivered += 1;
             }
         }
@@ -767,10 +812,13 @@ mod tests {
         assert_eq!(c.admitted, 200);
         assert_eq!(delivered + c.aqm_drops, 200 - q.len() as u64);
         ledger_balances(&c, q.occupied_bytes());
+        // Only the still-resident packets remain live in the pool.
+        assert_eq!(pool.live(), q.len());
     }
 
     #[test]
     fn codel_idle_below_target_never_drops() {
+        let mut pool = PacketPool::with_capacity(4);
         let mut q = CodelQueue::new(
             Bytes::new(1_000_000),
             Duration::from_millis(5),
@@ -778,33 +826,48 @@ mod tests {
         );
         // Enqueue/dequeue promptly: sojourn ~1 ms, never above target.
         for s in 0..100u64 {
-            q.enqueue_with_ecn(pkt(s, 1500), s * 2 * MS, None);
-            assert!(q.dequeue(s * 2 * MS + MS).is_some());
+            q.enqueue_with_ecn(pkt(s, 1500), &mut pool, s * 2 * MS, None);
+            let h = q.dequeue(&mut pool, s * 2 * MS + MS).expect("just queued");
+            pool.release(h);
         }
         let c = q.counters();
         assert_eq!(c.aqm_drops, 0);
         assert_eq!(c.drops, 0);
         ledger_balances(&c, 0);
+        assert_eq!(pool.live(), 0);
     }
 
     #[test]
     fn codel_still_tail_drops_when_physically_full() {
+        let mut pool = PacketPool::with_capacity(4);
         let mut q = CodelQueue::new(
             Bytes::new(3000),
             Duration::from_millis(5),
             Duration::from_millis(100),
         );
-        assert_eq!(q.enqueue_with_ecn(pkt(0, 1500), 0, None), Enqueue::Accepted);
-        assert_eq!(q.enqueue_with_ecn(pkt(1, 1500), 0, None), Enqueue::Accepted);
-        assert_eq!(q.enqueue_with_ecn(pkt(2, 1500), 0, None), Enqueue::Dropped);
+        assert_eq!(
+            q.enqueue_with_ecn(pkt(0, 1500), &mut pool, 0, None),
+            Enqueue::Accepted
+        );
+        assert_eq!(
+            q.enqueue_with_ecn(pkt(1, 1500), &mut pool, 0, None),
+            Enqueue::Accepted
+        );
+        assert_eq!(
+            q.enqueue_with_ecn(pkt(2, 1500), &mut pool, 0, None),
+            Enqueue::Dropped
+        );
         let c = q.counters();
         assert_eq!(c.drops, 1);
         assert_eq!(c.aqm_drops, 0);
         ledger_balances(&c, q.occupied_bytes());
+        // Refused packets never touched the slab.
+        assert_eq!(pool.live(), 2);
     }
 
     #[test]
     fn pie_early_drops_under_sustained_delay() {
+        let mut pool = PacketPool::with_capacity(4096);
         let mut q = PieQueue::new(
             Bytes::new(10_000_000),
             Duration::from_millis(15),
@@ -817,11 +880,13 @@ mod tests {
         let mut refused = 0u64;
         for s in 0..4000u64 {
             t += MS / 4; // 4 pkts/ms in
-            if q.enqueue_with_ecn(pkt(s, 1500), t, None) == Enqueue::Dropped {
+            if q.enqueue_with_ecn(pkt(s, 1500), &mut pool, t, None) == Enqueue::Dropped {
                 refused += 1;
             }
             if s % 8 == 0 {
-                q.dequeue(t); // 1 pkt per 2 ms out
+                if let Some(h) = q.dequeue(&mut pool, t) {
+                    pool.release(h); // 1 pkt per 2 ms out
+                }
             }
         }
         let c = q.counters();
@@ -834,6 +899,7 @@ mod tests {
     #[test]
     fn pie_is_seed_deterministic() {
         let run = |seed: u64| {
+            let mut pool = PacketPool::with_capacity(4096);
             let mut q = PieQueue::new(
                 Bytes::new(10_000_000),
                 Duration::from_millis(15),
@@ -844,9 +910,13 @@ mod tests {
             let mut pattern = Vec::new();
             for s in 0..2000u64 {
                 t += MS / 4;
-                pattern.push(q.enqueue_with_ecn(pkt(s, 1500), t, None) == Enqueue::Accepted);
+                pattern.push(
+                    q.enqueue_with_ecn(pkt(s, 1500), &mut pool, t, None) == Enqueue::Accepted,
+                );
                 if s % 8 == 0 {
-                    q.dequeue(t);
+                    if let Some(h) = q.dequeue(&mut pool, t) {
+                        pool.release(h);
+                    }
                 }
             }
             pattern
@@ -857,6 +927,7 @@ mod tests {
 
     #[test]
     fn pie_drop_prob_decays_when_idle() {
+        let mut pool = PacketPool::with_capacity(4096);
         let mut q = PieQueue::new(
             Bytes::new(10_000_000),
             Duration::from_millis(15),
@@ -866,13 +937,18 @@ mod tests {
         let mut t = 0u64;
         for s in 0..2000u64 {
             t += MS / 4;
-            q.enqueue_with_ecn(pkt(s, 1500), t, None);
+            q.enqueue_with_ecn(pkt(s, 1500), &mut pool, t, None);
             if s % 8 == 0 {
-                q.dequeue(t);
+                if let Some(h) = q.dequeue(&mut pool, t) {
+                    pool.release(h);
+                }
             }
         }
         assert!(q.drop_prob > 0.0);
-        while q.dequeue(t).is_some() {}
+        while let Some(h) = q.dequeue(&mut pool, t) {
+            pool.release(h);
+        }
+        assert_eq!(pool.live(), 0);
         // A long idle stretch decays the probability to zero.
         q.maybe_update(t + 60_000 * MS);
         assert_eq!(q.drop_prob, 0.0);
@@ -881,6 +957,7 @@ mod tests {
     #[test]
     fn token_bucket_polices_rate() {
         // 12 Mbps policer = 1500 bytes per ms; bucket 2 MTUs deep.
+        let mut pool = PacketPool::with_capacity(256);
         let mut q = TokenBucketQueue::new(
             Bytes::new(1_000_000),
             Rate::from_mbps(12.0),
@@ -891,7 +968,7 @@ mod tests {
         let mut t = 0u64;
         for s in 0..400u64 {
             t += MS / 4;
-            if q.enqueue_with_ecn(pkt(s, 1500), t, None) == Enqueue::Accepted {
+            if q.enqueue_with_ecn(pkt(s, 1500), &mut pool, t, None) == Enqueue::Accepted {
                 accepted += 1;
             }
         }
@@ -904,6 +981,7 @@ mod tests {
 
     #[test]
     fn token_bucket_conforming_traffic_passes_untouched() {
+        let mut pool = PacketPool::with_capacity(4);
         let mut q = TokenBucketQueue::new(
             Bytes::new(1_000_000),
             Rate::from_mbps(12.0),
@@ -912,10 +990,15 @@ mod tests {
         // 1 packet per 2 ms = 6 Mbps, half the policed rate.
         for s in 0..100u64 {
             let t = s * 2 * MS;
-            assert_eq!(q.enqueue_with_ecn(pkt(s, 1500), t, None), Enqueue::Accepted);
-            assert!(q.dequeue(t + MS / 2).is_some());
+            assert_eq!(
+                q.enqueue_with_ecn(pkt(s, 1500), &mut pool, t, None),
+                Enqueue::Accepted
+            );
+            let h = q.dequeue(&mut pool, t + MS / 2).expect("just queued");
+            pool.release(h);
         }
         assert_eq!(q.counters().drops, 0);
+        assert_eq!(pool.live(), 0);
     }
 
     #[test]
@@ -930,17 +1013,25 @@ mod tests {
                 burst: Bytes::new(15_000),
             },
         ] {
+            let mut pool = PacketPool::with_capacity(4);
             let mut q = AnyQueue::build(cfg, buffer, DetRng::new(3));
             assert!(q.is_empty());
-            assert_eq!(q.enqueue_with_ecn(pkt(0, 1500), 0, None), Enqueue::Accepted);
+            assert_eq!(
+                q.enqueue_with_ecn(pkt(0, 1500), &mut pool, 0, None),
+                Enqueue::Accepted
+            );
             assert_eq!(q.occupied_bytes(), 1500);
             assert_eq!(q.len(), 1);
-            let out = q.dequeue(1_000_000).expect("one packet is queued");
+            let h = q
+                .dequeue(&mut pool, 1_000_000)
+                .expect("one packet is queued");
+            let out = pool.release(h);
             assert_eq!(out.seq, 0);
             let c = q.counters();
             assert_eq!(c.admitted_bytes, 1500);
             assert_eq!(c.dequeued_bytes, 1500);
             assert!(q.mean_occupancy(2_000_000) > 0.0);
+            assert_eq!(pool.live(), 0);
         }
     }
 
@@ -948,12 +1039,13 @@ mod tests {
     #[should_panic(expected = "clock went backwards")]
     #[cfg(any(debug_assertions, feature = "checked-invariants"))]
     fn aqm_clock_must_be_monotone() {
+        let mut pool = PacketPool::with_capacity(4);
         let mut q = CodelQueue::new(
             Bytes::new(10_000),
             Duration::from_millis(5),
             Duration::from_millis(100),
         );
-        q.enqueue_with_ecn(pkt(0, 1500), 1000, None);
-        q.dequeue(500);
+        q.enqueue_with_ecn(pkt(0, 1500), &mut pool, 1000, None);
+        q.dequeue(&mut pool, 500);
     }
 }

@@ -9,8 +9,9 @@
 //! The topology is a dumbbell: any number of flows share one droptail
 //! queue feeding a (possibly trace-driven) bottleneck link; ACKs return on
 //! an uncongested reverse path with optional jitter. Everything is driven
-//! from a binary-heap event queue with integer-nanosecond timestamps, so a
-//! run is a pure function of `(configuration, seed)`.
+//! from a hierarchical timer-wheel event queue (see [`wheel`]) with
+//! integer-nanosecond timestamps, so a run is a pure function of
+//! `(configuration, seed)`.
 //!
 //! # Quick example
 //!
@@ -44,10 +45,12 @@ pub mod host_clock;
 pub mod loss;
 pub mod mahimahi;
 pub mod packet;
+pub mod pool;
 pub mod queue;
 pub mod sender;
 pub mod sim;
 pub mod trace;
+pub mod wheel;
 
 pub use aqm::{
     AnyQueue, CodelQueue, PieQueue, QueueConfig, QueueCounters, QueueDiscipline, TokenBucketQueue,
@@ -58,13 +61,15 @@ pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultReport};
 pub use loss::{GilbertElliott, LossProcess};
 pub use mahimahi::{capacity_from_mahimahi, capacity_to_mahimahi, TraceError};
 pub use packet::{AckPacket, FlowId, Packet};
+pub use pool::{PacketHandle, PacketPool};
 pub use queue::{DroptailQueue, EcnConfig, Enqueue};
-pub use sender::{BinSeries, EmitResult, FlowSender};
+pub use sender::{BinSeries, FlowSender};
 pub use sim::{
-    BudgetKind, BudgetTrip, FlowConfig, FlowReport, LinkConfig, LinkReport, SimBudget, SimConfig,
-    SimReport, Simulation,
+    BudgetKind, BudgetTrip, FlowConfig, FlowReport, LinkConfig, LinkReport, SchedulerKind,
+    SimBudget, SimConfig, SimReport, Simulation,
 };
 pub use trace::{
     datacenter_link, fiveg_link, leo_link, lte_link, lte_trace, satellite_link, step_link,
     wan_link, wired_link, LteScenario, WanScenario,
 };
+pub use wheel::{TimedEntry, TimerWheel};

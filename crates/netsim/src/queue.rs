@@ -1,6 +1,11 @@
 //! The bottleneck's droptail (FIFO, byte-capacity) queue.
+//!
+//! Resident packets live in the simulation's [`PacketPool`] slab; the
+//! queue itself holds 8-byte [`PacketHandle`]s, so enqueue/dequeue moves
+//! one machine word per packet no matter how deep the backlog gets.
 
 use crate::packet::Packet;
+use crate::pool::{PacketHandle, PacketPool};
 use libra_types::Bytes;
 use std::collections::VecDeque;
 
@@ -26,7 +31,7 @@ pub enum Enqueue {
 pub struct DroptailQueue {
     capacity: Bytes,
     occupied: u64,
-    packets: VecDeque<Packet>,
+    packets: VecDeque<PacketHandle>,
     /// Total packets dropped at the tail since construction.
     pub drops: u64,
     /// Total packets admitted since construction.
@@ -79,13 +84,13 @@ impl DroptailQueue {
     /// O(len) resident sum is acceptable because the feature is a
     /// test/CI mode, never a bench mode.
     #[cfg(feature = "checked-invariants")]
-    fn check_conservation(&self) {
+    fn check_conservation(&self, pool: &PacketPool) {
         assert_eq!(
             self.admitted_bytes,
             self.dequeued_bytes + self.occupied,
             "droptail queue leaked bytes (admitted != dequeued + resident)"
         );
-        let resident: u64 = self.packets.iter().map(|p| p.bytes).sum();
+        let resident: u64 = self.packets.iter().map(|&h| pool.get(h).bytes).sum();
         assert_eq!(
             resident, self.occupied,
             "droptail occupancy counter drifted from resident packets"
@@ -94,13 +99,16 @@ impl DroptailQueue {
 
     #[cfg(not(feature = "checked-invariants"))]
     #[inline(always)]
-    fn check_conservation(&self) {}
+    fn check_conservation(&self, _pool: &PacketPool) {}
 
     /// Try to admit `packet` at time `now_ns`; applies the ECN mark when
     /// a policy is given and the standing queue exceeds its threshold.
+    /// An accepted packet moves into `pool`; a refused packet never
+    /// touches the slab.
     pub fn enqueue_with_ecn(
         &mut self,
         mut packet: Packet,
+        pool: &mut PacketPool,
         now_ns: u64,
         ecn: Option<EcnConfig>,
     ) -> Enqueue {
@@ -108,7 +116,7 @@ impl DroptailQueue {
         if self.occupied + packet.bytes > self.capacity.get() {
             self.drops += 1;
             self.dropped_bytes += packet.bytes;
-            self.check_conservation();
+            self.check_conservation(pool);
             return Enqueue::Dropped;
         }
         if let Some(cfg) = ecn {
@@ -120,24 +128,27 @@ impl DroptailQueue {
         self.occupied += packet.bytes;
         self.admitted += 1;
         self.admitted_bytes += packet.bytes;
-        self.packets.push_back(packet);
-        self.check_conservation();
+        self.packets.push_back(pool.alloc(packet));
+        self.check_conservation(pool);
         Enqueue::Accepted
     }
 
     /// Try to admit `packet` at time `now_ns` (no ECN).
-    pub fn enqueue(&mut self, packet: Packet, now_ns: u64) -> Enqueue {
-        self.enqueue_with_ecn(packet, now_ns, None)
+    pub fn enqueue(&mut self, packet: Packet, pool: &mut PacketPool, now_ns: u64) -> Enqueue {
+        self.enqueue_with_ecn(packet, pool, now_ns, None)
     }
 
-    /// Remove the head-of-line packet at time `now_ns`.
-    pub fn dequeue(&mut self, now_ns: u64) -> Option<Packet> {
+    /// Remove the head-of-line packet at time `now_ns`. The handle stays
+    /// live in the pool (the link holds it while the packet is in
+    /// service); the caller releases it.
+    pub fn dequeue(&mut self, pool: &mut PacketPool, now_ns: u64) -> Option<PacketHandle> {
         self.advance_clock(now_ns);
-        let p = self.packets.pop_front()?;
-        self.occupied -= p.bytes;
-        self.dequeued_bytes += p.bytes;
-        self.check_conservation();
-        Some(p)
+        let h = self.packets.pop_front()?;
+        let bytes = pool.get(h).bytes;
+        self.occupied -= bytes;
+        self.dequeued_bytes += bytes;
+        self.check_conservation(pool);
+        Some(h)
     }
 
     /// Bytes currently queued.
@@ -189,37 +200,45 @@ mod tests {
 
     #[test]
     fn fifo_order() {
+        let mut pool = PacketPool::with_capacity(8);
         let mut q = DroptailQueue::new(Bytes::new(10_000));
-        q.enqueue(pkt(0, 1, 1500), 0);
-        q.enqueue(pkt(0, 2, 1500), 10);
-        assert_eq!(q.dequeue(20).unwrap().seq, 1);
-        assert_eq!(q.dequeue(30).unwrap().seq, 2);
-        assert!(q.dequeue(40).is_none());
+        q.enqueue(pkt(0, 1, 1500), &mut pool, 0);
+        q.enqueue(pkt(0, 2, 1500), &mut pool, 10);
+        let a = q.dequeue(&mut pool, 20).unwrap();
+        assert_eq!(pool.release(a).seq, 1);
+        let b = q.dequeue(&mut pool, 30).unwrap();
+        assert_eq!(pool.release(b).seq, 2);
+        assert!(q.dequeue(&mut pool, 40).is_none());
+        assert_eq!(pool.live(), 0);
     }
 
     #[test]
     fn droptail_drops_when_full() {
+        let mut pool = PacketPool::with_capacity(8);
         let mut q = DroptailQueue::new(Bytes::new(3000));
-        assert_eq!(q.enqueue(pkt(0, 1, 1500), 0), Enqueue::Accepted);
-        assert_eq!(q.enqueue(pkt(0, 2, 1500), 0), Enqueue::Accepted);
-        assert_eq!(q.enqueue(pkt(0, 3, 1500), 0), Enqueue::Dropped);
+        assert_eq!(q.enqueue(pkt(0, 1, 1500), &mut pool, 0), Enqueue::Accepted);
+        assert_eq!(q.enqueue(pkt(0, 2, 1500), &mut pool, 0), Enqueue::Accepted);
+        assert_eq!(q.enqueue(pkt(0, 3, 1500), &mut pool, 0), Enqueue::Dropped);
         assert_eq!(q.drops, 1);
         assert_eq!(q.admitted, 2);
         assert_eq!(q.occupied_bytes(), 3000);
+        assert_eq!(pool.live(), 2, "refused packets never enter the pool");
         // Draining frees space.
-        q.dequeue(5);
-        assert_eq!(q.enqueue(pkt(0, 4, 1500), 6), Enqueue::Accepted);
+        let h = q.dequeue(&mut pool, 5).unwrap();
+        pool.release(h);
+        assert_eq!(q.enqueue(pkt(0, 4, 1500), &mut pool, 6), Enqueue::Accepted);
     }
 
     #[test]
     fn byte_accounting_conserved() {
+        let mut pool = PacketPool::with_capacity(32);
         let mut q = DroptailQueue::new(Bytes::new(100_000));
         for s in 0..20 {
-            q.enqueue(pkt(0, s, 1000 + s * 10), s);
+            q.enqueue(pkt(0, s, 1000 + s * 10), &mut pool, s);
         }
         let mut total = 0;
-        while let Some(p) = q.dequeue(100) {
-            total += p.bytes;
+        while let Some(h) = q.dequeue(&mut pool, 100) {
+            total += pool.release(h).bytes;
         }
         let expect: u64 = (0..20u64).map(|s| 1000 + s * 10).sum();
         assert_eq!(total, expect);
@@ -227,15 +246,18 @@ mod tests {
         assert_eq!(q.admitted_bytes, expect);
         assert_eq!(q.dequeued_bytes, expect);
         assert_eq!(q.dropped_bytes, 0);
+        assert_eq!(pool.live_bytes(), 0);
     }
 
     #[test]
     fn byte_counters_track_drops_and_inflight() {
+        let mut pool = PacketPool::with_capacity(8);
         let mut q = DroptailQueue::new(Bytes::new(3000));
-        q.enqueue(pkt(0, 1, 1500), 0);
-        q.enqueue(pkt(0, 2, 1500), 0);
-        q.enqueue(pkt(0, 3, 1500), 0); // dropped
-        q.dequeue(5);
+        q.enqueue(pkt(0, 1, 1500), &mut pool, 0);
+        q.enqueue(pkt(0, 2, 1500), &mut pool, 0);
+        q.enqueue(pkt(0, 3, 1500), &mut pool, 0); // dropped
+        let h = q.dequeue(&mut pool, 5).unwrap();
+        pool.release(h);
         assert_eq!(q.admitted_bytes, 3000);
         assert_eq!(q.dropped_bytes, 1500);
         assert_eq!(q.dequeued_bytes, 1500);
@@ -244,24 +266,28 @@ mod tests {
             q.occupied_bytes(),
             "enqueued - dequeued must equal in-flight"
         );
+        assert_eq!(pool.live_bytes(), q.occupied_bytes());
     }
 
     #[cfg(feature = "checked-invariants")]
     #[test]
     #[should_panic(expected = "leaked bytes")]
     fn checked_mode_catches_ledger_drift() {
+        let mut pool = PacketPool::with_capacity(8);
         let mut q = DroptailQueue::new(Bytes::new(10_000));
-        q.enqueue(pkt(0, 1, 1500), 0);
+        q.enqueue(pkt(0, 1, 1500), &mut pool, 0);
         q.admitted_bytes += 1; // corrupt the ledger
-        q.dequeue(1);
+        q.dequeue(&mut pool, 1);
     }
 
     #[test]
     fn mean_occupancy_integrates() {
+        let mut pool = PacketPool::with_capacity(8);
         let mut q = DroptailQueue::new(Bytes::new(10_000));
         // 1500 bytes resident for the whole first half, empty after.
-        q.enqueue(pkt(0, 1, 1500), 0);
-        q.dequeue(500);
+        q.enqueue(pkt(0, 1, 1500), &mut pool, 0);
+        let h = q.dequeue(&mut pool, 500).unwrap();
+        pool.release(h);
         assert!((q.mean_occupancy(1000) - 750.0).abs() < 1e-9);
     }
 }
@@ -285,25 +311,32 @@ mod ecn_tests {
 
     #[test]
     fn marks_above_threshold_only() {
+        let mut pool = PacketPool::with_capacity(8);
         let mut q = DroptailQueue::new(Bytes::new(30_000));
         let ecn = Some(EcnConfig {
             threshold: Bytes::new(3000),
         });
         for s in 0..6 {
-            q.enqueue_with_ecn(pkt(s), 0, ecn);
+            q.enqueue_with_ecn(pkt(s), &mut pool, 0, ecn);
         }
         // Occupancy at admit time: 0,1500,3000,4500,6000,7500 → marks for
         // packets admitted at 4500+ (occupied > 3000): seq 3,4,5.
         assert_eq!(q.ecn_marks, 3);
-        let marks: Vec<bool> = (0..6).map(|_| q.dequeue(1).unwrap().ecn).collect();
+        let marks: Vec<bool> = (0..6)
+            .map(|_| {
+                let h = q.dequeue(&mut pool, 1).unwrap();
+                pool.release(h).ecn
+            })
+            .collect();
         assert_eq!(marks, vec![false, false, false, true, true, true]);
     }
 
     #[test]
     fn no_policy_never_marks() {
+        let mut pool = PacketPool::with_capacity(8);
         let mut q = DroptailQueue::new(Bytes::new(30_000));
         for s in 0..6 {
-            q.enqueue(pkt(s), 0);
+            q.enqueue(pkt(s), &mut pool, 0);
         }
         assert_eq!(q.ecn_marks, 0);
     }

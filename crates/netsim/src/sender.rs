@@ -26,7 +26,7 @@ use libra_types::{
     AckEvent, CongestionControl, Duration, Instant, LossEvent, LossKind, MiTracker, P2Quantile,
     Rate, SendEvent, TraceEvent, Tracer, Welford,
 };
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Packets ACKed beyond an outstanding one before it is declared lost.
 const REORDER_WINDOW: u64 = 3;
@@ -48,6 +48,103 @@ const MAX_RTO: Duration = Duration::from_secs(10);
 struct SentMeta {
     bytes: u64,
     sent_at: Instant,
+}
+
+/// Outstanding-packet table specialised to the sender's access pattern:
+/// sequence numbers are assigned contiguously, ACKs clear slots near the
+/// front, and loss sweeps consume a prefix. A ring buffer of
+/// `Option<SentMeta>` indexed by `seq - base` replaces the old
+/// `BTreeMap<u64, SentMeta>`: every insert/remove is O(1) with zero
+/// allocator traffic in steady state, versus a node allocation and
+/// rebalancing walk per packet for the map — one of the dominant costs on
+/// the per-ACK hot path at thousand-flow scale.
+///
+/// Invariant: the front slot, when present, is always live (`Some`) — the
+/// oldest outstanding packet — so `base` doubles as the oldest live
+/// sequence and `slots.is_empty()` ⟺ no packets outstanding.
+#[derive(Debug, Default)]
+struct OutstandingWindow {
+    /// Sequence number of `slots[0]`.
+    base: u64,
+    slots: VecDeque<Option<SentMeta>>,
+    /// Count of live (unacked, not-yet-lost) entries.
+    live: usize,
+}
+
+impl OutstandingWindow {
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Record a freshly sent packet. Sequences arrive contiguously (the
+    /// sender allocates them with a counter), so this is always a
+    /// push_back.
+    fn insert(&mut self, seq: u64, meta: SentMeta) {
+        if self.slots.is_empty() {
+            self.base = seq;
+        }
+        debug_assert_eq!(
+            seq,
+            self.base + self.slots.len() as u64,
+            "non-contiguous send sequence"
+        );
+        self.slots.push_back(Some(meta));
+        self.live += 1;
+    }
+
+    /// Clear the slot for `seq`, returning its metadata if it was live.
+    fn remove(&mut self, seq: u64) -> Option<SentMeta> {
+        if seq < self.base {
+            return None;
+        }
+        let idx = (seq - self.base) as usize;
+        let meta = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        self.trim();
+        Some(meta)
+    }
+
+    /// Restore the front-is-live invariant after a removal.
+    fn trim(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Pop the oldest live entry if its sequence is below `cutoff`
+    /// (the reorder-loss sweep).
+    fn take_front_below(&mut self, cutoff: u64) -> Option<(u64, SentMeta)> {
+        if self.base >= cutoff {
+            return None;
+        }
+        let meta = self.slots.pop_front()??; // front is live by invariant
+        let seq = self.base;
+        self.base += 1;
+        self.live -= 1;
+        self.trim();
+        Some((seq, meta))
+    }
+
+    /// Write off everything outstanding (RTO). Returns the oldest live
+    /// sequence, total live bytes, and live count. Must not be called
+    /// when empty.
+    fn flush(&mut self) -> (u64, u64, u64) {
+        debug_assert!(!self.is_empty());
+        let oldest = self.base;
+        let mut bytes = 0u64;
+        let mut n = 0u64;
+        for meta in self.slots.drain(..).flatten() {
+            bytes += meta.bytes;
+            n += 1;
+        }
+        self.live = 0;
+        (oldest, bytes, n)
+    }
 }
 
 /// Time-series metrics with a fixed bin width.
@@ -106,15 +203,6 @@ impl BinSeries {
     }
 }
 
-/// What the sender wants the simulator to do after an event.
-#[derive(Debug, Default)]
-pub struct EmitResult {
-    /// Packets to inject into the bottleneck now.
-    pub packets: Vec<Packet>,
-    /// When to wake the pacer next, if pacing-limited.
-    pub next_wake: Option<Instant>,
-}
-
 /// One flow's sending endpoint.
 pub struct FlowSender {
     /// Flow identity.
@@ -130,7 +218,7 @@ pub struct FlowSender {
     active: bool,
 
     next_seq: u64,
-    outstanding: BTreeMap<u64, SentMeta>,
+    outstanding: OutstandingWindow,
     in_flight: u64,
     delivered: u64,
     highest_acked: Option<u64>,
@@ -151,6 +239,9 @@ pub struct FlowSender {
     pub pending_wake: Option<Instant>,
 
     tracker: MiTracker,
+    /// Reused buffer for losses detected on the last ACK — returned by
+    /// slice so the per-ACK hot path never allocates.
+    last_losses: Vec<LossEvent>,
 
     // ---- metrics ----
     /// Bytes handed to the network.
@@ -205,7 +296,7 @@ impl FlowSender {
             stop,
             active: false,
             next_seq: 0,
-            outstanding: BTreeMap::new(),
+            outstanding: OutstandingWindow::default(),
             in_flight: 0,
             delivered: 0,
             highest_acked: None,
@@ -219,6 +310,7 @@ impl FlowSender {
             rto_generation: 0,
             pending_wake: None,
             tracker: MiTracker::new(start),
+            last_losses: Vec::new(),
             sent_bytes: 0,
             sent_packets: 0,
             delivered_bytes: 0,
@@ -320,35 +412,39 @@ impl FlowSender {
         Some(Rate::from_bytes_over(self.cca.cwnd_bytes(), self.srtt).scale(WINDOW_PACING_GAIN))
     }
 
-    /// Emit as many packets as window and pacing allow at `now`.
-    pub fn try_emit(&mut self, now: Instant) -> EmitResult {
-        let mut out = EmitResult::default();
+    /// Emit as many packets as window and pacing allow at `now`, appending
+    /// them to the caller-owned `out` scratch buffer (the simulator reuses
+    /// one per pump, so the hot path never allocates). Returns when to
+    /// wake the pacer next, if pacing-limited.
+    pub fn try_emit(&mut self, now: Instant, out: &mut Vec<Packet>) -> Option<Instant> {
         if !self.active || now >= self.stop {
-            return out;
+            return None;
         }
+        let mut emitted = 0usize;
         loop {
             let cwnd = self.cca.cwnd_bytes();
             if self.in_flight + self.mss > cwnd {
-                return out; // window-limited: an ACK will retrigger us
+                return None; // window-limited: an ACK will retrigger us
             }
             if self.outstanding.len() >= MAX_OUTSTANDING {
-                return out; // memory-limited: ACK/loss will retrigger us
+                return None; // memory-limited: ACK/loss will retrigger us
             }
             match self.pacing_rate() {
                 None => {
                     // Unpaced initial burst.
-                    out.packets.push(self.emit_packet(now));
+                    out.push(self.emit_packet(now));
+                    emitted += 1;
                 }
                 Some(rate) if rate.is_zero() => {
                     // Paused; a controller event will retrigger us.
-                    return out;
+                    return None;
                 }
                 Some(rate) => {
                     if self.next_send_time > now {
-                        out.next_wake = Some(self.next_send_time);
-                        return out;
+                        return Some(self.next_send_time);
                     }
-                    out.packets.push(self.emit_packet(now));
+                    out.push(self.emit_packet(now));
+                    emitted += 1;
                     // Floor the pacing gap at 1 ns so an extreme rate can
                     // never freeze the pacing clock in integer time.
                     let gap = rate.transmit_time(self.mss).max(Duration::from_nanos(1));
@@ -362,12 +458,11 @@ impl FlowSender {
             }
             // Safety valves: never emit more than one window per call, and
             // never more than MAX_BURST_PER_CALL packets (re-wake instead).
-            if out.packets.len() > 1 + (cwnd / self.mss) as usize {
-                return out;
+            if emitted > 1 + (cwnd / self.mss) as usize {
+                return None;
             }
-            if out.packets.len() >= MAX_BURST_PER_CALL {
-                out.next_wake = Some(now + Duration::from_micros(1));
-                return out;
+            if emitted >= MAX_BURST_PER_CALL {
+                return Some(now + Duration::from_micros(1));
             }
         }
     }
@@ -426,11 +521,14 @@ impl FlowSender {
     }
 
     /// Process an arriving ACK; returns losses detected by the reordering
-    /// rule (already reported to the controller).
-    pub fn on_ack_packet(&mut self, ack: &AckPacket, now: Instant) -> Vec<LossEvent> {
-        let meta = match self.outstanding.remove(&ack.seq) {
+    /// rule (already reported to the controller). The slice borrows a
+    /// buffer reused across ACKs — copy out anything that must outlive the
+    /// next call.
+    pub fn on_ack_packet(&mut self, ack: &AckPacket, now: Instant) -> &[LossEvent] {
+        self.last_losses.clear();
+        let meta = match self.outstanding.remove(ack.seq) {
             Some(m) => m,
-            None => return Vec::new(), // late/duplicate ACK for a seq already written off
+            None => return &self.last_losses, // late/duplicate ACK for a seq already written off
         };
         self.in_flight = self.in_flight.saturating_sub(meta.bytes);
         self.delivered += meta.bytes;
@@ -472,7 +570,8 @@ impl FlowSender {
         }
         self.check_controller_sanity();
 
-        self.detect_reorder_losses(now)
+        self.detect_reorder_losses(now);
+        &self.last_losses
     }
 
     /// `checked-invariants`: after every ACK-path controller callback
@@ -503,20 +602,17 @@ impl FlowSender {
 
     /// Fast-retransmit emulation: outstanding packets more than
     /// [`REORDER_WINDOW`] below the highest ACKed sequence are lost.
-    fn detect_reorder_losses(&mut self, now: Instant) -> Vec<LossEvent> {
-        let mut losses = Vec::new();
+    /// Detected losses accumulate into `last_losses` (cleared by the
+    /// caller).
+    fn detect_reorder_losses(&mut self, now: Instant) {
         let Some(high) = self.highest_acked else {
-            return losses;
+            return;
         };
         if high < REORDER_WINDOW {
-            return losses;
+            return;
         }
         let cutoff = high - REORDER_WINDOW;
-        while let Some((&seq, &meta)) = self.outstanding.iter().next() {
-            if seq >= cutoff {
-                break;
-            }
-            self.outstanding.remove(&seq);
+        while let Some((seq, meta)) = self.outstanding.take_front_below(cutoff) {
             self.in_flight = self.in_flight.saturating_sub(meta.bytes);
             self.lost_packets += 1;
             self.lost_bytes += meta.bytes;
@@ -529,16 +625,15 @@ impl FlowSender {
             };
             self.tracker.on_loss(&ev);
             self.time_cca(|cca| cca.on_loss(&ev));
-            losses.push(ev);
+            self.last_losses.push(ev);
         }
-        if !losses.is_empty() {
+        if !self.last_losses.is_empty() {
             self.tracer.emit_with(|| TraceEvent::FastRetransmit {
                 flow: self.id.0,
                 at_ns: now.nanos(),
-                packets: losses.len() as u64,
+                packets: self.last_losses.len() as u64,
             });
         }
-        losses
     }
 
     /// Handle an RTO expiry check. Returns true if a timeout fired.
@@ -551,11 +646,7 @@ impl FlowSender {
         }
         // Everything outstanding is written off; the controller sees one
         // timeout event (per-packet spam would overstate congestion).
-        let total: u64 = self.outstanding.values().map(|m| m.bytes).sum();
-        // Invariant: the is_empty() early return above guarantees a key.
-        let oldest = *self.outstanding.keys().next().expect("non-empty");
-        let n = self.outstanding.len() as u64;
-        self.outstanding.clear();
+        let (oldest, total, n) = self.outstanding.flush();
         self.in_flight = 0;
         self.lost_packets += n;
         self.lost_bytes += total;
@@ -672,24 +763,31 @@ mod tests {
         }
     }
 
+    /// Test shim over the scratch-buffer API: collect one call's output.
+    fn emit(s: &mut FlowSender, now: Instant) -> (Vec<Packet>, Option<Instant>) {
+        let mut out = Vec::new();
+        let wake = s.try_emit(now, &mut out);
+        (out, wake)
+    }
+
     #[test]
     fn initial_burst_fills_window() {
         let mut s = sender(10 * 1500);
         s.activate(Instant::ZERO);
-        let r = s.try_emit(Instant::ZERO);
-        assert_eq!(r.packets.len(), 10);
+        let (pkts, _) = emit(&mut s, Instant::ZERO);
+        assert_eq!(pkts.len(), 10);
         assert_eq!(s.in_flight(), 15_000);
         // Window-limited now.
-        let r2 = s.try_emit(Instant::from_millis(1));
-        assert!(r2.packets.is_empty());
-        assert!(r2.next_wake.is_none());
+        let (pkts2, wake2) = emit(&mut s, Instant::from_millis(1));
+        assert!(pkts2.is_empty());
+        assert!(wake2.is_none());
     }
 
     #[test]
     fn ack_frees_window_and_sets_rtt() {
         let mut s = sender(2 * 1500);
         s.activate(Instant::ZERO);
-        let pkts = s.try_emit(Instant::ZERO).packets;
+        let (pkts, _) = emit(&mut s, Instant::ZERO);
         assert_eq!(pkts.len(), 2);
         let now = Instant::from_millis(50);
         let losses = s.on_ack_packet(&ack_for(&pkts[0], now), now);
@@ -699,15 +797,15 @@ mod tests {
         assert_eq!(s.in_flight(), 1500);
         assert_eq!(s.delivered_bytes, 1500);
         // Paced now: emitting again yields a packet (credit available).
-        let r = s.try_emit(now);
-        assert_eq!(r.packets.len(), 1);
+        let (pkts2, _) = emit(&mut s, now);
+        assert_eq!(pkts2.len(), 1);
     }
 
     #[test]
     fn pacing_spaces_packets() {
         let mut s = sender(100 * 1500);
         s.activate(Instant::ZERO);
-        let pkts = s.try_emit(Instant::ZERO).packets;
+        let (pkts, _) = emit(&mut s, Instant::ZERO);
         assert_eq!(pkts.len(), 100, "initial burst fills the window");
         // Free half the window so the next emission is pacing-limited,
         // not window-limited.
@@ -716,10 +814,10 @@ mod tests {
             s.on_ack_packet(&ack_for(p, now), now);
         }
         // cwnd 150 kB, srtt 100 ms → pacing ≈ 1.2 × 12 Mbps.
-        let r = s.try_emit(now);
+        let (pkts2, wake) = emit(&mut s, now);
         // One packet immediately, then pacing-limited with a wake time.
-        assert!(!r.packets.is_empty());
-        let wake = r.next_wake.expect("pacing wake");
+        assert!(!pkts2.is_empty());
+        let wake = wake.expect("pacing wake");
         assert!(wake > now);
         let gap = wake.saturating_since(now);
         // 1500 B at 14.4 Mbps ≈ 833 µs per packet — allow some slack for
@@ -731,12 +829,12 @@ mod tests {
     fn reorder_rule_declares_loss() {
         let mut s = sender(10 * 1500);
         s.activate(Instant::ZERO);
-        let pkts = s.try_emit(Instant::ZERO).packets;
+        let (pkts, _) = emit(&mut s, Instant::ZERO);
         // ACK 1,2,3,4 but never 0 → 0 is lost when 4 is ACKed (0 < 4-3+... cutoff=1).
         let mut losses = Vec::new();
         for (i, p) in pkts.iter().enumerate().skip(1).take(4) {
             let now = Instant::from_millis(10 * (i as u64 + 1));
-            losses.extend(s.on_ack_packet(&ack_for(p, now), now));
+            losses.extend_from_slice(s.on_ack_packet(&ack_for(p, now), now));
         }
         assert_eq!(losses.len(), 1);
         assert_eq!(losses[0].seq, 0);
@@ -748,7 +846,7 @@ mod tests {
     fn rto_fires_and_flushes() {
         let mut s = sender(4 * 1500);
         s.activate(Instant::ZERO);
-        let _ = s.try_emit(Instant::ZERO);
+        let _ = emit(&mut s, Instant::ZERO);
         assert_eq!(s.in_flight(), 6000);
         // Nothing ACKed; RTO floor is 200 ms (srtt unknown → init 40 ms).
         assert!(!s.on_rto_check(Instant::from_millis(100)));
@@ -772,21 +870,58 @@ mod tests {
         let mut s = sender(10 * 1500);
         s.activate(Instant::ZERO);
         s.stop = Instant::from_millis(10);
-        let r = s.try_emit(Instant::from_millis(20));
-        assert!(r.packets.is_empty());
+        let (pkts, _) = emit(&mut s, Instant::from_millis(20));
+        assert!(pkts.is_empty());
     }
 
     #[test]
     fn late_ack_after_rto_is_ignored() {
         let mut s = sender(2 * 1500);
         s.activate(Instant::ZERO);
-        let pkts = s.try_emit(Instant::ZERO).packets;
+        let (pkts, _) = emit(&mut s, Instant::ZERO);
         assert!(s.on_rto_check(Instant::from_millis(500)));
         let before = s.delivered_bytes;
         let now = Instant::from_millis(600);
         let losses = s.on_ack_packet(&ack_for(&pkts[0], now), now);
         assert!(losses.is_empty());
         assert_eq!(s.delivered_bytes, before);
+    }
+
+    #[test]
+    fn window_survives_resumed_sending_after_rto() {
+        // After an RTO flush the deque is empty but next_seq keeps
+        // counting; the window must re-anchor its base on the next send.
+        let mut s = sender(2 * 1500);
+        s.activate(Instant::ZERO);
+        let _ = emit(&mut s, Instant::ZERO);
+        assert!(s.on_rto_check(Instant::from_millis(500)));
+        let now = Instant::from_millis(500);
+        let (pkts, _) = emit(&mut s, now);
+        assert_eq!(pkts.len(), 2);
+        assert_eq!(pkts[0].seq, 2, "sequences continue after the flush");
+        let later = Instant::from_millis(550);
+        let losses = s.on_ack_packet(&ack_for(&pkts[0], later), later);
+        assert!(losses.is_empty());
+        assert_eq!(s.in_flight(), 1500);
+    }
+
+    #[test]
+    fn out_of_order_acks_clear_mid_window_slots() {
+        let mut s = sender(6 * 1500);
+        s.activate(Instant::ZERO);
+        let (pkts, _) = emit(&mut s, Instant::ZERO);
+        assert_eq!(pkts.len(), 6);
+        let now = Instant::from_millis(10);
+        // ACK 2 then 0 then 1: holes open and close mid-window without
+        // tripping the reorder rule (high=2 < cutoff threshold).
+        for idx in [2usize, 0, 1] {
+            let losses = s.on_ack_packet(&ack_for(&pkts[idx], now), now);
+            assert!(losses.is_empty());
+        }
+        assert_eq!(s.in_flight(), 3 * 1500);
+        // Duplicate ACK is a no-op.
+        assert!(s.on_ack_packet(&ack_for(&pkts[1], now), now).is_empty());
+        assert_eq!(s.in_flight(), 3 * 1500);
     }
 
     #[test]
@@ -802,7 +937,7 @@ mod tests {
     fn loss_fraction() {
         let mut s = sender(10 * 1500);
         s.activate(Instant::ZERO);
-        let pkts = s.try_emit(Instant::ZERO).packets;
+        let (pkts, _) = emit(&mut s, Instant::ZERO);
         for (i, p) in pkts.iter().enumerate().skip(1).take(4) {
             let now = Instant::from_millis(10 * (i as u64 + 1));
             s.on_ack_packet(&ack_for(p, now), now);

@@ -20,15 +20,17 @@ use crate::capacity::CapacitySchedule;
 use crate::faults::{FaultEngine, FaultPlan, FaultReport};
 use crate::loss::LossProcess;
 use crate::packet::{AckPacket, FlowId, Packet};
+use crate::pool::{PacketHandle, PacketPool};
 use crate::queue::{EcnConfig, Enqueue};
 use crate::sender::FlowSender;
+use crate::wheel::{TimedEntry, TimerWheel};
 use libra_types::{
     Bytes, CongestionControl, DetRng, Duration, Instant, Rate, RingRecorder, TraceEvent, TraceSink,
     Tracer, Welford, LINK_FLOW,
 };
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 
 /// Bottleneck-link configuration.
@@ -105,6 +107,20 @@ impl LinkConfig {
     }
 }
 
+/// Which event-scheduler backend the simulation uses. Both produce
+/// byte-identical runs — the wheel's pop order is exactly the heap's
+/// `(at, seq)` order (see [`crate::wheel`]) — so this knob exists for the
+/// equivalence tests and as an escape hatch, not as a semantic choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timer wheel: O(1) amortized, the default.
+    #[default]
+    Wheel,
+    /// The original global binary heap: O(log n) per op, kept as the
+    /// reference implementation.
+    Heap,
+}
+
 /// Simulation-level knobs that are not properties of the link.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -118,6 +134,8 @@ pub struct SimConfig {
     /// Livelock/event-storm watchdog budgets. Inactive by default: the
     /// default hot loop carries a single boolean branch per pop.
     pub budget: SimBudget,
+    /// Event-scheduler backend (timer wheel by default).
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -126,6 +144,7 @@ impl Default for SimConfig {
             trace: false,
             trace_capacity: 65_536,
             budget: SimBudget::default(),
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -145,6 +164,12 @@ impl SimConfig {
             budget: SimBudget::standard(),
             ..SimConfig::default()
         }
+    }
+
+    /// Swap the event-scheduler backend (builder style).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 }
 
@@ -290,32 +315,77 @@ enum Event {
     PacerWake(FlowId),
     ServiceDone,
     AckArrive(AckPacket),
+    /// Deliver the batch of same-timestamp ACKs queued for this flow at
+    /// the event's time (see [`AckBatch`]). Only scheduled when ACK
+    /// merging is enabled (fault plans or ACK jitter).
+    AckBatch(FlowId),
     MiTick(FlowId),
     RtoCheck(FlowId, u64),
     QueueSample,
 }
 
-struct EventEntry {
-    at: Instant,
-    seq: u64,
-    event: Event,
+/// The event scheduler: the timer wheel by default, with the original
+/// binary heap retained as the reference backend (the equivalence tests
+/// replay runs through both and require identical results).
+enum EventQueue {
+    Heap(BinaryHeap<Reverse<TimedEntry<Event>>>),
+    Wheel(Box<TimerWheel<Event>>),
 }
 
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl EventQueue {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            // Outstanding events scale with flows × window, not duration;
+            // a few KiB of headroom removes regrowth from the hot loop.
+            SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::with_capacity(4096)),
+            SchedulerKind::Wheel => EventQueue::Wheel(Box::default()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, entry: TimedEntry<Event>) {
+        match self {
+            EventQueue::Heap(h) => h.push(Reverse(entry)),
+            EventQueue::Wheel(w) => w.push(entry),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<TimedEntry<Event>> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|Reverse(e)| e),
+            EventQueue::Wheel(w) => w.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Wheel(w) => w.len(),
+        }
     }
 }
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+
+/// ACKs for one flow that all arrive at the same instant, delivered by a
+/// single [`Event::AckBatch`] pop instead of one heap event each.
+///
+/// Exactness: merging ACK `b` into an earlier ACK `a`'s batch (same flow,
+/// same arrival time `t`) reproduces the heap's dispatch order iff no
+/// other event was scheduled at exactly `t` between `a`'s scheduling and
+/// `b`'s — otherwise that event's sequence number would interleave
+/// between them. [`Simulation::schedule`] therefore closes every open
+/// batch at time `t` whenever *any* event is scheduled at `t` (the
+/// conservative dirty rule); a closed batch stops accepting merges and a
+/// later same-`(flow, t)` ACK opens a fresh batch behind the intervening
+/// event. Batching is only enabled when fault plans or ACK jitter can
+/// actually produce same-instant ACKs — the clean path's arrival times
+/// strictly increase, so it schedules plain [`Event::AckArrive`]s.
+struct AckBatch {
+    at: Instant,
+    /// Accepting merges. Cleared by the dirty rule or at dispatch.
+    open: bool,
+    first: AckPacket,
+    rest: Vec<AckPacket>,
 }
 
 /// Results for one flow after a run.
@@ -446,13 +516,16 @@ impl SimReport {
 /// [`run`](Simulation::run).
 pub struct Simulation {
     now: Instant,
-    events: BinaryHeap<Reverse<EventEntry>>,
+    events: EventQueue,
     eseq: u64,
     // Link state.
     capacity: CapacitySchedule,
     queue: AnyQueue,
+    /// Slab arena for every packet resident in the network (queued or in
+    /// service); disciplines store 8-byte handles into it.
+    pool: PacketPool,
     busy: bool,
-    in_service: Option<Packet>,
+    in_service: Option<PacketHandle>,
     one_way_delay: Duration,
     loss: LossProcess,
     ecn: Option<EcnConfig>,
@@ -470,6 +543,20 @@ pub struct Simulation {
     cap_cursor: usize,
     // Flows.
     flows: Vec<FlowSender>,
+    /// Scratch buffer for [`FlowSender::try_emit`], reused across pumps
+    /// so the emit path never allocates.
+    emit_scratch: Vec<Packet>,
+    /// Whether same-instant ACKs are merged into [`AckBatch`]es. Enabled
+    /// only when fault plans or ACK jitter can produce ties; the clean
+    /// path keeps its original one-event-per-ACK schedule untouched.
+    merge_acks: bool,
+    /// Pending ACK batches per flow (index-aligned with `flows`), in
+    /// creation order. Not time-ordered under jitter — dispatch scans for
+    /// the first batch matching the event's timestamp.
+    ack_batches: Vec<VecDeque<AckBatch>>,
+    /// `(at_nanos, flow)` of batches still accepting merges — the dirty
+    /// list the close-on-schedule rule walks. Nearly always tiny.
+    open_ats: Vec<(u64, u32)>,
     // Tracing.
     cfg: SimConfig,
     /// One recorder per flow when tracing is on (index-aligned with
@@ -522,16 +609,18 @@ impl Simulation {
         let jitter_rng = root.fork("ack-jitter");
         let faults_rng = root.fork("faults");
         let aqm_rng = root.fork("aqm");
+        let merge_acks = faults_active || !link.ack_jitter.is_zero();
         Simulation {
             now: Instant::ZERO,
-            // Outstanding events scale with flows × window, not duration;
-            // a few KiB of headroom removes regrowth from the hot loop.
-            events: BinaryHeap::with_capacity(4096),
+            events: EventQueue::new(cfg.scheduler),
             eseq: 0,
             // Link-flap faults become zero-capacity windows on the schedule:
             // packets in service wait the outage out like a trace blackout.
             capacity: link.capacity.with_outages(&flap_windows),
             queue: AnyQueue::build(link.queue, link.buffer, aqm_rng),
+            // Resident packets are bounded by buffer bytes / MSS plus the
+            // one in service; pre-size for a typical BDP-scale buffer.
+            pool: PacketPool::with_capacity(256),
             busy: false,
             in_service: None,
             one_way_delay: link.one_way_delay,
@@ -547,6 +636,10 @@ impl Simulation {
             flap_windows,
             cap_cursor: 0,
             flows: Vec::new(),
+            emit_scratch: Vec::with_capacity(64),
+            merge_acks,
+            ack_batches: Vec::new(),
+            open_ats: Vec::new(),
             cfg,
             recorders: Vec::new(),
             link_recorder,
@@ -595,16 +688,45 @@ impl Simulation {
             Event::RtoCheck(id, 0),
         );
         self.flows.push(sender);
+        self.ack_batches.push(VecDeque::new());
         id
     }
 
     fn schedule(&mut self, at: Instant, event: Event) {
+        // The dirty rule behind exact ACK batching: scheduling *any*
+        // event at time `t` seals every batch still open at `t`, because
+        // this event's sequence number now sits between the batch's
+        // existing members and any future merge candidate (see
+        // [`AckBatch`]). `open_ats` is empty on the clean path.
+        if !self.open_ats.is_empty() {
+            self.close_open_batches_at(at);
+        }
         self.eseq += 1;
-        self.events.push(Reverse(EventEntry {
+        self.events.push(TimedEntry {
             at,
             seq: self.eseq,
             event,
-        }));
+        });
+    }
+
+    /// Seal every ACK batch still open at exactly `at` (cold path: only
+    /// reached when fault plans or jitter have batches in flight).
+    fn close_open_batches_at(&mut self, at: Instant) {
+        let nanos = at.nanos();
+        let mut i = 0;
+        while i < self.open_ats.len() {
+            let (t, flow) = self.open_ats[i];
+            if t == nanos {
+                for batch in self.ack_batches[flow as usize].iter_mut() {
+                    if batch.open && batch.at == at {
+                        batch.open = false;
+                    }
+                }
+                self.open_ats.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Run until `until`; consumes the simulation and returns the report.
@@ -637,7 +759,7 @@ impl Simulation {
         let mut window_events: u64 = 0;
         let mut pops: u64 = 0;
         let wall_start = budget.wall_limit_ms.map(|_| crate::host_clock::stamp());
-        while let Some(Reverse(entry)) = self.events.pop() {
+        while let Some(entry) = self.events.pop() {
             if entry.at > until {
                 break;
             }
@@ -662,6 +784,18 @@ impl Simulation {
             }
             self.now = entry.at;
             self.dispatch(entry.event, until);
+            // `checked-invariants`: the packet-pool byte ledger must
+            // balance after every event — every live slab byte is either
+            // queued or in service, so a leak or double free trips here.
+            #[cfg(feature = "checked-invariants")]
+            {
+                let in_service_bytes = self.in_service.map_or(0, |h| self.pool.get(h).bytes);
+                assert_eq!(
+                    self.pool.live_bytes(),
+                    self.queue.occupied_bytes() + in_service_bytes,
+                    "packet-pool byte ledger out of balance"
+                );
+            }
         }
         self.now = until;
         Ok(self.finalize(until))
@@ -770,6 +904,32 @@ impl Simulation {
                 let _losses = self.flows[id.index()].on_ack_packet(&ack, self.now);
                 self.pump_flow(id);
             }
+            Event::AckBatch(id) => {
+                // Jitter can schedule a later batch for an earlier time,
+                // so the per-flow deque is not time-ordered: find the
+                // first batch due now (creation order matches event seq
+                // order among equal timestamps) rather than pop_front.
+                let deque = &mut self.ack_batches[id.index()];
+                let pos = deque
+                    .iter()
+                    .position(|b| b.at == self.now)
+                    .expect("AckBatch event without a matching batch");
+                let batch = deque.remove(pos).expect("position() verified the index");
+                if batch.open {
+                    // Still on the dirty list: retire its entry.
+                    let nanos = self.now.nanos();
+                    self.open_ats.retain(|&(t, f)| t != nanos || f != id.0);
+                }
+                // Per-ACK processing is identical to the unbatched world:
+                // each ACK is followed by its own pump (coalescing the
+                // pumps would diverge from the heap's dispatch order).
+                self.flows[id.index()].on_ack_packet(&batch.first, self.now);
+                self.pump_flow(id);
+                for ack in &batch.rest {
+                    self.flows[id.index()].on_ack_packet(ack, self.now);
+                    self.pump_flow(id);
+                }
+            }
             Event::MiTick(id) => {
                 let next = self.flows[id.index()].on_mi_tick(self.now);
                 if next <= until {
@@ -812,11 +972,16 @@ impl Simulation {
     /// Let `id` emit whatever its pacer allows, feed the bottleneck, and
     /// schedule the next pacer wake.
     fn pump_flow(&mut self, id: FlowId) {
-        let result = self.flows[id.index()].try_emit(self.now);
-        for packet in result.packets {
+        // Borrow dance: `admit_packet` needs `&mut self`, so the scratch
+        // buffer is temporarily moved out (both moves are pointer swaps).
+        let mut scratch = std::mem::take(&mut self.emit_scratch);
+        scratch.clear();
+        let next_wake = self.flows[id.index()].try_emit(self.now, &mut scratch);
+        for packet in scratch.drain(..) {
             self.admit_packet(packet);
         }
-        if let Some(wake) = result.next_wake {
+        self.emit_scratch = scratch;
+        if let Some(wake) = next_wake {
             let flow = &mut self.flows[id.index()];
             // Skip if an earlier-or-equal wake is already queued.
             if flow.pending_wake.is_none_or(|t| t > wake) {
@@ -829,11 +994,12 @@ impl Simulation {
     fn admit_packet(&mut self, packet: Packet) {
         match self
             .queue
-            .enqueue_with_ecn(packet, self.now.nanos(), self.ecn)
+            .enqueue_with_ecn(packet, &mut self.pool, self.now.nanos(), self.ecn)
         {
             Enqueue::Dropped => {
                 // Tail drop: silently vanishes; the sender finds out via
-                // the reordering rule or RTO.
+                // the reordering rule or RTO. (Refused packets never touch
+                // the pool — the discipline allocates only on accept.)
             }
             Enqueue::Accepted => {
                 if !self.busy {
@@ -845,12 +1011,13 @@ impl Simulation {
 
     fn start_service(&mut self) {
         debug_assert!(!self.busy);
-        if let Some(packet) = self.queue.dequeue(self.now.nanos()) {
-            let finish =
-                self.capacity
-                    .service_finish_hinted(&mut self.cap_cursor, self.now, packet.bytes);
+        if let Some(handle) = self.queue.dequeue(&mut self.pool, self.now.nanos()) {
+            let bytes = self.pool.get(handle).bytes;
+            let finish = self
+                .capacity
+                .service_finish_hinted(&mut self.cap_cursor, self.now, bytes);
             self.busy = true;
-            self.in_service = Some(packet);
+            self.in_service = Some(handle);
             if finish != Instant::FAR_FUTURE {
                 self.schedule(finish, Event::ServiceDone);
             }
@@ -863,7 +1030,8 @@ impl Simulation {
     fn on_service_done(&mut self) {
         // Invariant: a ServiceDone event is only ever scheduled by
         // start_service, which sets `in_service` first.
-        let packet = self.in_service.take().expect("service done without packet");
+        let handle = self.in_service.take().expect("service done without packet");
+        let packet = self.pool.release(handle);
         self.busy = false;
         // Stochastic loss on the wire (after consuming capacity).
         if self.loss.drop(&mut self.loss_rng) {
@@ -898,12 +1066,42 @@ impl Simulation {
                 if let Some(after) = fate.duplicate_after {
                     self.schedule(ack_at + after, Event::AckArrive(ack));
                 }
-                self.schedule(ack_at, Event::AckArrive(ack));
+                if self.merge_acks {
+                    self.enqueue_ack(ack, ack_at);
+                } else {
+                    // Clean path: arrival times strictly increase, so
+                    // merging is impossible — keep the original schedule.
+                    self.schedule(ack_at, Event::AckArrive(ack));
+                }
             }
         }
         if !self.queue.is_empty() {
             self.start_service();
         }
+    }
+
+    /// Route an ACK through the batching layer: merge into the flow's
+    /// open batch at `at` if one survives, else open a fresh batch (its
+    /// dispatch event is scheduled *before* the batch is marked open, so
+    /// the dirty rule cannot seal it prematurely — but it does seal any
+    /// other batch still open at `at`, as exactness demands).
+    fn enqueue_ack(&mut self, ack: AckPacket, at: Instant) {
+        let fi = ack.flow.index();
+        if let Some(batch) = self.ack_batches[fi]
+            .iter_mut()
+            .find(|b| b.open && b.at == at)
+        {
+            batch.rest.push(ack);
+            return;
+        }
+        self.schedule(at, Event::AckBatch(ack.flow));
+        self.ack_batches[fi].push_back(AckBatch {
+            at,
+            open: true,
+            first: ack,
+            rest: Vec::new(),
+        });
+        self.open_ats.push((at.nanos(), ack.flow.0));
     }
 
     fn finalize(mut self, until: Instant) -> SimReport {

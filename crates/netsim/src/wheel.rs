@@ -1,0 +1,429 @@
+// Production code must justify every potential panic site: unwraps are
+// banned outside tests (audited sites use `expect` with an invariant
+// message or handle the `None`/`Err` branch).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+//! Hierarchical timer wheel: the O(1)-amortized event scheduler behind
+//! [`crate::Simulation`].
+//!
+//! # Why not a binary heap?
+//!
+//! The original event core pushed every event through one global
+//! `BinaryHeap`. At single-digit flow counts that is fine; at O(1000)
+//! concurrent flows the heap holds thousands of timers (pacer wakes, MI
+//! ticks, RTO checks, in-flight ACKs) and every push/pop pays
+//! `O(log n)` compares over a cache-hostile array. The wheel replaces
+//! that with `O(1)` amortized insert/extract: an event lands in a slot
+//! indexed by its timestamp bits, and extraction walks occupancy
+//! bitmaps instead of sifting.
+//!
+//! # Layout
+//!
+//! Time is quantized into level-0 slots of `2^12` ns (~4.1 µs). Each of
+//! the [`LEVELS`] levels holds [`SLOTS`] slots; the level of an event is
+//! the **highest byte in which its slot number differs from the current
+//! cursor** (a 256-ary radix trie on the slot number):
+//!
+//! ```text
+//! level 0:  4.1 µs/slot   — next ~1 ms     (byte 0 of slot0 differs)
+//! level 1:  1.05 ms/slot  — next ~268 ms   (byte 1 differs)
+//! level 2:  268 ms/slot   — next ~68.7 s   (byte 2 differs)
+//! level 3:  68.7 s/slot   — next ~4.9 h    (byte 3 differs)
+//! overflow: calendar fallback (min-heap)   — anything farther
+//! ```
+//!
+//! Insertion is a `xor` + `leading_zeros` + `Vec::push`. Extraction
+//! drains a tiny *near-heap* holding only the current 4 µs slot; when it
+//! empties, occupancy bitmaps find the next populated slot across all
+//! levels and either dump it into the near-heap (level 0) or cascade it
+//! down one level (levels ≥ 1). Every event cascades at most
+//! `LEVELS - 1` times, so the amortized cost per event is constant.
+//!
+//! # Determinism
+//!
+//! Pop order is **exactly** the binary heap's `(at, seq)` order — the
+//! property the pinned run digests depend on:
+//!
+//! * Slots partition time, and the cursor visits slots in increasing
+//!   slot-number order (the radix-trie prefix rule guarantees a
+//!   level-k slot is only entered once everything before it drained).
+//! * Within a slot, the near-heap orders entries by the same
+//!   `(at, seq)` key the global heap used.
+//! * Overflow events differ from the cursor above byte 3, so they sort
+//!   after every event resident in the wheel and are only consulted
+//!   when the wheel is empty.
+//!
+//! `tests/wheel_equivalence.rs` (and the in-crate tests below) replay
+//! identical event streams through both schedulers and require
+//! byte-identical pop order.
+
+use libra_types::Instant;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Log2 of the level-0 slot width in nanoseconds.
+const GRAIN_BITS: u32 = 12;
+/// Slots per level (one byte of the slot number per level).
+const SLOTS: usize = 256;
+/// Wheel levels; beyond them the overflow heap takes over.
+const LEVELS: usize = 4;
+/// Bitmap words per level (256 slots / 64 bits).
+const WORDS: usize = SLOTS / 64;
+
+/// One scheduled event: the timestamp, the global schedule sequence
+/// number (tie-break), and the payload.
+#[derive(Debug)]
+pub struct TimedEntry<E> {
+    /// Due time.
+    pub at: Instant,
+    /// Schedule-order sequence number: the secondary sort key.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for TimedEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for TimedEntry<E> {}
+impl<E> PartialOrd for TimedEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for TimedEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The hierarchical timer wheel. Generic over the event payload so the
+/// scheduler is testable without dragging the simulator in.
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    /// Current level-0 slot number (`at.nanos() >> GRAIN_BITS`): all
+    /// events in strictly earlier slots have been drained.
+    cursor: u64,
+    /// `LEVELS × SLOTS` buckets, flattened.
+    slots: Vec<Vec<TimedEntry<E>>>,
+    /// Occupancy bitmaps, one 256-bit map per level.
+    occ: [[u64; WORDS]; LEVELS],
+    /// Events inside the current level-0 slot, ordered by `(at, seq)`.
+    near: BinaryHeap<Reverse<TimedEntry<E>>>,
+    /// Events beyond the wheel horizon (> ~4.9 h ahead): strictly later
+    /// than everything in the wheel, so a plain min-heap suffices — the
+    /// calendar-queue fallback for far-future timers.
+    overflow: BinaryHeap<Reverse<TimedEntry<E>>>,
+    /// Total resident events.
+    len: usize,
+}
+
+impl<E> TimerWheel<E> {
+    /// An empty wheel starting at t = 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            cursor: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [[0; WORDS]; LEVELS],
+            near: BinaryHeap::with_capacity(64),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Resident event count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no event is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, level: usize, idx: usize) {
+        self.occ[level][idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, level: usize, idx: usize) {
+        self.occ[level][idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Schedule an entry. O(1): radix math plus one `Vec::push`.
+    pub fn push(&mut self, entry: TimedEntry<E>) {
+        self.len += 1;
+        let slot0 = entry.at.nanos() >> GRAIN_BITS;
+        if slot0 <= self.cursor {
+            // Due inside the slot currently being drained (or, defensively,
+            // in the past): the near-heap restores exact (at, seq) order.
+            self.near.push(Reverse(entry));
+            return;
+        }
+        let diff = slot0 ^ self.cursor;
+        // Highest differing byte picks the level: the 256-ary radix rule.
+        let level = ((63 - diff.leading_zeros()) / 8) as usize;
+        if level >= LEVELS {
+            self.overflow.push(Reverse(entry));
+            return;
+        }
+        let idx = ((slot0 >> (8 * level)) & 0xFF) as usize;
+        self.slots[level * SLOTS + idx].push(entry);
+        self.set_bit(level, idx);
+    }
+
+    /// Extract the globally minimum `(at, seq)` entry. Amortized O(1).
+    pub fn pop(&mut self) -> Option<TimedEntry<E>> {
+        loop {
+            if let Some(Reverse(entry)) = self.near.pop() {
+                self.len -= 1;
+                return Some(entry);
+            }
+            if self.len == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    /// The near-heap is dry: move the cursor to the next populated slot.
+    /// Level 0 slots dump straight into the near-heap; higher-level slots
+    /// cascade one level down (splitting on the next byte of the slot
+    /// number). Each event moves at most `LEVELS - 1` times in its life.
+    fn advance(&mut self) {
+        // Find, per level, the next occupied slot index strictly after the
+        // cursor's position at that level; the lowest level with a hit at
+        // the smallest absolute time wins. The radix-prefix invariant
+        // makes the comparison easy: a level-k candidate's absolute slot
+        // is the cursor with byte k replaced and lower bytes zeroed, and
+        // any level-k slot at an index ≤ the cursor's byte k would have
+        // been drained already (events are always inserted strictly ahead
+        // of the cursor at their level's byte).
+        let mut best: Option<(u64, usize, usize)> = None; // (abs_slot, level, idx)
+        for level in 0..LEVELS {
+            let pos = ((self.cursor >> (8 * level)) & 0xFF) as usize;
+            if let Some(idx) = self.next_occupied(level, pos) {
+                let keep_mask = u64::MAX << (8 * (level + 1)); // bytes above k
+                let abs = (self.cursor & keep_mask) | ((idx as u64) << (8 * level));
+                if best.is_none_or(|(b, _, _)| abs < b) {
+                    best = Some((abs, level, idx));
+                }
+                // A populated lower level closer than any higher-level
+                // boundary always wins, but a higher-level slot can still
+                // be nearer when the lower levels are empty far ahead —
+                // so all levels are compared (4 bitmap scans, cheap).
+            }
+        }
+        let Some((abs, level, idx)) = best else {
+            // Wheel empty but len > 0: pull the earliest overflow entry
+            // back in. Its slot now shares a prefix with the cursor once
+            // the cursor jumps to it.
+            if let Some(Reverse(entry)) = self.overflow.pop() {
+                let slot0 = entry.at.nanos() >> GRAIN_BITS;
+                self.cursor = slot0;
+                self.near.push(Reverse(entry));
+                // Re-home any other overflow entries that the new cursor
+                // position brought inside the wheel horizon.
+                self.rehome_overflow();
+            }
+            return;
+        };
+        self.cursor = abs;
+        let bucket = std::mem::take(&mut self.slots[level * SLOTS + idx]);
+        self.clear_bit(level, idx);
+        if level == 0 {
+            self.near.extend(bucket.into_iter().map(Reverse));
+        } else {
+            // Cascade: redistribute on the next-lower byte. `push`
+            // re-derives the level from the (moved) cursor, so entries in
+            // this slot split across levels < `level` or the near-heap.
+            self.len -= bucket.len();
+            for entry in bucket {
+                self.push(entry);
+            }
+        }
+    }
+
+    /// After a cursor jump to an overflow entry, any remaining overflow
+    /// entries that now share a 4-byte prefix with the cursor belong in
+    /// the wheel proper.
+    fn rehome_overflow(&mut self) {
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            let slot0 = head.at.nanos() >> GRAIN_BITS;
+            let diff = slot0 ^ self.cursor;
+            if diff != 0 && ((63 - diff.leading_zeros()) / 8) as usize >= LEVELS {
+                break; // still beyond the horizon (heap ⇒ the rest are too)
+            }
+            let Some(Reverse(entry)) = self.overflow.pop() else {
+                break;
+            };
+            self.len -= 1; // push re-counts it
+            self.push(entry);
+        }
+    }
+
+    /// First occupied slot index strictly greater than `pos` at `level`.
+    #[inline]
+    fn next_occupied(&self, level: usize, pos: usize) -> Option<usize> {
+        let map = &self.occ[level];
+        let mut word = pos / 64;
+        // Mask off bits ≤ pos in the first word.
+        let mut bits = map[word] & (u64::MAX << (pos % 64)) & !(1u64 << (pos % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= WORDS {
+                return None;
+            }
+            bits = map[word];
+        }
+    }
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use libra_types::DetRng;
+
+    fn entry(at_ns: u64, seq: u64) -> TimedEntry<u64> {
+        TimedEntry {
+            at: Instant::from_nanos(at_ns),
+            seq,
+            event: seq,
+        }
+    }
+
+    /// Drain both a wheel and a reference heap fed the same stream and
+    /// require identical pop order.
+    fn check_against_heap(times: Vec<u64>) {
+        let mut wheel = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<TimedEntry<u64>>> = BinaryHeap::new();
+        for (seq, t) in times.iter().enumerate() {
+            wheel.push(entry(*t, seq as u64));
+            heap.push(Reverse(entry(*t, seq as u64)));
+        }
+        let mut n = 0;
+        while let Some(Reverse(want)) = heap.pop() {
+            let got = wheel.pop().expect("wheel has as many events as heap");
+            assert_eq!((got.at, got.seq), (want.at, want.seq), "pop #{n} diverged");
+            n += 1;
+        }
+        assert!(wheel.pop().is_none());
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn empty_wheel_pops_none() {
+        let mut w: TimerWheel<u64> = TimerWheel::new();
+        assert!(w.is_empty());
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn orders_same_slot_by_seq() {
+        check_against_heap(vec![100, 100, 100, 50, 50]);
+    }
+
+    #[test]
+    fn orders_across_levels() {
+        // One event per level plus overflow.
+        check_against_heap(vec![
+            1,                  // near/level 0
+            5_000,              // level 0
+            2_000_000,          // level 1
+            900_000_000,        // level 2
+            100_000_000_000,    // level 3
+            50_000_000_000_000, // overflow (~13.9 h)
+        ]);
+    }
+
+    #[test]
+    fn random_streams_match_heap_order() {
+        let mut rng = DetRng::new(0xA11CE);
+        for scale in [1_000u64, 1_000_000, 10_000_000_000, u64::MAX / 2] {
+            let times: Vec<u64> = (0..2_000).map(|_| rng.uniform_u64(0, scale)).collect();
+            check_against_heap(times);
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap() {
+        // Push while draining — the simulator's actual access pattern
+        // (every dispatched event schedules successors at ≥ now).
+        let mut rng = DetRng::new(7);
+        let mut wheel = TimerWheel::new();
+        let mut heap: BinaryHeap<Reverse<TimedEntry<u64>>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |w: &mut TimerWheel<u64>, h: &mut BinaryHeap<_>, at: u64| {
+            w.push(entry(at, seq));
+            h.push(Reverse(entry(at, seq)));
+            seq += 1;
+        };
+        for t in 0..64u64 {
+            push(&mut wheel, &mut heap, t * 1000);
+        }
+        let mut now = 0u64;
+        for _ in 0..50_000 {
+            let Some(Reverse(want)) = heap.pop() else {
+                break;
+            };
+            let got = wheel.pop().expect("wheel in sync");
+            assert_eq!((got.at, got.seq), (want.at, want.seq));
+            now = want.at.nanos();
+            // Schedule 0–2 successors at or after `now`, at mixed scales.
+            for _ in 0..rng.uniform_u64(0, 3) {
+                let delta = match rng.uniform_u64(0, 4) {
+                    0 => rng.uniform_u64(0, 1 << 12), // same slot
+                    1 => rng.uniform_u64(0, 1 << 20), // level 0/1
+                    2 => rng.uniform_u64(0, 1 << 30), // level 2
+                    _ => rng.uniform_u64(0, 1 << 44), // level 3/overflow
+                };
+                push(&mut wheel, &mut heap, now + delta);
+            }
+        }
+        // Drain the rest.
+        while let Some(Reverse(want)) = heap.pop() {
+            let got = wheel.pop().expect("wheel drains fully");
+            assert_eq!((got.at, got.seq), (want.at, want.seq));
+        }
+        assert!(wheel.pop().is_none());
+        let _ = now;
+    }
+
+    #[test]
+    fn far_future_overflow_rehomes() {
+        let mut wheel = TimerWheel::new();
+        // Three overflow-range events and nothing else.
+        wheel.push(entry(60_000_000_000_000, 0)); // ~16.7 h
+        wheel.push(entry(50_000_000_000_000, 1));
+        wheel.push(entry(50_000_000_100_000, 2));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(1));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(2));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(0));
+        assert!(wheel.pop().is_none());
+    }
+
+    #[test]
+    fn len_tracks_residency() {
+        let mut wheel = TimerWheel::new();
+        for i in 0..100 {
+            wheel.push(entry(i * 999, i));
+        }
+        assert_eq!(wheel.len(), 100);
+        for left in (0..100usize).rev() {
+            wheel.pop().expect("still resident");
+            assert_eq!(wheel.len(), left);
+        }
+    }
+}

@@ -44,6 +44,9 @@ cargo bench --workspace --offline --no-run
 echo "==> perf smoke (criterion smoke + BENCH_netsim.json)"
 scripts/bench.sh --quick
 
+echo "==> bench gate (>15% throughput regression vs machine-local baseline fails)"
+cargo run --release --offline -p libra-bench --bin bench_gate
+
 echo "==> trace smoke (fixed-seed 5s traced run; exits non-zero on NaN/-inf)"
 cargo run --release --offline -p libra-bench --bin trace_summary -- --quick > /dev/null
 
