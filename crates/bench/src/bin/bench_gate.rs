@@ -32,6 +32,9 @@ const GATED: &[&str] = &[
     "single_run_cubic_traced",
     "single_run_cubic_codel",
     "single_run_cubic_pie",
+    "thousand_flow_rl",
+    "thousand_flow_rl_batched",
+    "single_run_libra_batched",
 ];
 
 fn throughputs(v: &Value) -> Vec<(String, f64)> {

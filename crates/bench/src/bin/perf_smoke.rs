@@ -12,10 +12,11 @@ use libra_bench::{
     parallel_map_with, run_single_metrics, run_sweep_supervised_with, run_sweep_with, worker_count,
     BenchArgs, Cca, ModelStore, RunSpec, SweepPolicy,
 };
+use libra_learned::RlCcaConfig;
 use libra_netsim::{
     host_clock, lte_link, step_link, wired_link, LinkConfig, LteScenario, QueueConfig, SimConfig,
 };
-use libra_types::{DetRng, Duration};
+use libra_types::{DetRng, Duration, Preference};
 use std::fmt::Write as _;
 
 struct Bench {
@@ -219,6 +220,87 @@ fn main() {
         wall_ms,
         sim_secs_per_sec: thr,
     });
+    // Thousand-flow RL serving: a fleet of Aurora flows driving one
+    // shared eval policy at the paper's network geometry (two 512-unit
+    // hidden layers — `paper_eval_agent`, seed-initialized since
+    // serving cost is weight-independent), MI ticks quantized to a
+    // 10 ms grid so concurrent flows land on shared decision ticks.
+    // The unbatched entry runs one matrix-vector forward per flow per
+    // decision, re-streaming the ~2 MB weight matrices for every row;
+    // the batched entry routes the same decisions through the shared
+    // PolicyServer — one matrix-matrix forward per tick amortizes each
+    // weight read across the whole batch, bit-identically (see
+    // crates/bench/tests/policy_server.rs). The pair prices ROADMAP
+    // item 2's batching win — `meta.policy_batch_speedup` must stay ≥2.
+    let rl_secs = args.scaled(20, 6);
+    let rl_flows = if args.quick { 200 } else { 1000 };
+    let quantum = Duration::from_millis(10);
+    let serve_cfg = RlCcaConfig::aurora();
+    let serve_agent = libra_bench::paper_eval_agent(&serve_cfg, args.seed ^ 0x5E21);
+    // Train/restore the singleton entry's agent outside the timers.
+    let _ = Cca::CLibra(Preference::Default).shared_eval_agent(&store);
+    let (rl_seq_ms, thr) = timed(rl_secs as f64, || {
+        libra_bench::run_staggered_agent(
+            &serve_cfg,
+            &serve_agent,
+            wired_link(96.0),
+            rl_flows,
+            Duration::from_millis(10),
+            rl_secs,
+            args.seed,
+            quantum,
+            false,
+        );
+    });
+    benches.push(Bench {
+        name: "thousand_flow_rl",
+        wall_ms: rl_seq_ms,
+        sim_secs_per_sec: thr,
+    });
+    let (rl_batch_ms, thr) = timed(rl_secs as f64, || {
+        libra_bench::run_staggered_agent(
+            &serve_cfg,
+            &serve_agent,
+            wired_link(96.0),
+            rl_flows,
+            Duration::from_millis(10),
+            rl_secs,
+            args.seed,
+            quantum,
+            true,
+        );
+    });
+    benches.push(Bench {
+        name: "thousand_flow_rl_batched",
+        wall_ms: rl_batch_ms,
+        sim_secs_per_sec: thr,
+    });
+    let policy_batch_speedup = if rl_batch_ms > 0.0 {
+        rl_seq_ms / rl_batch_ms
+    } else {
+        0.0
+    };
+    // One C-Libra flow through the server: the degenerate batch-of-one
+    // pins the submit/resolve + dispatch overhead a singleton pays over
+    // inline inference.
+    let (wall_ms, thr) = timed(secs as f64, || {
+        libra_bench::run_staggered_policy(
+            Cca::CLibra(Preference::Default),
+            &store,
+            wired_link(24.0),
+            1,
+            Duration::ZERO,
+            secs,
+            args.seed,
+            quantum,
+            true,
+        );
+    });
+    benches.push(Bench {
+        name: "single_run_libra_batched",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
 
     // full_report-shaped sweep, sequential vs parallel.
     let jobs = grid(secs, args.seed, repeats);
@@ -298,7 +380,7 @@ fn main() {
         .unwrap_or(1);
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"workers\": {workers}, \"jobs\": {}, \"available_cpus\": {cpus}, \"full_report_speedup\": {speedup:.2}, \"supervised_overhead\": {supervised_overhead:.2}}}\n}}",
+        "  \"meta\": {{\"workers\": {workers}, \"jobs\": {}, \"available_cpus\": {cpus}, \"full_report_speedup\": {speedup:.2}, \"supervised_overhead\": {supervised_overhead:.2}, \"policy_batch_speedup\": {policy_batch_speedup:.2}}}\n}}",
         jobs.len()
     );
     let path = std::env::var("LIBRA_BENCH_OUT").unwrap_or_else(|_| "BENCH_netsim.json".into());
@@ -309,4 +391,5 @@ fn main() {
     print!("{json}");
     eprintln!("perf_smoke: sweep speedup {speedup:.2}x at {workers} workers ({cpus} cpus)");
     eprintln!("perf_smoke: supervised/bare sweep wall ratio {supervised_overhead:.2}x");
+    eprintln!("perf_smoke: policy-server batching speedup {policy_batch_speedup:.2}x");
 }

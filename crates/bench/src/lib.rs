@@ -45,8 +45,9 @@ pub use models::ModelStore;
 pub use output::{f1, f3, pct, series_csv, write_artifact, Table};
 pub use registry::Cca;
 pub use runner::{
-    convergence_stats, run_pair, run_pair_cfg, run_repeated, run_single, run_single_cfg,
-    run_single_metrics, run_staggered, run_staggered_cfg, ConvergenceStats, RunMetrics,
+    convergence_stats, paper_eval_agent, run_pair, run_pair_cfg, run_repeated, run_single,
+    run_single_cfg, run_single_metrics, run_staggered, run_staggered_agent, run_staggered_cfg,
+    run_staggered_policy, ConvergenceStats, RunMetrics,
 };
 pub use scenarios::*;
 pub use search::{

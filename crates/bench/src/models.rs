@@ -11,7 +11,7 @@ use libra_rl::PpoWeights;
 use libra_types::DetRng;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Training effort for cached models. Enough to get competent (not
 /// perfect) policies in a few minutes per model on a laptop.
@@ -39,18 +39,21 @@ pub fn model_dir() -> PathBuf {
 ///
 /// The store is shared read-mostly across sweep workers: every accessor
 /// takes `&self`, loaded/trained weights are memoized in an in-process
-/// cache behind a `Mutex`, and callers receive cheap clones to
-/// instantiate per-worker agents from. The mutex is held across a
-/// training run on a cold miss, which deliberately serializes duplicate
-/// training of the same key; training is a pure function of the
-/// [`TrainConfig`], so whichever thread trains first produces the same
-/// weights every other thread would have.
+/// cache, and callers receive cheap clones to instantiate per-worker
+/// agents from. The map mutex is held only long enough to fetch or
+/// insert a key's cell — never across a training run — so cold misses on
+/// *different* keys train concurrently. Duplicate training of the *same*
+/// key is still impossible: each key's `OnceLock` admits exactly one
+/// trainer, and later same-key callers block on that cell alone.
+/// Training is a pure function of the [`TrainConfig`], so whichever
+/// thread trains first produces the same weights every other thread
+/// would have.
 pub struct ModelStore {
     seed: u64,
     /// When true, never touch the filesystem (unit tests).
     ephemeral: bool,
     train: TrainConfig,
-    cache: Mutex<BTreeMap<String, Arc<PpoWeights>>>,
+    cache: Mutex<BTreeMap<String, Arc<OnceLock<PpoWeights>>>>,
 }
 
 impl ModelStore {
@@ -110,16 +113,16 @@ impl ModelStore {
         key: &str,
         train: impl FnOnce(&TrainConfig) -> PpoWeights,
     ) -> PpoWeights {
-        // Lock held for the whole miss path: a second thread asking for
-        // the same key blocks until the first finishes training rather
-        // than training the same model twice.
-        let mut cache = self.cache.lock().expect("model cache poisoned");
-        if let Some(w) = cache.get(key) {
-            return (**w).clone();
-        }
-        let w = self.load_or_train(key, train);
-        cache.insert(key.to_string(), Arc::new(w.clone()));
-        w
+        // Two-level locking: the map mutex guards only the key→cell
+        // association; the cell serializes the miss path per key. Holding
+        // the map lock across `load_or_train` (the old behaviour) made a
+        // cold miss on "aurora" block an unrelated cold miss on "orca"
+        // for a whole training run.
+        let cell = {
+            let mut cache = self.cache.lock().expect("model cache poisoned");
+            Arc::clone(cache.entry(key.to_string()).or_default())
+        };
+        cell.get_or_init(|| self.load_or_train(key, train)).clone()
     }
 
     fn load_or_train(
@@ -225,6 +228,69 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn distinct_cold_keys_train_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Two cold misses on *different* keys rendezvous inside their
+        // train closures: both must be in-flight at once. Under the old
+        // map-lock-across-training behaviour one trainer held the cache
+        // mutex for its whole run, so the second could never enter and
+        // this rendezvous would time out.
+        let s = ModelStore::ephemeral(6);
+        let in_train = AtomicUsize::new(0);
+        let tiny = || {
+            let mut rng = DetRng::new(1);
+            libra_rl::PpoAgent::new(libra_rl::PpoConfig::new(2, 1), &mut rng).weights()
+        };
+        let rendezvous = || {
+            in_train.fetch_add(1, Ordering::SeqCst);
+            let t0 = libra_netsim::host_clock::stamp();
+            while in_train.load(Ordering::SeqCst) < 2 {
+                assert!(
+                    t0.elapsed_ms() < 30_000.0,
+                    "cold misses on distinct keys serialized (rendezvous timed out)"
+                );
+                std::hint::spin_loop();
+            }
+        };
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                s.get_or_train("key-a", |_| {
+                    rendezvous();
+                    tiny()
+                })
+            });
+            let b = scope.spawn(|| {
+                s.get_or_train("key-b", |_| {
+                    rendezvous();
+                    tiny()
+                })
+            });
+            a.join().unwrap();
+            b.join().unwrap();
+        });
+        assert_eq!(in_train.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn same_cold_key_still_trains_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let s = ModelStore::ephemeral(7);
+        let trained = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    s.get_or_train("same-key", |_| {
+                        trained.fetch_add(1, Ordering::SeqCst);
+                        let mut rng = DetRng::new(2);
+                        libra_rl::PpoAgent::new(libra_rl::PpoConfig::new(2, 1), &mut rng).weights()
+                    })
+                });
+            }
+        });
+        assert_eq!(trained.load(Ordering::SeqCst), 1, "same-key dedup");
     }
 
     #[test]

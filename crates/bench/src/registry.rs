@@ -111,6 +111,46 @@ impl Cca {
         )
     }
 
+    /// A shared eval-mode agent holding this controller's trained
+    /// weights — the policy server's batch group. Flows built with
+    /// [`Cca::build_shared`] against one such agent share a single
+    /// weight set; eval inference never draws RNG or mutates the agent,
+    /// so shared and per-flow agents produce bit-identical actions.
+    /// `None` for classic controllers.
+    pub fn shared_eval_agent(self, store: &ModelStore) -> Option<Rc<RefCell<PpoAgent>>> {
+        let w = match self {
+            Cca::Aurora => store.aurora(),
+            Cca::ModRl => store.mod_rl(),
+            Cca::Orca => store.orca(),
+            Cca::CleanSlateLibra => store.libra(LibraVariant::CleanSlate),
+            Cca::CLibra(_) => store.libra(LibraVariant::Cubic),
+            Cca::BLibra(_) => store.libra(LibraVariant::Bbr),
+            _ => return None,
+        };
+        let mut agent = PpoAgent::from_weights(w, &mut store.agent_rng());
+        agent.set_eval(true);
+        Some(Rc::new(RefCell::new(agent)))
+    }
+
+    /// Instantiate the controller around a shared eval-mode agent (from
+    /// [`Cca::shared_eval_agent`]) instead of a per-flow copy. Classic
+    /// controllers ignore the agent and build normally.
+    pub fn build_shared(
+        self,
+        store: &ModelStore,
+        agent: &Rc<RefCell<PpoAgent>>,
+    ) -> Box<dyn CongestionControl> {
+        match self {
+            Cca::Aurora => Box::new(RlCca::new(RlCcaConfig::aurora(), Rc::clone(agent))),
+            Cca::ModRl => Box::new(RlCca::new(RlCcaConfig::mod_rl(), Rc::clone(agent))),
+            Cca::Orca => Box::new(Orca::new(Rc::clone(agent))),
+            Cca::CleanSlateLibra => Box::new(Libra::clean_slate(Rc::clone(agent))),
+            Cca::CLibra(pref) => Box::new(Libra::c_libra(Rc::clone(agent)).with_preference(pref)),
+            Cca::BLibra(pref) => Box::new(Libra::b_libra(Rc::clone(agent)).with_preference(pref)),
+            _ => self.build(store),
+        }
+    }
+
     /// Instantiate the controller. Trained controllers pull weights from
     /// the model store (training on a cache miss) and run in eval mode.
     ///

@@ -3,8 +3,12 @@
 
 use crate::models::ModelStore;
 use crate::registry::Cca;
+use libra_learned::{RlCca, RlCcaConfig};
 use libra_netsim::{FlowConfig, LinkConfig, SimConfig, SimReport, Simulation};
-use libra_types::{Duration, Instant, Welford};
+use libra_rl::{PolicyServer, PpoAgent, PpoConfig};
+use libra_types::{DetRng, Duration, Instant, PolicyService, Welford};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// The headline metrics of one single-flow run.
 #[derive(Debug, Clone, Copy)]
@@ -206,6 +210,112 @@ pub fn run_staggered_cfg(
     for i in 0..n {
         let start = Instant::ZERO + stagger * i as u64;
         sim.add_flow(FlowConfig::new(cca.build(store), start, until));
+    }
+    sim.run(until)
+}
+
+/// [`run_staggered`] with MI ticks quantized to `quantum` and policy
+/// inference routed through a shared [`PolicyServer`]: every flow is
+/// built around one shared eval-mode agent, concurrent flows land on
+/// common decision ticks, and the simulator composes their state
+/// vectors into single batched forward passes.
+///
+/// With `batched = false` the identical quantized scenario runs per-flow
+/// inline inference (one agent copy per flow, no server attached) — the
+/// baseline the batched run must match byte-for-byte on everything but
+/// `compute_ns` (host wall-clock, never serialized).
+///
+/// Panics if `cca` has no trained agent (classic CCAs have nothing to
+/// batch — use [`run_staggered_cfg`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_staggered_policy(
+    cca: Cca,
+    store: &ModelStore,
+    link: LinkConfig,
+    n: usize,
+    stagger: Duration,
+    secs: u64,
+    seed: u64,
+    quantum: Duration,
+    batched: bool,
+) -> SimReport {
+    let until = Instant::from_secs(secs);
+    let cfg = SimConfig::default().with_mi_quantum(quantum);
+    let mut sim = Simulation::with_config(link, seed, cfg);
+    if batched {
+        let agent = cca
+            .shared_eval_agent(store)
+            .expect("run_staggered_policy needs a trained CCA");
+        let mut server = PolicyServer::new();
+        for i in 0..n {
+            let start = Instant::ZERO + stagger * i as u64;
+            let id = sim.add_flow(FlowConfig::new(
+                cca.build_shared(store, &agent),
+                start,
+                until,
+            ));
+            server.register(id.0, &agent);
+        }
+        let service: Rc<RefCell<dyn PolicyService>> = Rc::new(RefCell::new(server));
+        sim.attach_policy(service);
+    } else {
+        for i in 0..n {
+            let start = Instant::ZERO + stagger * i as u64;
+            sim.add_flow(FlowConfig::new(cca.build(store), start, until));
+        }
+    }
+    sim.run(until)
+}
+
+/// A serving-shape policy at the paper's full network geometry (two
+/// 512-unit hidden layers, [`PpoConfig::paper_sized`]), eval mode,
+/// weights seed-initialized rather than trained: inference cost is
+/// weight-independent, so the serving benchmarks can price the paper's
+/// real matrix sizes without spending minutes of training to produce
+/// weights whose values the timer never looks at.
+pub fn paper_eval_agent(cfg: &RlCcaConfig, seed: u64) -> Rc<RefCell<PpoAgent>> {
+    let mut ppo = cfg.ppo_config();
+    ppo.hidden = PpoConfig::paper_sized(ppo.obs_dim, ppo.act_dim).hidden;
+    let mut agent = PpoAgent::new(ppo, &mut DetRng::new(seed));
+    agent.set_eval(true);
+    Rc::new(RefCell::new(agent))
+}
+
+/// [`run_staggered_policy`] for a caller-supplied shared eval agent
+/// (e.g. [`paper_eval_agent`]) instead of one trained through the
+/// [`ModelStore`]: `n` staggered [`RlCca`] flows all borrow the same
+/// agent, and with `batched = true` their quantized MI decisions are
+/// composed into matrix-matrix forwards by a shared [`PolicyServer`].
+/// Sharing one agent across the unbatched fleet is sound because eval
+/// inference never mutates it — and it is exactly what makes the two
+/// paths comparable weight-for-weight.
+#[allow(clippy::too_many_arguments)]
+pub fn run_staggered_agent(
+    cca_cfg: &RlCcaConfig,
+    agent: &Rc<RefCell<PpoAgent>>,
+    link: LinkConfig,
+    n: usize,
+    stagger: Duration,
+    secs: u64,
+    seed: u64,
+    quantum: Duration,
+    batched: bool,
+) -> SimReport {
+    let until = Instant::from_secs(secs);
+    let cfg = SimConfig::default().with_mi_quantum(quantum);
+    let mut sim = Simulation::with_config(link, seed, cfg);
+    let mut server = batched.then(PolicyServer::new);
+    for i in 0..n {
+        let start = Instant::ZERO + stagger * i as u64;
+        let cca = Box::new(RlCca::new(cca_cfg.clone(), Rc::clone(agent)));
+        let id = sim.add_flow(FlowConfig::new(cca, start, until));
+        if let Some(server) = &mut server {
+            server.register(id.0, agent);
+        }
+    }
+    if let Some(server) = server {
+        let service: Rc<RefCell<dyn PolicyService>> = Rc::new(RefCell::new(server));
+        sim.attach_policy(service);
     }
     sim.run(until)
 }

@@ -1,0 +1,139 @@
+//! Full-simulation contracts for the shared policy server (ROADMAP
+//! item 2).
+//!
+//! 1. **Bit identity**: a fleet served through the batched
+//!    `PolicyServer` must produce byte-for-byte the same report as the
+//!    same fleet running per-flow inline inference — same MI quantum,
+//!    same seeds, same weights. `RunSummary`'s serialization covers
+//!    every flow and link metric but skips `compute_ns` (host
+//!    wall-clock), which is exactly the fingerprint the identity
+//!    contract is over.
+//! 2. **Liveness**: the server actually composes multi-flow batches —
+//!    quantized MI ticks land concurrent flows on shared decision
+//!    instants, and every flow keeps making progress.
+
+use libra_bench::{
+    paper_eval_agent, run_staggered_agent, run_staggered_policy, Cca, ModelStore, RunSummary,
+};
+use libra_learned::RlCcaConfig;
+use libra_netsim::{FlowConfig, LinkConfig, SimConfig, Simulation};
+use libra_rl::PolicyServer;
+use libra_types::{Duration, Instant, PolicyService, Preference, Rate};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Debug builds simulate much slower; scale the fleet, not the physics.
+#[cfg(debug_assertions)]
+const FLOWS: usize = 24;
+#[cfg(not(debug_assertions))]
+const FLOWS: usize = 200;
+
+fn wired(mbps: f64) -> LinkConfig {
+    LinkConfig::constant(Rate::from_mbps(mbps), Duration::from_millis(40), 1.0)
+}
+
+#[test]
+fn batched_run_matches_per_flow_run_byte_for_byte() {
+    let store = ModelStore::ephemeral(9);
+    let quantum = Duration::from_millis(20);
+    for cca in [Cca::Aurora, Cca::CLibra(Preference::Default)] {
+        let solo = run_staggered_policy(
+            cca,
+            &store,
+            wired(48.0),
+            FLOWS,
+            Duration::from_millis(50),
+            6,
+            17,
+            quantum,
+            false,
+        );
+        let batched = run_staggered_policy(
+            cca,
+            &store,
+            wired(48.0),
+            FLOWS,
+            Duration::from_millis(50),
+            6,
+            17,
+            quantum,
+            true,
+        );
+        let a = serde_json::to_string(&RunSummary::from_report("run", &solo)).unwrap();
+        let b = serde_json::to_string(&RunSummary::from_report("run", &batched)).unwrap();
+        assert_eq!(a, b, "batched {cca:?} run diverged from per-flow inference");
+    }
+}
+
+/// The same identity contract at the paper's full network geometry
+/// (two 512-unit hidden layers): wide matrices drive the batched GEMM
+/// through its vectorized kernel and every blocking/tail combination,
+/// so this is the end-to-end check that the fast path is still
+/// bit-identical to per-flow inference. The agent is seed-initialized
+/// (`paper_eval_agent`) — identity must hold for *any* weights, and
+/// untrained ones keep the test fast.
+#[test]
+fn paper_geometry_batched_run_matches_per_flow_run() {
+    let cfg = RlCcaConfig::aurora();
+    let agent = paper_eval_agent(&cfg, 31);
+    let quantum = Duration::from_millis(20);
+    let run = |batched| {
+        run_staggered_agent(
+            &cfg,
+            &agent,
+            wired(48.0),
+            FLOWS.min(64),
+            Duration::from_millis(50),
+            4,
+            19,
+            quantum,
+            batched,
+        )
+    };
+    let solo = run(false);
+    let batched = run(true);
+    let a = serde_json::to_string(&RunSummary::from_report("run", &solo)).unwrap();
+    let b = serde_json::to_string(&RunSummary::from_report("run", &batched)).unwrap();
+    assert_eq!(
+        a, b,
+        "paper-geometry batched run diverged from per-flow inference"
+    );
+}
+
+#[test]
+fn policy_server_serves_multi_flow_batches() {
+    let store = ModelStore::ephemeral(10);
+    let cca = Cca::Aurora;
+    let agent = cca.shared_eval_agent(&store).expect("Aurora is trained");
+    let until = Instant::from_secs(5);
+    let mut sim = Simulation::with_config(
+        wired(48.0),
+        23,
+        SimConfig::default().with_mi_quantum(Duration::from_millis(20)),
+    );
+    let mut server = PolicyServer::new();
+    for _ in 0..16 {
+        let id = sim.add_flow(FlowConfig::whole_run(
+            cca.build_shared(&store, &agent),
+            until,
+        ));
+        server.register(id.0, &agent);
+    }
+    let server = Rc::new(RefCell::new(server));
+    let service: Rc<RefCell<dyn PolicyService>> = Rc::clone(&server) as _;
+    sim.attach_policy(service);
+    let report = sim.run(until);
+
+    let s = server.borrow();
+    assert_eq!(s.group_count(), 1, "one shared agent forms one group");
+    assert!(s.batches() > 0, "no batched evaluations ran");
+    assert!(
+        s.max_batch() > 1,
+        "flows never shared a decision tick (max batch {})",
+        s.max_batch()
+    );
+    assert!(s.rows_served() >= s.batches());
+    for f in &report.flows {
+        assert!(f.delivered_bytes > 0, "{} starved under batching", f.name);
+    }
+}

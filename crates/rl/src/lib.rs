@@ -13,8 +13,10 @@
 
 pub mod buffer;
 pub mod config;
+pub mod policy;
 pub mod ppo;
 
 pub use buffer::{RolloutBuffer, Sample, Transition};
 pub use config::PpoConfig;
+pub use policy::PolicyServer;
 pub use ppo::{PpoAgent, PpoWeights, UpdateStats, WEIGHT_NORM_BOUND};

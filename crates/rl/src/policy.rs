@@ -1,0 +1,259 @@
+//! The shared policy server: one inference service for many flows.
+//!
+//! Per-flow serving runs one small matrix-vector product per decision —
+//! the shape ROADMAP item 2 says a millions-of-users deployment cannot
+//! afford. [`PolicyServer`] instead lets every flow in a decision tick
+//! submit its state vector, composes the submissions into one matrix,
+//! and runs a single matrix-matrix forward per layer
+//! ([`PpoAgent::act_eval_batch`]), fanning the action rows back out.
+//!
+//! ## Determinism
+//!
+//! * **Composition order.** Requests arrive sorted by flow id and are
+//!   gathered per agent group in that order (the index-ordered claim
+//!   discipline of `sweep.rs`), so batch composition is a pure function
+//!   of which flows ticked — never of arrival order or host timing.
+//! * **Bit identity.** Registered agents must be in eval mode (checked
+//!   at registration): eval actions are the actor mean, computed without
+//!   RNG draws or agent mutation, and the batched kernel accumulates
+//!   each output element in exactly the per-flow order — so every flow
+//!   receives the bit-identical action it would have computed alone.
+//! * **No threads.** Evaluation is synchronous inside the simulator's
+//!   event loop; the server is plain single-threaded state.
+
+use crate::ppo::PpoAgent;
+use libra_nn::{BatchScratch, Matrix};
+use libra_types::{PolicyRequest, PolicyService};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Flows sharing one eval-mode agent (typically all flows of a sweep arm
+/// share weights; distinct CCAs land in distinct groups).
+struct Group {
+    agent: Rc<RefCell<PpoAgent>>,
+    obs_dim: usize,
+}
+
+/// A synchronous, deterministic batched-inference service over one or
+/// more shared eval-mode [`PpoAgent`]s. See the module docs for the
+/// determinism contract.
+#[derive(Default)]
+pub struct PolicyServer {
+    groups: Vec<Group>,
+    /// `flow id → group index`, dense over registered flow ids.
+    flow_group: Vec<Option<usize>>,
+    /// Reused batch-composition buffers.
+    obs: Matrix,
+    acts: Matrix,
+    scratch: BatchScratch,
+    rows: Vec<usize>,
+    // Serving statistics (deterministic: counts, not timings).
+    batches: u64,
+    rows_served: u64,
+    max_batch: usize,
+}
+
+impl PolicyServer {
+    /// An empty server; flows join via [`register`](Self::register).
+    pub fn new() -> Self {
+        PolicyServer::default()
+    }
+
+    /// Register `flow` to be served by `agent`. Agents are deduplicated
+    /// by identity (`Rc::ptr_eq`), so a thousand flows sharing one
+    /// weight set form a single batch group. The agent must already be
+    /// in eval mode — training-mode action selection draws RNG and
+    /// mutates the agent, which would make results depend on batch
+    /// composition.
+    pub fn register(&mut self, flow: u32, agent: &Rc<RefCell<PpoAgent>>) {
+        assert!(
+            agent.borrow().is_eval(),
+            "policy server requires eval-mode agents (flow {flow})"
+        );
+        let group = match self.groups.iter().position(|g| Rc::ptr_eq(&g.agent, agent)) {
+            Some(g) => g,
+            None => {
+                let obs_dim = agent.borrow().config().obs_dim;
+                self.groups.push(Group {
+                    agent: Rc::clone(agent),
+                    obs_dim,
+                });
+                self.groups.len() - 1
+            }
+        };
+        let idx = flow as usize;
+        if idx >= self.flow_group.len() {
+            self.flow_group.resize(idx + 1, None);
+        }
+        self.flow_group[idx] = Some(group);
+    }
+
+    /// Number of distinct agent groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Batched evaluations run so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Total flow requests served.
+    pub fn rows_served(&self) -> u64 {
+        self.rows_served
+    }
+
+    /// Largest single-group batch served (the batching win's witness).
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    fn group_of(&self, flow: u32) -> usize {
+        self.flow_group
+            .get(flow as usize)
+            .copied()
+            .flatten()
+            .expect("flow submitted a policy request without registering")
+    }
+}
+
+impl PolicyService for PolicyServer {
+    fn evaluate(&mut self, batch: &mut [PolicyRequest]) {
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].flow < w[1].flow),
+            "policy batch must be sorted by flow id"
+        );
+        // Walk groups in index order; within a group, members keep the
+        // batch slice's (flow-id) order — deterministic composition.
+        for g in 0..self.groups.len() {
+            self.rows.clear();
+            for (i, req) in batch.iter().enumerate() {
+                if self.group_of(req.flow) == g {
+                    self.rows.push(i);
+                }
+            }
+            if self.rows.is_empty() {
+                continue;
+            }
+            let obs_dim = self.groups[g].obs_dim;
+            self.obs.reshape(self.rows.len(), obs_dim);
+            {
+                let flat = self.obs.as_mut_slice();
+                for (k, &i) in self.rows.iter().enumerate() {
+                    let state = &batch[i].state;
+                    assert_eq!(state.len(), obs_dim, "state/obs_dim mismatch");
+                    flat[k * obs_dim..(k + 1) * obs_dim].copy_from_slice(state);
+                }
+            }
+            self.groups[g].agent.borrow().act_eval_batch(
+                &self.obs,
+                &mut self.acts,
+                &mut self.scratch,
+            );
+            let act_dim = self.acts.cols();
+            let acts = self.acts.as_slice();
+            for (k, &i) in self.rows.iter().enumerate() {
+                let req = &mut batch[i];
+                req.action.clear();
+                req.action
+                    .extend_from_slice(&acts[k * act_dim..(k + 1) * act_dim]);
+            }
+            self.batches += 1;
+            self.rows_served += self.rows.len() as u64;
+            self.max_batch = self.max_batch.max(self.rows.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PpoConfig;
+    use libra_types::DetRng;
+
+    fn eval_agent(seed: u64) -> Rc<RefCell<PpoAgent>> {
+        let mut rng = DetRng::new(seed);
+        let mut agent = PpoAgent::new(PpoConfig::new(4, 2), &mut rng);
+        agent.set_eval(true);
+        Rc::new(RefCell::new(agent))
+    }
+
+    fn req(flow: u32, state: Vec<f64>) -> PolicyRequest {
+        PolicyRequest {
+            flow,
+            state,
+            action: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn batched_actions_match_per_flow_eval_act_bitwise() {
+        let agent = eval_agent(11);
+        let mut server = PolicyServer::new();
+        for flow in 0..5u32 {
+            server.register(flow, &agent);
+        }
+        assert_eq!(server.group_count(), 1);
+        let mut batch: Vec<PolicyRequest> = (0..5u32)
+            .map(|f| {
+                req(
+                    f,
+                    (0..4).map(|i| (f as f64) * 0.3 - i as f64 * 0.7).collect(),
+                )
+            })
+            .collect();
+        server.evaluate(&mut batch);
+        for r in &batch {
+            let solo = agent.borrow_mut().act(&r.state);
+            assert_eq!(solo.len(), r.action.len());
+            for (a, b) in solo.iter().zip(&r.action) {
+                assert_eq!(a.to_bits(), b.to_bits(), "flow {}", r.flow);
+            }
+        }
+        assert_eq!(server.batches(), 1);
+        assert_eq!(server.rows_served(), 5);
+        assert_eq!(server.max_batch(), 5);
+    }
+
+    #[test]
+    fn distinct_agents_form_distinct_groups() {
+        let a = eval_agent(1);
+        let b = eval_agent(2);
+        let mut server = PolicyServer::new();
+        server.register(0, &a);
+        server.register(1, &b);
+        server.register(2, &a);
+        assert_eq!(server.group_count(), 2);
+        let mut batch = vec![
+            req(0, vec![0.1; 4]),
+            req(1, vec![0.2; 4]),
+            req(2, vec![0.3; 4]),
+        ];
+        server.evaluate(&mut batch);
+        // Every request got an action from its own group's agent.
+        for (r, agent) in batch.iter().zip([&a, &b, &a]) {
+            let solo = agent.borrow_mut().act(&r.state);
+            assert_eq!(solo, r.action, "flow {}", r.flow);
+        }
+        assert_eq!(server.batches(), 2);
+        assert_eq!(server.max_batch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "eval-mode agents")]
+    fn training_mode_agent_is_rejected() {
+        let mut rng = DetRng::new(3);
+        let agent = Rc::new(RefCell::new(PpoAgent::new(PpoConfig::new(4, 2), &mut rng)));
+        PolicyServer::new().register(0, &agent);
+    }
+
+    #[test]
+    #[should_panic(expected = "without registering")]
+    fn unregistered_flow_is_rejected() {
+        let agent = eval_agent(4);
+        let mut server = PolicyServer::new();
+        server.register(0, &agent);
+        let mut batch = vec![req(0, vec![0.0; 4]), req(7, vec![0.0; 4])];
+        server.evaluate(&mut batch);
+    }
+}

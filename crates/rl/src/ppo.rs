@@ -10,7 +10,7 @@
 
 use crate::buffer::{RolloutBuffer, Sample, Transition};
 use crate::config::PpoConfig;
-use libra_nn::{Activation, Adam, Mlp};
+use libra_nn::{Activation, Adam, BatchScratch, Matrix, Mlp};
 use libra_types::DetRng;
 use serde::{Deserialize, Serialize};
 
@@ -174,17 +174,21 @@ impl PpoAgent {
     /// completes the transition.
     pub fn act(&mut self, obs: &[f64]) -> Vec<f64> {
         debug_assert_eq!(obs.len(), self.config.obs_dim, "obs dim mismatch");
-        let mean = self.actor.forward(obs);
         if self.eval_mode {
-            return mean;
+            return self.actor.forward(obs);
         }
+        // Training rollouts go through `forward_cached` — the same libm
+        // arithmetic backprop differentiates — so trained weights stay a
+        // pure function of the training config, independent of the
+        // fast-activation inference path (`forward`/`forward_into`).
+        let mean = self.actor.forward_cached(obs).output().to_vec();
         let mut action = Vec::with_capacity(mean.len());
         for (i, &m) in mean.iter().enumerate() {
             let std = self.log_std[i].exp();
             action.push(m + std * self.rng.normal());
         }
         let (logp, _) = self.logp_and_entropy(&mean, &action);
-        let value = self.critic.forward(obs)[0];
+        let value = self.critic.forward_cached(obs).output()[0];
         // An un-rewarded pending transition (e.g. ACK starvation skipped a
         // reward) is completed with zero reward rather than dropped.
         if self.pending.is_some() {
@@ -192,6 +196,26 @@ impl PpoAgent {
         }
         self.pending = Some((obs.to_vec(), action.clone(), logp, value));
         action
+    }
+
+    /// Deterministic eval action into caller-owned buffers: the actor's
+    /// mean for `obs`, computed through `&self` — no RNG draw, no pending
+    /// transition, no mutation. Element-for-element bit-identical to
+    /// eval-mode [`act`](Self::act) (both are exactly
+    /// `actor.forward(obs)`), but allocation-free in steady state.
+    pub fn act_eval(&self, obs: &[f64], out: &mut Vec<f64>, scratch: &mut Vec<f64>) {
+        debug_assert_eq!(obs.len(), self.config.obs_dim, "obs dim mismatch");
+        self.actor.forward_into(obs, out, scratch);
+    }
+
+    /// Batched deterministic eval: one observation per row of `obs`, one
+    /// action mean per row of `out`. Each row is bit-identical to
+    /// [`act_eval`](Self::act_eval) on that row (see
+    /// [`libra_nn::Matrix::matmat`] for the accumulation-order contract)
+    /// — the kernel behind the shared policy server.
+    pub fn act_eval_batch(&self, obs: &Matrix, out: &mut Matrix, scratch: &mut BatchScratch) {
+        debug_assert_eq!(obs.cols(), self.config.obs_dim, "obs dim mismatch");
+        self.actor.forward_batch_into(obs, out, scratch);
     }
 
     /// Transitions currently buffered.
@@ -216,7 +240,9 @@ impl PpoAgent {
         if self.weights_valid(WEIGHT_NORM_BOUND) {
             self.snapshot_good();
         }
-        let last_value = last_obs.map_or(0.0, |o| self.critic.forward(o)[0]);
+        // Bootstrap value through the training-path forward (libm
+        // activations), matching `act`'s value estimates.
+        let last_value = last_obs.map_or(0.0, |o| self.critic.forward_cached(o).output()[0]);
         let mut samples = self
             .buffer
             .finish(self.config.gamma, self.config.lambda, last_value);

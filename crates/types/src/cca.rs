@@ -47,6 +47,30 @@ pub trait CongestionControl {
     /// rate-based and learned schemes make their decisions here.
     fn on_mi(&mut self, _stats: &MiStats) {}
 
+    /// Two-phase MI close, submit half: run the MI bookkeeping and, if
+    /// this tick needs a policy evaluation, write the state vector into
+    /// `policy_state` and return `true` — the caller then owes exactly
+    /// one [`mi_resolve`](CongestionControl::mi_resolve) with the policy
+    /// output before the tick is complete. Returning `false` means the
+    /// tick is already finished (no inference wanted this MI).
+    ///
+    /// The default delegates to [`on_mi`](CongestionControl::on_mi), so
+    /// classic schemes participate in a batched decision tick unchanged.
+    /// Implementations must make `mi_submit` + `mi_resolve` perform the
+    /// *identical* operation sequence as a plain `on_mi`, split at the
+    /// inference call — that is what keeps the policy server's batched
+    /// path bit-identical to the per-flow path.
+    fn mi_submit(&mut self, stats: &MiStats, _policy_state: &mut Vec<f64>) -> bool {
+        self.on_mi(stats);
+        false
+    }
+
+    /// Two-phase MI close, resolve half: apply the policy server's
+    /// `action` for the state submitted by the matching
+    /// [`mi_submit`](CongestionControl::mi_submit). Default: nothing —
+    /// schemes whose `mi_submit` never returns `true` are never resolved.
+    fn mi_resolve(&mut self, _stats: &MiStats, _action: &[f64]) {}
+
     /// Length of this scheme's monitor interval given the current smoothed
     /// RTT. The default — one sRTT — matches most of the literature.
     fn mi_duration(&self, srtt: Duration) -> Duration {

@@ -24,6 +24,7 @@
 pub mod cca;
 pub mod events;
 pub mod job;
+pub mod policy;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -34,6 +35,7 @@ pub mod utility;
 pub use cca::CongestionControl;
 pub use events::{AckEvent, LossEvent, LossKind, SendEvent};
 pub use job::{JobError, JobFailure};
+pub use policy::{PolicyRequest, PolicyService};
 pub use rng::DetRng;
 pub use stats::{jain_index, Ewma, MiStats, MiTracker, P2Quantile, Welford};
 pub use time::{Duration, Instant};

@@ -1,0 +1,96 @@
+//! The policy-service boundary: how flows hand state vectors to a shared
+//! inference server and get actions back.
+//!
+//! This lives in `libra-types` (not `libra-rl`) so the simulator can
+//! drive any [`PolicyService`] without depending on the RL crates, and
+//! the RL crates can implement one without depending on the simulator.
+//!
+//! ## Determinism contract
+//!
+//! A [`PolicyService::evaluate`] call receives the whole decision tick's
+//! requests as one slice, **sorted by ascending flow id** (the same
+//! index-ordered claim discipline the sweep runner uses), and must fill
+//! every request's `action` as a pure function of the request batch —
+//! no RNG, no wall clock, no state that depends on batch composition.
+//! Under that contract, evaluating flows together or one at a time
+//! yields bit-identical actions, which is what lets the simulator batch
+//! same-instant decision ticks without perturbing its byte-for-byte
+//! reproducible reports.
+
+/// One flow's pending policy evaluation within a decision tick.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyRequest {
+    /// The submitting flow's id.
+    pub flow: u32,
+    /// The observation/state vector the flow submitted.
+    pub state: Vec<f64>,
+    /// The action vector the service writes back (cleared and refilled
+    /// by [`PolicyService::evaluate`]).
+    pub action: Vec<f64>,
+}
+
+impl PolicyRequest {
+    /// An empty request shell for buffer pools: `reset` + refill reuses
+    /// the inner allocations across ticks.
+    pub fn reset(&mut self, flow: u32) {
+        self.flow = flow;
+        self.state.clear();
+        self.action.clear();
+    }
+}
+
+/// A synchronous policy-evaluation service. See the module docs for the
+/// determinism contract; the reference implementation is
+/// `libra_rl::PolicyServer`.
+pub trait PolicyService {
+    /// Fill `action` for every request in `batch` (sorted by flow id).
+    fn evaluate(&mut self, batch: &mut [PolicyRequest]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl PolicyService for Doubler {
+        fn evaluate(&mut self, batch: &mut [PolicyRequest]) {
+            for req in batch {
+                req.action.clear();
+                req.action.extend(req.state.iter().map(|x| x * 2.0));
+            }
+        }
+    }
+
+    #[test]
+    fn request_reset_reuses_buffers() {
+        let mut req = PolicyRequest {
+            flow: 3,
+            state: vec![1.0, 2.0],
+            action: vec![9.0],
+        };
+        let cap = req.state.capacity();
+        req.reset(7);
+        assert_eq!(req.flow, 7);
+        assert!(req.state.is_empty() && req.action.is_empty());
+        assert_eq!(req.state.capacity(), cap);
+    }
+
+    #[test]
+    fn service_fills_every_action() {
+        let mut reqs = vec![
+            PolicyRequest {
+                flow: 0,
+                state: vec![1.0],
+                action: Vec::new(),
+            },
+            PolicyRequest {
+                flow: 1,
+                state: vec![-2.0],
+                action: Vec::new(),
+            },
+        ];
+        Doubler.evaluate(&mut reqs);
+        assert_eq!(reqs[0].action, vec![2.0]);
+        assert_eq!(reqs[1].action, vec![-4.0]);
+    }
+}

@@ -193,6 +193,19 @@ pub enum TraceEvent {
         /// Packets declared lost.
         packets: u64,
     },
+    /// A batched policy-server evaluation ran for a decision tick
+    /// (link-level; `flow == u32::MAX`). Carries only deterministic
+    /// fields — the batch's wall-clock latency is accounted to the
+    /// member flows' `compute_ns` instead, keeping the trace stream
+    /// byte-for-byte reproducible.
+    PolicyBatch {
+        /// Always [`LINK_FLOW`] — the batch spans flows.
+        flow: u32,
+        /// Simulated time of the decision tick, ns.
+        at_ns: u64,
+        /// Number of flow requests served in one batched forward pass.
+        size: u32,
+    },
     /// A monitor interval closed.
     MiClose {
         /// Flow id.
@@ -219,6 +232,7 @@ impl TraceEvent {
             | TraceEvent::FaultWindow { at_ns, .. }
             | TraceEvent::Rto { at_ns, .. }
             | TraceEvent::FastRetransmit { at_ns, .. }
+            | TraceEvent::PolicyBatch { at_ns, .. }
             | TraceEvent::MiClose { at_ns, .. } => at_ns,
         }
     }
@@ -233,6 +247,7 @@ impl TraceEvent {
             | TraceEvent::FaultWindow { flow, .. }
             | TraceEvent::Rto { flow, .. }
             | TraceEvent::FastRetransmit { flow, .. }
+            | TraceEvent::PolicyBatch { flow, .. }
             | TraceEvent::MiClose { flow, .. } => flow,
         }
     }

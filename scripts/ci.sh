@@ -29,6 +29,10 @@ echo "==> cargo test (netsim+core, runtime invariant asserts armed)"
 cargo test --offline -q -p libra-netsim -p libra-core \
     --features libra-netsim/checked-invariants,libra-core/checked-invariants
 
+echo "==> policy-server batched identity (runtime invariant asserts armed)"
+cargo test --offline -q -p libra-bench --test policy_server \
+    --features libra-netsim/checked-invariants,libra-core/checked-invariants
+
 echo "==> queue-ledger properties under checked-invariants (all disciplines)"
 cargo test --offline -q -p libra --test properties --features checked-invariants
 
