@@ -39,6 +39,7 @@ pub mod spec;
 pub mod supervisor;
 pub mod sweep;
 pub mod tracing;
+pub mod trajectory;
 
 pub use journal::{fnv1a, journal_dir, spec_digest, Journal, JournalEntry};
 pub use models::ModelStore;
@@ -72,6 +73,7 @@ pub use tracing::{
     decision_timeline, merged_trace, stage_occupancy, stage_occupancy_table, trace_to_jsonl,
     validate_finite, ALL_STAGES,
 };
+pub use trajectory::{bench_trajectory_dir, load_snapshots, trajectory_table, BenchSnapshot};
 
 /// Common CLI knobs for experiment binaries: `--quick` shrinks durations
 /// and repeats so a full sweep finishes in seconds (used by CI and the

@@ -1,0 +1,224 @@
+//! The committed bench trajectory rendered as a text dashboard.
+//!
+//! `dev/bench/` keeps one `NNNN-<slug>.json` snapshot of
+//! `BENCH_netsim.json` per perf-relevant PR (see its README). This
+//! module folds those snapshots into one table — rows are bench
+//! entries, columns are PR ordinals, cells are `sim_secs_per_sec` —
+//! plus the tracked `meta` ratios (`policy_batch_speedup`, …), so the
+//! engine's throughput history is reviewable from `full_report` output
+//! without opening the JSON files. Absolute numbers are host-dependent
+//! (the snapshots all come from the machine that produced them); the
+//! dashboard is about the trend and the suite's shape, not portable
+//! floors.
+
+use crate::Table;
+use serde::Value;
+use std::path::{Path, PathBuf};
+
+/// `meta` ratios worth tracking across snapshots, in display order.
+const META_RATIOS: &[&str] = &[
+    "full_report_speedup",
+    "supervised_overhead",
+    "policy_batch_speedup",
+];
+
+/// One committed `NNNN-<slug>.json` snapshot, parsed down to the
+/// numbers the dashboard shows.
+pub struct BenchSnapshot {
+    /// The PR ordinal (`NNNN` from the filename).
+    pub label: String,
+    /// `(entry, sim_secs_per_sec)` in file order.
+    pub entries: Vec<(String, f64)>,
+    /// `(ratio, value)` for the tracked `meta` ratios present.
+    pub meta: Vec<(String, f64)>,
+}
+
+fn number(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+/// Parse one snapshot's JSON text. Returns `None` when the text is not
+/// the `BENCH_netsim.json` shape (the dashboard skips it rather than
+/// failing the report).
+pub fn parse_snapshot(label: &str, text: &str) -> Option<BenchSnapshot> {
+    let value: Value = serde_json::from_str(text).ok()?;
+    let Value::Object(fields) = &value else {
+        return None;
+    };
+    let mut entries = Vec::new();
+    for (name, entry) in fields.iter() {
+        if name == "meta" {
+            continue;
+        }
+        if let Some(t) = entry.get("sim_secs_per_sec").and_then(number) {
+            entries.push((name.clone(), t));
+        }
+    }
+    let mut meta = Vec::new();
+    if let Some(m) = value.get("meta") {
+        for ratio in META_RATIOS {
+            if let Some(v) = m.get(ratio).and_then(number) {
+                meta.push((ratio.to_string(), v));
+            }
+        }
+    }
+    Some(BenchSnapshot {
+        label: label.to_string(),
+        entries,
+        meta,
+    })
+}
+
+/// Load every committed `NNNN-*.json` snapshot under `dir`, sorted by
+/// ordinal. `baseline.json` (machine-local, gitignored) and anything
+/// else not matching the snapshot naming is skipped.
+pub fn load_snapshots(dir: &Path) -> Vec<BenchSnapshot> {
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut names: Vec<String> = read
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| {
+            n.ends_with(".json")
+                && n.len() > 5
+                && n.chars().take(4).all(|c| c.is_ascii_digit())
+                && n.as_bytes().get(4) == Some(&b'-')
+        })
+        .collect();
+    names.sort();
+    names
+        .iter()
+        .filter_map(|name| {
+            let text = std::fs::read_to_string(dir.join(name)).ok()?;
+            parse_snapshot(&name[..4], &text)
+        })
+        .collect()
+}
+
+/// Fold snapshots into the dashboard table: one row per bench entry
+/// (first-appearance order, so the suite's growth reads top-down), one
+/// column per snapshot, `-` where an entry did not exist yet. Tracked
+/// `meta` ratios follow as `meta:` rows. Returns `None` when there are
+/// no snapshots to show.
+pub fn trajectory_table(snapshots: &[BenchSnapshot]) -> Option<Table> {
+    if snapshots.is_empty() {
+        return None;
+    }
+    let mut row_names: Vec<&str> = Vec::new();
+    for s in snapshots {
+        for (name, _) in &s.entries {
+            if !row_names.contains(&name.as_str()) {
+                row_names.push(name);
+            }
+        }
+    }
+    let mut header = vec!["sim-secs/sec".to_string()];
+    header.extend(snapshots.iter().map(|s| format!("PR {}", s.label)));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        "Bench trajectory: committed dev/bench snapshots (host-local numbers)",
+        &hdr,
+    );
+    let cell = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |f| format!("{f:.1}"));
+    for name in &row_names {
+        let mut row = vec![name.to_string()];
+        for s in snapshots {
+            row.push(cell(
+                s.entries.iter().find(|(n, _)| n == name).map(|(_, v)| *v),
+            ));
+        }
+        table.row(row);
+    }
+    for ratio in META_RATIOS {
+        if !snapshots
+            .iter()
+            .any(|s| s.meta.iter().any(|(n, _)| n == ratio))
+        {
+            continue;
+        }
+        let mut row = vec![format!("meta:{ratio}")];
+        for s in snapshots {
+            row.push(cell(
+                s.meta.iter().find(|(n, _)| n == ratio).map(|(_, v)| *v),
+            ));
+        }
+        table.row(row);
+    }
+    Some(table)
+}
+
+/// The committed trajectory directory: `dev/bench/` at the workspace
+/// root (resolved from the crate's manifest, like `experiment_dir`).
+pub fn bench_trajectory_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("dev");
+    p.push("bench");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+        "single_run": {"wall_ms": 4.0, "sim_secs_per_sec": 900.0},
+        "meta": {"workers": 4, "full_report_speedup": 1.07}
+    }"#;
+    const NEW: &str = r#"{
+        "single_run": {"wall_ms": 4.2, "sim_secs_per_sec": 950.0},
+        "rl_batched": {"wall_ms": 9.0, "sim_secs_per_sec": 4.9},
+        "meta": {"policy_batch_speedup": 3.53}
+    }"#;
+
+    fn both() -> Vec<BenchSnapshot> {
+        vec![
+            parse_snapshot("0007", OLD).expect("old snapshot parses"),
+            parse_snapshot("0008", NEW).expect("new snapshot parses"),
+        ]
+    }
+
+    #[test]
+    fn snapshot_parses_entries_and_meta() {
+        let s = parse_snapshot("0008", NEW).expect("parses");
+        assert_eq!(s.entries.len(), 2);
+        assert_eq!(s.meta, vec![("policy_batch_speedup".to_string(), 3.53)]);
+    }
+
+    #[test]
+    fn table_tracks_entries_across_snapshots() {
+        let t = trajectory_table(&both()).expect("non-empty");
+        let s = t.render();
+        assert!(s.contains("PR 0007") && s.contains("PR 0008"));
+        assert!(s.contains("900.0") && s.contains("950.0"));
+        // rl_batched did not exist in 0007: dash, then its value.
+        let rl = s.lines().find(|l| l.contains("rl_batched")).expect("row");
+        assert!(rl.contains('-') && rl.contains("4.9"));
+        // Tracked meta ratios appear as rows.
+        assert!(s.contains("meta:policy_batch_speedup"));
+        assert!(s.contains("3.5"));
+    }
+
+    #[test]
+    fn empty_and_malformed_are_quietly_skipped() {
+        assert!(trajectory_table(&[]).is_none());
+        assert!(parse_snapshot("0001", "not json").is_none());
+        assert!(parse_snapshot("0001", "[1, 2]").is_none());
+    }
+
+    #[test]
+    fn committed_snapshots_load_and_render() {
+        let snaps = load_snapshots(&bench_trajectory_dir());
+        assert!(snaps.len() >= 2, "expected committed dev/bench snapshots");
+        let s = trajectory_table(&snaps).expect("table").render();
+        assert!(s.contains("thousand_flow"));
+        assert!(s.contains("meta:policy_batch_speedup"));
+    }
+}

@@ -10,7 +10,10 @@
 //! the pinned run digest — rests on the simulator being a pure function
 //! of `(configuration, seed)` and on float telemetry staying finite.
 //! `cargo`/`clippy` cannot express those rules, so this crate encodes
-//! them as a deny-list over the workspace's own sources:
+//! them as a two-layer analyzer over the workspace's own sources.
+//!
+//! **Layer 1 — per-file pattern rules** ([`rules`], over the blanked
+//! text of [`source::SourceFile`]):
 //!
 //! | id | invariant |
 //! |---|---|
@@ -21,27 +24,50 @@
 //! | `thread-discipline` | threads only in `bench/src/sweep.rs` |
 //! | `entropy` | no ambient randomness (`thread_rng`, `RandomState`, …) |
 //! | `bounded-retry` | retry/backoff loops carry an explicit attempt bound |
+//! | `no-per-packet-alloc` | no allocation in per-packet/per-decision hot paths |
 //!
-//! The scanner is hand-rolled (no external deps — the registry is
-//! offline): [`source::SourceFile`] blanks comments/strings, masks
-//! `#[cfg(test)]` regions and tracks `fn` bodies; each [`rules::Rule`]
-//! pattern-matches the blanked text. Audited exceptions use
-//! `// lint: allow(<name>)` on or above the flagged line. The `libra-lint`
-//! binary walks `crates/*/src` and `src/`, prints findings and exits
-//! non-zero on any — `scripts/ci.sh` runs it as a gate.
+//! **Layer 2 — workspace graph rules** ([`graph_rules`], over the
+//! symbol graph [`graph::Workspace`] built from the token stream
+//! ([`tokens`]) and item parser ([`items`])):
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `lock-across-call` | no lock guard live across a call reaching training/simulation/IO |
+//! | `fma-determinism` | no FMA/`mul_add` in `nn`/`netsim` (batched bit identity) |
+//! | `unsafe-audit` | every `unsafe` site carries an adjacent `// SAFETY:` (inventoried in `dev/unsafe_inventory.md`) |
+//! | `nondeterminism-taint` | no nondeterministic value reaches digest/serialization sinks |
+//!
+//! The analyzer is hand-rolled (no external deps — the registry is
+//! offline): [`source::SourceFile`] blanks comments/strings, masks test
+//! regions and tracks `fn` bodies; [`tokens::tokenize_lines`] lexes the
+//! blanked text; [`items::parse_items`] extracts fns, calls, guards and
+//! `unsafe` sites; [`graph::SymbolGraph`] links calls by name with
+//! deterministic order. Audited exceptions use `// lint: allow(<name>)`
+//! on or above the flagged line. The `libra-lint` binary walks every
+//! crate's `src/`, `examples/`, `tests/` and `benches/` plus the root
+//! facade's, prints findings and exits non-zero on any — `scripts/ci.sh`
+//! runs it as a gate.
 
+pub mod graph;
+pub mod graph_rules;
+pub mod items;
 pub mod rules;
 pub mod source;
+pub mod tokens;
 
+pub use graph::Workspace;
+pub use graph_rules::{unsafe_inventory, workspace_rules, WorkspaceRule};
 pub use rules::{all_rules, Finding, Rule, Severity};
 pub use source::SourceFile;
 
 use std::path::{Path, PathBuf};
 
 /// The source roots the lint covers, relative to the workspace root:
-/// every workspace crate's `src/` plus the root facade. `vendor/` is
-/// excluded by construction (vendored stand-ins for external crates are
-/// not held to the repo's invariants).
+/// every workspace crate's `src/`, `examples/`, `tests/` and `benches/`
+/// plus the root facade's `src/`, `examples/` and `tests/`. `vendor/`
+/// is excluded by construction (vendored stand-ins for external crates
+/// are not held to the repo's invariants), as is the lint crate's own
+/// `tests/fixtures/` corpus (deliberately bad code).
 pub fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
@@ -52,9 +78,13 @@ pub fn source_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
         .collect();
     crate_dirs.sort();
     for dir in crate_dirs {
-        collect_rs(&dir.join("src"), &mut files)?;
+        for sub in ["src", "examples", "tests", "benches"] {
+            collect_rs(&dir.join(sub), &mut files)?;
+        }
     }
-    collect_rs(&root.join("src"), &mut files)?;
+    for sub in ["src", "examples", "tests"] {
+        collect_rs(&root.join(sub), &mut files)?;
+    }
     // Report repo-relative paths.
     let mut rel: Vec<PathBuf> = files
         .into_iter()
@@ -79,6 +109,12 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     entries.sort();
     for path in entries {
         if path.is_dir() {
+            // The lint fixture corpus is deliberately bad code.
+            if path.file_name().is_some_and(|n| n == "fixtures")
+                && dir.file_name().is_some_and(|n| n == "tests")
+            {
+                continue;
+            }
             collect_rs(&path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
@@ -87,25 +123,50 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Run every rule over one file.
-pub fn lint_file(file: &SourceFile) -> Vec<Finding> {
-    let mut out = Vec::new();
-    for rule in all_rules() {
-        rule.check(file, &mut out);
-    }
-    out
-}
-
-/// Run every rule over the whole workspace at `root`; findings come
-/// back sorted by `(path, line, rule)` so output is deterministic.
-pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// Run the full 12-rule set over a set of loaded sources: per-file
+/// rules on each file, then the workspace rules over the symbol graph.
+/// Findings come back sorted by `(path, line, rule)` — and, because
+/// [`Workspace::from_sources`] sorts files by path, byte-identical for
+/// any input order.
+pub fn lint_sources(sources: Vec<SourceFile>) -> Vec<Finding> {
+    let ws = Workspace::from_sources(sources);
     let mut findings = Vec::new();
-    for rel in source_files(root)? {
-        let file = SourceFile::load(root, &rel)?;
-        findings.extend(lint_file(&file));
+    for entry in &ws.files {
+        for rule in all_rules() {
+            rule.check(&entry.source, &mut findings);
+        }
+    }
+    for rule in workspace_rules() {
+        rule.check(&ws, &mut findings);
     }
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(findings)
+    findings
+}
+
+/// Run the full rule set over one file standalone (fixtures): the file
+/// becomes a single-file workspace, so graph rules see its local call
+/// graph.
+pub fn lint_file(file: SourceFile) -> Vec<Finding> {
+    lint_sources(vec![file])
+}
+
+/// Load every covered source under `root` (for [`lint_tree`] and the
+/// inventory emitter).
+pub fn load_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let mut sources = Vec::new();
+    for rel in source_files(root)? {
+        sources.push(SourceFile::load(root, &rel)?);
+    }
+    Ok(Workspace::from_sources(sources))
+}
+
+/// Run every rule over the whole workspace at `root`.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut sources = Vec::new();
+    for rel in source_files(root)? {
+        sources.push(SourceFile::load(root, &rel)?);
+    }
+    Ok(lint_sources(sources))
 }
 
 /// Locate the workspace root: walk up from `start` to the first
@@ -141,6 +202,12 @@ mod tests {
         assert!(has("crates/core/src/libra.rs"));
         assert!(has("crates/bench/src/bin/perf_smoke.rs"));
         assert!(has("src/lib.rs"));
+        // Widened coverage: examples, tests, benches.
+        assert!(has("crates/nn/examples/kernbench.rs"));
+        assert!(has("crates/bench/tests/"));
+        assert!(has("crates/bench/benches/"));
+        assert!(has("examples/quickstart.rs"));
+        assert!(has("tests/properties.rs"));
         assert!(!has("vendor/"), "vendored stand-ins must not be linted");
         assert!(!has("tests/fixtures"), "lint fixtures must not be linted");
     }

@@ -3,37 +3,53 @@
 // message or handle the `None`/`Err` branch).
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
-//! The `libra-lint` gate binary: walk the workspace sources, run every
-//! rule, print findings, and exit non-zero on any deny-severity hit.
+//! The `libra-lint` gate binary: walk the workspace sources, run the
+//! full 12-rule set (8 per-file + 4 graph-powered), print findings,
+//! and exit non-zero on any deny-severity hit.
 //!
 //! ```text
 //! cargo run -p libra-lint --release              # lint the enclosing workspace
 //! cargo run -p libra-lint --release -- <root>    # lint an explicit tree
 //! cargo run -p libra-lint --release -- <file.rs> # lint one file (fixtures)
 //! cargo run -p libra-lint --release -- --list-rules
+//! cargo run -p libra-lint --release -- --emit-unsafe-inventory
 //! ```
 //!
 //! In single-file mode a `//! lint-fixture: <virtual path>` first line
 //! sets the repo-relative path the rules see, so path-scoped rules fire
 //! the same way they would inside the tree.
+//!
+//! `--emit-unsafe-inventory` regenerates `dev/unsafe_inventory.md`
+//! under the workspace root from the current `unsafe` sites;
+//! `scripts/ci.sh` runs it and fails on `git diff` drift.
 
 use libra_lint::SourceFile;
-use libra_lint::{all_rules, find_workspace_root, lint_file, lint_tree, Finding, Severity};
+use libra_lint::{
+    all_rules, find_workspace_root, lint_file, lint_tree, load_workspace, unsafe_inventory,
+    workspace_rules, Finding, Severity,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root_arg: Option<PathBuf> = None;
+    let mut emit_inventory = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--list-rules" => {
                 for rule in all_rules() {
-                    println!("{:<18} {}", rule.id(), rule.description());
+                    println!("{:<20} {}", rule.id(), rule.description());
+                }
+                for rule in workspace_rules() {
+                    println!("{:<20} {}", rule.id(), rule.description());
                 }
                 return ExitCode::SUCCESS;
             }
+            "--emit-unsafe-inventory" => emit_inventory = true,
             "--help" | "-h" => {
-                println!("usage: libra-lint [--list-rules] [workspace-root]");
+                println!(
+                    "usage: libra-lint [--list-rules] [--emit-unsafe-inventory] [workspace-root]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => root_arg = Some(PathBuf::from(other)),
@@ -62,6 +78,19 @@ fn main() -> ExitCode {
             }
         }
     };
+
+    if emit_inventory {
+        return match emit_unsafe_inventory(&root) {
+            Ok(path) => {
+                eprintln!("libra-lint: wrote {}", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("libra-lint: inventory emit failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let findings = if root.is_file() {
         match lint_single(&root) {
@@ -93,25 +122,34 @@ fn lint_single(path: &Path) -> std::io::Result<Vec<Finding>> {
         .and_then(|l| l.strip_prefix("//! lint-fixture: "))
         .map(|s| PathBuf::from(s.trim()))
         .unwrap_or_else(|| path.to_path_buf());
-    Ok(lint_file(&SourceFile::from_source(&virt, &text)))
+    Ok(lint_file(SourceFile::from_source(&virt, &text)))
+}
+
+/// Regenerate `dev/unsafe_inventory.md` under `root`.
+fn emit_unsafe_inventory(root: &Path) -> std::io::Result<PathBuf> {
+    let ws = load_workspace(root)?;
+    let out = root.join("dev").join("unsafe_inventory.md");
+    std::fs::create_dir_all(root.join("dev"))?;
+    std::fs::write(&out, unsafe_inventory(&ws))?;
+    Ok(out)
 }
 
 fn report(findings: &[Finding]) -> ExitCode {
     for finding in findings {
         println!("{finding}");
     }
+    let rule_count = all_rules().len() + workspace_rules().len();
     let denies = findings
         .iter()
         .filter(|f| f.severity == Severity::Deny)
         .count();
     if denies > 0 {
         eprintln!(
-            "libra-lint: {denies} finding(s) across {} rule(s) — tree is NOT clean",
-            all_rules().len()
+            "libra-lint: {denies} finding(s) across {rule_count} rule(s) — tree is NOT clean"
         );
         ExitCode::FAILURE
     } else {
-        eprintln!("libra-lint: clean ({} rules)", all_rules().len());
+        eprintln!("libra-lint: clean ({rule_count} rules)");
         ExitCode::SUCCESS
     }
 }

@@ -57,7 +57,12 @@ impl SourceFile {
         let lines: Vec<String> = text.lines().map(str::to_string).collect();
         let code = blank_noncode(text);
         debug_assert_eq!(lines.len(), code.len());
-        let is_test = test_mask(&code);
+        let mut is_test = test_mask(&code);
+        // Integration-test targets (any `tests/` path component) are test
+        // code in their entirety — `#[test]` fns plus their helpers.
+        if rel.components().any(|c| c.as_os_str() == "tests") {
+            is_test.iter_mut().for_each(|t| *t = true);
+        }
         let (file_allows, line_allows) = parse_annotations(&lines);
         let fn_spans = fn_spans(&code);
         SourceFile {
@@ -137,7 +142,12 @@ fn blank_noncode(text: &str) -> Vec<String> {
         let c = chars[i];
         let next = chars.get(i + 1).copied();
         if c == '\n' {
-            if state == Lex::LineComment {
+            // Line comments end at EOL, and real char literals are
+            // single-line: resetting `Char` here keeps an unterminated
+            // `'` from swallowing later lines (and from letting a later
+            // quote "close" it, which would leave a dangling shell the
+            // tokenizer would mis-pair).
+            if state == Lex::LineComment || state == Lex::Char {
                 state = Lex::Normal;
             }
             out.push(std::mem::take(&mut line));
@@ -255,6 +265,14 @@ fn blank_noncode(text: &str) -> Vec<String> {
             }
             Lex::Char => match c {
                 '\\' => {
+                    if next == Some('\n') {
+                        // `'\` at EOL: char literals are single-line,
+                        // so bail to Normal and keep the line break.
+                        state = Lex::Normal;
+                        line.push(' ');
+                        i += 1;
+                        continue;
+                    }
                     line.push_str("  ");
                     i += 2;
                     continue;
@@ -475,6 +493,17 @@ mod tests {
         assert_eq!(s, 2);
         let (s, e) = f.enclosing_fn(1).expect("outer span");
         assert_eq!((s, e), (0, 5));
+    }
+
+    #[test]
+    fn integration_test_targets_are_fully_masked() {
+        let f = sf(
+            "crates/bench/tests/policy_server.rs",
+            "fn helper() { now(); }\n#[test]\nfn t() { helper(); }\n",
+        );
+        assert!(f.is_test.iter().all(|&t| t));
+        let g = sf("crates/bench/src/sweep.rs", "fn helper() { now(); }\n");
+        assert!(!g.is_test[0]);
     }
 
     #[test]

@@ -1,0 +1,236 @@
+// Production code must justify every potential panic site: unwraps are
+// banned outside tests (audited sites use `expect` with an invariant
+// message or handle the `None`/`Err` branch).
+
+//! The token layer: blanked source → a flat, line-addressed token
+//! stream.
+//!
+//! [`tokenize_lines`] runs over [`crate::SourceFile::code`] — the view
+//! with comments and string/char contents already blanked to spaces —
+//! so no token ever carries commented-out or quoted text. That makes
+//! the stream safe ground for the item parser ([`crate::items`]): a
+//! `fn` keyword in a doc example or a `.lock()` inside a string can
+//! never mint a symbol or a call edge. The tokenizer is deliberately
+//! coarse (identifiers, numbers, blanked string/char shells, single
+//! punctuation) — exactly the granularity the item grammar consumes,
+//! and nothing a full lexer would need (no float disambiguation beyond
+//! `1.max(2)`, no compound operators).
+//!
+//! Determinism: tokens come back in strict `(line, col)` order, a pure
+//! function of the input text — the property the analyzer-determinism
+//! test pins alongside the symbol graph.
+
+/// What a token is; just enough classification for item parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `lock`, …).
+    Ident,
+    /// Numeric literal (integers, floats, suffixed forms).
+    Num,
+    /// A (blanked) string literal shell: `"   "`.
+    Str,
+    /// A (blanked) char literal shell: `' '`.
+    Char,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One token with its position in the blanked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token text. For `Str`/`Char` the contents are spaces (the
+    /// blanking preserved only the delimiters); for `Punct` a single
+    /// character.
+    pub text: String,
+    /// 0-based line index into the source the lines came from.
+    pub line: usize,
+    /// 0-based character column of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenize blanked source lines (see [`crate::SourceFile::code`]).
+///
+/// Never panics, for any input: unterminated literals simply consume to
+/// end of line/file. String shells may span lines (the blanking keeps a
+/// multi-line literal's closing quote on its last line); the `Str`
+/// token is emitted at the opening quote and carries only the first
+/// line's shell.
+pub fn tokenize_lines(code: &[String]) -> Vec<Token> {
+    let mut out = Vec::new();
+    // A multi-line (blanked) string literal leaves us inside the shell
+    // across line boundaries; skip to its closing quote.
+    let mut in_str = false;
+    for (line_no, line) in code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        if in_str {
+            match chars.iter().position(|&c| c == '"') {
+                Some(close) => {
+                    in_str = false;
+                    i = close + 1;
+                }
+                None => continue,
+            }
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            if c == '_' || c.is_alphabetic() {
+                i += 1;
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                    col: start,
+                });
+            } else if c.is_ascii_digit() {
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d == '_' || d.is_alphanumeric() {
+                        i += 1;
+                    } else if d == '.'
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !chars[start..i].contains(&'.')
+                    {
+                        // `1.5` continues the number; `1.max(2)` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                    col: start,
+                });
+            } else if c == '"' {
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    i += 1;
+                }
+                if i < chars.len() {
+                    i += 1; // closing quote on this line
+                } else {
+                    in_str = true; // shell continues on a later line
+                }
+                out.push(Token {
+                    kind: TokenKind::Str,
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                    col: start,
+                });
+            } else if c == '\'' {
+                // Blanked char-literal shell (lifetimes lost their quote
+                // during blanking, so a surviving quote is a literal).
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+                if i < chars.len() {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                    col: start,
+                });
+            } else {
+                i += 1;
+                out.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line: line_no,
+                    col: start,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SourceFile;
+    use std::path::Path;
+
+    fn toks(text: &str) -> Vec<Token> {
+        let f = SourceFile::from_source(Path::new("crates/demo/src/a.rs"), text);
+        tokenize_lines(&f.code)
+    }
+
+    #[test]
+    fn idents_numbers_and_punct() {
+        let t = toks("fn add(a: u32) -> u32 { a + 1_000 }\n");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "add", "a", "u32", "u32", "a"]);
+        assert!(t
+            .iter()
+            .any(|t| t.kind == TokenKind::Num && t.text == "1_000"));
+        assert!(t.iter().any(|t| t.is_punct('{')));
+    }
+
+    #[test]
+    fn comments_and_strings_yield_no_idents() {
+        let t = toks("let x = \"fn hidden\"; // fn commented\n/* fn blocked */ let y = 2;\n");
+        assert!(!t.iter().any(|t| t.is_ident("hidden")));
+        assert!(!t.iter().any(|t| t.is_ident("commented")));
+        assert!(!t.iter().any(|t| t.is_ident("blocked")));
+        assert_eq!(t.iter().filter(|t| t.is_ident("fn")).count(), 0);
+        assert!(t.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn float_vs_method_call_on_number() {
+        let t = toks("let a = 1.5; let b = 1.max(2);\n");
+        assert!(t
+            .iter()
+            .any(|t| t.kind == TokenKind::Num && t.text == "1.5"));
+        assert!(t.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn multiline_string_shell_is_skipped() {
+        let t = toks("let s = \"first\nsecond fn not_a_sym\";\nlet after = 1;\n");
+        assert!(!t.iter().any(|t| t.is_ident("not_a_sym")));
+        assert!(t.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn positions_are_line_col_ordered() {
+        let t = toks("fn a() {}\nfn b() {}\n");
+        let mut prev = (0usize, 0usize);
+        for tok in &t {
+            assert!((tok.line, tok.col) >= prev);
+            prev = (tok.line, tok.col);
+        }
+        assert!(t.iter().any(|t| t.is_ident("b") && t.line == 1));
+    }
+}

@@ -1,0 +1,14 @@
+//! lint-fixture: crates/nn/src/fastpath.rs
+//! (fixture) A fused multiply-add in a kernel crate: `mul_add` rounds
+//! once where the scalar kernel rounds twice, silently breaking the
+//! batched-vs-sequential bit-identity contract. `fma-determinism` must
+//! flag it.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc = a[i].mul_add(b[i], acc);
+    }
+    acc
+}

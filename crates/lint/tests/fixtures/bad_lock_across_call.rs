@@ -1,0 +1,30 @@
+//! lint-fixture: crates/bench/src/model_cache.rs
+//! (fixture) The pre-PR8 `ModelStore::get_or_train` shape: the cache
+//! mutex stays locked across a whole training run, serializing every
+//! sweep worker behind one lock. `lock-across-call` must flag the
+//! training call inside the guard's live range.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+pub struct Store {
+    cache: Mutex<BTreeMap<String, Vec<u64>>>,
+}
+
+impl Store {
+    pub fn get_or_train(&self, key: &str) -> Vec<u64> {
+        let mut cache = self.cache.lock().expect("model cache poisoned");
+        cache
+            .entry(key.to_string())
+            .or_insert_with(|| self.load_or_train(key))
+            .clone()
+    }
+
+    fn load_or_train(&self, key: &str) -> Vec<u64> {
+        train_weights(key)
+    }
+}
+
+fn train_weights(key: &str) -> Vec<u64> {
+    vec![key.len() as u64]
+}

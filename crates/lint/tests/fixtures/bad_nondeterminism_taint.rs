@@ -1,0 +1,21 @@
+//! lint-fixture: crates/bench/src/report_glue.rs
+//! (fixture) A clock read laundered through two helpers into a
+//! serialized artifact. The read itself carries an audited
+//! `host_clock` waiver — the *value* is still nondeterministic, and
+//! `nondeterminism-taint` must follow it interprocedurally to the
+//! `serde_json` sink.
+
+pub fn stamp_ms() -> u64 {
+    // lint: allow(host_clock) — (fixture) audited read, value still taints
+    let t = std::time::SystemTime::now();
+    t.elapsed().map_or(0, |d| d.as_millis() as u64)
+}
+
+fn launder() -> u64 {
+    stamp_ms()
+}
+
+pub fn emit_report() -> String {
+    let generated_at = launder();
+    serde_json::to_string(&generated_at).expect("report row serializes")
+}

@@ -1,0 +1,21 @@
+//! lint-fixture: crates/nn/src/rawsum.rs
+//! (fixture) `unsafe` without justification: both the block and the
+//! declared `unsafe fn` lack an adjacent `// SAFETY:` comment, so
+//! `unsafe-audit` must flag both sites (a doc `# Safety` section
+//! documents the caller's obligation, not why this site meets it).
+
+pub fn fast_sum(v: &[u64]) -> u64 {
+    unsafe { core_sum(v) }
+}
+
+/// # Safety
+/// Caller must pass a non-empty slice.
+unsafe fn core_sum(v: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    let mut p = v.as_ptr();
+    for _ in 0..v.len() {
+        acc = acc.wrapping_add(unsafe { *p });
+        p = unsafe { p.add(1) };
+    }
+    acc
+}

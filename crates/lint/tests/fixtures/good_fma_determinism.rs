@@ -1,0 +1,13 @@
+//! lint-fixture: crates/nn/src/fastpath.rs
+//! (fixture) The bit-identity-preserving form: separate multiply then
+//! add, one rounding per operation, ascending index order — the exact
+//! addend sequence every batched variant must reproduce.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += a[i] * b[i];
+    }
+    acc
+}

@@ -1,0 +1,37 @@
+//! lint-fixture: crates/bench/src/model_cache.rs
+//! (fixture) The post-PR8 shape: the guard dies inside the inner block
+//! before any training runs, so workers only contend for the map
+//! lookup, never for the training itself.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+pub struct Store {
+    cache: Mutex<BTreeMap<String, Vec<u64>>>,
+}
+
+impl Store {
+    pub fn get_or_train(&self, key: &str) -> Vec<u64> {
+        let cached = {
+            let cache = self.cache.lock().expect("model cache poisoned");
+            cache.get(key).cloned()
+        };
+        match cached {
+            Some(w) => w,
+            None => {
+                let w = self.load_or_train(key);
+                let mut cache = self.cache.lock().expect("model cache poisoned");
+                cache.insert(key.to_string(), w.clone());
+                w
+            }
+        }
+    }
+
+    fn load_or_train(&self, key: &str) -> Vec<u64> {
+        train_weights(key)
+    }
+}
+
+fn train_weights(key: &str) -> Vec<u64> {
+    vec![key.len() as u64]
+}

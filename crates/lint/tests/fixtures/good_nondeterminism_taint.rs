@@ -1,0 +1,23 @@
+//! lint-fixture: crates/bench/src/report_glue.rs
+//! (fixture) The correct shape: the wall-clock value gates a local
+//! abort decision and never flows into anything serialized, so the
+//! source and the sink coexist with no taint path between them.
+
+pub struct Report {
+    pub rows: u64,
+}
+
+pub fn emit_report(report: &Report) -> String {
+    serde_json::to_string(&report.rows).expect("report row serializes")
+}
+
+pub fn wall_budget_tripped(limit_ms: u64) -> bool {
+    // lint: allow(host_clock) — (fixture) audited watchdog read
+    let t0 = std::time::Instant::now();
+    spin_once();
+    (t0.elapsed().as_millis() as u64) > limit_ms
+}
+
+fn spin_once() {
+    std::hint::spin_loop();
+}

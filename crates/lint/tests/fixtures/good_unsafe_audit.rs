@@ -1,0 +1,23 @@
+//! lint-fixture: crates/nn/src/rawsum.rs
+//! (fixture) Every `unsafe` site carries an adjacent `// SAFETY:`
+//! justification — above the block/fn or trailing on the same line —
+//! so `unsafe-audit` stays quiet and the inventory rows are complete.
+
+pub fn fast_sum(v: &[u64]) -> u64 {
+    // SAFETY: v is a valid slice; core_sum only reads v.len() elements.
+    unsafe { core_sum(v) }
+}
+
+/// # Safety
+/// Caller must pass a valid slice.
+// SAFETY: pointer arithmetic below stays within v's bounds by the loop
+// count; declared unsafe only to document the raw-pointer contract.
+unsafe fn core_sum(v: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    let mut p = v.as_ptr();
+    for _ in 0..v.len() {
+        acc = acc.wrapping_add(unsafe { *p }); // SAFETY: p < v.as_ptr() + v.len()
+        p = unsafe { p.add(1) }; // SAFETY: one-past-end is a valid offset
+    }
+    acc
+}

@@ -22,6 +22,10 @@ const BAD: &[(&str, &str)] = &[
     ("bad_entropy.rs", "entropy"),
     ("bad_bounded_retry.rs", "bounded-retry"),
     ("bad_per_packet_alloc.rs", "no-per-packet-alloc"),
+    ("bad_lock_across_call.rs", "lock-across-call"),
+    ("bad_fma_determinism.rs", "fma-determinism"),
+    ("bad_unsafe_audit.rs", "unsafe-audit"),
+    ("bad_nondeterminism_taint.rs", "nondeterminism-taint"),
 ];
 
 const GOOD: &[&str] = &[
@@ -33,6 +37,10 @@ const GOOD: &[&str] = &[
     "good_entropy.rs",
     "good_bounded_retry.rs",
     "good_per_packet_alloc.rs",
+    "good_lock_across_call.rs",
+    "good_fma_determinism.rs",
+    "good_unsafe_audit.rs",
+    "good_nondeterminism_taint.rs",
 ];
 
 fn fixtures_dir() -> PathBuf {
@@ -56,7 +64,7 @@ fn load_fixture(name: &str) -> SourceFile {
 #[test]
 fn bad_fixtures_each_flag_their_rule() {
     for &(name, rule) in BAD {
-        let findings = lint_file(&load_fixture(name));
+        let findings = lint_file(load_fixture(name));
         assert!(
             !findings.is_empty(),
             "{name}: expected at least one `{rule}` finding, got none"
@@ -74,7 +82,7 @@ fn bad_fixtures_each_flag_their_rule() {
 #[test]
 fn good_fixtures_are_clean() {
     for &name in GOOD {
-        let findings = lint_file(&load_fixture(name));
+        let findings = lint_file(load_fixture(name));
         assert!(
             findings.is_empty(),
             "{name}: expected clean, got:\n{}",
@@ -89,8 +97,12 @@ fn good_fixtures_are_clean() {
 
 #[test]
 fn every_rule_has_bad_and_good_coverage() {
-    for rule in libra_lint::all_rules() {
-        let id = rule.id();
+    let ids: Vec<&str> = libra_lint::all_rules()
+        .iter()
+        .map(|r| r.id())
+        .chain(libra_lint::workspace_rules().iter().map(|r| r.id()))
+        .collect();
+    for id in ids {
         assert!(
             BAD.iter().any(|&(_, r)| r == id),
             "rule `{id}` has no bad fixture"

@@ -393,6 +393,10 @@ impl FlowSender {
         self.active = false;
     }
 
+    // Audited taint barrier: the wall stamp feeds only compute_ns, the
+    // one report field documented as a host measurement and excluded
+    // from determinism guarantees.
+    // lint: allow(nondeterminism_taint)
     fn time_cca<R>(&mut self, f: impl FnOnce(&mut dyn CongestionControl) -> R) -> R {
         if self.measure_compute {
             let t0 = crate::host_clock::stamp();

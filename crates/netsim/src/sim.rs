@@ -805,6 +805,9 @@ impl Simulation {
 
     /// Like [`Simulation::run`], but a tripped watchdog budget aborts
     /// the run and comes back as `Err(BudgetTrip)` instead of a panic.
+    // Audited taint barrier: the wall stamp only arms the watchdog
+    // abort; it never enters the SimReport.
+    // lint: allow(nondeterminism_taint)
     pub fn try_run(mut self, until: Instant) -> Result<SimReport, BudgetTrip> {
         self.schedule(
             Instant::ZERO + Duration::from_millis(25),
@@ -1066,6 +1069,10 @@ impl Simulation {
     /// the members' `compute_ns` (wall time is excluded from determinism
     /// guarantees); the `PolicyBatch` trace event carries only the
     /// deterministic batch size.
+    // Audited taint barrier: the wall stamp feeds only compute_ns, the
+    // one report field documented as a host measurement and excluded
+    // from determinism guarantees.
+    // lint: allow(nondeterminism_taint)
     fn dispatch_mi_batch(&mut self, first: FlowId, until: Instant) {
         let mut ids = std::mem::take(&mut self.batch_ids);
         let mut submitted = std::mem::take(&mut self.batch_submitted);

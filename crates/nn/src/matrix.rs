@@ -359,6 +359,9 @@ mod avx {
     /// # Safety
     /// Caller must verify AVX support, and supply `w` of `rows × n`,
     /// `a_t` of `n × lanes` and `out` of `rows × lanes` elements.
+    // SAFETY: the only caller (`Matrix::matmat_t`) gates on
+    // `is_x86_feature_detected!("avx")` and passes slices sized exactly
+    // rows×n / n×lanes / rows×lanes, re-checked by the debug asserts.
     #[target_feature(enable = "avx")]
     pub unsafe fn matmat_t(
         w: &[f64],
@@ -398,6 +401,9 @@ mod avx {
     ///
     /// # Safety
     /// AVX must be supported; all slices must have `d.len()` elements.
+    // SAFETY: called only from `matmat_t` (AVX already proven), with the
+    // four source slices carved as `lanes`-sized rows of `a_t`, so every
+    // `loadu`/`storeu` offset below stays within `d.len()` checked bounds.
     #[target_feature(enable = "avx")]
     #[inline]
     unsafe fn axpy4(d: &mut [f64], w: [f64; 4], s0: &[f64], s1: &[f64], s2: &[f64], s3: &[f64]) {
@@ -431,6 +437,9 @@ mod avx {
     ///
     /// # Safety
     /// AVX must be supported; `src.len()` must equal `d.len()`.
+    // SAFETY: called only from `matmat_t` (AVX already proven), with
+    // `src` carved as one `lanes`-sized row of `a_t`; unaligned
+    // load/store intrinsics keep offsets within `d.len()` bounds.
     #[target_feature(enable = "avx")]
     #[inline]
     unsafe fn axpy1(d: &mut [f64], w: f64, src: &[f64]) {

@@ -13,8 +13,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> libra-lint (determinism & invariant source gate)"
+echo "==> libra-lint (12-rule source gate over src/examples/tests/benches)"
 cargo run -p libra-lint --release --offline
+
+echo "==> libra-lint self-test (each workspace rule vs its fixture pair)"
+cargo test --offline -q -p libra-lint --test selftest
+
+echo "==> unsafe inventory drift (dev/unsafe_inventory.md matches the tree)"
+cargo run -p libra-lint --release --offline -- --emit-unsafe-inventory
+git diff --exit-code -- dev/unsafe_inventory.md
 
 echo "==> cargo build --release"
 cargo build --release --offline
