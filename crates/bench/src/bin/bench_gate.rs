@@ -35,6 +35,8 @@ const GATED: &[&str] = &[
     "thousand_flow_rl",
     "thousand_flow_rl_batched",
     "single_run_libra_batched",
+    "thousand_flow_rl_faulted",
+    "single_run_libra_degraded",
 ];
 
 fn throughputs(v: &Value) -> Vec<(String, f64)> {

@@ -166,4 +166,67 @@ fn main() {
     }
     libra_bench::stage_occupancy_table(&summary.trace, &[0, 1], trace_secs * 1_000_000_000)
         .emit("full_report_trace_occupancy");
+
+    // Policy-resilience appendix: a batched C-Libra fleet served through
+    // the policy server with the standard fault mix armed at the
+    // boundary, next to the identical faults-off fleet. The counters
+    // show the ladder absorbing the faults: injections land, fallback
+    // ticks bridge the gaps, and the run still serializes finite.
+    let chaos_secs = args.scaled(20, 5);
+    let fleet = |chaos: Option<libra_bench::PolicyChaosSpec>| {
+        let mut spec = RunSpec::staggered(
+            Cca::CLibra(Preference::Default),
+            wired_link(48.0),
+            8,
+            Duration::from_millis(100),
+            chaos_secs,
+            args.seed,
+        )
+        .with_trace()
+        .with_batched();
+        if let Some(chaos) = chaos {
+            spec = spec.with_policy_faults(chaos);
+        }
+        spec.label = if spec.policy_faults.is_some() {
+            "C-Libra (standard fault mix)".into()
+        } else {
+            "C-Libra (faults off)".into()
+        };
+        libra_bench::run_spec(&store, &spec)
+    };
+    let healthy = fleet(None);
+    let faulted = fleet(Some(libra_bench::PolicyChaosSpec::standard(
+        args.seed, chaos_secs,
+    )));
+    if let Err(e) = libra_bench::validate_finite(&faulted.trace) {
+        eprintln!("full_report: non-finite value in faulted trace: {e}");
+        std::process::exit(1);
+    }
+    let mut resilience = Table::new(
+        "Policy resilience (batched fleet, policy-boundary faults)",
+        &[
+            "run",
+            "goodput Mbps",
+            "jain",
+            "faults",
+            "quarantines",
+            "fallback ticks",
+            "reprobes",
+            "trips",
+        ],
+    );
+    for s in [&healthy, &faulted] {
+        let goodput: f64 = s.flows.iter().map(|f| f.goodput_mbps).sum();
+        resilience.row(vec![
+            s.label.clone(),
+            format!("{goodput:.2}"),
+            format!("{:.3}", s.jain),
+            s.policy_faults_injected.to_string(),
+            s.quarantines.to_string(),
+            s.fallback_ticks.to_string(),
+            s.rl_reprobes.to_string(),
+            s.guardrail_trips.to_string(),
+        ]);
+    }
+    resilience.emit("full_report_policy_resilience");
 }

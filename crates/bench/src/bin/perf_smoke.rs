@@ -10,7 +10,7 @@
 
 use libra_bench::{
     parallel_map_with, run_single_metrics, run_sweep_supervised_with, run_sweep_with, worker_count,
-    BenchArgs, Cca, ModelStore, RunSpec, SweepPolicy,
+    BenchArgs, Cca, ModelStore, PolicyChaosSpec, RunSpec, SweepPolicy,
 };
 use libra_learned::RlCcaConfig;
 use libra_netsim::{
@@ -301,6 +301,68 @@ fn main() {
         wall_ms,
         sim_secs_per_sec: thr,
     });
+    // The batched fleet again with the standard fault plan armed at the
+    // policy boundary: every fault kind fires in its staggered window
+    // (the transient weight corruption restores before the run ends).
+    // The delta vs `thousand_flow_rl_batched` prices the armed injection
+    // state plus the degradation ladder on affected flows —
+    // `meta.fault_path_overhead` pins it; faults-off stays zero-cost by
+    // construction (the server holds no injection state at all).
+    let fault_plan = PolicyChaosSpec::standard(args.seed, rl_secs)
+        .compile()
+        .expect("standard chaos plan must compile");
+    let (rl_fault_ms, thr) = timed(rl_secs as f64, || {
+        libra_bench::run_staggered_agent_faults(
+            &serve_cfg,
+            &serve_agent,
+            wired_link(96.0),
+            rl_flows,
+            Duration::from_millis(10),
+            rl_secs,
+            args.seed,
+            quantum,
+            true,
+            fault_plan.clone(),
+        );
+    });
+    benches.push(Bench {
+        name: "thousand_flow_rl_faulted",
+        wall_ms: rl_fault_ms,
+        sim_secs_per_sec: thr,
+    });
+    let fault_path_overhead = if rl_batch_ms > 0.0 {
+        rl_fault_ms / rl_batch_ms
+    } else {
+        0.0
+    };
+    // One C-Libra flow with NaN actions forced the whole run: the first
+    // decision already fails validation with no cached action to ride,
+    // so the flow spends the entire run pinned to the classic CCA —
+    // the fully-degraded floor of the ladder.
+    let nan_plan = PolicyChaosSpec::new(args.seed)
+        .with("nan-action", 0, secs * 1000, 1.0)
+        .compile()
+        .expect("nan-action plan must compile");
+    let (wall_ms, thr) = timed(secs as f64, || {
+        libra_bench::run_staggered_policy_cfg(
+            Cca::CLibra(Preference::Default),
+            &store,
+            wired_link(24.0),
+            1,
+            Duration::ZERO,
+            secs,
+            args.seed,
+            quantum,
+            true,
+            nan_plan.clone(),
+            SimConfig::default(),
+        );
+    });
+    benches.push(Bench {
+        name: "single_run_libra_degraded",
+        wall_ms,
+        sim_secs_per_sec: thr,
+    });
 
     // full_report-shaped sweep, sequential vs parallel.
     let jobs = grid(secs, args.seed, repeats);
@@ -380,7 +442,7 @@ fn main() {
         .unwrap_or(1);
     let _ = writeln!(
         json,
-        "  \"meta\": {{\"workers\": {workers}, \"jobs\": {}, \"available_cpus\": {cpus}, \"full_report_speedup\": {speedup:.2}, \"supervised_overhead\": {supervised_overhead:.2}, \"policy_batch_speedup\": {policy_batch_speedup:.2}}}\n}}",
+        "  \"meta\": {{\"workers\": {workers}, \"jobs\": {}, \"available_cpus\": {cpus}, \"full_report_speedup\": {speedup:.2}, \"supervised_overhead\": {supervised_overhead:.2}, \"policy_batch_speedup\": {policy_batch_speedup:.2}, \"fault_path_overhead\": {fault_path_overhead:.2}}}\n}}",
         jobs.len()
     );
     let path = std::env::var("LIBRA_BENCH_OUT").unwrap_or_else(|_| "BENCH_netsim.json".into());
@@ -392,4 +454,5 @@ fn main() {
     eprintln!("perf_smoke: sweep speedup {speedup:.2}x at {workers} workers ({cpus} cpus)");
     eprintln!("perf_smoke: supervised/bare sweep wall ratio {supervised_overhead:.2}x");
     eprintln!("perf_smoke: policy-server batching speedup {policy_batch_speedup:.2}x");
+    eprintln!("perf_smoke: fault-path wall overhead {fault_path_overhead:.2}x");
 }

@@ -9,10 +9,16 @@
 //! per round, so `--resume` after an interruption reproduces the
 //! uninterrupted outcome byte for byte. `--selftest` re-runs the same
 //! search at two worker counts and fails if the ranking differs.
+//!
+//! `--chaos` switches the search into policy-fault mode: the under-test
+//! run of every candidate is served through the batched policy server
+//! with the standard seed-derived fault plan injected at the boundary,
+//! and candidates that engage the degradation ladder (cached-action
+//! fallbacks, quarantines) cross the `policy-fault` pin threshold.
 
 use libra_bench::{
-    objective_of, pin_failures, search, worker_count, write_pin, Cca, ModelStore, SearchConfig,
-    Table,
+    objective_of, pin_failures, search, worker_count, write_pin, Cca, ModelStore, PolicyChaosSpec,
+    SearchConfig, Table,
 };
 use libra_types::Preference;
 use std::path::PathBuf;
@@ -23,6 +29,7 @@ struct Args {
     resume: bool,
     selftest: bool,
     pin: bool,
+    chaos: bool,
     workers: Option<usize>,
 }
 
@@ -33,6 +40,7 @@ fn parse_args() -> Args {
         resume: false,
         selftest: false,
         pin: false,
+        chaos: false,
         workers: None,
     };
     let mut it = std::env::args().skip(1);
@@ -42,6 +50,7 @@ fn parse_args() -> Args {
             "--resume" => args.resume = true,
             "--selftest" => args.selftest = true,
             "--pin" => args.pin = true,
+            "--chaos" => args.chaos = true,
             "--seed" => {
                 args.seed = it
                     .next()
@@ -80,7 +89,13 @@ fn main() {
         resume: args.resume,
         under_test: Cca::CLibra(Preference::Default),
         parents: vec![Cca::Cubic, Cca::Bbr],
+        policy_chaos: None,
     };
+    if args.chaos {
+        let secs = cfg.secs;
+        cfg.policy_chaos = Some(PolicyChaosSpec::standard(args.seed, secs));
+        cfg.journal_tag = Some("scenario_search_chaos".into());
+    }
 
     if args.selftest {
         // The ranking must be a pure function of the config: the same
@@ -115,6 +130,7 @@ fn main() {
             "best parent Mbps",
             "jain",
             "trips",
+            "ladder",
             "objective",
         ],
     );
@@ -140,6 +156,11 @@ fn main() {
             } else {
                 "—".into()
             },
+            if c.fallback_ticks + c.quarantines > 0 {
+                format!("{}f/{}q", c.fallback_ticks, c.quarantines)
+            } else {
+                "—".into()
+            },
             objective_of(c).map_or("—".into(), |o| o.label().to_string()),
         ]);
     }
@@ -157,6 +178,7 @@ fn main() {
         let pins = pin_failures(&outcome, &dir, 6).expect("pin directory must be writable");
         for mut pin in pins {
             pin.store_seed = args.seed;
+            pin.policy_chaos = cfg.policy_chaos.clone();
             let path = write_pin(&pin, &dir).expect("pin file must be writable");
             println!("pinned {} -> {}", pin.name, path.display());
         }

@@ -13,6 +13,8 @@
 //!   (the zoo) behind `scenario_registry` and the adversarial search.
 //! * [`search`] — adversarial scenario search: seeded mutation of corpus
 //!   specs toward low-utility / unfair / guardrail-tripping runs.
+//! * [`policychaos`] — serde-round-trippable policy-boundary fault
+//!   plans, compiled into `libra_types::PolicyFaultPlan` at run build.
 //! * [`runner`] — single/pair/staggered runs and convergence statistics.
 //! * [`sweep`] — deterministic parallel fan-out of independent runs
 //!   (`LIBRA_JOBS` workers, results merged in job order).
@@ -30,6 +32,7 @@
 pub mod journal;
 pub mod models;
 pub mod output;
+pub mod policychaos;
 pub mod registry;
 pub mod runner;
 pub mod scenarios;
@@ -44,11 +47,13 @@ pub mod trajectory;
 pub use journal::{fnv1a, journal_dir, spec_digest, Journal, JournalEntry};
 pub use models::ModelStore;
 pub use output::{f1, f3, pct, series_csv, write_artifact, Table};
+pub use policychaos::{PolicyChaosEvent, PolicyChaosSpec};
 pub use registry::Cca;
 pub use runner::{
     convergence_stats, paper_eval_agent, run_pair, run_pair_cfg, run_repeated, run_single,
-    run_single_cfg, run_single_metrics, run_staggered, run_staggered_agent, run_staggered_cfg,
-    run_staggered_policy, ConvergenceStats, RunMetrics,
+    run_single_cfg, run_single_metrics, run_staggered, run_staggered_agent,
+    run_staggered_agent_faults, run_staggered_cfg, run_staggered_policy, run_staggered_policy_cfg,
+    ConvergenceStats, RunMetrics,
 };
 pub use scenarios::*;
 pub use search::{
@@ -67,7 +72,7 @@ pub use supervisor::{
 };
 pub use sweep::{
     parallel_map, parallel_map_with, run_spec, run_spec_budgeted, run_sweep, run_sweep_with,
-    worker_count, FlowSummary, RunSpec, RunSummary, Workload,
+    worker_count, FlowSummary, RunSpec, RunSummary, Workload, POLICY_QUANTUM,
 };
 pub use tracing::{
     decision_timeline, merged_trace, stage_occupancy, stage_occupancy_table, trace_to_jsonl,

@@ -7,7 +7,7 @@
 
 use libra_core::{train_libra, LibraVariant};
 use libra_learned::{train_orca, train_rl_cca, EnvRanges, RlCcaConfig, TrainConfig};
-use libra_rl::PpoWeights;
+use libra_rl::{PpoWeights, WEIGHT_NORM_BOUND};
 use libra_types::DetRng;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -133,10 +133,24 @@ impl ModelStore {
         if !self.ephemeral {
             let path = self.path(key);
             if let Ok(s) = std::fs::read_to_string(&path) {
-                if let Ok(w) = serde_json::from_str::<PpoWeights>(&s) {
-                    return w;
+                // Hot-swap validation: weights loaded from disk are the
+                // one path where corrupt parameters (NaN/∞, blown norms
+                // from a truncated write or a bad external edit) could
+                // be deployed without ever passing a training-side
+                // check. Reject-and-retrain is the rollback: training is
+                // a pure function of the config, so the retrained
+                // weights are exactly what the cache should have held.
+                match serde_json::from_str::<PpoWeights>(&s) {
+                    Ok(w) if w.is_valid(WEIGHT_NORM_BOUND) => return w,
+                    Ok(_) => eprintln!(
+                        "model cache at {} failed weight validation \
+                         (non-finite or out-of-bound parameters); retraining",
+                        path.display()
+                    ),
+                    Err(_) => {
+                        eprintln!("model cache at {} is corrupt; retraining", path.display());
+                    }
                 }
-                eprintln!("model cache at {} is corrupt; retraining", path.display());
             }
         }
         eprintln!(
@@ -291,6 +305,36 @@ mod tests {
             }
         });
         assert_eq!(trained.load(Ordering::SeqCst), 1, "same-key dedup");
+    }
+
+    #[test]
+    fn disk_loaded_weights_are_validated_before_deployment() {
+        // Plant a parseable-but-poisoned weight file at the store's cache
+        // path: the load path must reject it (NaN parameters) and fall
+        // back to retraining instead of hot-swapping garbage in.
+        let key = format!("test-hotswap-{}", std::process::id());
+        let store = ModelStore::new(901);
+        let mut rng = DetRng::new(1);
+        let mut agent = libra_rl::PpoAgent::new(libra_rl::PpoConfig::new(2, 1), &mut rng);
+        agent.map_actor_params(|_| f64::NAN);
+        let poisoned = agent.weights();
+        assert!(!poisoned.is_valid(WEIGHT_NORM_BOUND));
+        let path = store.path(&key);
+        std::fs::create_dir_all(model_dir()).unwrap();
+        std::fs::write(&path, serde_json::to_string(&poisoned).unwrap()).unwrap();
+        let w = store.get_or_train(&key, |_| {
+            let mut rng = DetRng::new(2);
+            libra_rl::PpoAgent::new(libra_rl::PpoConfig::new(2, 1), &mut rng).weights()
+        });
+        assert!(
+            w.is_valid(WEIGHT_NORM_BOUND),
+            "poisoned cached weights were deployed without validation"
+        );
+        // The rollback re-caches the retrained (valid) weights.
+        let recached: PpoWeights =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(recached.is_valid(WEIGHT_NORM_BOUND));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::registry::Cca;
 use libra_learned::{RlCca, RlCcaConfig};
 use libra_netsim::{FlowConfig, LinkConfig, SimConfig, SimReport, Simulation};
 use libra_rl::{PolicyServer, PpoAgent, PpoConfig};
-use libra_types::{DetRng, Duration, Instant, PolicyService, Welford};
+use libra_types::{DetRng, Duration, Instant, PolicyFaultPlan, PolicyService, Welford};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -239,14 +239,49 @@ pub fn run_staggered_policy(
     quantum: Duration,
     batched: bool,
 ) -> SimReport {
+    run_staggered_policy_cfg(
+        cca,
+        store,
+        link,
+        n,
+        stagger,
+        secs,
+        seed,
+        quantum,
+        batched,
+        PolicyFaultPlan::none(),
+        SimConfig::default(),
+    )
+}
+
+/// [`run_staggered_policy`] with explicit simulation knobs and a
+/// policy-boundary fault plan armed inside the shared server. An empty
+/// plan is faults-off (the server's injection state is never even
+/// allocated); the plan is only meaningful with `batched = true`, since
+/// inline inference never crosses the policy-service boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn run_staggered_policy_cfg(
+    cca: Cca,
+    store: &ModelStore,
+    link: LinkConfig,
+    n: usize,
+    stagger: Duration,
+    secs: u64,
+    seed: u64,
+    quantum: Duration,
+    batched: bool,
+    faults: PolicyFaultPlan,
+    cfg: SimConfig,
+) -> SimReport {
     let until = Instant::from_secs(secs);
-    let cfg = SimConfig::default().with_mi_quantum(quantum);
+    let cfg = cfg.with_mi_quantum(quantum);
     let mut sim = Simulation::with_config(link, seed, cfg);
     if batched {
         let agent = cca
             .shared_eval_agent(store)
             .expect("run_staggered_policy needs a trained CCA");
         let mut server = PolicyServer::new();
+        server.set_faults(faults);
         for i in 0..n {
             let start = Instant::ZERO + stagger * i as u64;
             let id = sim.add_flow(FlowConfig::new(
@@ -301,10 +336,43 @@ pub fn run_staggered_agent(
     quantum: Duration,
     batched: bool,
 ) -> SimReport {
+    run_staggered_agent_faults(
+        cca_cfg,
+        agent,
+        link,
+        n,
+        stagger,
+        secs,
+        seed,
+        quantum,
+        batched,
+        PolicyFaultPlan::none(),
+    )
+}
+
+/// [`run_staggered_agent`] with a policy-boundary fault plan armed in
+/// the shared server (empty plan = faults-off). Only meaningful with
+/// `batched = true` — inline flows never cross the service boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn run_staggered_agent_faults(
+    cca_cfg: &RlCcaConfig,
+    agent: &Rc<RefCell<PpoAgent>>,
+    link: LinkConfig,
+    n: usize,
+    stagger: Duration,
+    secs: u64,
+    seed: u64,
+    quantum: Duration,
+    batched: bool,
+    faults: PolicyFaultPlan,
+) -> SimReport {
     let until = Instant::from_secs(secs);
     let cfg = SimConfig::default().with_mi_quantum(quantum);
     let mut sim = Simulation::with_config(link, seed, cfg);
     let mut server = batched.then(PolicyServer::new);
+    if let Some(server) = &mut server {
+        server.set_faults(faults);
+    }
     for i in 0..n {
         let start = Instant::ZERO + stagger * i as u64;
         let cca = Box::new(RlCca::new(cca_cfg.clone(), Rc::clone(agent)));

@@ -20,12 +20,13 @@
 //! * **guardrail trips** — reproducible `GuardrailStep::Trip` events.
 
 use crate::models::ModelStore;
+use crate::policychaos::PolicyChaosSpec;
 use crate::registry::Cca;
 use crate::spec::{zoo_corpus, LinkSpec, QueueSpec, ScenarioSpec, WorkloadSpec};
 use crate::supervisor::{run_sweep_supervised_with, SweepPolicy};
 use crate::sweep::{RunSpec, RunSummary};
 use libra_types::{DetRng, Preference, UtilityParams};
-use serde::{Deserialize, Serialize};
+use serde::{get_field, DeError, Deserialize, Serialize, Value};
 use std::path::Path;
 
 /// Pin when Libra's goodput falls below this fraction of the best
@@ -35,6 +36,10 @@ pub const PIN_GOODPUT_RATIO: f64 = 0.85;
 pub const PIN_JAIN: f64 = 0.75;
 /// Pin when at least this many guardrail trips are observed.
 pub const PIN_TRIPS: u64 = 1;
+/// Pin when the policy degradation ladder bridged at least this many MI
+/// resolves with a cached last-good action (chaos-mode searches only:
+/// without an injected fault plan the ladder never engages).
+pub const PIN_FALLBACK_TICKS: u64 = 1;
 
 /// Search configuration. All fields feed the deterministic RNG tree or
 /// the sweep engine; two searches with equal configs produce identical
@@ -60,6 +65,12 @@ pub struct SearchConfig {
     pub under_test: Cca,
     /// Reference controllers the same scenario is scored against.
     pub parents: Vec<Cca>,
+    /// Policy-boundary fault plan injected into the under-test run of
+    /// every candidate (chaos mode). `None` keeps the classic search:
+    /// inline inference, no server, byte-identical to before the field
+    /// existed. Parents always run fault-free — the comparison is
+    /// "Libra under faults vs. healthy classics".
+    pub policy_chaos: Option<PolicyChaosSpec>,
 }
 
 impl SearchConfig {
@@ -76,6 +87,7 @@ impl SearchConfig {
             resume: false,
             under_test: Cca::CLibra(Preference::Default),
             parents: vec![Cca::Cubic, Cca::Bbr],
+            policy_chaos: None,
         }
     }
 }
@@ -105,6 +117,13 @@ pub struct Candidate {
     pub jain: f64,
     /// Guardrail trips in the under-test run.
     pub guardrail_trips: u64,
+    /// Policy-boundary faults injected into the under-test run (chaos
+    /// mode only; 0 otherwise).
+    pub policy_faults: u64,
+    /// Flows quarantined at the policy boundary in the under-test run.
+    pub quarantines: u64,
+    /// MI resolves bridged by the degradation ladder's cached action.
+    pub fallback_ticks: u64,
     /// Composite badness score (higher = worse for Libra).
     pub score: f64,
 }
@@ -118,6 +137,9 @@ pub enum Objective {
     Unfair,
     /// Reproducible guardrail trips.
     GuardrailTrip,
+    /// The policy degradation ladder engaged under injected faults
+    /// (cached-action fallback ticks or boundary quarantines).
+    PolicyFault,
 }
 
 impl Objective {
@@ -127,6 +149,7 @@ impl Objective {
             Objective::LowUtility => "low-utility",
             Objective::Unfair => "unfair",
             Objective::GuardrailTrip => "guardrail-trip",
+            Objective::PolicyFault => "policy-fault",
         }
     }
 }
@@ -160,8 +183,12 @@ impl SearchOutcome {
 }
 
 /// The pin threshold `c` crosses, if any (most severe first: a
-/// guardrail trip outranks a utility gap).
+/// policy-fault ladder engagement outranks a guardrail trip, which
+/// outranks a utility gap).
 pub fn objective_of(c: &Candidate) -> Option<Objective> {
+    if c.fallback_ticks >= PIN_FALLBACK_TICKS || c.quarantines > 0 {
+        return Some(Objective::PolicyFault);
+    }
     if c.guardrail_trips >= PIN_TRIPS {
         return Some(Objective::GuardrailTrip);
     }
@@ -310,7 +337,11 @@ pub fn mutate(parent: &ScenarioSpec, rng: &mut DetRng, round: usize, index: usiz
 /// (traced, for guardrail counting) followed by each parent CCA on the
 /// byte-identical scenario.
 pub fn evaluate_candidate(spec: &ScenarioSpec, cfg: &SearchConfig, run_seed: u64) -> Vec<RunSpec> {
-    let mut jobs = vec![spec.to_run_spec(cfg.under_test, run_seed).with_trace()];
+    let mut under_test = spec.to_run_spec(cfg.under_test, run_seed).with_trace();
+    if let Some(chaos) = &cfg.policy_chaos {
+        under_test = under_test.with_policy_faults(chaos.clone());
+    }
+    let mut jobs = vec![under_test];
     for &p in &cfg.parents {
         jobs.push(spec.to_run_spec(p, run_seed));
     }
@@ -337,7 +368,11 @@ fn score_candidate(c: &mut Candidate) {
         0.0
     };
     let trips = (c.guardrail_trips as f64 / 4.0).min(1.0);
-    c.score = util_gap.max(unfair).max(trips);
+    // Ladder engagements and quarantines only occur under injected
+    // faults; a handful saturates the term — the interesting signal is
+    // "the ladder engaged at all on this scenario shape".
+    let policy = ((c.fallback_ticks + c.quarantines) as f64 / 8.0).min(1.0);
+    c.score = util_gap.max(unfair).max(trips).max(policy);
 }
 
 /// Run the adversarial search. Deterministic in `cfg` (any worker
@@ -367,6 +402,9 @@ pub fn search(store: &ModelStore, cfg: &SearchConfig) -> SearchOutcome {
                     parent_utility: 0.0,
                     jain: 1.0,
                     guardrail_trips: 0,
+                    policy_faults: 0,
+                    quarantines: 0,
+                    fallback_ticks: 0,
                     score: 0.0,
                 }
             })
@@ -395,6 +433,9 @@ pub fn search(store: &ModelStore, cfg: &SearchConfig) -> SearchOutcome {
             c.libra_utility = eq1_utility(libra);
             c.jain = libra.jain;
             c.guardrail_trips = libra.guardrail_trips;
+            c.policy_faults = libra.policy_faults_injected;
+            c.quarantines = libra.quarantines;
+            c.fallback_ticks = libra.fallback_ticks;
             for parent in slots[1..].iter().flatten() {
                 let g = parent.flows[0].goodput_mbps;
                 if g > c.parent_goodput {
@@ -432,7 +473,7 @@ pub fn search(store: &ModelStore, cfg: &SearchConfig) -> SearchOutcome {
 
 /// A discovered failure, frozen as data: everything a regression test
 /// needs to rebuild the identical run and re-check the identical verdict.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PinnedRegression {
     /// Pin name (also the filename stem).
     pub name: String,
@@ -452,6 +493,72 @@ pub struct PinnedRegression {
     pub jain: f64,
     /// Guardrail trips at discovery.
     pub guardrail_trips: u64,
+    /// The fault plan active at discovery (chaos mode); replays restore
+    /// it so the pinned behaviour reproduces byte-identically.
+    pub policy_chaos: Option<PolicyChaosSpec>,
+    /// Degradation-ladder fallback ticks at discovery.
+    pub fallback_ticks: u64,
+    /// Boundary quarantines at discovery.
+    pub quarantines: u64,
+}
+
+// Manual serde: the vendored derive has no missing-field defaults, and
+// the pinned corpus under `tests/pinned/` predates the chaos fields.
+// New fields are serialized only when set and default when absent, so
+// old pin files keep loading and old readers keep parsing faults-off
+// pins byte-identically.
+impl Serialize for PinnedRegression {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".into(), self.name.to_value()),
+            ("objective".into(), self.objective.to_value()),
+            ("spec".into(), self.spec.to_value()),
+            ("run_seed".into(), self.run_seed.to_value()),
+            ("store_seed".into(), self.store_seed.to_value()),
+            ("libra_goodput".into(), self.libra_goodput.to_value()),
+            ("parent_goodput".into(), self.parent_goodput.to_value()),
+            ("jain".into(), self.jain.to_value()),
+            ("guardrail_trips".into(), self.guardrail_trips.to_value()),
+        ];
+        if let Some(chaos) = &self.policy_chaos {
+            fields.push(("policy_chaos".into(), chaos.to_value()));
+        }
+        if self.fallback_ticks != 0 {
+            fields.push(("fallback_ticks".into(), self.fallback_ticks.to_value()));
+        }
+        if self.quarantines != 0 {
+            fields.push(("quarantines".into(), self.quarantines.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for PinnedRegression {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(PinnedRegression {
+            name: Deserialize::from_value(get_field(v, "name")?)?,
+            objective: Deserialize::from_value(get_field(v, "objective")?)?,
+            spec: Deserialize::from_value(get_field(v, "spec")?)?,
+            run_seed: Deserialize::from_value(get_field(v, "run_seed")?)?,
+            store_seed: Deserialize::from_value(get_field(v, "store_seed")?)?,
+            libra_goodput: Deserialize::from_value(get_field(v, "libra_goodput")?)?,
+            parent_goodput: Deserialize::from_value(get_field(v, "parent_goodput")?)?,
+            jain: Deserialize::from_value(get_field(v, "jain")?)?,
+            guardrail_trips: Deserialize::from_value(get_field(v, "guardrail_trips")?)?,
+            policy_chaos: match get_field(v, "policy_chaos") {
+                Ok(val) => Some(Deserialize::from_value(val)?),
+                Err(_) => None,
+            },
+            fallback_ticks: match get_field(v, "fallback_ticks") {
+                Ok(val) => Deserialize::from_value(val)?,
+                Err(_) => 0,
+            },
+            quarantines: match get_field(v, "quarantines") {
+                Ok(val) => Deserialize::from_value(val)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 impl PinnedRegression {
@@ -460,6 +567,12 @@ impl PinnedRegression {
     /// `Err` describes what no longer matches.
     pub fn replay(&self, cfg: &SearchConfig) -> Result<(), String> {
         let store = ModelStore::ephemeral(self.store_seed);
+        // The pin's own fault plan (or its absence) overrides whatever
+        // chaos mode the replaying config happens to be in: a faults-off
+        // pin must replay faults-off bytes.
+        let mut cfg = cfg.clone();
+        cfg.policy_chaos = self.policy_chaos.clone();
+        let cfg = &cfg;
         let jobs = evaluate_candidate(&self.spec, cfg, self.run_seed);
         let results: Vec<RunSummary> = jobs
             .iter()
@@ -467,6 +580,20 @@ impl PinnedRegression {
             .collect();
         let libra = &results[0];
         match self.objective {
+            Objective::PolicyFault => {
+                if libra.fallback_ticks < PIN_FALLBACK_TICKS && libra.quarantines == 0 {
+                    return Err(format!(
+                        "{}: ladder no longer engages (fallback ticks {} < {}, \
+                         quarantines {}; was {} / {})",
+                        self.name,
+                        libra.fallback_ticks,
+                        PIN_FALLBACK_TICKS,
+                        libra.quarantines,
+                        self.fallback_ticks,
+                        self.quarantines
+                    ));
+                }
+            }
             Objective::GuardrailTrip => {
                 if libra.guardrail_trips < PIN_TRIPS {
                     return Err(format!(
@@ -516,6 +643,7 @@ pub fn pin_failures(
     std::fs::create_dir_all(dir)?;
     let failures = outcome.failures();
     let mut queues: Vec<(Objective, Vec<&Candidate>)> = [
+        Objective::PolicyFault,
         Objective::GuardrailTrip,
         Objective::Unfair,
         Objective::LowUtility,
@@ -564,6 +692,9 @@ pub fn pin_failures(
             parent_goodput: c.parent_goodput,
             jain: c.jain,
             guardrail_trips: c.guardrail_trips,
+            policy_chaos: None, // filled by the caller alongside store_seed
+            fallback_ticks: c.fallback_ticks,
+            quarantines: c.quarantines,
         };
         pins.push(pin);
     }
@@ -633,11 +764,21 @@ mod tests {
             parent_utility: 0.0,
             jain: 1.0,
             guardrail_trips: 0,
+            policy_faults: 0,
+            quarantines: 0,
+            fallback_ticks: 0,
             score: 0.0,
         };
         assert_eq!(objective_of(&c), Some(Objective::LowUtility));
         c.guardrail_trips = 2;
         assert_eq!(objective_of(&c), Some(Objective::GuardrailTrip));
+        // A ladder engagement outranks everything else.
+        c.fallback_ticks = 1;
+        assert_eq!(objective_of(&c), Some(Objective::PolicyFault));
+        c.fallback_ticks = 0;
+        c.quarantines = 1;
+        assert_eq!(objective_of(&c), Some(Objective::PolicyFault));
+        c.quarantines = 0;
         c.guardrail_trips = 0;
         c.libra_goodput = 9.9;
         assert_eq!(objective_of(&c), None);
@@ -657,10 +798,63 @@ mod tests {
             parent_goodput: 9.5,
             jain: 0.99,
             guardrail_trips: 0,
+            policy_chaos: None,
+            fallback_ticks: 0,
+            quarantines: 0,
+        };
+        let json = serde_json::to_string(&pin).expect("pin serializes");
+        // A faults-off pin must not leak the chaos fields into its JSON:
+        // the on-disk corpus shape predates them.
+        assert!(!json.contains("policy_chaos"));
+        assert!(!json.contains("fallback_ticks"));
+        let back: PinnedRegression = serde_json::from_str(&json).expect("pin parses");
+        assert_eq!(pin, back);
+    }
+
+    #[test]
+    fn chaos_pins_round_trip_with_fault_plan() {
+        let pin = PinnedRegression {
+            name: "policy-fault-search-r0-c0".into(),
+            objective: Objective::PolicyFault,
+            spec: zoo_corpus(10)[0].clone(),
+            run_seed: 9,
+            store_seed: 9,
+            libra_goodput: 4.0,
+            parent_goodput: 8.0,
+            jain: 0.9,
+            guardrail_trips: 1,
+            policy_chaos: Some(PolicyChaosSpec::standard(9, 10)),
+            fallback_ticks: 12,
+            quarantines: 2,
         };
         let json = serde_json::to_string(&pin).expect("pin serializes");
         let back: PinnedRegression = serde_json::from_str(&json).expect("pin parses");
         assert_eq!(pin, back);
+    }
+
+    #[test]
+    fn legacy_pin_json_without_chaos_fields_still_loads() {
+        // Byte shape of the pre-chaos pinned corpus (flat derived-serde
+        // form, no policy fields): loading must default them.
+        let pin = PinnedRegression {
+            name: "legacy".into(),
+            objective: Objective::GuardrailTrip,
+            spec: zoo_corpus(10)[1].clone(),
+            run_seed: 3,
+            store_seed: 3,
+            libra_goodput: 1.0,
+            parent_goodput: 2.0,
+            jain: 1.0,
+            guardrail_trips: 4,
+            policy_chaos: None,
+            fallback_ticks: 0,
+            quarantines: 0,
+        };
+        let json = serde_json::to_string(&pin).expect("serializes");
+        let back: PinnedRegression = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.policy_chaos, None);
+        assert_eq!(back.fallback_ticks, 0);
+        assert_eq!(back.quarantines, 0);
     }
 
     #[test]

@@ -28,12 +28,16 @@
 // pure function of the job list.
 
 use crate::models::ModelStore;
+use crate::policychaos::PolicyChaosSpec;
 use crate::registry::Cca;
 use crate::runner::{self, RunMetrics};
-use libra_netsim::{LinkConfig, SimConfig, SimReport};
-use libra_types::{Duration, JobError, JobFailure, TraceEvent};
+use libra_netsim::{FlowConfig, LinkConfig, SimConfig, SimReport, Simulation};
+use libra_rl::PolicyServer;
+use libra_types::{Duration, Instant, JobError, JobFailure, PolicyService, TraceEvent};
 use serde::{get_field, DeError, Deserialize, Serialize, Value};
+use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -292,7 +296,20 @@ pub struct RunSpec {
     /// Record structured trace events (off by default; see
     /// [`RunSpec::with_trace`]).
     pub trace: bool,
+    /// Route policy inference through a shared batched [`PolicyServer`]
+    /// (MI ticks quantized to [`POLICY_QUANTUM`]; flows whose CCA has no
+    /// trained agent run classic and never consult the server). Off by
+    /// default — see [`RunSpec::with_batched`].
+    pub batched: bool,
+    /// Declarative policy-boundary fault plan, injected inside the
+    /// shared server (implies `batched`). `None` by default — see
+    /// [`RunSpec::with_policy_faults`].
+    pub policy_faults: Option<PolicyChaosSpec>,
 }
+
+/// MI-tick quantum batched [`RunSpec`] runs use, so concurrent flows
+/// land on shared decision ticks (the policy server's batching grid).
+pub const POLICY_QUANTUM: Duration = Duration::from_millis(20);
 
 impl RunSpec {
     /// A single-flow run.
@@ -305,6 +322,8 @@ impl RunSpec {
             secs,
             seed,
             trace: false,
+            batched: false,
+            policy_faults: None,
         }
     }
 
@@ -318,6 +337,8 @@ impl RunSpec {
             secs,
             seed,
             trace: false,
+            batched: false,
+            policy_faults: None,
         }
     }
 
@@ -338,6 +359,8 @@ impl RunSpec {
             secs,
             seed,
             trace: false,
+            batched: false,
+            policy_faults: None,
         }
     }
 
@@ -353,6 +376,8 @@ impl RunSpec {
             secs,
             seed,
             trace: false,
+            batched: false,
+            policy_faults: None,
         }
     }
 
@@ -383,6 +408,8 @@ impl RunSpec {
             secs,
             seed,
             trace: false,
+            batched: false,
+            policy_faults: None,
         }
     }
 
@@ -396,6 +423,23 @@ impl RunSpec {
     /// The merged, time-ordered stream lands in [`RunSummary::trace`].
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Route this run's policy inference through a shared batched
+    /// [`PolicyServer`] (builder style). MI ticks are quantized to
+    /// [`POLICY_QUANTUM`]; flows without a trained agent run classic.
+    pub fn with_batched(mut self) -> Self {
+        self.batched = true;
+        self
+    }
+
+    /// Attach a policy-boundary fault plan (builder style). Faults are
+    /// injected inside the shared server, so this implies
+    /// [`RunSpec::with_batched`].
+    pub fn with_policy_faults(mut self, chaos: PolicyChaosSpec) -> Self {
+        self.batched = true;
+        self.policy_faults = Some(chaos);
         self
     }
 }
@@ -541,6 +585,24 @@ pub struct RunSummary {
     /// as they did before the field existed; a run's trip count is
     /// deterministic, so the field's presence is too.
     pub guardrail_trips: u64,
+    /// Policy-boundary faults served to flows (summed over
+    /// [`libra_netsim::FlowReport::policy_faults`]). Only non-zero when
+    /// a fault plan was attached, and omitted from the JSON when zero,
+    /// so faults-off runs serialize exactly as before the field existed.
+    pub policy_faults_injected: u64,
+    /// Flows quarantined out of batched forward passes for non-finite
+    /// or wrong-dimension state vectors (summed over
+    /// [`libra_netsim::FlowReport::policy_quarantines`]). Omitted from
+    /// the JSON when zero.
+    pub quarantines: u64,
+    /// Degradation-ladder tier-2 resolves: MI ticks bridged by a cached
+    /// last-good action. Counted from the trace stream (traced runs
+    /// only, like `guardrail_trips`); omitted from the JSON when zero.
+    pub fallback_ticks: u64,
+    /// Guardrail re-probe attempts out of the classic-CCA pin (the
+    /// ladder's recovery arm). Counted from the trace stream; omitted
+    /// from the JSON when zero.
+    pub rl_reprobes: u64,
     /// Per-flow summaries in `add_flow` order.
     pub flows: Vec<FlowSummary>,
     /// Merged, time-ordered trace stream (empty unless the spec set
@@ -566,6 +628,21 @@ impl Serialize for RunSummary {
         if self.guardrail_trips != 0 {
             fields.push(("guardrail_trips".into(), self.guardrail_trips.to_value()));
         }
+        if self.policy_faults_injected != 0 {
+            fields.push((
+                "policy_faults_injected".into(),
+                self.policy_faults_injected.to_value(),
+            ));
+        }
+        if self.quarantines != 0 {
+            fields.push(("quarantines".into(), self.quarantines.to_value()));
+        }
+        if self.fallback_ticks != 0 {
+            fields.push(("fallback_ticks".into(), self.fallback_ticks.to_value()));
+        }
+        if self.rl_reprobes != 0 {
+            fields.push(("rl_reprobes".into(), self.rl_reprobes.to_value()));
+        }
         fields.push(("flows".into(), self.flows.to_value()));
         Value::Object(fields)
     }
@@ -589,6 +666,22 @@ impl Deserialize for RunSummary {
                 Ok(val) => Deserialize::from_value(val)?,
                 Err(_) => 0,
             },
+            policy_faults_injected: match get_field(v, "policy_faults_injected") {
+                Ok(val) => Deserialize::from_value(val)?,
+                Err(_) => 0,
+            },
+            quarantines: match get_field(v, "quarantines") {
+                Ok(val) => Deserialize::from_value(val)?,
+                Err(_) => 0,
+            },
+            fallback_ticks: match get_field(v, "fallback_ticks") {
+                Ok(val) => Deserialize::from_value(val)?,
+                Err(_) => 0,
+            },
+            rl_reprobes: match get_field(v, "rl_reprobes") {
+                Ok(val) => Deserialize::from_value(val)?,
+                Err(_) => 0,
+            },
             flows: Deserialize::from_value(get_field(v, "flows")?)?,
             trace: Vec::new(),
             trace_dropped: 0,
@@ -599,6 +692,26 @@ impl Deserialize for RunSummary {
 impl RunSummary {
     /// Extract the Send-safe summary from a finished report.
     pub fn from_report(label: &str, report: &SimReport) -> Self {
+        let trace = crate::tracing::merged_trace(report);
+        let fallback_ticks = trace
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Fallback { ticks, .. } => *ticks,
+                _ => 0,
+            })
+            .sum();
+        let rl_reprobes = trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Guardrail {
+                        step: libra_types::GuardrailStep::Reprobe,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
         RunSummary {
             label: label.to_string(),
             duration_s: report.duration.as_secs_f64(),
@@ -608,7 +721,7 @@ impl RunSummary {
             stochastic_drops: report.link.stochastic_drops,
             jain: report.jain_index(),
             mean_rtt_ms: report.mean_rtt_ms(),
-            guardrail_trips: crate::tracing::merged_trace(report)
+            guardrail_trips: trace
                 .iter()
                 .filter(|e| {
                     matches!(
@@ -620,6 +733,10 @@ impl RunSummary {
                     )
                 })
                 .count() as u64,
+            policy_faults_injected: report.flows.iter().map(|f| f.policy_faults).sum(),
+            quarantines: report.flows.iter().map(|f| f.policy_quarantines).sum(),
+            fallback_ticks,
+            rl_reprobes,
             flows: report
                 .flows
                 .iter()
@@ -641,7 +758,7 @@ impl RunSummary {
                     compute_ns: f.compute_ns,
                 })
                 .collect(),
-            trace: crate::tracing::merged_trace(report),
+            trace,
             trace_dropped: report.flows.iter().map(|f| f.trace_dropped).sum(),
         }
     }
@@ -684,6 +801,10 @@ pub fn run_spec_budgeted(
         budget,
         ..SimConfig::default()
     };
+    if spec.batched {
+        let report = run_spec_policy(store, spec, cfg);
+        return RunSummary::from_report(&spec.label, &report);
+    }
     let report = match &spec.workload {
         Workload::Single => runner::run_single_cfg(
             spec.cca,
@@ -740,6 +861,89 @@ pub fn run_spec_budgeted(
         ),
     };
     RunSummary::from_report(&spec.label, &report)
+}
+
+/// Execute a batched spec through a shared [`PolicyServer`]: every flow
+/// whose CCA has a trained agent is built around one shared eval-mode
+/// copy per CCA and registered with the server (classic flows run
+/// inline and never submit), MI ticks are quantized to
+/// [`POLICY_QUANTUM`] so concurrent flows land on common decision
+/// ticks, and the spec's fault plan — if any — is armed inside the
+/// server before the first event fires.
+fn run_spec_policy(store: &ModelStore, spec: &RunSpec, cfg: SimConfig) -> SimReport {
+    let cfg = cfg.with_mi_quantum(POLICY_QUANTUM);
+    let until = Instant::from_secs(spec.secs);
+    let mut sim = Simulation::with_config(spec.link.clone(), spec.seed, cfg);
+    let mut server = PolicyServer::new();
+    if let Some(chaos) = &spec.policy_faults {
+        let plan = match chaos.compile() {
+            Ok(plan) => plan,
+            // An invalid plan is a spec-authoring bug; the supervisor's
+            // per-attempt guard converts this into a typed job failure.
+            // lint: allow(panic)
+            Err(e) => panic!("{}: invalid policy fault plan: {e}", spec.label),
+        };
+        server.set_faults(plan);
+    }
+    let mut agents: std::collections::BTreeMap<Cca, Option<Rc<RefCell<libra_rl::PpoAgent>>>> =
+        std::collections::BTreeMap::new();
+    let mut add = |sim: &mut Simulation, server: &mut PolicyServer, cca: Cca, start, stop| {
+        let agent = agents
+            .entry(cca)
+            .or_insert_with(|| cca.shared_eval_agent(store))
+            .clone();
+        match agent {
+            Some(agent) => {
+                let id = sim.add_flow(FlowConfig::new(
+                    cca.build_shared(store, &agent),
+                    start,
+                    stop,
+                ));
+                server.register(id.0, &agent);
+            }
+            None => {
+                sim.add_flow(FlowConfig::new(cca.build(store), start, stop));
+            }
+        }
+    };
+    match &spec.workload {
+        Workload::Single => add(&mut sim, &mut server, spec.cca, Instant::ZERO, until),
+        Workload::Pair { competitor } => {
+            add(&mut sim, &mut server, spec.cca, Instant::ZERO, until);
+            add(&mut sim, &mut server, *competitor, Instant::ZERO, until);
+        }
+        Workload::Staggered { flows, stagger } => {
+            for i in 0..*flows {
+                let start = Instant::ZERO + *stagger * i as u64;
+                add(&mut sim, &mut server, spec.cca, start, until);
+            }
+        }
+        Workload::Fleet { members } => {
+            add(&mut sim, &mut server, spec.cca, Instant::ZERO, until);
+            for &member in members {
+                add(&mut sim, &mut server, member, Instant::ZERO, until);
+            }
+        }
+        Workload::Churn {
+            mouse,
+            mice,
+            mouse_secs,
+            period,
+        } => {
+            add(&mut sim, &mut server, spec.cca, Instant::ZERO, until);
+            for i in 0..*mice {
+                let start = Instant::ZERO + *period * (i as u64 + 1);
+                if start >= until {
+                    break;
+                }
+                let stop = (start + Duration::from_secs(*mouse_secs)).min(until);
+                add(&mut sim, &mut server, *mouse, start, stop);
+            }
+        }
+    }
+    let service: Rc<RefCell<dyn PolicyService>> = Rc::new(RefCell::new(server));
+    sim.attach_policy(service);
+    sim.run(until)
 }
 
 /// Run every spec, fanned out over [`worker_count`] threads; results

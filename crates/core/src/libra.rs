@@ -160,6 +160,10 @@ pub struct Libra {
     /// `rl.invalid_actions()` as of the previous observation, so each MI
     /// feeds only the delta to the guardrail.
     rl_invalid_seen: u64,
+    /// `rl.fallback_ticks()` as of the previous observation; deltas are
+    /// emitted as [`TraceEvent::Fallback`] witnesses of the ladder's
+    /// stale-action rung.
+    rl_fallback_seen: u64,
     /// Structured decision tracing; disabled (one branch per emit site)
     /// unless the host attaches a sink.
     tracer: Tracer,
@@ -214,6 +218,7 @@ impl Libra {
             cycles: 0,
             guardrail: Guardrail::new(params.guardrail),
             rl_invalid_seen: 0,
+            rl_fallback_seen: 0,
             tracer: Tracer::disabled(),
         }
     }
@@ -245,6 +250,7 @@ impl Libra {
             cycles: 0,
             guardrail: Guardrail::new(params.guardrail),
             rl_invalid_seen: 0,
+            rl_fallback_seen: 0,
             tracer: Tracer::disabled(),
         }
     }
@@ -307,6 +313,12 @@ impl Libra {
     /// RL actions rejected as non-finite (delegated telemetry).
     pub fn rl_invalid_actions(&self) -> u64 {
         self.rl.invalid_actions()
+    }
+
+    /// Missing/invalid RL responses bridged by the degradation ladder's
+    /// last-good action replay (delegated telemetry).
+    pub fn rl_fallback_ticks(&self) -> u64 {
+        self.rl.fallback_ticks()
     }
 
     fn effective_srtt(&self) -> Duration {
@@ -523,6 +535,18 @@ impl Libra {
                 count: delta,
             });
         }
+        // Witness the ladder's stale-action rung: missing/invalid
+        // responses the RL member bridged with its last-good action.
+        let fallback = self.rl.fallback_ticks();
+        let fallback_delta = fallback - self.rl_fallback_seen;
+        self.rl_fallback_seen = fallback;
+        if fallback_delta > 0 {
+            self.tracer.emit_with(|| TraceEvent::Fallback {
+                flow: self.tracer.flow(),
+                at_ns: self.now.nanos(),
+                ticks: fallback_delta,
+            });
+        }
         let trips_before = self.guardrail.trips();
         self.guardrail.on_invalid_actions(self.now, delta);
         if self.guardrail.is_degraded() {
@@ -585,6 +609,7 @@ impl Libra {
                 }
                 // Discard rejections accrued before the bench.
                 self.rl_invalid_seen = self.rl.invalid_actions();
+                self.rl_fallback_seen = self.rl.fallback_ticks();
                 self.begin_cycle();
             } else {
                 self.emit_guardrail(GuardrailStep::DegradedTick);

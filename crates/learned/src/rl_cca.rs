@@ -50,6 +50,12 @@ pub struct RlCcaConfig {
     /// link); starting at the flow's own first rate pins the term at ~1
     /// and teaches timidity.
     pub norm_floor: Rate,
+    /// Degradation-ladder staleness bound: how many consecutive
+    /// missing/invalid policy responses may be bridged by replaying the
+    /// last-good cached action before rejections start counting as
+    /// invalid (which escalates to Libra's guardrail and the
+    /// classic-CCA pin).
+    pub stale_limit: u32,
 }
 
 impl RlCcaConfig {
@@ -66,6 +72,7 @@ impl RlCcaConfig {
             max_rate: Rate::from_mbps(400.0),
             init_rate: Rate::from_mbps(2.0),
             norm_floor: Rate::from_mbps(10.0),
+            stale_limit: 8,
         }
     }
 
@@ -124,6 +131,12 @@ pub struct RlCca {
     decisions: u64,
     invalid_actions: u64,
     in_slow_start: bool,
+    // Degradation-ladder state: the last validated action, how many
+    // consecutive ticks it has been replayed, and a lifetime replay
+    // count for reports.
+    last_good: Vec<f64>,
+    stale_served: u32,
+    fallback_ticks: u64,
 }
 
 impl RlCca {
@@ -154,6 +167,9 @@ impl RlCca {
             decisions: 0,
             invalid_actions: 0,
             in_slow_start: true,
+            last_good: Vec::new(),
+            stale_served: 0,
+            fallback_ticks: 0,
         }
     }
 
@@ -167,6 +183,12 @@ impl RlCca {
     /// feeds Libra's guardrail.
     pub fn invalid_actions(&self) -> u64 {
         self.invalid_actions
+    }
+
+    /// Missing/invalid policy responses bridged by replaying the
+    /// last-good cached action (the degradation ladder's middle rung).
+    pub fn fallback_ticks(&self) -> u64 {
+        self.fallback_ticks
     }
 
     /// Access the shared agent.
@@ -212,22 +234,46 @@ impl RlCca {
     }
 
     /// Apply a policy action to the rate — the tail of a decision,
-    /// shared by the inline path and the two-phase resolve path.
+    /// shared by the inline path and the two-phase resolve path. This is
+    /// the degradation ladder's resolve-side anchor:
+    ///
+    /// 1. a validated action (right dimension, finite) is cached and
+    ///    applied;
+    /// 2. a missing (empty — dropped/late/quarantined response) or
+    ///    invalid (NaN/inf, wrong-dimension) action replays the cached
+    ///    last-good action, up to `stale_limit` consecutive ticks;
+    /// 3. past the staleness bound — or with nothing cached — the
+    ///    rejection is counted so an arbiter above (Libra's guardrail)
+    ///    can pin the flow to the classic CCA and re-probe with backoff.
     fn apply_action(&mut self, action: &[f64]) {
-        // Guardrail: a NaN/inf action means the policy network is corrupt.
+        // A NaN/inf action means the policy network is corrupt; a wrong
+        // dimension or an empty slice means the serving boundary failed.
         // `Rate` would silently clamp NaN to zero, so the raw output must
-        // be checked *before* conversion; the rate holds and the rejection
-        // is counted so an arbiter above (Libra) can react.
-        if !action[0].is_finite() {
-            self.invalid_actions += 1;
+        // be validated *before* conversion.
+        let valid = action.len() == 1 && action[0].is_finite();
+        if valid {
+            self.last_good.clear();
+            self.last_good.extend_from_slice(action);
+            self.stale_served = 0;
+            self.rate = self
+                .config
+                .action
+                .apply(self.rate, action[0])
+                .clamp(self.config.min_rate, self.config.max_rate);
+            self.decisions += 1;
             return;
         }
-        self.rate = self
-            .config
-            .action
-            .apply(self.rate, action[0])
-            .clamp(self.config.min_rate, self.config.max_rate);
-        self.decisions += 1;
+        if !self.last_good.is_empty() && self.stale_served < self.config.stale_limit {
+            self.stale_served += 1;
+            self.fallback_ticks += 1;
+            self.rate = self
+                .config
+                .action
+                .apply(self.rate, self.last_good[0])
+                .clamp(self.config.min_rate, self.config.max_rate);
+            return;
+        }
+        self.invalid_actions += 1;
     }
 
     /// The MI-close body, shared by [`CongestionControl::on_mi`] (inline
@@ -556,6 +602,59 @@ mod tests {
             split.current_rate().mbps().to_bits(),
             "split path must be bit-identical to inline"
         );
+    }
+
+    #[test]
+    fn stale_ladder_bridges_then_escalates() {
+        let cfg = RlCcaConfig::libra_rl();
+        let stale_limit = cfg.stale_limit;
+        let agent = agent_for(&cfg, 11);
+        agent.borrow_mut().set_eval(true);
+        let mut cca = RlCca::new(cfg, agent);
+        cca.set_rate(Rate::from_mbps(5.0), Duration::from_millis(50));
+        // One healthy decision caches a last-good action.
+        let stats = mi(5.0, 50, 0.0);
+        assert!(cca.mi_submit(&stats, &mut Vec::new()));
+        cca.mi_resolve(&stats, &[0.05]);
+        assert_eq!(cca.decisions(), 1);
+        // Missing responses (empty action) ride the cached action for
+        // `stale_limit` ticks without counting as invalid…
+        for k in 1..=stale_limit as u64 {
+            assert!(cca.mi_submit(&stats, &mut Vec::new()));
+            cca.mi_resolve(&stats, &[]);
+            assert_eq!(cca.fallback_ticks(), k);
+            assert_eq!(cca.invalid_actions(), 0);
+        }
+        // …then the staleness bound trips and rejections escalate.
+        assert!(cca.mi_submit(&stats, &mut Vec::new()));
+        cca.mi_resolve(&stats, &[]);
+        assert_eq!(cca.fallback_ticks(), stale_limit as u64);
+        assert_eq!(cca.invalid_actions(), 1);
+        // A fresh valid action re-arms the ladder.
+        assert!(cca.mi_submit(&stats, &mut Vec::new()));
+        cca.mi_resolve(&stats, &[0.02]);
+        assert!(cca.mi_submit(&stats, &mut Vec::new()));
+        cca.mi_resolve(&stats, &[f64::NAN]);
+        assert_eq!(cca.fallback_ticks(), stale_limit as u64 + 1);
+        assert_eq!(cca.invalid_actions(), 1);
+    }
+
+    #[test]
+    fn empty_and_wrong_dim_actions_do_not_panic() {
+        // Pre-ladder, an empty action slice (a dropped policy response)
+        // hit `action[0]` and panicked; wrong-dimension outputs applied
+        // their first element silently. Both now land on the ladder.
+        let cfg = RlCcaConfig::libra_rl();
+        let agent = agent_for(&cfg, 12);
+        let mut cca = RlCca::new(cfg, agent);
+        cca.set_rate(Rate::from_mbps(5.0), Duration::from_millis(50));
+        let r0 = cca.current_rate();
+        let stats = mi(5.0, 50, 0.0);
+        cca.mi_resolve(&stats, &[]);
+        cca.mi_resolve(&stats, &[0.1, 0.2]);
+        assert_eq!(cca.decisions(), 0);
+        assert_eq!(cca.invalid_actions(), 2, "nothing cached: escalate");
+        assert_eq!(cca.current_rate(), r0, "rate held");
     }
 
     #[test]

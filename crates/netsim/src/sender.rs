@@ -271,6 +271,10 @@ pub struct FlowSender {
     pub ecn_echoes: u64,
     /// Nanoseconds of wall-clock compute spent inside the controller.
     pub compute_ns: u64,
+    /// Policy responses touched by an injected boundary fault.
+    pub policy_faults: u64,
+    /// Policy requests quarantined for invalid state vectors.
+    pub policy_quarantines: u64,
     /// Whether to measure controller compute time (tiny overhead).
     pub measure_compute: bool,
     /// Structured-trace handle for transport-level events (RTOs,
@@ -327,6 +331,8 @@ impl FlowSender {
             rtt_series: Vec::with_capacity(256),
             ecn_echoes: 0,
             compute_ns: 0,
+            policy_faults: 0,
+            policy_quarantines: 0,
             measure_compute: true,
             tracer: Tracer::disabled(),
         }

@@ -455,6 +455,11 @@ pub struct FlowReport {
     pub ecn_echoes: u64,
     /// Wall-clock nanoseconds spent inside the controller.
     pub compute_ns: u64,
+    /// Policy responses touched by an injected boundary fault (0 without
+    /// a policy fault plan).
+    pub policy_faults: u64,
+    /// Policy requests quarantined for invalid state vectors.
+    pub policy_quarantines: u64,
     /// Structured trace events for this flow, in emit order (empty when
     /// tracing is disabled).
     pub trace: Vec<TraceEvent>,
@@ -1099,6 +1104,7 @@ impl Simulation {
             }
             let req = &mut requests[used];
             req.reset(id.0);
+            req.at = self.now;
             let sub = self.flows[id.index()].mi_tick_submit(self.now, &mut req.state);
             submitted.push(sub);
             if sub {
@@ -1134,8 +1140,25 @@ impl Simulation {
                 let row = requests[..used]
                     .binary_search_by_key(&id.0, |r| r.flow)
                     .expect("submitted flow missing from policy batch");
+                let req = &requests[row];
+                let at_ns = self.now.nanos();
                 let flow = &mut self.flows[id.index()];
-                flow.mi_tick_resolve(&requests[row].action);
+                // Harvest per-flow fault/quarantine marks before the
+                // resolve consumes the (possibly fallback) action.
+                if let Some(fault) = req.fault {
+                    flow.policy_faults += 1;
+                    flow.tracer.emit_with(|| TraceEvent::PolicyFault {
+                        flow: id.0,
+                        at_ns,
+                        fault: fault.to_string(),
+                    });
+                }
+                if req.quarantined {
+                    flow.policy_quarantines += 1;
+                    flow.tracer
+                        .emit_with(|| TraceEvent::Quarantine { flow: id.0, at_ns });
+                }
+                flow.mi_tick_resolve(&req.action);
                 if flow.measure_compute {
                     flow.compute_ns += share_ns;
                 }
@@ -1349,6 +1372,8 @@ impl Simulation {
                     rtt_p95_ms: f.rtt_p95.get(),
                     ecn_echoes: f.ecn_echoes,
                     compute_ns: f.compute_ns,
+                    policy_faults: f.policy_faults,
+                    policy_quarantines: f.policy_quarantines,
                     trace,
                     trace_dropped,
                     cca: f.cca,

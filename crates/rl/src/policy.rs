@@ -20,11 +20,30 @@
 //!   receives the bit-identical action it would have computed alone.
 //! * **No threads.** Evaluation is synchronous inside the simulator's
 //!   event loop; the server is plain single-threaded state.
+//!
+//! ## Robustness
+//!
+//! * **Quarantine.** A request whose state vector is non-finite or has
+//!   the wrong dimension is *quarantined*: excluded from the shared
+//!   forward pass (so it cannot poison the group), marked, and answered
+//!   with an empty action — the resolve side's fallback sentinel. The
+//!   rest of the batch is served exactly as if the bad request never
+//!   arrived.
+//! * **Fault injection.** An optional seed-deterministic
+//!   [`PolicyFaultPlan`] injects boundary faults (drops, deadline
+//!   misses, NaN/wrong-dim corruption, weight corruption with snapshot
+//!   rollback, stuck replays) on a dedicated RNG stream. With no plan
+//!   attached the injection path is a single `Option` check — faults-off
+//!   serving is byte-identical to a server built before this subsystem
+//!   existed.
 
-use crate::ppo::PpoAgent;
+use crate::ppo::{PpoAgent, WEIGHT_NORM_BOUND};
 use libra_nn::{BatchScratch, Matrix};
-use libra_types::{PolicyRequest, PolicyService};
+use libra_types::{
+    DetRng, PolicyFaultKind, PolicyFaultPlan, PolicyFaultReport, PolicyRequest, PolicyService,
+};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Flows sharing one eval-mode agent (typically all flows of a sweep arm
@@ -32,6 +51,20 @@ use std::rc::Rc;
 struct Group {
     agent: Rc<RefCell<PpoAgent>>,
     obs_dim: usize,
+}
+
+/// Runtime state for an attached [`PolicyFaultPlan`]: the dedicated RNG
+/// stream, injection counters, and per-window caches.
+struct FaultState {
+    plan: PolicyFaultPlan,
+    rng: DetRng,
+    report: PolicyFaultReport,
+    /// `flow → first in-window action` for [`PolicyFaultKind::StuckAction`]
+    /// replay; cleared whenever no stuck window is active.
+    stuck: BTreeMap<u32, Vec<f64>>,
+    /// True while a weight-corruption window has the shared weights
+    /// poisoned (restored from snapshot when the window ends).
+    corrupted: bool,
 }
 
 /// A synchronous, deterministic batched-inference service over one or
@@ -51,12 +84,37 @@ pub struct PolicyServer {
     batches: u64,
     rows_served: u64,
     max_batch: usize,
+    quarantines: u64,
+    faults: Option<Box<FaultState>>,
 }
 
 impl PolicyServer {
     /// An empty server; flows join via [`register`](Self::register).
     pub fn new() -> Self {
         PolicyServer::default()
+    }
+
+    /// Attach a fault plan (builder style). An empty plan attaches
+    /// nothing, keeping the serving path identical to a plain server.
+    pub fn with_faults(mut self, plan: PolicyFaultPlan) -> Self {
+        self.set_faults(plan);
+        self
+    }
+
+    /// Attach a fault plan. An empty plan detaches injection entirely.
+    pub fn set_faults(&mut self, plan: PolicyFaultPlan) {
+        if plan.is_empty() {
+            self.faults = None;
+            return;
+        }
+        let rng = DetRng::new(plan.seed);
+        self.faults = Some(Box::new(FaultState {
+            plan,
+            rng,
+            report: PolicyFaultReport::default(),
+            stuck: BTreeMap::new(),
+            corrupted: false,
+        }));
     }
 
     /// Register `flow` to be served by `agent`. Agents are deduplicated
@@ -108,12 +166,132 @@ impl PolicyServer {
         self.max_batch
     }
 
+    /// Requests quarantined for invalid state vectors.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Injection counters of the attached fault plan (all-zero when no
+    /// plan is attached).
+    pub fn fault_report(&self) -> PolicyFaultReport {
+        self.faults.as_ref().map(|f| f.report).unwrap_or_default()
+    }
+
     fn group_of(&self, flow: u32) -> usize {
         self.flow_group
             .get(flow as usize)
             .copied()
             .flatten()
             .expect("flow submitted a policy request without registering")
+    }
+
+    /// Enter/leave weight-corruption windows around the forward passes.
+    /// Entering snapshots every group's weights and poisons them;
+    /// leaving restores the snapshots (the `ModelStore`-style
+    /// snapshot/rollback contract).
+    fn manage_weight_windows(&mut self, now: libra_types::Instant) {
+        let Some(faults) = self.faults.as_mut() else {
+            return;
+        };
+        let corrupt_active = faults
+            .plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, PolicyFaultKind::WeightCorrupt) && e.active_at(now));
+        if corrupt_active && !faults.corrupted {
+            for g in &self.groups {
+                let mut agent = g.agent.borrow_mut();
+                agent.snapshot_good();
+                agent.map_actor_params(|_| f64::NAN);
+                faults.report.weight_corruptions += 1;
+            }
+            faults.corrupted = true;
+        } else if !corrupt_active && faults.corrupted {
+            for g in &self.groups {
+                if !g.agent.borrow_mut().validate_or_restore(WEIGHT_NORM_BOUND) {
+                    faults.report.weight_restores += 1;
+                }
+            }
+            faults.corrupted = false;
+        }
+    }
+
+    /// Apply per-response faults after the forward passes, in batch
+    /// (flow-id) order. RNG draws happen only inside active windows, so
+    /// the stream — like netsim's link faults — is a pure function of
+    /// the plan, its seed, and the deterministic request sequence.
+    fn inject_response_faults(&mut self, batch: &mut [PolicyRequest]) {
+        let Some(faults) = self.faults.as_mut() else {
+            return;
+        };
+        let now = batch[0].at;
+        let stuck_active = faults
+            .plan
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, PolicyFaultKind::StuckAction) && e.active_at(now));
+        if !stuck_active && !faults.stuck.is_empty() {
+            faults.stuck.clear();
+        }
+        for req in batch.iter_mut() {
+            if req.quarantined {
+                continue;
+            }
+            if faults.corrupted {
+                // The shared weights are poisoned: every served action is
+                // already NaN. Label the response so reports can tell a
+                // weight-corruption miss from a healthy decision.
+                req.fault = Some("weight-corrupt");
+            }
+            for i in 0..faults.plan.events.len() {
+                if !faults.plan.events[i].active_at(now) {
+                    continue;
+                }
+                match faults.plan.events[i].kind {
+                    PolicyFaultKind::ResponseDrop { probability } => {
+                        if faults.rng.chance(probability) {
+                            req.action.clear();
+                            req.fault = Some("response-drop");
+                            faults.report.dropped_responses += 1;
+                        }
+                    }
+                    PolicyFaultKind::ResponseDelay { probability } => {
+                        if faults.rng.chance(probability) {
+                            req.action.clear();
+                            req.fault = Some("response-delay");
+                            faults.report.delayed_responses += 1;
+                        }
+                    }
+                    PolicyFaultKind::NanAction { probability } => {
+                        if faults.rng.chance(probability) && !req.action.is_empty() {
+                            for (j, a) in req.action.iter_mut().enumerate() {
+                                *a = if j % 2 == 0 { f64::NAN } else { f64::INFINITY };
+                            }
+                            req.fault = Some("nan-action");
+                            faults.report.nan_actions += 1;
+                        }
+                    }
+                    PolicyFaultKind::WrongDim { probability } => {
+                        if faults.rng.chance(probability) && !req.action.is_empty() {
+                            req.action.push(0.0);
+                            req.fault = Some("wrong-dim");
+                            faults.report.wrong_dim_actions += 1;
+                        }
+                    }
+                    PolicyFaultKind::StuckAction => {
+                        if let Some(cached) = faults.stuck.get(&req.flow) {
+                            req.action.clear();
+                            req.action.extend_from_slice(cached);
+                            req.fault = Some("stuck-action");
+                            faults.report.stuck_actions += 1;
+                        } else {
+                            faults.stuck.insert(req.flow, req.action.clone());
+                        }
+                    }
+                    PolicyFaultKind::WeightCorrupt => {}
+                }
+            }
+        }
     }
 }
 
@@ -123,26 +301,41 @@ impl PolicyService for PolicyServer {
             batch.windows(2).all(|w| w[0].flow < w[1].flow),
             "policy batch must be sorted by flow id"
         );
+        if batch.is_empty() {
+            return;
+        }
+        if self.faults.is_some() {
+            self.manage_weight_windows(batch[0].at);
+        }
         // Walk groups in index order; within a group, members keep the
         // batch slice's (flow-id) order — deterministic composition.
         for g in 0..self.groups.len() {
             self.rows.clear();
-            for (i, req) in batch.iter().enumerate() {
-                if self.group_of(req.flow) == g {
-                    self.rows.push(i);
+            let obs_dim = self.groups[g].obs_dim;
+            for (i, req) in batch.iter_mut().enumerate() {
+                if self.group_of(req.flow) != g {
+                    continue;
                 }
+                // Quarantine before composition: a non-finite or
+                // wrong-dimension state must not reach the shared
+                // forward pass. The flow gets the empty-action fallback
+                // sentinel; the rest of the group batches as usual.
+                if req.state.len() != obs_dim || req.state.iter().any(|x| !x.is_finite()) {
+                    req.quarantined = true;
+                    req.action.clear();
+                    self.quarantines += 1;
+                    continue;
+                }
+                self.rows.push(i);
             }
             if self.rows.is_empty() {
                 continue;
             }
-            let obs_dim = self.groups[g].obs_dim;
             self.obs.reshape(self.rows.len(), obs_dim);
             {
                 let flat = self.obs.as_mut_slice();
                 for (k, &i) in self.rows.iter().enumerate() {
-                    let state = &batch[i].state;
-                    assert_eq!(state.len(), obs_dim, "state/obs_dim mismatch");
-                    flat[k * obs_dim..(k + 1) * obs_dim].copy_from_slice(state);
+                    flat[k * obs_dim..(k + 1) * obs_dim].copy_from_slice(&batch[i].state);
                 }
             }
             self.groups[g].agent.borrow().act_eval_batch(
@@ -162,6 +355,9 @@ impl PolicyService for PolicyServer {
             self.rows_served += self.rows.len() as u64;
             self.max_batch = self.max_batch.max(self.rows.len());
         }
+        if self.faults.is_some() {
+            self.inject_response_faults(batch);
+        }
     }
 }
 
@@ -169,7 +365,7 @@ impl PolicyService for PolicyServer {
 mod tests {
     use super::*;
     use crate::config::PpoConfig;
-    use libra_types::DetRng;
+    use libra_types::{Duration, Instant};
 
     fn eval_agent(seed: u64) -> Rc<RefCell<PpoAgent>> {
         let mut rng = DetRng::new(seed);
@@ -182,7 +378,16 @@ mod tests {
         PolicyRequest {
             flow,
             state,
-            action: Vec::new(),
+            ..PolicyRequest::default()
+        }
+    }
+
+    fn req_at(flow: u32, at: Instant, state: Vec<f64>) -> PolicyRequest {
+        PolicyRequest {
+            flow,
+            at,
+            state,
+            ..PolicyRequest::default()
         }
     }
 
@@ -213,6 +418,8 @@ mod tests {
         assert_eq!(server.batches(), 1);
         assert_eq!(server.rows_served(), 5);
         assert_eq!(server.max_batch(), 5);
+        assert_eq!(server.quarantines(), 0);
+        assert_eq!(server.fault_report(), PolicyFaultReport::default());
     }
 
     #[test]
@@ -255,5 +462,197 @@ mod tests {
         server.register(0, &agent);
         let mut batch = vec![req(0, vec![0.0; 4]), req(7, vec![0.0; 4])];
         server.evaluate(&mut batch);
+    }
+
+    /// Pre-fix poisoning shape, pinned at the kernel layer: a NaN row
+    /// fed into the shared batched forward produces a NaN action row.
+    /// Before quarantine existed, a single flow submitting a non-finite
+    /// state was composed into the group matrix exactly like this — the
+    /// shared pass happily served it garbage (and a wrong-dimension
+    /// state aborted the whole batch). Quarantine keeps such rows out of
+    /// the composition entirely.
+    #[test]
+    fn nan_state_poisons_shared_forward_without_quarantine() {
+        let agent = eval_agent(21);
+        let mut obs = Matrix::default();
+        obs.reshape(2, 4);
+        obs.as_mut_slice()[..4].copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
+        obs.as_mut_slice()[4..].copy_from_slice(&[f64::NAN, 0.2, 0.3, 0.4]);
+        let mut acts = Matrix::default();
+        let mut scratch = BatchScratch::default();
+        agent.borrow().act_eval_batch(&obs, &mut acts, &mut scratch);
+        let a = acts.as_slice();
+        let dim = acts.cols();
+        assert!(
+            a[..dim].iter().all(|x| x.is_finite()),
+            "clean row stays clean"
+        );
+        assert!(a[dim..].iter().any(|x| x.is_nan()), "NaN row served NaN");
+    }
+
+    #[test]
+    fn quarantine_isolates_invalid_state_from_the_group() {
+        let agent = eval_agent(11);
+        let build_server = |agent: &Rc<RefCell<PpoAgent>>| {
+            let mut s = PolicyServer::new();
+            for flow in 0..4u32 {
+                s.register(flow, agent);
+            }
+            s
+        };
+        let state = |f: u32| -> Vec<f64> { (0..4).map(|i| f as f64 * 0.2 + i as f64).collect() };
+        // Clean run: all four flows valid.
+        let mut clean: Vec<PolicyRequest> = (0..4u32).map(|f| req(f, state(f))).collect();
+        build_server(&agent).evaluate(&mut clean);
+        // Dirty run: flow 1 submits NaN, flow 2 submits a wrong-dim state.
+        let mut dirty = vec![
+            req(0, state(0)),
+            req(1, vec![f64::NAN; 4]),
+            req(2, vec![0.5; 3]),
+            req(3, state(3)),
+        ];
+        let mut server = build_server(&agent);
+        server.evaluate(&mut dirty);
+        assert!(dirty[1].quarantined && dirty[1].action.is_empty());
+        assert!(dirty[2].quarantined && dirty[2].action.is_empty());
+        assert_eq!(server.quarantines(), 2);
+        // The healthy members are bitwise-identical to the clean run.
+        for i in [0usize, 3] {
+            assert!(!dirty[i].quarantined);
+            assert_eq!(clean[i].action.len(), dirty[i].action.len());
+            for (a, b) in clean[i].action.iter().zip(&dirty[i].action) {
+                assert_eq!(a.to_bits(), b.to_bits(), "flow {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn response_drop_clears_actions_inside_window_only() {
+        let agent = eval_agent(5);
+        let plan = PolicyFaultPlan::new(77).with(
+            Instant::from_secs(1),
+            Instant::from_secs(2),
+            PolicyFaultKind::ResponseDrop { probability: 1.0 },
+        );
+        let mut server = PolicyServer::new().with_faults(plan);
+        server.register(0, &agent);
+        let mut before = vec![req_at(0, Instant::ZERO, vec![0.1; 4])];
+        server.evaluate(&mut before);
+        assert!(!before[0].action.is_empty() && before[0].fault.is_none());
+        let mut inside = vec![req_at(0, Instant::from_millis(1500), vec![0.1; 4])];
+        server.evaluate(&mut inside);
+        assert!(inside[0].action.is_empty());
+        assert_eq!(inside[0].fault, Some("response-drop"));
+        let mut after = vec![req_at(0, Instant::from_secs(2), vec![0.1; 4])];
+        server.evaluate(&mut after);
+        assert!(!after[0].action.is_empty() && after[0].fault.is_none());
+        assert_eq!(server.fault_report().dropped_responses, 1);
+    }
+
+    #[test]
+    fn nan_and_wrong_dim_faults_corrupt_served_actions() {
+        let agent = eval_agent(6);
+        let w = Duration::from_secs(1);
+        let plan = PolicyFaultPlan::new(3)
+            .with(
+                Instant::ZERO,
+                Instant::ZERO + w,
+                PolicyFaultKind::NanAction { probability: 1.0 },
+            )
+            .with(
+                Instant::from_secs(5),
+                Instant::from_secs(5) + w,
+                PolicyFaultKind::WrongDim { probability: 1.0 },
+            );
+        let mut server = PolicyServer::new().with_faults(plan);
+        server.register(0, &agent);
+        let mut nan = vec![req_at(0, Instant::ZERO, vec![0.1; 4])];
+        server.evaluate(&mut nan);
+        assert!(nan[0].action.iter().any(|x| !x.is_finite()));
+        assert_eq!(nan[0].fault, Some("nan-action"));
+        let mut wrong = vec![req_at(0, Instant::from_secs(5), vec![0.1; 4])];
+        server.evaluate(&mut wrong);
+        assert_eq!(wrong[0].fault, Some("wrong-dim"));
+        assert_eq!(wrong[0].action.len(), 3); // act_dim 2 + spurious element
+        let r = server.fault_report();
+        assert_eq!((r.nan_actions, r.wrong_dim_actions), (1, 1));
+    }
+
+    #[test]
+    fn stuck_window_replays_first_in_window_action() {
+        let agent = eval_agent(7);
+        let plan = PolicyFaultPlan::new(1).with(
+            Instant::ZERO,
+            Instant::from_secs(10),
+            PolicyFaultKind::StuckAction,
+        );
+        let mut server = PolicyServer::new().with_faults(plan);
+        server.register(0, &agent);
+        let mut first = vec![req_at(0, Instant::ZERO, vec![0.1; 4])];
+        server.evaluate(&mut first);
+        assert!(first[0].fault.is_none(), "first in-window action is live");
+        let live = first[0].action.clone();
+        // Different state later in the window: the stale action returns.
+        let mut later = vec![req_at(0, Instant::from_secs(4), vec![0.9; 4])];
+        server.evaluate(&mut later);
+        assert_eq!(later[0].fault, Some("stuck-action"));
+        assert_eq!(later[0].action, live);
+        // Outside the window the cache clears and decisions go live again.
+        let mut out = vec![req_at(0, Instant::from_secs(11), vec![0.9; 4])];
+        server.evaluate(&mut out);
+        assert!(out[0].fault.is_none());
+        assert_ne!(out[0].action, live);
+        assert_eq!(server.fault_report().stuck_actions, 1);
+    }
+
+    #[test]
+    fn weight_corruption_window_poisons_then_rolls_back() {
+        let agent = eval_agent(8);
+        let plan = PolicyFaultPlan::new(2).with(
+            Instant::from_secs(1),
+            Instant::from_secs(2),
+            PolicyFaultKind::WeightCorrupt,
+        );
+        let mut server = PolicyServer::new().with_faults(plan);
+        server.register(0, &agent);
+        let mut before = vec![req_at(0, Instant::ZERO, vec![0.1; 4])];
+        server.evaluate(&mut before);
+        let healthy = before[0].action.clone();
+        let mut inside = vec![req_at(0, Instant::from_millis(1500), vec![0.1; 4])];
+        server.evaluate(&mut inside);
+        assert!(inside[0].action.iter().any(|x| x.is_nan()));
+        assert_eq!(inside[0].fault, Some("weight-corrupt"));
+        // Past the window: the snapshot is restored and actions recover
+        // bitwise.
+        let mut after = vec![req_at(0, Instant::from_secs(3), vec![0.1; 4])];
+        server.evaluate(&mut after);
+        assert!(after[0].fault.is_none());
+        assert_eq!(after[0].action, healthy);
+        let r = server.fault_report();
+        assert_eq!((r.weight_corruptions, r.weight_restores), (1, 1));
+        assert!(agent.borrow().weights_valid(WEIGHT_NORM_BOUND));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_under_the_plan_seed() {
+        let run = |seed: u64| -> Vec<Option<&'static str>> {
+            let agent = eval_agent(9);
+            let plan = PolicyFaultPlan::new(seed).with(
+                Instant::ZERO,
+                Instant::from_secs(60),
+                PolicyFaultKind::ResponseDrop { probability: 0.5 },
+            );
+            let mut server = PolicyServer::new().with_faults(plan);
+            server.register(0, &agent);
+            (0..64)
+                .map(|t| {
+                    let mut b = vec![req_at(0, Instant::from_millis(t * 100), vec![0.1; 4])];
+                    server.evaluate(&mut b);
+                    b[0].fault
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 }

@@ -18,6 +18,8 @@
 //!   the application-preference profiles built on it,
 //! * a seeded, forkable deterministic [`rng`],
 //! * the [`job`] failure taxonomy used by supervised sweep execution,
+//! * the [`policy`] service boundary and seed-deterministic
+//!   [`policyfault`] schedules injected at it,
 //! * structured decision [`trace`] events, sinks and the [`trace::Tracer`]
 //!   handle threaded through controllers and the simulator.
 
@@ -25,6 +27,7 @@ pub mod cca;
 pub mod events;
 pub mod job;
 pub mod policy;
+pub mod policyfault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -36,6 +39,7 @@ pub use cca::CongestionControl;
 pub use events::{AckEvent, LossEvent, LossKind, SendEvent};
 pub use job::{JobError, JobFailure};
 pub use policy::{PolicyRequest, PolicyService};
+pub use policyfault::{PolicyFaultEvent, PolicyFaultKind, PolicyFaultPlan, PolicyFaultReport};
 pub use rng::DetRng;
 pub use stats::{jain_index, Ewma, MiStats, MiTracker, P2Quantile, Welford};
 pub use time::{Duration, Instant};

@@ -22,11 +22,22 @@
 pub struct PolicyRequest {
     /// The submitting flow's id.
     pub flow: u32,
+    /// Simulated time of the decision tick the request belongs to.
+    /// Services use it to place the request inside scheduled fault
+    /// windows; it must never influence a fault-free evaluation.
+    pub at: crate::Instant,
     /// The observation/state vector the flow submitted.
     pub state: Vec<f64>,
     /// The action vector the service writes back (cleared and refilled
     /// by [`PolicyService::evaluate`]).
     pub action: Vec<f64>,
+    /// Label of the injected fault that touched this response, if any
+    /// (see [`crate::PolicyFaultKind::label`]).
+    pub fault: Option<&'static str>,
+    /// Set when the service refused to batch this request (e.g. a
+    /// non-finite or wrong-dimension state vector) and served a fallback
+    /// instead of poisoning the shared forward pass.
+    pub quarantined: bool,
 }
 
 impl PolicyRequest {
@@ -34,8 +45,11 @@ impl PolicyRequest {
     /// the inner allocations across ticks.
     pub fn reset(&mut self, flow: u32) {
         self.flow = flow;
+        self.at = crate::Instant::ZERO;
         self.state.clear();
         self.action.clear();
+        self.fault = None;
+        self.quarantined = false;
     }
 }
 
@@ -65,13 +79,18 @@ mod tests {
     fn request_reset_reuses_buffers() {
         let mut req = PolicyRequest {
             flow: 3,
+            at: crate::Instant::from_secs(4),
             state: vec![1.0, 2.0],
             action: vec![9.0],
+            fault: Some("nan-action"),
+            quarantined: true,
         };
         let cap = req.state.capacity();
         req.reset(7);
         assert_eq!(req.flow, 7);
+        assert_eq!(req.at, crate::Instant::ZERO);
         assert!(req.state.is_empty() && req.action.is_empty());
+        assert!(req.fault.is_none() && !req.quarantined);
         assert_eq!(req.state.capacity(), cap);
     }
 
@@ -81,12 +100,12 @@ mod tests {
             PolicyRequest {
                 flow: 0,
                 state: vec![1.0],
-                action: Vec::new(),
+                ..PolicyRequest::default()
             },
             PolicyRequest {
                 flow: 1,
                 state: vec![-2.0],
-                action: Vec::new(),
+                ..PolicyRequest::default()
             },
         ];
         Doubler.evaluate(&mut reqs);

@@ -206,6 +206,35 @@ pub enum TraceEvent {
         /// Number of flow requests served in one batched forward pass.
         size: u32,
     },
+    /// An injected policy-boundary fault touched this flow's response
+    /// (see [`crate::PolicyFaultKind`]).
+    PolicyFault {
+        /// Flow id.
+        flow: u32,
+        /// Simulated time of the decision tick, ns.
+        at_ns: u64,
+        /// Fault-kind label (e.g. `response-drop`, `nan-action`).
+        fault: String,
+    },
+    /// The policy server refused to batch this flow's request (invalid
+    /// state vector) and served a fallback instead, protecting the rest
+    /// of the batch group.
+    Quarantine {
+        /// Flow id.
+        flow: u32,
+        /// Simulated time of the decision tick, ns.
+        at_ns: u64,
+    },
+    /// The resolve-side degradation ladder served stale last-good
+    /// actions in place of missing/invalid policy responses.
+    Fallback {
+        /// Flow id.
+        flow: u32,
+        /// Simulated time, ns.
+        at_ns: u64,
+        /// How many stale ticks were served since the last report.
+        ticks: u64,
+    },
     /// A monitor interval closed.
     MiClose {
         /// Flow id.
@@ -233,6 +262,9 @@ impl TraceEvent {
             | TraceEvent::Rto { at_ns, .. }
             | TraceEvent::FastRetransmit { at_ns, .. }
             | TraceEvent::PolicyBatch { at_ns, .. }
+            | TraceEvent::PolicyFault { at_ns, .. }
+            | TraceEvent::Quarantine { at_ns, .. }
+            | TraceEvent::Fallback { at_ns, .. }
             | TraceEvent::MiClose { at_ns, .. } => at_ns,
         }
     }
@@ -248,6 +280,9 @@ impl TraceEvent {
             | TraceEvent::Rto { flow, .. }
             | TraceEvent::FastRetransmit { flow, .. }
             | TraceEvent::PolicyBatch { flow, .. }
+            | TraceEvent::PolicyFault { flow, .. }
+            | TraceEvent::Quarantine { flow, .. }
+            | TraceEvent::Fallback { flow, .. }
             | TraceEvent::MiClose { flow, .. } => flow,
         }
     }
@@ -471,5 +506,28 @@ mod tests {
         // Enum struct variants render as {"CycleDecision": {...}}.
         let s = format!("{v:?}");
         assert!(s.contains("CycleDecision"), "{s}");
+    }
+
+    #[test]
+    fn policy_fault_events_carry_flow_and_time() {
+        let events = [
+            TraceEvent::PolicyFault {
+                flow: 3,
+                at_ns: 10,
+                fault: "response-drop".to_string(),
+            },
+            TraceEvent::Quarantine { flow: 3, at_ns: 11 },
+            TraceEvent::Fallback {
+                flow: 3,
+                at_ns: 12,
+                ticks: 4,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.flow(), 3);
+            assert_eq!(e.at_ns(), 10 + i as u64);
+            let v = serde::Serialize::to_value(e);
+            assert!(!format!("{v:?}").is_empty());
+        }
     }
 }

@@ -40,6 +40,10 @@ echo "==> policy-server batched identity (runtime invariant asserts armed)"
 cargo test --offline -q -p libra-bench --test policy_server \
     --features libra-netsim/checked-invariants,libra-core/checked-invariants
 
+echo "==> policy-chaos gate (every fault kind x scheduler, runtime invariant asserts armed)"
+cargo test --release --offline -q -p libra-bench --test policy_chaos \
+    --features libra-netsim/checked-invariants,libra-core/checked-invariants
+
 echo "==> queue-ledger properties under checked-invariants (all disciplines)"
 cargo test --offline -q -p libra --test properties --features checked-invariants
 
